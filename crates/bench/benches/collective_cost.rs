@@ -1,0 +1,58 @@
+//! Collective cost-model evaluation throughput and algorithm
+//! comparison (ring vs tree vs auto).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_cost::{AnalyticalCostModel, ClusterSpec, CollectiveAlgorithm, CollectiveModel, CostModel};
+use lumos_trace::CollectiveKind;
+
+fn bench_collective_cost(c: &mut Criterion) {
+    let model = AnalyticalCostModel::h100();
+    let mut group = c.benchmark_group("collective_cost");
+    for &n in &[8u32, 64, 512] {
+        let members: Vec<u32> = (0..n).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("allreduce_{n}ranks")),
+            &members,
+            |b, m| {
+                b.iter(|| {
+                    model.collective_cost(CollectiveKind::AllReduce, 256 << 20, m)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let model = CollectiveModel::new(ClusterSpec::h100_roce());
+    let members: Vec<u32> = (0..64).collect();
+    let mut group = c.benchmark_group("collective_algorithms");
+    for algo in [
+        CollectiveAlgorithm::Ring,
+        CollectiveAlgorithm::Tree,
+        CollectiveAlgorithm::Auto,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{algo:?}")),
+            &algo,
+            |b, &a| {
+                b.iter(|| {
+                    // Sweep the payload range a training iteration sees.
+                    let mut acc = lumos_trace::Dur::ZERO;
+                    for pow in 10..30 {
+                        acc += model.duration_with(
+                            a,
+                            CollectiveKind::AllReduce,
+                            1 << pow,
+                            &members,
+                        );
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collective_cost, bench_algorithms);
+criterion_main!(benches);

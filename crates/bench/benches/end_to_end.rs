@@ -1,0 +1,38 @@
+//! End-to-end toolkit wall time: trace -> graph -> replay, validating
+//! the paper's "a few seconds to several minutes" claim (§4).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_cluster::{GroundTruthCluster, SimConfig};
+use lumos_core::Lumos;
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (name, tp, pp, dp) in [("16gpu_15B_slice", 2, 2, 4), ("32gpu_15B_slice", 2, 2, 8)] {
+        // An 8-layer slice of GPT-3 15B keeps bench time sane while
+        // exercising realistic kernel populations.
+        let cfg = SimConfig {
+            model: ModelConfig::custom("15B-slice", 8, 6144, 12288, 48, 128),
+            parallelism: Parallelism::new(tp, pp, dp).unwrap(),
+            batch: BatchConfig {
+                seq_len: 2048,
+                microbatch_size: 1,
+                num_microbatches: 2 * pp,
+            },
+            schedule: ScheduleKind::OneFOneB,
+        };
+        let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+            .unwrap()
+            .profile_iteration(0)
+            .unwrap()
+            .trace;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| Lumos::new().replay(t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Execution-graph construction throughput vs trace size.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lumos_cluster::{GroundTruthCluster, SimConfig};
+use lumos_core::{build_graph, BuildOptions};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+
+fn trace_for(layers: u32, ranks: (u32, u32, u32)) -> lumos_trace::ClusterTrace {
+    let cfg = SimConfig {
+        model: ModelConfig::custom("bench", layers, 1024, 4096, 8, 128),
+        parallelism: Parallelism::new(ranks.0, ranks.1, ranks.2).unwrap(),
+        batch: BatchConfig {
+            seq_len: 1024,
+            microbatch_size: 1,
+            num_microbatches: 2 * ranks.1,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .profile_iteration(0)
+        .unwrap()
+        .trace
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group.sample_size(10);
+    for (name, trace) in [
+        ("1rank_4layers", trace_for(4, (1, 1, 1))),
+        ("8ranks_8layers", trace_for(8, (2, 2, 2))),
+        ("16ranks_16layers", trace_for(16, (2, 2, 4))),
+    ] {
+        group.throughput(Throughput::Elements(trace.total_events() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| build_graph(t, &BuildOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build);
+criterion_main!(benches);

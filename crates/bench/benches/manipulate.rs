@@ -1,0 +1,57 @@
+//! Graph-manipulation (predict) cost per transform kind.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lumos_cluster::{GroundTruthCluster, SimConfig};
+use lumos_core::manipulate::Transform;
+use lumos_core::Lumos;
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+
+fn bench_manipulate(c: &mut Criterion) {
+    let cfg = SimConfig {
+        model: ModelConfig::custom("bench", 8, 1024, 4096, 8, 128),
+        parallelism: Parallelism::new(1, 2, 2).unwrap(),
+        batch: BatchConfig {
+            seq_len: 1024,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .profile_iteration(0)
+        .unwrap()
+        .trace;
+    let lumos = Lumos::new();
+
+    let mut group = c.benchmark_group("manipulate");
+    group.sample_size(10);
+    for (name, transforms) in [
+        ("dp_x2", vec![Transform::DataParallel { dp: 4 }]),
+        ("pp_x2", vec![Transform::PipelineParallel { pp: 4 }]),
+        ("layers_x2", vec![Transform::NumLayers { layers: 16 }]),
+        (
+            "hidden_x2",
+            vec![Transform::HiddenSize {
+                hidden: 2048,
+                ffn: 8192,
+            }],
+        ),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &transforms,
+            |b, tr| {
+                b.iter(|| {
+                    lumos
+                        .predict(&trace, &cfg, tr, AnalyticalCostModel::h100())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_manipulate);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Algorithm 1 replay throughput (tasks/second).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lumos_cluster::{GroundTruthCluster, SimConfig};
+use lumos_core::{build_graph, simulate, BuildOptions, SimOptions};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+
+fn graph_for(ranks: (u32, u32, u32)) -> lumos_core::ExecutionGraph {
+    let cfg = SimConfig {
+        model: ModelConfig::custom("bench", 8, 1024, 4096, 8, 128),
+        parallelism: Parallelism::new(ranks.0, ranks.1, ranks.2).unwrap(),
+        batch: BatchConfig {
+            seq_len: 1024,
+            microbatch_size: 1,
+            num_microbatches: 2 * ranks.1,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .profile_iteration(0)
+        .unwrap()
+        .trace;
+    build_graph(&trace, &BuildOptions::default()).unwrap()
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for (name, ranks) in [
+        ("1rank", (1, 1, 1)),
+        ("8ranks", (2, 2, 2)),
+        ("16ranks", (2, 2, 4)),
+    ] {
+        let graph = graph_for(ranks);
+        group.throughput(Throughput::Elements(graph.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| simulate(g, &SimOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 5: per-iteration replay accuracy across four GPT-3 models
+//! and six parallelism configurations each.
+//!
+//! Usage: fig5_replay [15b|44b|117b|175b]   (default: all four)
+use lumos_bench::figures::fig5;
+use lumos_bench::table::pct;
+use lumos_bench::RunOptions;
+use lumos_model::ModelConfig;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let models: Vec<ModelConfig> = match filter.as_deref() {
+        Some("15b") => vec![ModelConfig::gpt3_15b()],
+        Some("44b") => vec![ModelConfig::gpt3_44b()],
+        Some("117b") => vec![ModelConfig::gpt3_117b()],
+        Some("175b") => vec![ModelConfig::gpt3_175b()],
+        _ => ModelConfig::table1(),
+    };
+    let opts = RunOptions::default();
+    let mut progress = |s: &str| eprintln!("[fig5] {s}");
+    let out = fig5(&models, &opts, &mut progress);
+    for (model, table) in &out.panels {
+        println!("Figure 5 — {model}\n");
+        println!("{}", table.to_text());
+    }
+    println!(
+        "Replay error over {} configs: Lumos avg {} (max {}), dPRO avg {} (max {})",
+        out.rows,
+        pct(out.lumos_avg),
+        pct(out.lumos_max),
+        pct(out.dpro_avg),
+        pct(out.dpro_max)
+    );
+}

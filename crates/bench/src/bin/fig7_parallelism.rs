@@ -1,0 +1,30 @@
+//! Figure 7: predicting scale-out configurations from the GPT-3 15B
+//! 2x2x4 base trace by graph manipulation.
+//!
+//! Usage: fig7_parallelism [--part a|b|c]   (default: all parts)
+use lumos_bench::figures::fig7;
+use lumos_bench::RunOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let part = args
+        .windows(2)
+        .find(|w| w[0] == "--part")
+        .and_then(|w| w[1].chars().next());
+    let parts: Vec<char> = match part {
+        Some(p) => vec![p],
+        None => vec!['a', 'b', 'c'],
+    };
+    let opts = RunOptions::default();
+    for p in parts {
+        let mut progress = |s: &str| eprintln!("[fig7] {s}");
+        let table = fig7(p, &opts, &mut progress);
+        let what = match p {
+            'a' => "scaling data parallelism",
+            'b' => "scaling pipeline parallelism",
+            _ => "scaling both",
+        };
+        println!("Figure 7{p}: {what} (base GPT-3 15B @ 2x2x4)\n");
+        println!("{}", table.to_text());
+    }
+}

@@ -1,0 +1,29 @@
+//! §4.2 headline: average replay error of Lumos vs dPRO over the
+//! Figure 5 sweep (paper: Lumos 3.3% avg; dPRO 14% avg, 21.8% max).
+use lumos_bench::figures::fig5;
+use lumos_bench::table::{pct, TextTable};
+use lumos_bench::RunOptions;
+use lumos_model::ModelConfig;
+
+fn main() {
+    let opts = RunOptions::default();
+    let mut progress = |s: &str| eprintln!("[summary] {s}");
+    let out = fig5(&ModelConfig::table1(), &opts, &mut progress);
+    let mut t = TextTable::new(&["toolkit", "avg error", "max error", "paper avg", "paper max"]);
+    t.row(vec![
+        "Lumos".into(),
+        pct(out.lumos_avg),
+        pct(out.lumos_max),
+        "3.3%".into(),
+        "~5%".into(),
+    ]);
+    t.row(vec![
+        "dPRO".into(),
+        pct(out.dpro_avg),
+        pct(out.dpro_max),
+        "14%".into(),
+        "21.8%".into(),
+    ]);
+    println!("Replay-error summary over {} configurations\n", out.rows);
+    println!("{}", t.to_text());
+}

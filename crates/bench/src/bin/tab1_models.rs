@@ -1,0 +1,8 @@
+//! Table 1: model sizes and architectures used in the evaluation.
+use lumos_bench::figures::model_table;
+use lumos_model::ModelConfig;
+
+fn main() {
+    println!("Table 1: evaluation models (computed parameter counts)\n");
+    println!("{}", model_table(&ModelConfig::table1()).to_text());
+}

@@ -1,0 +1,10 @@
+//! Table 2: sizes and architectures for model variations.
+use lumos_bench::figures::model_table;
+use lumos_model::ModelConfig;
+
+fn main() {
+    let mut models = vec![ModelConfig::gpt3_15b()];
+    models.extend(ModelConfig::table2());
+    println!("Table 2: architecture variants of GPT-3 15B\n");
+    println!("{}", model_table(&models).to_text());
+}

@@ -1,0 +1,246 @@
+//! Experiment runner: ground truth vs Lumos vs dPRO.
+
+use lumos_cluster::{EngineOutput, GroundTruthCluster, JitterModel, SimConfig};
+use lumos_core::manipulate::Transform;
+use lumos_core::Lumos;
+use lumos_cost::AnalyticalCostModel;
+use lumos_dpro::Dpro;
+use lumos_trace::{Breakdown, BreakdownExt, ClusterTrace, Dur};
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Jitter seed (the "cluster" this run happens on).
+    pub seed: u64,
+    /// Iterations averaged into the "actual" measurement (beyond the
+    /// profiled one).
+    pub measured_iters: usize,
+    /// Micro-batch override (`None` = `2 × PP`).
+    pub microbatches: Option<u32>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 2025,
+            measured_iters: 2,
+            microbatches: None,
+        }
+    }
+}
+
+/// Ground-truth artifacts for one configuration.
+pub struct Profiled {
+    /// The configuration that ran.
+    pub config: SimConfig,
+    /// The profiled iteration's trace (iteration 0).
+    pub output: EngineOutput,
+    /// Mean measured iteration time over further iterations.
+    pub actual: Dur,
+    /// Breakdown of the profiled iteration.
+    pub actual_breakdown: Breakdown,
+}
+
+/// Profiles one jittered iteration of `config` and measures the mean
+/// over `opts.measured_iters` more iterations.
+///
+/// # Panics
+///
+/// Panics on invalid configurations or engine failures (experiment
+/// configurations are static and must be valid).
+pub fn profile_config(config: &SimConfig, opts: &RunOptions) -> Profiled {
+    // Each configuration is its own "job" on the cluster: diversify
+    // the jitter seed so per-iteration drift is independent across
+    // configs (otherwise every row would share one drift sample and
+    // replay errors would be perfectly correlated).
+    let mut seed = opts.seed;
+    for b in config.label().bytes() {
+        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    }
+    let cluster = GroundTruthCluster::new(config, AnalyticalCostModel::h100())
+        .expect("experiment configuration must be valid")
+        .with_jitter(JitterModel::realistic(seed));
+    let output = cluster.profile_iteration(0).expect("engine completes");
+    let mut total = Dur::ZERO;
+    let mut n = 0u64;
+    for i in 0..opts.measured_iters {
+        total += cluster
+            .profile_iteration(1 + i as u64)
+            .expect("engine completes")
+            .makespan;
+        n += 1;
+    }
+    let actual = if n == 0 {
+        output.makespan
+    } else {
+        total / n
+    };
+    let actual_breakdown = output.trace.breakdown();
+    Profiled {
+        config: config.clone(),
+        output,
+        actual,
+        actual_breakdown,
+    }
+}
+
+/// Just the mean measured iteration time of a configuration (used to
+/// validate predictions).
+pub fn measure_actual(config: &SimConfig, opts: &RunOptions) -> (Dur, Breakdown) {
+    let p = profile_config(config, opts);
+    (p.actual, p.actual_breakdown)
+}
+
+/// One row of Figure 5: actual vs Lumos vs dPRO for a configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// `TPxPPxDP` label.
+    pub label: String,
+    /// Mean measured iteration time.
+    pub actual: Dur,
+    /// Breakdown of the profiled iteration.
+    pub actual_breakdown: Breakdown,
+    /// Lumos replayed time.
+    pub lumos: Dur,
+    /// Lumos replayed breakdown.
+    pub lumos_breakdown: Breakdown,
+    /// dPRO replayed time.
+    pub dpro: Dur,
+    /// dPRO replayed breakdown.
+    pub dpro_breakdown: Breakdown,
+}
+
+impl ConfigResult {
+    /// Lumos replay error vs actual.
+    pub fn lumos_error(&self) -> f64 {
+        self.lumos.relative_error(self.actual)
+    }
+
+    /// dPRO replay error vs actual.
+    pub fn dpro_error(&self) -> f64 {
+        self.dpro.relative_error(self.actual)
+    }
+}
+
+/// Runs the full replay comparison for one configuration.
+pub fn replay_experiment(config: &SimConfig, opts: &RunOptions) -> ConfigResult {
+    let profiled = profile_config(config, opts);
+    let lumos = Lumos::new()
+        .replay(&profiled.output.trace)
+        .expect("replay succeeds");
+    let dpro = Dpro::new()
+        .replay(&profiled.output.trace)
+        .expect("dpro replay succeeds");
+    ConfigResult {
+        label: config.parallelism.label(),
+        actual: profiled.actual,
+        actual_breakdown: profiled.actual_breakdown,
+        lumos: lumos.makespan(),
+        lumos_breakdown: lumos.breakdown(),
+        dpro: dpro.makespan(),
+        dpro_breakdown: dpro.breakdown(),
+    }
+}
+
+/// One row of Figures 7/8: prediction vs fresh ground truth.
+#[derive(Debug, Clone)]
+pub struct PredictionResult {
+    /// Target label (parallelism or variant name).
+    pub label: String,
+    /// Lumos-predicted iteration time.
+    pub predicted: Dur,
+    /// Predicted breakdown.
+    pub predicted_breakdown: Breakdown,
+    /// Fresh ground-truth iteration time at the target config.
+    pub actual: Dur,
+    /// Ground-truth breakdown.
+    pub actual_breakdown: Breakdown,
+}
+
+impl PredictionResult {
+    /// Prediction error vs actual.
+    pub fn error(&self) -> f64 {
+        self.predicted.relative_error(self.actual)
+    }
+}
+
+/// Predicts `transforms` applied to the deployment behind
+/// `base_trace`, then validates against a fresh ground-truth run of
+/// the target configuration.
+pub fn predict_from(
+    base_trace: &ClusterTrace,
+    base_config: &SimConfig,
+    label: &str,
+    transforms: &[Transform],
+    opts: &RunOptions,
+) -> PredictionResult {
+    let prediction = Lumos::new()
+        .predict(
+            base_trace,
+            base_config,
+            transforms,
+            AnalyticalCostModel::h100(),
+        )
+        .expect("prediction succeeds");
+    let (actual, actual_breakdown) = measure_actual(&prediction.setup, opts);
+    PredictionResult {
+        label: label.to_string(),
+        predicted: prediction.makespan(),
+        predicted_breakdown: prediction.replayed.breakdown(),
+        actual,
+        actual_breakdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+
+    fn tiny() -> SimConfig {
+        SimConfig {
+            model: ModelConfig::tiny(),
+            parallelism: Parallelism::new(1, 2, 1).unwrap(),
+            batch: BatchConfig {
+                seq_len: 128,
+                microbatch_size: 1,
+                num_microbatches: 4,
+            },
+            schedule: ScheduleKind::OneFOneB,
+        }
+    }
+
+    #[test]
+    fn replay_experiment_produces_row() {
+        let opts = RunOptions {
+            seed: 7,
+            measured_iters: 1,
+            microbatches: None,
+        };
+        let row = replay_experiment(&tiny(), &opts);
+        assert_eq!(row.label, "1x2x1");
+        assert!(row.actual > Dur::ZERO);
+        assert!(row.lumos_error() < 0.2);
+        assert!(row.dpro <= row.lumos);
+    }
+
+    #[test]
+    fn prediction_experiment_produces_row() {
+        let opts = RunOptions {
+            seed: 7,
+            measured_iters: 1,
+            microbatches: None,
+        };
+        let base = tiny();
+        let profiled = profile_config(&base, &opts);
+        let row = predict_from(
+            &profiled.output.trace,
+            &base,
+            "1x2x2",
+            &[Transform::DataParallel { dp: 2 }],
+            &opts,
+        );
+        assert!(row.predicted > Dur::ZERO);
+        assert!(row.error() < 0.25);
+    }
+}

@@ -1,0 +1,176 @@
+//! The paper's experiment configurations, verbatim from §4.
+
+use lumos_cluster::SimConfig;
+use lumos_core::manipulate::Transform;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+
+/// Builds a [`SimConfig`] for a model at a `TPxPPxDP` label, with the
+/// repository's default micro-batch policy (`2 × PP`, overridable).
+pub fn config(model: ModelConfig, label: &str, microbatches: Option<u32>) -> SimConfig {
+    let parallelism = Parallelism::parse_label(label).expect("valid TPxPPxDP label");
+    let num_mb = microbatches.unwrap_or(2 * parallelism.pp);
+    SimConfig {
+        model,
+        parallelism,
+        batch: BatchConfig::gpt3_default(num_mb),
+        schedule: ScheduleKind::OneFOneB,
+    }
+}
+
+/// Figure 5's per-model parallelism labels (x-axes of the four
+/// panels).
+pub fn fig5_labels(model_name: &str) -> &'static [&'static str] {
+    match model_name {
+        "GPT-3 15B" => &["2x2x4", "2x2x8", "2x4x2", "2x4x4", "4x2x2", "4x2x4"],
+        "GPT-3 44B" => &["4x4x2", "4x4x4", "4x8x1", "4x8x2", "8x4x1", "8x4x2"],
+        "GPT-3 117B" => &["4x8x2", "4x8x4", "8x4x2", "8x4x4", "8x8x1", "8x8x2"],
+        "GPT-3 175B" => &["4x8x4", "4x8x8", "4x8x16", "8x4x4", "8x4x8", "8x4x16"],
+        other => panic!("no figure-5 labels for {other}"),
+    }
+}
+
+/// Figure 1 / §1: GPT-3 175B with TP=8, PP=4, DP=8.
+pub fn fig1_config(microbatches: Option<u32>) -> SimConfig {
+    config(ModelConfig::gpt3_175b(), "8x4x8", microbatches)
+}
+
+/// Figure 6 / §4.2.3: GPT-3 15B with TP=2, PP=2, DP=4.
+pub fn fig6_config(microbatches: Option<u32>) -> SimConfig {
+    config(ModelConfig::gpt3_15b(), "2x2x4", microbatches)
+}
+
+/// §4.3 baseline: GPT-3 15B at 2x2x4 — the trace all Figure 7/8
+/// predictions start from.
+pub fn fig7_base(microbatches: Option<u32>) -> SimConfig {
+    config(ModelConfig::gpt3_15b(), "2x2x4", microbatches)
+}
+
+/// Figure 7a targets: scale data parallelism (32 → 128 GPUs).
+pub fn fig7a_targets() -> Vec<(&'static str, Vec<Transform>)> {
+    vec![
+        ("2x2x8", vec![Transform::DataParallel { dp: 8 }]),
+        ("2x2x16", vec![Transform::DataParallel { dp: 16 }]),
+        ("2x2x32", vec![Transform::DataParallel { dp: 32 }]),
+    ]
+}
+
+/// Figure 7b targets: scale pipeline parallelism.
+pub fn fig7b_targets() -> Vec<(&'static str, Vec<Transform>)> {
+    vec![
+        (
+            "2x4x4",
+            vec![
+                Transform::PipelineParallel { pp: 4 },
+                Transform::DataParallel { dp: 4 },
+            ],
+        ),
+        (
+            "2x8x4",
+            vec![
+                Transform::PipelineParallel { pp: 8 },
+                Transform::DataParallel { dp: 4 },
+            ],
+        ),
+        (
+            "2x16x4",
+            vec![
+                Transform::PipelineParallel { pp: 16 },
+                Transform::DataParallel { dp: 4 },
+            ],
+        ),
+    ]
+}
+
+/// Figure 7c targets: scale both axes simultaneously.
+pub fn fig7c_targets() -> Vec<(&'static str, Vec<Transform>)> {
+    vec![
+        (
+            "2x4x8",
+            vec![
+                Transform::PipelineParallel { pp: 4 },
+                Transform::DataParallel { dp: 8 },
+            ],
+        ),
+        (
+            "2x8x8",
+            vec![
+                Transform::PipelineParallel { pp: 8 },
+                Transform::DataParallel { dp: 8 },
+            ],
+        ),
+        (
+            "2x4x16",
+            vec![
+                Transform::PipelineParallel { pp: 4 },
+                Transform::DataParallel { dp: 16 },
+            ],
+        ),
+    ]
+}
+
+/// Figure 8 / Table 2 targets: architecture variants of the 15B base.
+pub fn fig8_targets() -> Vec<(&'static str, Vec<Transform>)> {
+    vec![
+        ("GPT-3 V1", vec![Transform::NumLayers { layers: 64 }]),
+        ("GPT-3 V2", vec![Transform::NumLayers { layers: 96 }]),
+        (
+            "GPT-3 V3",
+            vec![Transform::HiddenSize {
+                hidden: 9_216,
+                ffn: 18_432,
+            }],
+        ),
+        (
+            "GPT-3 V4",
+            vec![Transform::HiddenSize {
+                hidden: 12_288,
+                ffn: 24_576,
+            }],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_labels_world_sizes() {
+        // Figure 5 spans 16 to 512 GPUs.
+        let mut min_ws = u32::MAX;
+        let mut max_ws = 0;
+        for m in ModelConfig::table1() {
+            for label in fig5_labels(&m.name) {
+                let p = Parallelism::parse_label(label).unwrap();
+                p.validate_for(m.num_layers, m.num_heads).unwrap();
+                min_ws = min_ws.min(p.world_size());
+                max_ws = max_ws.max(p.world_size());
+            }
+        }
+        assert_eq!(min_ws, 16);
+        assert_eq!(max_ws, 512);
+    }
+
+    #[test]
+    fn fig1_is_256_gpus() {
+        let c = fig1_config(None);
+        assert_eq!(c.parallelism.world_size(), 256);
+        assert_eq!(c.model.name, "GPT-3 175B");
+    }
+
+    #[test]
+    fn prediction_targets_valid() {
+        let base = fig7_base(None);
+        for (label, transforms) in fig7a_targets()
+            .into_iter()
+            .chain(fig7b_targets())
+            .chain(fig7c_targets())
+        {
+            let new = lumos_core::manipulate::apply_transforms(&base, &transforms).unwrap();
+            assert_eq!(new.parallelism.label(), label);
+        }
+        for (_, transforms) in fig8_targets() {
+            lumos_core::manipulate::apply_transforms(&base, &transforms).unwrap();
+        }
+    }
+}

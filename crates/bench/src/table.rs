@@ -1,0 +1,150 @@
+//! Plain-text and Markdown table rendering for experiment output.
+
+use lumos_trace::{Breakdown, Dur};
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Renders with space-padded columns.
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], w: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &w));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &w));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.header.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Milliseconds with one decimal (the paper's unit).
+pub fn ms(d: Dur) -> String {
+    format!("{:.1}", d.as_ms_f64())
+}
+
+/// Percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// `compute/overlap/comm/other` in ms — the Figure 1/5/7/8 breakdown
+/// quadruple.
+pub fn breakdown_cells(b: &Breakdown) -> [String; 4] {
+    [
+        ms(b.exposed_compute),
+        ms(b.overlapped),
+        ms(b.exposed_comm),
+        ms(b.other),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_alignment() {
+        let mut t = TextTable::new(&["config", "ms"]);
+        t.row(vec!["2x2x4".into(), "612.5".into()]);
+        t.row(vec!["8x4x16".into(), "8123.0".into()]);
+        let s = t.to_text();
+        assert!(s.contains("config"));
+        assert!(s.lines().count() >= 4);
+        // Columns aligned: both rows have the separator at the same
+        // position.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].find("612").is_some());
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Dur::from_ms(612)), "612.0");
+        assert_eq!(pct(0.033), "3.3%");
+        let b = Breakdown {
+            exposed_compute: Dur::from_ms(100),
+            overlapped: Dur::from_ms(50),
+            exposed_comm: Dur::from_ms(25),
+            other: Dur::from_ms(5),
+        };
+        assert_eq!(
+            breakdown_cells(&b),
+            ["100.0", "50.0", "25.0", "5.0"].map(String::from)
+        );
+    }
+}

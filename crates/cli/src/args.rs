@@ -1,0 +1,217 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Grammar: positionals interleave freely with `--key value` /
+//! `--key=value` options and declared boolean `--flag`s. Unknown
+//! options are rejected so typos fail loudly.
+
+use crate::error::CliError;
+use std::collections::{HashMap, HashSet};
+
+/// Parsed arguments of one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct ArgSet {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    flags: HashSet<String>,
+}
+
+/// Declares the options a subcommand accepts.
+#[derive(Debug, Clone, Default)]
+pub struct ArgSpec {
+    /// Option names that take a value (`--name value`).
+    pub options: &'static [&'static str],
+    /// Boolean flag names (`--name`).
+    pub flags: &'static [&'static str],
+}
+
+impl ArgSet {
+    /// Parses `args` against `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown options, missing
+    /// values, or duplicated options.
+    pub fn parse(args: &[String], spec: &ArgSpec) -> Result<ArgSet, CliError> {
+        let mut set = ArgSet::default();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let (name, inline) = match name.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (name, None),
+                };
+                if spec.flags.contains(&name) {
+                    if inline.is_some() {
+                        return Err(CliError::Usage(format!(
+                            "flag --{name} does not take a value"
+                        )));
+                    }
+                    set.flags.insert(name.to_string());
+                } else if spec.options.contains(&name) {
+                    let value = match inline {
+                        Some(v) => v,
+                        None => it
+                            .next()
+                            .ok_or_else(|| {
+                                CliError::Usage(format!("option --{name} needs a value"))
+                            })?
+                            .clone(),
+                    };
+                    if set.options.insert(name.to_string(), value).is_some() {
+                        return Err(CliError::Usage(format!("option --{name} given twice")));
+                    }
+                } else {
+                    return Err(CliError::Usage(format!("unknown option --{name}")));
+                }
+            } else {
+                set.positionals.push(arg.clone());
+            }
+        }
+        Ok(set)
+    }
+
+    /// Positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The single expected positional.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] unless exactly one positional was
+    /// given.
+    pub fn one_positional(&self, what: &str) -> Result<&str, CliError> {
+        match self.positionals.as_slice() {
+            [p] => Ok(p),
+            [] => Err(CliError::Usage(format!("missing {what}"))),
+            more => Err(CliError::Usage(format!(
+                "expected one {what}, got {}",
+                more.len()
+            ))),
+        }
+    }
+
+    /// Whether a boolean flag was set.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains(flag)
+    }
+
+    /// An option's raw value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A required option's raw value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when absent.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("option --{name} is required")))
+    }
+
+    /// A numeric option, defaulting when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when present but unparsable.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::Usage(format!("option --{name}: cannot parse `{raw}`"))
+            }),
+        }
+    }
+
+    /// An optional numeric option (no default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when present but unparsable.
+    pub fn get_num_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| {
+                CliError::Usage(format!("option --{name}: cannot parse `{raw}`"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArgSpec {
+        ArgSpec {
+            options: &["tp", "out"],
+            flags: &["dpro"],
+        }
+    }
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed_forms() {
+        let set = ArgSet::parse(
+            &strs(&["trace.json", "--tp", "4", "--dpro", "--out=o.json"]),
+            &spec(),
+        )
+        .unwrap();
+        assert_eq!(set.one_positional("trace").unwrap(), "trace.json");
+        assert_eq!(set.get_num::<u32>("tp", 1).unwrap(), 4);
+        assert!(set.has("dpro"));
+        assert_eq!(set.get("out"), Some("o.json"));
+    }
+
+    #[test]
+    fn rejects_unknown_option() {
+        let err = ArgSet::parse(&strs(&["--bogus", "1"]), &spec()).unwrap_err();
+        assert!(err.to_string().contains("unknown option --bogus"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = ArgSet::parse(&strs(&["--tp"]), &spec()).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn rejects_duplicate_option() {
+        let err = ArgSet::parse(&strs(&["--tp", "1", "--tp", "2"]), &spec()).unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn rejects_flag_with_value() {
+        let err = ArgSet::parse(&strs(&["--dpro=yes"]), &spec()).unwrap_err();
+        assert!(err.to_string().contains("does not take a value"));
+    }
+
+    #[test]
+    fn defaults_and_required() {
+        let set = ArgSet::parse(&strs(&[]), &spec()).unwrap();
+        assert_eq!(set.get_num::<u32>("tp", 7).unwrap(), 7);
+        assert!(set.require("out").is_err());
+        assert!(set.one_positional("trace").is_err());
+        assert_eq!(set.get_num_opt::<u64>("tp").unwrap(), None);
+    }
+
+    #[test]
+    fn unparsable_number_is_usage_error() {
+        let set = ArgSet::parse(&strs(&["--tp", "abc"]), &spec()).unwrap();
+        let err = set.get_num::<u32>("tp", 1).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"));
+    }
+
+    #[test]
+    fn too_many_positionals_rejected() {
+        let set = ArgSet::parse(&strs(&["a", "b"]), &spec()).unwrap();
+        assert!(set.one_positional("trace").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! `lumos critical-path` — the longest dependency chain of a replay
+//! and the heaviest kernels, "identifying which optimization would
+//! yield the greatest performance improvement" (§5).
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::{load_trace, ms, pct};
+use crate::error::CliError;
+use lumos_bench::table::TextTable;
+use lumos_core::analysis::{bottleneck_kernels, critical_path};
+use lumos_core::Lumos;
+use std::io::Write;
+
+/// Options of `lumos critical-path`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["top"],
+    flags: &[],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos critical-path <trace.json> [--top N]\n\
+  Replays the trace, walks the critical path, and lists the N\n\
+  heaviest kernel names (default 10).";
+
+/// Runs `lumos critical-path`.
+///
+/// # Errors
+///
+/// Returns usage, I/O, parse, and simulation failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.one_positional("trace file")?;
+    let top = args.get_num("top", 10usize)?;
+    let trace = load_trace(path)?;
+    let replayed = Lumos::new().replay(&trace)?;
+    let cp = critical_path(&replayed.graph, &replayed.result);
+
+    let makespan = replayed.makespan();
+    let total = makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+    writeln!(out, "makespan:        {}", ms(makespan))?;
+    writeln!(out, "path length:     {} tasks", cp.len())?;
+    for (name, d) in [
+        ("compute", cp.compute),
+        ("communication", cp.comm),
+        ("host", cp.host),
+        ("idle", cp.idle),
+    ] {
+        writeln!(
+            out,
+            "  {name:<14} {:>12}  {:>6}",
+            ms(d),
+            pct(d.as_secs_f64() / total)
+        )?;
+    }
+
+    let mut table = TextTable::new(&["kernel", "total", "count"]);
+    for (name, dur, count) in bottleneck_kernels(&replayed.graph, &replayed.result, top) {
+        table.row(vec![name.to_string(), ms(dur), count.to_string()]);
+    }
+    writeln!(out)?;
+    writeln!(out, "bottleneck kernels:")?;
+    writeln!(out, "{}", table.to_text())?;
+    Ok(())
+}

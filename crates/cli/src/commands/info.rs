@@ -1,0 +1,109 @@
+//! `lumos info` — summarize a trace: ranks, event counts, makespan,
+//! execution breakdown, and the heaviest kernels.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::{load_trace, ms, pct};
+use crate::error::CliError;
+use lumos_bench::table::TextTable;
+use lumos_trace::{queue_delays, stream_occupancy, BreakdownExt, TraceStats};
+use std::io::Write;
+
+/// Options of `lumos info`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["top"],
+    flags: &[],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos info <trace.json> [--top N]\n\
+  Prints trace dimensions, the execution-time breakdown (§4.2.2), and\n\
+  the N heaviest kernels (default 5).";
+
+/// Runs `lumos info`.
+///
+/// # Errors
+///
+/// Returns usage, I/O, and parse failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.one_positional("trace file")?;
+    let top = args.get_num("top", 5usize)?;
+    let trace = load_trace(path)?;
+    trace.validate()?;
+
+    writeln!(out, "label:     {}", trace.label)?;
+    writeln!(out, "ranks:     {}", trace.world_size())?;
+    writeln!(out, "events:    {}", trace.total_events())?;
+    writeln!(out, "makespan:  {}", ms(trace.makespan()))?;
+
+    let b = trace.breakdown();
+    let total = b.total().as_secs_f64().max(f64::MIN_POSITIVE);
+    let share = |d: lumos_trace::Dur| pct(d.as_secs_f64() / total);
+    writeln!(out)?;
+    writeln!(out, "breakdown (mean across ranks):")?;
+    writeln!(
+        out,
+        "  exposed compute  {:>12}  {:>6}",
+        ms(b.exposed_compute),
+        share(b.exposed_compute)
+    )?;
+    writeln!(
+        out,
+        "  overlapped       {:>12}  {:>6}",
+        ms(b.overlapped),
+        share(b.overlapped)
+    )?;
+    writeln!(
+        out,
+        "  exposed comm     {:>12}  {:>6}",
+        ms(b.exposed_comm),
+        share(b.exposed_comm)
+    )?;
+    writeln!(out, "  other            {:>12}  {:>6}", ms(b.other), share(b.other))?;
+
+    if let Some(rank0) = trace.ranks().first() {
+        let stats = TraceStats::from_trace(rank0);
+        let mut table = TextTable::new(&["kernel", "count", "total", "mean"]);
+        for (name, k) in stats.top_kernels(top) {
+            table.row(vec![
+                name.to_string(),
+                k.count.to_string(),
+                ms(k.total),
+                ms(k.mean()),
+            ]);
+        }
+        writeln!(out)?;
+        writeln!(out, "top kernels (rank 0):")?;
+        writeln!(out, "{}", table.to_text())?;
+
+        if let Some(q) = queue_delays(rank0) {
+            writeln!(
+                out,
+                "launch queue (rank 0): mean {} / p50 {} / p99 {} over {} kernels{}",
+                ms(q.mean),
+                ms(q.p50),
+                ms(q.p99),
+                q.count,
+                if q.is_launch_bound(lumos_trace::Dur::from_us(10)) {
+                    " — launch-bound"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        let occupancy = stream_occupancy(rank0);
+        if !occupancy.is_empty() {
+            writeln!(out, "stream occupancy (rank 0):")?;
+            for s in occupancy {
+                writeln!(
+                    out,
+                    "  stream {:>3}: {:>12} busy ({:>5}), {} kernels",
+                    s.stream,
+                    ms(s.busy),
+                    pct(s.fraction),
+                    s.kernels
+                )?;
+            }
+        }
+    }
+    Ok(())
+}

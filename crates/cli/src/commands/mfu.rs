@@ -1,0 +1,106 @@
+//! `lumos mfu` — system-level metrics the paper's §5 limitations
+//! defer to future work: model-FLOPS utilization and per-rank memory
+//! feasibility for a profiled (or hypothetical) configuration.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::{load_setup, load_trace, sidecar_path};
+use crate::error::CliError;
+use lumos_cost::GpuSpec;
+use lumos_model::memory::{MemoryModel, OptimizerPlacement, Recompute};
+use lumos_model::{iteration_flops, utilization};
+use std::io::Write;
+
+/// Options of `lumos mfu`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["setup", "time-ms", "recompute", "gpu"],
+    flags: &["distributed-optimizer"],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos mfu <trace.json> [--setup setup.json] [--time-ms N]\n\
+    [--recompute none|selective|full] [--gpu h100|a100]\n\
+    [--distributed-optimizer]\n\
+  Reports MFU/HFU and the per-rank memory estimate for the traced\n\
+  configuration. --time-ms overrides the trace makespan (e.g. a\n\
+  measured mean across iterations).";
+
+fn parse_recompute(raw: &str) -> Result<Recompute, CliError> {
+    Ok(match raw {
+        "none" => Recompute::None,
+        "selective" => Recompute::Selective,
+        "full" => Recompute::Full,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown recompute policy `{other}` (expected none, selective, or full)"
+            )))
+        }
+    })
+}
+
+fn parse_gpu(raw: &str) -> Result<GpuSpec, CliError> {
+    Ok(match raw {
+        "h100" => GpuSpec::h100_sxm(),
+        "a100" => GpuSpec::a100_sxm(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown gpu `{other}` (expected h100 or a100)"
+            )))
+        }
+    })
+}
+
+/// Runs `lumos mfu`.
+///
+/// # Errors
+///
+/// Returns usage, I/O, and parse failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.one_positional("trace file")?;
+    let setup_path = match args.get("setup") {
+        Some(p) => p.to_string(),
+        None => sidecar_path(path),
+    };
+    let setup = load_setup(&setup_path)?;
+    let recompute = parse_recompute(args.get("recompute").unwrap_or("selective"))?;
+    let gpu = parse_gpu(args.get("gpu").unwrap_or("h100"))?;
+    let time_secs = match args.get_num_opt::<f64>("time-ms")? {
+        Some(ms) if ms > 0.0 => ms / 1e3,
+        Some(_) => return Err(CliError::Usage("--time-ms must be positive".to_string())),
+        None => load_trace(path)?.makespan().as_secs_f64(),
+    };
+
+    let flops = iteration_flops(&setup, recompute);
+    let util = utilization(&setup, recompute, time_secs, gpu.peak_flops());
+    writeln!(out, "config:          {}", setup.label())?;
+    writeln!(out, "gpu:             {} ({} GiB)", gpu.name, gpu.memory_gib)?;
+    writeln!(out, "iteration:       {:.2} ms", time_secs * 1e3)?;
+    let pf = flops.model_flops() as f64 / 1e15;
+    if pf >= 0.1 {
+        writeln!(out, "model flops:     {pf:.2} PF/iter")?;
+    } else {
+        writeln!(out, "model flops:     {:.2} TF/iter", pf * 1e3)?;
+    }
+    writeln!(out, "utilization:     {util}")?;
+
+    let memory = MemoryModel {
+        recompute,
+        optimizer: if args.has("distributed-optimizer") {
+            OptimizerPlacement::DistributedOptimizer
+        } else {
+            OptimizerPlacement::Replicated
+        },
+        ..MemoryModel::default()
+    };
+    let (stage, est) = memory.estimate_peak(&setup);
+    writeln!(out)?;
+    writeln!(out, "peak memory (stage {stage}): {est}")?;
+    match memory.check(&setup, gpu.memory_bytes()) {
+        Ok(est) => writeln!(
+            out,
+            "fits: yes ({:.1} GiB headroom)",
+            est.headroom(gpu.memory_bytes()) as f64 / (1u64 << 30) as f64
+        )?,
+        Err(oom) => writeln!(out, "fits: NO — {oom}")?,
+    }
+    Ok(())
+}

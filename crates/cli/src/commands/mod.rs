@@ -1,0 +1,10 @@
+//! One module per subcommand. Each exposes an [`crate::args::ArgSpec`]
+//! and a `run(&ArgSet, &mut dyn Write)` entry point.
+
+pub mod critical;
+pub mod info;
+pub mod mfu;
+pub mod predict;
+pub mod replay;
+pub mod smutil;
+pub mod synth;

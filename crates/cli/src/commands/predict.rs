@@ -1,0 +1,129 @@
+//! `lumos predict` — the §3.4 what-if workflow: apply configuration
+//! transforms to a profiled trace and estimate the new performance
+//! through simulation, without touching hardware.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::{load_setup, load_trace, ms, save_trace, sidecar_path};
+use crate::error::CliError;
+use lumos_core::manipulate::Transform;
+use lumos_core::Lumos;
+use lumos_cost::AnalyticalCostModel;
+use lumos_trace::BreakdownExt;
+use std::io::Write;
+
+/// Options of `lumos predict`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &[
+        "setup",
+        "dp",
+        "pp",
+        "tp",
+        "layers",
+        "hidden",
+        "ffn",
+        "seq",
+        "microbatches",
+        "out",
+    ],
+    flags: &["dpro"],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos predict <trace.json> [--setup setup.json]\n\
+    [--dp N] [--pp N] [--tp N] [--layers N] [--hidden N --ffn N]\n\
+    [--seq N] [--microbatches N] [--out predicted.json]\n\
+  Manipulates the execution graph for the requested configuration\n\
+  changes (§3.4) and predicts the new iteration time by simulation.\n\
+  The setup sidecar defaults to <trace>.setup.json.";
+
+/// Builds the transform list from the parsed flags.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] when no transform was requested or
+/// `--hidden`/`--ffn` are not given together.
+pub fn transforms_from(args: &ArgSet) -> Result<Vec<Transform>, CliError> {
+    let mut transforms = Vec::new();
+    if let Some(tp) = args.get_num_opt::<u32>("tp")? {
+        transforms.push(Transform::TensorParallel { tp });
+    }
+    if let Some(pp) = args.get_num_opt::<u32>("pp")? {
+        transforms.push(Transform::PipelineParallel { pp });
+    }
+    if let Some(dp) = args.get_num_opt::<u32>("dp")? {
+        transforms.push(Transform::DataParallel { dp });
+    }
+    if let Some(layers) = args.get_num_opt::<u32>("layers")? {
+        transforms.push(Transform::NumLayers { layers });
+    }
+    match (
+        args.get_num_opt::<u64>("hidden")?,
+        args.get_num_opt::<u64>("ffn")?,
+    ) {
+        (Some(hidden), Some(ffn)) => transforms.push(Transform::HiddenSize { hidden, ffn }),
+        (None, None) => {}
+        _ => {
+            return Err(CliError::Usage(
+                "--hidden and --ffn must be given together".to_string(),
+            ))
+        }
+    }
+    if let Some(seq_len) = args.get_num_opt::<u64>("seq")? {
+        transforms.push(Transform::SeqLen { seq_len });
+    }
+    if let Some(num) = args.get_num_opt::<u32>("microbatches")? {
+        transforms.push(Transform::Microbatches { num });
+    }
+    if transforms.is_empty() {
+        return Err(CliError::Usage(
+            "no transform requested (pass --dp/--pp/--tp/--layers/--hidden+--ffn/--seq/--microbatches)"
+                .to_string(),
+        ));
+    }
+    Ok(transforms)
+}
+
+/// Runs `lumos predict`.
+///
+/// # Errors
+///
+/// Returns usage, I/O, parse, transform, and simulation failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.one_positional("trace file")?;
+    let setup_path = match args.get("setup") {
+        Some(p) => p.to_string(),
+        None => sidecar_path(path),
+    };
+    let setup = load_setup(&setup_path)?;
+    let trace = load_trace(path)?;
+    let transforms = transforms_from(args)?;
+
+    let toolkit = if args.has("dpro") {
+        Lumos::dpro_baseline()
+    } else {
+        Lumos::new()
+    };
+    let prediction = toolkit.predict(&trace, &setup, &transforms, AnalyticalCostModel::h100())?;
+
+    writeln!(out, "base:      {}", setup.label())?;
+    writeln!(out, "target:    {}", prediction.setup.label())?;
+    writeln!(out, "recorded:  {}", ms(trace.makespan()))?;
+    writeln!(out, "predicted: {}", ms(prediction.makespan()))?;
+    let b = prediction.replayed.trace.breakdown();
+    writeln!(out)?;
+    writeln!(out, "predicted breakdown:")?;
+    for (name, d) in [
+        ("exposed compute", b.exposed_compute),
+        ("overlapped", b.overlapped),
+        ("exposed comm", b.exposed_comm),
+        ("other", b.other),
+    ] {
+        writeln!(out, "  {name:<15} {:>12}", ms(d))?;
+    }
+    if let Some(out_path) = args.get("out") {
+        save_trace(&prediction.trace, out_path)?;
+        writeln!(out)?;
+        writeln!(out, "predicted trace: {out_path}")?;
+    }
+    Ok(())
+}

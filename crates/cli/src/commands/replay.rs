@@ -1,0 +1,69 @@
+//! `lumos replay` — replay a trace through the simulator (§3.5) and
+//! report makespan, breakdown, and error against the recorded run.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::{load_trace, ms, pct, save_trace};
+use crate::error::CliError;
+use lumos_core::Lumos;
+use lumos_trace::BreakdownExt;
+use std::io::Write;
+
+/// Options of `lumos replay`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["out"],
+    flags: &["dpro"],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos replay <trace.json> [--dpro] [--out replayed.json]\n\
+  Builds the execution graph (§3.3), replays it with Algorithm 1, and\n\
+  compares against the recorded timeline. --dpro uses the baseline's\n\
+  dependency model instead (operator-dataflow fences only, no\n\
+  collective rendezvous).";
+
+/// Runs `lumos replay`.
+///
+/// # Errors
+///
+/// Returns usage, I/O, parse, and simulation failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.one_positional("trace file")?;
+    let trace = load_trace(path)?;
+    let toolkit = if args.has("dpro") {
+        Lumos::dpro_baseline()
+    } else {
+        Lumos::new()
+    };
+    let replayed = toolkit.replay(&trace)?;
+
+    let recorded = trace.makespan();
+    let simulated = replayed.makespan();
+    writeln!(
+        out,
+        "model:     {}",
+        if args.has("dpro") { "dPRO baseline" } else { "Lumos" }
+    )?;
+    writeln!(out, "recorded:  {}", ms(recorded))?;
+    writeln!(out, "replayed:  {}", ms(simulated))?;
+    writeln!(out, "error:     {}", pct(simulated.relative_error(recorded)))?;
+
+    let rb = replayed.trace.breakdown();
+    let ab = trace.breakdown();
+    writeln!(out)?;
+    writeln!(out, "breakdown        {:>12}  {:>12}", "replayed", "recorded")?;
+    for (name, r, a) in [
+        ("exposed compute", rb.exposed_compute, ab.exposed_compute),
+        ("overlapped", rb.overlapped, ab.overlapped),
+        ("exposed comm", rb.exposed_comm, ab.exposed_comm),
+        ("other", rb.other, ab.other),
+    ] {
+        writeln!(out, "  {name:<15}{:>12}  {:>12}", ms(r), ms(a))?;
+    }
+
+    if let Some(out_path) = args.get("out") {
+        save_trace(&replayed.trace, out_path)?;
+        writeln!(out)?;
+        writeln!(out, "replayed trace: {out_path}")?;
+    }
+    Ok(())
+}

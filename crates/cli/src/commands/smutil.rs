@@ -1,0 +1,61 @@
+//! `lumos sm-util` — the §4.2.3 SM-utilization timeline: fraction of
+//! each bin during which at least one stream was executing.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::load_trace;
+use crate::error::CliError;
+use lumos_trace::{sm_utilization, Dur};
+use std::io::Write;
+
+/// Options of `lumos sm-util`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["rank", "bin-ms"],
+    flags: &["csv"],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos sm-util <trace.json> [--rank N] [--bin-ms N] [--csv]\n\
+  Prints the per-bin SM utilization of one rank (default rank 0,\n\
+  1 ms bins). --csv emits `bin,utilization` rows for plotting.";
+
+/// Runs `lumos sm-util`.
+///
+/// # Errors
+///
+/// Returns usage, I/O, and parse failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.one_positional("trace file")?;
+    let rank = args.get_num("rank", 0usize)?;
+    let bin_ms = args.get_num("bin-ms", 1u64)?;
+    if bin_ms == 0 {
+        return Err(CliError::Usage("--bin-ms must be positive".to_string()));
+    }
+    let trace = load_trace(path)?;
+    let rank_trace = trace
+        .ranks()
+        .get(rank)
+        .ok_or_else(|| CliError::Usage(format!("rank {rank} out of range")))?;
+    let util = sm_utilization(rank_trace, Dur::from_us(bin_ms * 1000));
+
+    if args.has("csv") {
+        writeln!(out, "bin_ms,utilization")?;
+        for (i, u) in util.values.iter().enumerate() {
+            writeln!(out, "{},{u:.4}", i as u64 * bin_ms)?;
+        }
+        return Ok(());
+    }
+
+    writeln!(out, "rank {rank}: {} bins of {bin_ms} ms", util.len())?;
+    writeln!(out, "mean utilization: {:.1}%", util.mean() * 100.0)?;
+    // Coarse sparkline so busy/idle phases are visible in a terminal.
+    const GLYPHS: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    let glyphs: Vec<char> = util
+        .values
+        .iter()
+        .map(|&u| GLYPHS[((u * 4.0).round() as usize).min(4)])
+        .collect();
+    for chunk in glyphs.chunks(100) {
+        writeln!(out, "|{}|", chunk.iter().collect::<String>())?;
+    }
+    Ok(())
+}

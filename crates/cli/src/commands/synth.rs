@@ -1,0 +1,122 @@
+//! `lumos synth` — generate a ground-truth trace (the stand-in for
+//! profiling a real cluster with Kineto) and its setup sidecar.
+//! `lumos synth-infer` — same for an inference (prefill + decode)
+//! request batch.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::{parse_model, save_setup, save_trace, sidecar_path};
+use crate::error::CliError;
+use lumos_cluster::{profile, profile_inference};
+use lumos_model::{BatchConfig, InferenceSetup, Parallelism, ScheduleKind, TrainingSetup};
+use std::io::Write;
+
+/// Options of `lumos synth`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &[
+        "model",
+        "tp",
+        "pp",
+        "dp",
+        "seq",
+        "microbatch-size",
+        "microbatches",
+        "schedule",
+        "seed",
+        "out",
+    ],
+    flags: &[],
+};
+
+/// Usage text for `lumos synth`.
+pub const HELP: &str = "lumos synth --model <tiny|15b|44b|117b|175b|v1..v4> --out <trace.json>\n\
+    [--tp N] [--pp N] [--dp N] [--seq N] [--microbatch-size N]\n\
+    [--microbatches N] [--schedule 1f1b|gpipe] [--seed N]\n\
+  Profiles one training iteration on the ground-truth cluster and\n\
+  writes a Kineto-style JSON trace plus a <trace>.setup.json sidecar.";
+
+/// Runs `lumos synth`.
+///
+/// # Errors
+///
+/// Returns usage, configuration, and I/O failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let model = parse_model(args.require("model")?)?;
+    let tp = args.get_num("tp", 1u32)?;
+    let pp = args.get_num("pp", 1u32)?;
+    let dp = args.get_num("dp", 1u32)?;
+    let parallelism = Parallelism::new(tp, pp, dp)?;
+    let mut setup = TrainingSetup::new(model, parallelism);
+    setup.batch = BatchConfig {
+        seq_len: args.get_num("seq", setup.batch.seq_len)?,
+        microbatch_size: args.get_num("microbatch-size", setup.batch.microbatch_size)?,
+        num_microbatches: args.get_num("microbatches", setup.batch.num_microbatches)?,
+    };
+    setup.schedule = match args.get("schedule").unwrap_or("1f1b") {
+        "1f1b" => ScheduleKind::OneFOneB,
+        "gpipe" => ScheduleKind::GPipe,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown schedule `{other}` (expected 1f1b or gpipe)"
+            )))
+        }
+    };
+    let seed = args.get_num("seed", 0u64)?;
+    let out_path = args.require("out")?;
+
+    let trace = profile(&setup, seed)?;
+    save_trace(&trace, out_path)?;
+    let setup_path = sidecar_path(out_path);
+    save_setup(&setup, &setup_path)?;
+    writeln!(
+        out,
+        "profiled {} ({} ranks, {} events, makespan {:.2} ms)",
+        setup.label(),
+        trace.world_size(),
+        trace.total_events(),
+        trace.makespan().as_ms_f64()
+    )?;
+    writeln!(out, "trace: {out_path}")?;
+    writeln!(out, "setup: {setup_path}")?;
+    Ok(())
+}
+
+/// Options of `lumos synth-infer`.
+pub const INFER_SPEC: ArgSpec = ArgSpec {
+    options: &["model", "tp", "batch", "prompt", "decode", "seed", "out"],
+    flags: &[],
+};
+
+/// Usage text for `lumos synth-infer`.
+pub const INFER_HELP: &str = "lumos synth-infer --model <preset> --out <trace.json>\n\
+    [--tp N] [--batch N] [--prompt N] [--decode N] [--seed N]\n\
+  Profiles one inference request batch (prefill + decode steps).";
+
+/// Runs `lumos synth-infer`.
+///
+/// # Errors
+///
+/// Returns usage, configuration, and I/O failures.
+pub fn run_infer(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut setup = InferenceSetup::new(
+        parse_model(args.require("model")?)?,
+        args.get_num("tp", 1u32)?,
+    );
+    setup.batch_size = args.get_num("batch", setup.batch_size)?;
+    setup.prompt_len = args.get_num("prompt", setup.prompt_len)?;
+    setup.decode_tokens = args.get_num("decode", setup.decode_tokens)?;
+    let seed = args.get_num("seed", 0u64)?;
+    let out_path = args.require("out")?;
+
+    let trace = profile_inference(&setup, seed)?;
+    save_trace(&trace, out_path)?;
+    writeln!(
+        out,
+        "profiled {} ({} ranks, {} events, makespan {:.2} ms)",
+        setup.label(),
+        trace.world_size(),
+        trace.total_events(),
+        trace.makespan().as_ms_f64()
+    )?;
+    writeln!(out, "trace: {out_path}")?;
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Helpers shared by subcommands: preset parsing, trace/setup I/O,
+//! and duration formatting.
+
+use crate::error::CliError;
+use lumos_model::{ModelConfig, TrainingSetup};
+use lumos_trace::{from_chrome_json, to_chrome_json, ChromeTraceOptions, ClusterTrace, Dur};
+use std::fs;
+use std::path::Path;
+
+/// Resolves a model preset name (Table 1 / Table 2 / `tiny`).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown names.
+pub fn parse_model(name: &str) -> Result<ModelConfig, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "tiny" => ModelConfig::tiny(),
+        "15b" => ModelConfig::gpt3_15b(),
+        "44b" => ModelConfig::gpt3_44b(),
+        "117b" => ModelConfig::gpt3_117b(),
+        "175b" => ModelConfig::gpt3_175b(),
+        "v1" => ModelConfig::gpt3_v1(),
+        "v2" => ModelConfig::gpt3_v2(),
+        "v3" => ModelConfig::gpt3_v3(),
+        "v4" => ModelConfig::gpt3_v4(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown model `{other}` (expected tiny, 15b, 44b, 117b, 175b, or v1–v4)"
+            )))
+        }
+    })
+}
+
+/// Reads a Chrome-Trace-Format (Kineto-style) trace file.
+///
+/// # Errors
+///
+/// Returns I/O and parse failures.
+pub fn load_trace(path: &str) -> Result<ClusterTrace, CliError> {
+    let text = fs::read_to_string(path)?;
+    Ok(from_chrome_json(&text)?)
+}
+
+/// Writes a trace as Chrome-Trace-Format JSON.
+///
+/// # Errors
+///
+/// Returns I/O failures.
+pub fn save_trace(trace: &ClusterTrace, path: &str) -> Result<(), CliError> {
+    let json = to_chrome_json(trace, &ChromeTraceOptions::default());
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a [`TrainingSetup`] sidecar JSON (written by `lumos synth`).
+///
+/// # Errors
+///
+/// Returns I/O and parse failures.
+pub fn load_setup(path: &str) -> Result<TrainingSetup, CliError> {
+    let text = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// Writes a [`TrainingSetup`] sidecar JSON.
+///
+/// # Errors
+///
+/// Returns I/O failures.
+pub fn save_setup(setup: &TrainingSetup, path: &str) -> Result<(), CliError> {
+    fs::write(path, serde_json::to_string_pretty(setup)?)?;
+    Ok(())
+}
+
+/// Derives the conventional sidecar path `<trace>.setup.json`.
+pub fn sidecar_path(trace_path: &str) -> String {
+    let p = Path::new(trace_path);
+    match p.extension().and_then(|e| e.to_str()) {
+        Some("json") => {
+            let stem = p.with_extension("");
+            format!("{}.setup.json", stem.display())
+        }
+        _ => format!("{trace_path}.setup.json"),
+    }
+}
+
+/// Formats a duration as milliseconds with two decimals.
+pub fn ms(d: Dur) -> String {
+    format!("{:.2} ms", d.as_ms_f64())
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_presets_resolve() {
+        assert_eq!(parse_model("tiny").unwrap().name, "tiny");
+        assert_eq!(parse_model("175B").unwrap().num_layers, 96);
+        assert!(parse_model("9000b").is_err());
+    }
+
+    #[test]
+    fn sidecar_naming() {
+        assert_eq!(sidecar_path("a/b/trace.json"), "a/b/trace.setup.json");
+        assert_eq!(sidecar_path("trace.bin"), "trace.bin.setup.json");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(Dur::from_us(1500)), "1.50 ms");
+        assert_eq!(pct(0.0334), "3.3%");
+    }
+}

@@ -1,0 +1,83 @@
+//! CLI error type: usage errors print help hints, tool errors print
+//! their source chain.
+
+use std::fmt;
+
+/// Anything a subcommand can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (unknown option, missing argument, bad value).
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Failure inside the toolkit (trace parse, simulation, …).
+    Tool(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Tool(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<lumos_trace::TraceError> for CliError {
+    fn from(e: lumos_trace::TraceError) -> Self {
+        CliError::Tool(format!("trace error: {e}"))
+    }
+}
+
+impl From<lumos_core::CoreError> for CliError {
+    fn from(e: lumos_core::CoreError) -> Self {
+        CliError::Tool(format!("core error: {e}"))
+    }
+}
+
+impl From<lumos_cluster::ClusterError> for CliError {
+    fn from(e: lumos_cluster::ClusterError) -> Self {
+        CliError::Tool(format!("cluster error: {e}"))
+    }
+}
+
+impl From<lumos_model::ModelError> for CliError {
+    fn from(e: lumos_model::ModelError) -> Self {
+        CliError::Tool(format!("model error: {e}"))
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Tool(format!("json error: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CliError::Usage("x".into()).to_string().contains("usage"));
+        let io: CliError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+        assert!(CliError::Tool("t".into()).to_string().contains('t'));
+    }
+}

@@ -1,0 +1,202 @@
+//! The `lumos` command-line interface.
+//!
+//! Wraps the toolkit's workflow (Figure 2) in subcommands:
+//!
+//! | command | purpose |
+//! |---|---|
+//! | `synth` | profile a training iteration on the ground-truth cluster |
+//! | `synth-infer` | profile an inference request batch |
+//! | `info` | trace dimensions, breakdown, heaviest kernels |
+//! | `replay` | replay through Algorithm 1 (`--dpro` for the baseline) |
+//! | `predict` | graph manipulation + simulation for what-if configs |
+//! | `sm-util` | §4.2.3 SM-utilization timeline |
+//! | `critical-path` | longest dependency chain + bottleneck kernels |
+//! | `mfu` | MFU/HFU and memory feasibility (§5 future-work metrics) |
+//!
+//! The binary is a thin wrapper over [`run`], which writes to any
+//! `Write` so tests can drive it in-process.
+
+#![warn(missing_docs)]
+
+mod args;
+mod common;
+mod commands;
+mod error;
+
+pub use args::{ArgSet, ArgSpec};
+pub use error::CliError;
+
+use std::io::Write;
+
+const GENERAL_HELP: &str = "lumos — trace-driven performance modeling for LLM training\n\
+\n\
+usage: lumos <command> [args]\n\
+\n\
+commands:\n\
+  synth          generate a ground-truth training trace\n\
+  synth-infer    generate a ground-truth inference trace\n\
+  info           summarize a trace\n\
+  replay         replay a trace through the simulator\n\
+  predict        estimate performance for a modified configuration\n\
+  sm-util        SM-utilization timeline\n\
+  critical-path  critical path and bottleneck kernels\n\
+  mfu            FLOPS utilization and memory feasibility\n\
+  help           this message (or `lumos help <command>`)\n";
+
+/// Dispatches one CLI invocation (`args` excludes the binary name).
+///
+/// # Errors
+///
+/// Returns usage errors (unknown command/option) and tool failures.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        writeln!(out, "{GENERAL_HELP}")?;
+        return Ok(());
+    };
+    match command.as_str() {
+        "synth" => commands::synth::run(&ArgSet::parse(rest, &commands::synth::SPEC)?, out),
+        "synth-infer" => {
+            commands::synth::run_infer(&ArgSet::parse(rest, &commands::synth::INFER_SPEC)?, out)
+        }
+        "info" => commands::info::run(&ArgSet::parse(rest, &commands::info::SPEC)?, out),
+        "replay" => commands::replay::run(&ArgSet::parse(rest, &commands::replay::SPEC)?, out),
+        "predict" => commands::predict::run(&ArgSet::parse(rest, &commands::predict::SPEC)?, out),
+        "sm-util" => commands::smutil::run(&ArgSet::parse(rest, &commands::smutil::SPEC)?, out),
+        "critical-path" => {
+            commands::critical::run(&ArgSet::parse(rest, &commands::critical::SPEC)?, out)
+        }
+        "mfu" => commands::mfu::run(&ArgSet::parse(rest, &commands::mfu::SPEC)?, out),
+        "help" | "--help" | "-h" => {
+            match rest.first().map(String::as_str) {
+                Some("synth") => writeln!(out, "{}", commands::synth::HELP)?,
+                Some("synth-infer") => writeln!(out, "{}", commands::synth::INFER_HELP)?,
+                Some("info") => writeln!(out, "{}", commands::info::HELP)?,
+                Some("replay") => writeln!(out, "{}", commands::replay::HELP)?,
+                Some("predict") => writeln!(out, "{}", commands::predict::HELP)?,
+                Some("sm-util") => writeln!(out, "{}", commands::smutil::HELP)?,
+                Some("critical-path") => writeln!(out, "{}", commands::critical::HELP)?,
+                Some("mfu") => writeln!(out, "{}", commands::mfu::HELP)?,
+                Some(other) => {
+                    return Err(CliError::Usage(format!("unknown command `{other}`")))
+                }
+                None => writeln!(out, "{GENERAL_HELP}")?,
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}` (try `lumos help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn no_args_prints_help() {
+        let out = run_to_string(&[]).unwrap();
+        assert!(out.contains("usage: lumos"));
+    }
+
+    #[test]
+    fn help_routes_to_command_help() {
+        let out = run_to_string(&["help", "predict"]).unwrap();
+        assert!(out.contains("--dp"));
+        assert!(run_to_string(&["help", "nope"]).is_err());
+        assert!(run_to_string(&["help"]).unwrap().contains("sm-util"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run_to_string(&["frobnicate"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn synth_requires_model_and_out() {
+        let err = run_to_string(&["synth"]).unwrap_err();
+        assert!(err.to_string().contains("--model"));
+    }
+
+    #[test]
+    fn end_to_end_synth_info_replay_predict() {
+        let dir = std::env::temp_dir().join(format!("lumos-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let trace = trace.to_str().unwrap();
+
+        let out = run_to_string(&[
+            "synth", "--model", "tiny", "--tp", "2", "--pp", "1", "--dp", "1", "--out", trace,
+        ])
+        .unwrap();
+        assert!(out.contains("profiled tiny @ 2x1x1"));
+
+        let out = run_to_string(&["info", trace]).unwrap();
+        assert!(out.contains("ranks:     2"));
+        assert!(out.contains("breakdown"));
+
+        let out = run_to_string(&["replay", trace]).unwrap();
+        assert!(out.contains("error:"));
+        let out_dpro = run_to_string(&["replay", trace, "--dpro"]).unwrap();
+        assert!(out_dpro.contains("dPRO"));
+
+        let out = run_to_string(&["predict", trace, "--microbatches", "4"]).unwrap();
+        assert!(out.contains("predicted:"));
+
+        let out = run_to_string(&["sm-util", trace]).unwrap();
+        assert!(out.contains("mean utilization"));
+
+        let out = run_to_string(&["critical-path", trace, "--top", "3"]).unwrap();
+        assert!(out.contains("bottleneck kernels"));
+
+        let out = run_to_string(&["mfu", trace]).unwrap();
+        assert!(out.contains("MFU"));
+        assert!(out.contains("peak memory"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synth_infer_produces_trace() {
+        let dir = std::env::temp_dir().join(format!("lumos-cli-inf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("inf.json");
+        let trace = trace.to_str().unwrap();
+        let out = run_to_string(&[
+            "synth-infer",
+            "--model",
+            "tiny",
+            "--tp",
+            "2",
+            "--batch",
+            "2",
+            "--prompt",
+            "64",
+            "--decode",
+            "2",
+            "--out",
+            trace,
+        ])
+        .unwrap();
+        assert!(out.contains("serve"));
+        let out = run_to_string(&["replay", trace]).unwrap();
+        assert!(out.contains("replayed:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_rejects_empty_transform_set() {
+        let err = run_to_string(&["predict", "nonexistent.json"]).unwrap_err();
+        // Fails on the missing sidecar before transform validation;
+        // both are user-visible errors.
+        assert!(!err.to_string().is_empty());
+    }
+}

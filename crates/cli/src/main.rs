@@ -1,0 +1,20 @@
+//! Binary entry point: dispatch to [`lumos_cli::run`] and map errors
+//! to exit codes (2 = usage, 1 = tool failure).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match lumos_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e @ lumos_cli::CliError::Usage(_)) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,981 @@
+//! The ground-truth execution engine: a multi-rank discrete-event
+//! simulator with CUDA semantics.
+//!
+//! Each rank contributes host threads (executing [`HostOp`] streams)
+//! and CUDA streams (FIFO queues of kernels, event records, and event
+//! waits). Cross-rank coupling happens exclusively through collective
+//! rendezvous: a collective kernel instance starts when *every*
+//! member's stream has reached it, all members start simultaneously,
+//! and all members finish together after the cost-model duration.
+//!
+//! The engine is a dependency-resolution simulator (not a time-ordered
+//! event queue): since all durations are known once their inputs
+//! resolve, entities are advanced from a wake queue until quiescence.
+//! Execution is deterministic — wake order never affects computed
+//! timestamps, only the order in which they are discovered.
+
+use crate::jitter::JitterModel;
+use crate::lower::LoweredJob;
+use crate::program::HostOp;
+use lumos_cost::{CostModel, HostOverheads};
+use lumos_trace::{
+    ClusterTrace, CudaRuntimeKind, Dur, KernelClass, RankTrace, StreamId, TraceEvent, Ts,
+};
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Detection latency between a GPU completion and the host observing
+/// it through a blocking synchronize.
+const SYNC_POLL_LATENCY: Dur = Dur(500);
+
+/// Errors from engine execution.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The job deadlocked: no entity could make progress but work
+    /// remains. Indicates an ill-formed program (e.g. mismatched
+    /// collective sequences).
+    Deadlock {
+        /// Human-readable stuck-entity report.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Deadlock { detail } => write!(f, "execution deadlocked: {detail}"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// The result of executing a lowered job.
+#[derive(Debug, Clone)]
+pub struct EngineOutput {
+    /// Per-rank Kineto-style traces (sorted by timestamp).
+    pub trace: ClusterTrace,
+    /// End-to-end iteration time.
+    pub makespan: Dur,
+}
+
+/// Executes `job` with the given cost model, host overheads, and
+/// jitter for iteration index `iteration`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Deadlock`] when the program graph cannot be
+/// completed (a lowering bug rather than a user error).
+pub fn execute<C: CostModel>(
+    job: &LoweredJob,
+    cost: &C,
+    overheads: &HostOverheads,
+    jitter: &JitterModel,
+    iteration: u64,
+) -> Result<EngineOutput, EngineError> {
+    Engine::new(job, cost, overheads, jitter, iteration).run()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wake {
+    Thread(usize),
+    Stream(usize),
+}
+
+#[derive(Debug)]
+enum Blocked {
+    Ready,
+    /// Waiting for a stream to drain its first `upto` entries.
+    StreamDrain,
+    /// Waiting for `pending` streams to drain (device sync).
+    DeviceDrain {
+        pending: usize,
+    },
+    Token,
+    Done,
+}
+
+struct ThreadState {
+    rank: u32,
+    tid: lumos_trace::ThreadId,
+    ops: Vec<HostOp>,
+    pc: usize,
+    clock: Ts,
+    blocked: Blocked,
+    /// Start timestamp of an in-progress blocking sync call.
+    sync_started: Option<(Ts, CudaRuntimeKind)>,
+    /// Latest GPU completion observed by the pending wake(s).
+    wake_time: Ts,
+    ann_stack: Vec<(Arc<str>, Ts)>,
+    host_site: u64,
+}
+
+enum Entry {
+    Kernel {
+        name: Arc<str>,
+        class: KernelClass,
+        earliest: Ts,
+        corr: u64,
+    },
+    Collective {
+        name: Arc<str>,
+        class: KernelClass,
+        key: (u64, u32),
+        earliest: Ts,
+        corr: u64,
+        arrived: bool,
+    },
+    Record {
+        event: (u32, u32),
+    },
+    WaitEv {
+        event: (u32, u32),
+    },
+}
+
+struct StreamState {
+    rank: u32,
+    sid: StreamId,
+    entries: Vec<Entry>,
+    head: usize,
+    clock: Ts,
+    /// Threads waiting for this stream to drain `upto` entries.
+    drain_waiters: Vec<(usize, usize)>,
+    last_enqueue_host: Ts,
+}
+
+#[derive(Default)]
+struct EventState {
+    completed: Option<Ts>,
+    waiting_streams: Vec<usize>,
+}
+
+#[derive(Default)]
+struct TokenState {
+    time: Option<Ts>,
+    waiters: Vec<usize>,
+}
+
+struct CollInstance {
+    expected: usize,
+    arrivals: Vec<(usize, Ts)>,
+    resolved: Option<(Ts, Dur)>,
+}
+
+struct Engine<'a, C: CostModel> {
+    job: &'a LoweredJob,
+    cost: &'a C,
+    oh: &'a HostOverheads,
+    jitter: &'a JitterModel,
+    iteration: u64,
+    threads: Vec<ThreadState>,
+    streams: Vec<StreamState>,
+    stream_index: HashMap<(u32, StreamId), usize>,
+    events: HashMap<(u32, u32), EventState>,
+    tokens: HashMap<(u32, u32), TokenState>,
+    collectives: HashMap<(u64, u32), CollInstance>,
+    traces: HashMap<u32, RankTrace>,
+    queue: VecDeque<Wake>,
+    queued_threads: Vec<bool>,
+    queued_streams: Vec<bool>,
+    next_corr: u64,
+}
+
+impl<'a, C: CostModel> Engine<'a, C> {
+    fn new(
+        job: &'a LoweredJob,
+        cost: &'a C,
+        oh: &'a HostOverheads,
+        jitter: &'a JitterModel,
+        iteration: u64,
+    ) -> Self {
+        let mut threads = Vec::new();
+        let mut traces = HashMap::new();
+        for program in &job.programs {
+            traces.insert(program.rank, RankTrace::new(program.rank));
+            for tp in &program.threads {
+                threads.push(ThreadState {
+                    rank: program.rank,
+                    tid: tp.tid,
+                    ops: tp.ops.clone(),
+                    pc: 0,
+                    clock: Ts::ZERO,
+                    blocked: Blocked::Ready,
+                    sync_started: None,
+                    wake_time: Ts::ZERO,
+                    ann_stack: Vec::new(),
+                    host_site: 0,
+                });
+            }
+        }
+        let queued_threads = vec![false; threads.len()];
+        Engine {
+            job,
+            cost,
+            oh,
+            jitter,
+            iteration,
+            threads,
+            streams: Vec::new(),
+            stream_index: HashMap::new(),
+            events: HashMap::new(),
+            tokens: HashMap::new(),
+            collectives: HashMap::new(),
+            traces,
+            queue: VecDeque::new(),
+            queued_threads,
+            queued_streams: Vec::new(),
+            next_corr: 1,
+        }
+    }
+
+    fn stream_idx(&mut self, rank: u32, sid: StreamId) -> usize {
+        if let Some(&i) = self.stream_index.get(&(rank, sid)) {
+            return i;
+        }
+        let i = self.streams.len();
+        self.streams.push(StreamState {
+            rank,
+            sid,
+            entries: Vec::new(),
+            head: 0,
+            clock: Ts::ZERO,
+            drain_waiters: Vec::new(),
+            last_enqueue_host: Ts::ZERO,
+        });
+        self.queued_streams.push(false);
+        self.stream_index.insert((rank, sid), i);
+        i
+    }
+
+    fn wake_thread(&mut self, i: usize) {
+        if !self.queued_threads[i] {
+            self.queued_threads[i] = true;
+            self.queue.push_back(Wake::Thread(i));
+        }
+    }
+
+    fn wake_stream(&mut self, i: usize) {
+        if !self.queued_streams[i] {
+            self.queued_streams[i] = true;
+            self.queue.push_back(Wake::Stream(i));
+        }
+    }
+
+    fn emit(&mut self, rank: u32, event: TraceEvent) {
+        self.traces
+            .get_mut(&rank)
+            .expect("rank trace exists")
+            .push(event);
+    }
+
+    fn run(mut self) -> Result<EngineOutput, EngineError> {
+        for i in 0..self.threads.len() {
+            self.wake_thread(i);
+        }
+        while let Some(w) = self.queue.pop_front() {
+            match w {
+                Wake::Thread(i) => {
+                    self.queued_threads[i] = false;
+                    self.run_thread(i);
+                }
+                Wake::Stream(i) => {
+                    self.queued_streams[i] = false;
+                    self.run_stream(i);
+                }
+            }
+        }
+        self.check_quiescent()?;
+
+        let mut cluster = ClusterTrace::new(self.job.config.label());
+        let mut ranks: Vec<u32> = self.traces.keys().copied().collect();
+        ranks.sort_unstable();
+        for r in ranks {
+            let mut t = self.traces.remove(&r).expect("trace exists");
+            t.sort();
+            cluster.push_rank(t);
+        }
+        let makespan = cluster.makespan();
+        Ok(EngineOutput {
+            trace: cluster,
+            makespan,
+        })
+    }
+
+    fn check_quiescent(&self) -> Result<(), EngineError> {
+        let mut stuck = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if !matches!(t.blocked, Blocked::Done) {
+                stuck.push(format!(
+                    "thread #{i} (rank {} {:?}) at pc {}/{} blocked {:?}",
+                    t.rank,
+                    t.tid,
+                    t.pc,
+                    t.ops.len(),
+                    t.blocked
+                ));
+            }
+        }
+        for s in &self.streams {
+            if s.head < s.entries.len() {
+                stuck.push(format!(
+                    "stream rank {} {} drained {}/{}",
+                    s.rank,
+                    s.sid,
+                    s.head,
+                    s.entries.len()
+                ));
+            }
+        }
+        if stuck.is_empty() {
+            Ok(())
+        } else {
+            stuck.truncate(16);
+            Err(EngineError::Deadlock {
+                detail: stuck.join("; "),
+            })
+        }
+    }
+
+    fn host_dur(&mut self, thread: usize, base: Dur) -> Dur {
+        let t = &mut self.threads[thread];
+        t.host_site += 1;
+        base.scale(
+            self.jitter
+                .host_multiplier(self.iteration, t.rank, t.host_site),
+        )
+    }
+
+    fn run_thread(&mut self, i: usize) {
+        // Resolve an in-progress block first.
+        match self.threads[i].blocked {
+            Blocked::Done => return,
+            Blocked::Ready => {}
+            Blocked::StreamDrain | Blocked::DeviceDrain { .. } => {
+                // Woken by the last stream drain: finish the sync call.
+                if matches!(self.threads[i].blocked, Blocked::DeviceDrain { pending } if pending > 0)
+                {
+                    return; // spurious wake; still waiting
+                }
+                let (start, kind) = self.threads[i]
+                    .sync_started
+                    .take()
+                    .expect("sync in progress");
+                let sync_dur = self.host_dur(i, self.oh.sync_call);
+                let t = &mut self.threads[i];
+                let end = (start + sync_dur).max(t.wake_time + SYNC_POLL_LATENCY);
+                let rank = t.rank;
+                let tid = t.tid;
+                t.clock = end;
+                t.blocked = Blocked::Ready;
+                let mut ev = TraceEvent::cuda_runtime(kind, start, end - start, tid);
+                ev.name = Arc::from(kind.api_name());
+                self.emit(rank, ev);
+            }
+            Blocked::Token => {
+                // Token time folded into clock by the waker.
+                self.threads[i].blocked = Blocked::Ready;
+            }
+        }
+
+        while self.threads[i].pc < self.threads[i].ops.len() {
+            let op = self.threads[i].ops[self.threads[i].pc].clone();
+            match op {
+                HostOp::CpuOp { name } => {
+                    let dur = self.host_dur(i, self.oh.cpu_op);
+                    let t = &mut self.threads[i];
+                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    t.clock += dur;
+                    self.emit(rank, TraceEvent::cpu_op(name, clock, dur, tid));
+                }
+                HostOp::Launch { spec } => {
+                    let dur = self.host_dur(i, self.oh.launch_call);
+                    let corr = self.next_corr;
+                    self.next_corr += 1;
+                    let t = &mut self.threads[i];
+                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    t.clock += dur;
+                    self.emit(
+                        rank,
+                        TraceEvent::cuda_runtime(CudaRuntimeKind::LaunchKernel, clock, dur, tid)
+                            .with_correlation(corr),
+                    );
+                    let earliest = clock + dur + self.oh.launch_gap;
+                    let si = self.stream_idx(rank, spec.stream);
+                    let entry = match spec.class {
+                        KernelClass::Collective(meta) => Entry::Collective {
+                            name: spec.name,
+                            class: spec.class,
+                            key: (meta.group, meta.seq),
+                            earliest,
+                            corr,
+                            arrived: false,
+                        },
+                        class => Entry::Kernel {
+                            name: spec.name,
+                            class,
+                            earliest,
+                            corr,
+                        },
+                    };
+                    self.enqueue(si, entry, clock);
+                }
+                HostOp::EventRecord { event, stream } => {
+                    let dur = self.host_dur(i, self.oh.event_call);
+                    let t = &mut self.threads[i];
+                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    t.clock += dur;
+                    self.emit(
+                        rank,
+                        TraceEvent::cuda_runtime(
+                            CudaRuntimeKind::EventRecord {
+                                event: event as u64,
+                                stream,
+                            },
+                            clock,
+                            dur,
+                            tid,
+                        ),
+                    );
+                    let si = self.stream_idx(rank, stream);
+                    self.enqueue(si, Entry::Record { event: (rank, event) }, clock);
+                }
+                HostOp::StreamWait { stream, event } => {
+                    let dur = self.host_dur(i, self.oh.event_call);
+                    let t = &mut self.threads[i];
+                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    t.clock += dur;
+                    self.emit(
+                        rank,
+                        TraceEvent::cuda_runtime(
+                            CudaRuntimeKind::StreamWaitEvent {
+                                stream,
+                                event: event as u64,
+                            },
+                            clock,
+                            dur,
+                            tid,
+                        ),
+                    );
+                    let si = self.stream_idx(rank, stream);
+                    self.enqueue(si, Entry::WaitEv { event: (rank, event) }, clock);
+                }
+                HostOp::StreamSync { stream } => {
+                    let rank = self.threads[i].rank;
+                    let si = self.stream_idx(rank, stream);
+                    let upto = self.streams[si].entries.len();
+                    let kind = CudaRuntimeKind::StreamSynchronize { stream };
+                    if self.begin_sync(i, kind, &[(si, upto)]) {
+                        self.threads[i].pc += 1;
+                        continue;
+                    }
+                    self.threads[i].pc += 1;
+                    return;
+                }
+                HostOp::DeviceSync => {
+                    let rank = self.threads[i].rank;
+                    let targets: Vec<(usize, usize)> = self
+                        .streams
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.rank == rank)
+                        .map(|(si, s)| (si, s.entries.len()))
+                        .collect();
+                    if self.begin_sync(i, CudaRuntimeKind::DeviceSynchronize, &targets) {
+                        self.threads[i].pc += 1;
+                        continue;
+                    }
+                    self.threads[i].pc += 1;
+                    return;
+                }
+                HostOp::SignalPeer { token } => {
+                    let t = &self.threads[i];
+                    let (rank, clock) = (t.rank, t.clock);
+                    let state = self.tokens.entry((rank, token)).or_default();
+                    state.time = Some(clock);
+                    let waiters = std::mem::take(&mut state.waiters);
+                    for w in waiters {
+                        self.threads[w].clock = self.threads[w].clock.max(clock);
+                        self.wake_thread(w);
+                    }
+                }
+                HostOp::WaitPeer { token } => {
+                    let rank = self.threads[i].rank;
+                    let state = self.tokens.entry((rank, token)).or_default();
+                    match state.time {
+                        Some(ts) => {
+                            let t = &mut self.threads[i];
+                            t.clock = t.clock.max(ts);
+                        }
+                        None => {
+                            state.waiters.push(i);
+                            self.threads[i].blocked = Blocked::Token;
+                            self.threads[i].pc += 1;
+                            return;
+                        }
+                    }
+                }
+                HostOp::AnnotationBegin { name } => {
+                    let t = &mut self.threads[i];
+                    let clock = t.clock;
+                    t.ann_stack.push((name, clock));
+                }
+                HostOp::AnnotationEnd => {
+                    let t = &mut self.threads[i];
+                    let (name, start) = t.ann_stack.pop().expect("balanced annotations");
+                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    self.emit(
+                        rank,
+                        TraceEvent::annotation(name, start, clock - start, tid),
+                    );
+                }
+            }
+            self.threads[i].pc += 1;
+        }
+        self.threads[i].blocked = Blocked::Done;
+    }
+
+    /// Starts a blocking sync over `targets = [(stream, upto)]`.
+    /// Returns `true` if all targets are already drained (sync
+    /// completes inline).
+    fn begin_sync(
+        &mut self,
+        thread: usize,
+        kind: CudaRuntimeKind,
+        targets: &[(usize, usize)],
+    ) -> bool {
+        let start = self.threads[thread].clock;
+        let mut pending = 0;
+        let mut latest = Ts::ZERO;
+        for &(si, upto) in targets {
+            if self.streams[si].head >= upto {
+                latest = latest.max(self.streams[si].clock);
+            } else {
+                self.streams[si].drain_waiters.push((thread, upto));
+                pending += 1;
+            }
+        }
+        if pending == 0 {
+            let sync_dur = self.host_dur(thread, self.oh.sync_call);
+            let t = &mut self.threads[thread];
+            let end = (start + sync_dur).max(latest + SYNC_POLL_LATENCY).max(start);
+            let (rank, tid) = (t.rank, t.tid);
+            let ev = TraceEvent::cuda_runtime(kind, start, end - start, tid);
+            t.clock = end;
+            self.emit(rank, ev);
+            true
+        } else {
+            let t = &mut self.threads[thread];
+            t.sync_started = Some((start, kind));
+            t.wake_time = latest;
+            t.blocked = if targets.len() == 1 {
+                Blocked::StreamDrain
+            } else {
+                Blocked::DeviceDrain { pending }
+            };
+            false
+        }
+    }
+
+    fn enqueue(&mut self, si: usize, entry: Entry, host_time: Ts) {
+        let s = &mut self.streams[si];
+        debug_assert!(
+            host_time >= s.last_enqueue_host,
+            "stream enqueue order violated on rank {} {}",
+            s.rank,
+            s.sid
+        );
+        s.last_enqueue_host = host_time;
+        s.entries.push(entry);
+        self.wake_stream(si);
+    }
+
+    fn run_stream(&mut self, si: usize) {
+        loop {
+            let s = &self.streams[si];
+            if s.head >= s.entries.len() {
+                return;
+            }
+            let head = s.head;
+            match &s.entries[head] {
+                Entry::Kernel { .. } => {
+                    let (rank, sid) = (s.rank, s.sid);
+                    let Entry::Kernel {
+                        name,
+                        class,
+                        earliest,
+                        corr,
+                    } = &self.streams[si].entries[head]
+                    else {
+                        unreachable!()
+                    };
+                    let (name, class, earliest, corr) =
+                        (name.clone(), *class, *earliest, *corr);
+                    let base = self.cost.compute_cost(&class);
+                    let dur =
+                        base.scale(self.jitter.kernel_multiplier(self.iteration, rank, corr));
+                    let start = self.streams[si].clock.max(earliest);
+                    self.emit(
+                        rank,
+                        TraceEvent::kernel(name, start, dur, sid)
+                            .with_correlation(corr)
+                            .with_class(class),
+                    );
+                    self.streams[si].clock = start + dur;
+                    self.advance_head(si);
+                }
+                Entry::Record { event } => {
+                    let event = *event;
+                    let completed = self.streams[si].clock;
+                    let state = self.events.entry(event).or_default();
+                    state.completed = Some(completed);
+                    let waiters = std::mem::take(&mut state.waiting_streams);
+                    for w in waiters {
+                        self.wake_stream(w);
+                    }
+                    self.advance_head(si);
+                }
+                Entry::WaitEv { event } => {
+                    let event = *event;
+                    let state = self.events.entry(event).or_default();
+                    match state.completed {
+                        Some(ts) => {
+                            let s = &mut self.streams[si];
+                            s.clock = s.clock.max(ts);
+                            self.advance_head(si);
+                        }
+                        None => {
+                            if !state.waiting_streams.contains(&si) {
+                                state.waiting_streams.push(si);
+                            }
+                            return;
+                        }
+                    }
+                }
+                Entry::Collective { .. } => {
+                    if !self.process_collective(si, head) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes a collective entry at a stream head. Returns `true`
+    /// if the stream advanced.
+    fn process_collective(&mut self, si: usize, head: usize) -> bool {
+        let (rank, sid, stream_clock) = {
+            let s = &self.streams[si];
+            (s.rank, s.sid, s.clock)
+        };
+        let Entry::Collective {
+            name,
+            class,
+            key,
+            earliest,
+            corr,
+            arrived,
+        } = &mut self.streams[si].entries[head]
+        else {
+            unreachable!()
+        };
+        let key = *key;
+        let (name, class, corr) = (name.clone(), *class, *corr);
+        let ready = stream_clock.max(*earliest);
+        let newly_arrived = if *arrived {
+            false
+        } else {
+            *arrived = true;
+            true
+        };
+
+        let members = self
+            .job
+            .groups
+            .get(&key.0)
+            .unwrap_or_else(|| panic!("unknown communicator group {}", key.0));
+        let expected = members.len();
+
+        let inst = self
+            .collectives
+            .entry(key)
+            .or_insert_with(|| CollInstance {
+                expected,
+                arrivals: Vec::new(),
+                resolved: None,
+            });
+        if newly_arrived {
+            inst.arrivals.push((si, ready));
+        }
+
+        if inst.resolved.is_none() && inst.arrivals.len() == inst.expected {
+            let start = inst
+                .arrivals
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(Ts::ZERO, Ts::max);
+            let KernelClass::Collective(meta) = class else {
+                unreachable!("collective entries carry collective classes")
+            };
+            let base = self.cost.collective_cost(meta.kind, meta.bytes, members);
+            let dur = base.scale(self.jitter.comm_multiplier(
+                self.iteration,
+                key.0,
+                key.1 as u64,
+            ));
+            inst.resolved = Some((start, dur));
+            // Wake the other member streams so they emit and advance.
+            let others: Vec<usize> = inst
+                .arrivals
+                .iter()
+                .map(|&(s, _)| s)
+                .filter(|&s| s != si)
+                .collect();
+            for o in others {
+                self.wake_stream(o);
+            }
+        }
+
+        match self.collectives[&key].resolved {
+            Some((start, dur)) => {
+                self.emit(
+                    rank,
+                    TraceEvent::kernel(name, start, dur, sid)
+                        .with_correlation(corr)
+                        .with_class(class),
+                );
+                self.streams[si].clock = start + dur;
+                self.advance_head(si);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn advance_head(&mut self, si: usize) {
+        self.streams[si].head += 1;
+        let head = self.streams[si].head;
+        let clock = self.streams[si].clock;
+        // Release drain waiters whose target has been reached.
+        let mut released = Vec::new();
+        self.streams[si].drain_waiters.retain(|&(thread, upto)| {
+            if head >= upto {
+                released.push(thread);
+                false
+            } else {
+                true
+            }
+        });
+        for thread in released {
+            let t = &mut self.threads[thread];
+            t.wake_time = t.wake_time.max(clock);
+            match &mut t.blocked {
+                Blocked::StreamDrain => self.wake_thread(thread),
+                Blocked::DeviceDrain { pending } => {
+                    *pending -= 1;
+                    if *pending == 0 {
+                        self.wake_thread(thread);
+                    }
+                }
+                other => panic!("drain waiter in unexpected state {other:?}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, SimConfig};
+    use crate::program::{streams, KernelSpec, Program};
+    use lumos_cost::AnalyticalCostModel;
+    use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+    use lumos_trace::EventKind;
+
+    fn run_tiny(tp: u32, pp: u32, dp: u32) -> EngineOutput {
+        let config = SimConfig {
+            model: ModelConfig::tiny(),
+            parallelism: Parallelism::new(tp, pp, dp).unwrap(),
+            batch: BatchConfig {
+                seq_len: 128,
+                microbatch_size: 1,
+                num_microbatches: 2 * pp,
+            },
+            schedule: ScheduleKind::OneFOneB,
+        };
+        let job = lower(&config).unwrap();
+        execute(
+            &job,
+            &AnalyticalCostModel::h100(),
+            &HostOverheads::default(),
+            &JitterModel::none(),
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_rank_executes_and_validates() {
+        let out = run_tiny(1, 1, 1);
+        assert_eq!(out.trace.world_size(), 1);
+        assert!(out.makespan > Dur::ZERO);
+        out.trace.validate().unwrap();
+    }
+
+    #[test]
+    fn all_parallel_axes_execute() {
+        let out = run_tiny(2, 2, 2);
+        assert_eq!(out.trace.world_size(), 8);
+        out.trace.validate().unwrap();
+        // Every rank observed kernels.
+        for r in out.trace.ranks() {
+            assert!(r.kernels().count() > 0, "{} has no kernels", r.rank());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_tiny(2, 2, 1);
+        let b = run_tiny(2, 2, 1);
+        assert_eq!(a.makespan, b.makespan);
+        for (ra, rb) in a.trace.ranks().iter().zip(b.trace.ranks()) {
+            assert_eq!(ra.events(), rb.events());
+        }
+    }
+
+    #[test]
+    fn collective_members_share_interval() {
+        let out = run_tiny(2, 1, 1);
+        // Find a TP all-reduce instance on both ranks: same (group,
+        // seq) must give identical [start, end).
+        let mut by_key: HashMap<(u64, u32), Vec<(Ts, Dur)>> = HashMap::new();
+        for r in out.trace.ranks() {
+            for e in r.kernels() {
+                if let EventKind::Kernel {
+                    class: KernelClass::Collective(m),
+                    ..
+                } = e.kind
+                {
+                    by_key.entry((m.group, m.seq)).or_default().push((e.ts, e.dur));
+                }
+            }
+        }
+        assert!(!by_key.is_empty());
+        for (key, intervals) in by_key {
+            assert_eq!(intervals.len(), 2, "instance {key:?} has both members");
+            assert_eq!(intervals[0], intervals[1], "instance {key:?} synchronized");
+        }
+    }
+
+    #[test]
+    fn pipeline_stages_overlap_in_steady_state() {
+        let out = run_tiny(1, 2, 1);
+        // Stage 1 must start after stage 0 (activation dependency)…
+        let r0 = out.trace.rank(lumos_trace::RankId(0)).unwrap();
+        let r1 = out.trace.rank(lumos_trace::RankId(1)).unwrap();
+        let first_k0 = r0.kernels().map(|e| e.ts).min().unwrap();
+        let first_k1 = r1.kernels().map(|e| e.ts).min().unwrap();
+        assert!(first_k1 > first_k0);
+        // …but both must be concurrently busy somewhere (pipelining).
+        let span0 = r0.span().unwrap();
+        let span1 = r1.span().unwrap();
+        assert!(span0.overlaps(&span1));
+    }
+
+    #[test]
+    fn backward_runs_on_second_thread() {
+        let out = run_tiny(1, 1, 1);
+        let r0 = out.trace.rank(lumos_trace::RankId(0)).unwrap();
+        let threads = r0.threads();
+        assert!(threads.len() >= 2, "expected main + backward threads");
+        // Backward-thread annotations exist.
+        let bwd_ann = r0
+            .annotations()
+            .filter(|a| a.name.starts_with("bwd mb="))
+            .count();
+        assert_eq!(bwd_ann, 2); // num_microbatches = 2
+    }
+
+    #[test]
+    fn annotations_cover_layers_and_iteration() {
+        let out = run_tiny(1, 1, 1);
+        let r0 = out.trace.rank(lumos_trace::RankId(0)).unwrap();
+        let names: Vec<&str> = r0.annotations().map(|a| &*a.name).collect();
+        assert!(names.contains(&"iteration"));
+        assert!(names.iter().any(|n| n.starts_with("layer=0 fwd")));
+        assert!(names.iter().any(|n| n.starts_with("layer=1 bwd")));
+        assert!(names.contains(&"optimizer"));
+    }
+
+    #[test]
+    fn mismatched_collective_deadlocks_with_diagnostic() {
+        // Build a malformed 2-rank job where only rank 0 launches a
+        // collective on a 2-member group.
+        let mut p0 = Program::new(0);
+        p0.main_mut().push(HostOp::Launch {
+            spec: KernelSpec {
+                name: "nccl".into(),
+                class: KernelClass::Collective(lumos_trace::CommMeta {
+                    kind: lumos_trace::CollectiveKind::AllReduce,
+                    group: 99,
+                    seq: 0,
+                    bytes: 1024,
+                }),
+                stream: streams::TP_COMM,
+            },
+        });
+        p0.main_mut().push(HostOp::StreamSync {
+            stream: streams::TP_COMM,
+        });
+        let p1 = Program::new(1);
+        let config = SimConfig::new(ModelConfig::tiny(), Parallelism::new(1, 1, 1).unwrap());
+        let job = LoweredJob {
+            programs: vec![p0, p1],
+            groups: HashMap::from([(99u64, vec![0u32, 1u32])]),
+            config,
+        };
+        let err = execute(
+            &job,
+            &AnalyticalCostModel::h100(),
+            &HostOverheads::default(),
+            &JitterModel::none(),
+            0,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("deadlocked"), "{msg}");
+    }
+
+    #[test]
+    fn jitter_changes_timing_but_not_structure() {
+        let config = SimConfig {
+            model: ModelConfig::tiny(),
+            parallelism: Parallelism::new(1, 1, 1).unwrap(),
+            batch: BatchConfig {
+                seq_len: 128,
+                microbatch_size: 1,
+                num_microbatches: 2,
+            },
+            schedule: ScheduleKind::OneFOneB,
+        };
+        let job = lower(&config).unwrap();
+        let cost = AnalyticalCostModel::h100();
+        let oh = HostOverheads::default();
+        let base = execute(&job, &cost, &oh, &JitterModel::none(), 0).unwrap();
+        let jit = execute(&job, &cost, &oh, &JitterModel::realistic(1), 0).unwrap();
+        assert_eq!(
+            base.trace.total_events(),
+            jit.trace.total_events(),
+            "jitter must not change event population"
+        );
+        assert_ne!(base.makespan, jit.makespan);
+        // Different iterations of the same jittered run differ.
+        let jit2 = execute(&job, &cost, &oh, &JitterModel::realistic(1), 1).unwrap();
+        assert_ne!(jit.makespan, jit2.makespan);
+        // Means stay close: within 10%.
+        let rel = jit.makespan.relative_error(base.makespan);
+        assert!(rel < 0.1, "jittered makespan drifted {rel}");
+    }
+}

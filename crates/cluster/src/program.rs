@@ -1,0 +1,287 @@
+//! Per-rank host programs: the instruction stream each rank's CPU
+//! threads execute during one training iteration.
+//!
+//! A [`Program`] is what the lowering pass produces from a model +
+//! deployment description and what the execution engine runs to
+//! obtain ground-truth timing. It mirrors what a PyTorch process
+//! actually does: dispatch framework ops, call into the CUDA runtime
+//! to launch kernels and record/wait events, synchronize streams, and
+//! coordinate between the main thread and the autograd thread.
+
+use lumos_trace::{KernelClass, StreamId, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Conventional stream assignment, mirroring typical Megatron/PyTorch
+/// traces: one compute stream plus dedicated communication streams.
+pub mod streams {
+    use lumos_trace::StreamId;
+
+    /// Default compute stream.
+    pub const COMPUTE: StreamId = StreamId(7);
+    /// Tensor-parallel collective stream.
+    pub const TP_COMM: StreamId = StreamId(13);
+    /// Data-parallel gradient collective stream.
+    pub const DP_COMM: StreamId = StreamId(17);
+    /// Pipeline forward-direction (activations) stream.
+    pub const PP_FWD: StreamId = StreamId(21);
+    /// Pipeline backward-direction (gradients) stream.
+    pub const PP_BWD: StreamId = StreamId(22);
+}
+
+/// Conventional thread assignment: PyTorch runs forward dispatch on
+/// the main thread and backward on the autograd engine thread (the
+/// inter-thread dependency the paper calls out in §3.3.2).
+pub mod threads {
+    use lumos_trace::ThreadId;
+
+    /// Main (forward / schedule) thread.
+    pub const MAIN: ThreadId = ThreadId(1);
+    /// Autograd (backward) thread.
+    pub const BACKWARD: ThreadId = ThreadId(2);
+}
+
+/// A device kernel to enqueue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Kernel name as it should appear in the trace.
+    pub name: Arc<str>,
+    /// Shape-carrying classification (drives the cost model; for
+    /// collectives, carries the communicator and sequence).
+    pub class: KernelClass,
+    /// Stream to enqueue on.
+    pub stream: StreamId,
+}
+
+/// One host instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostOp {
+    /// Framework operator dispatch (emits a `CpuOp` trace event; any
+    /// launches it performs follow as separate ops).
+    CpuOp {
+        /// Operator name.
+        name: Arc<str>,
+    },
+    /// `cudaLaunchKernel`: enqueue `spec` on its stream.
+    Launch {
+        /// What to enqueue.
+        spec: KernelSpec,
+    },
+    /// `cudaEventRecord(event, stream)`.
+    EventRecord {
+        /// Per-rank CUDA event id.
+        event: u32,
+        /// Stream recorded on.
+        stream: StreamId,
+    },
+    /// `cudaStreamWaitEvent(stream, event)`.
+    StreamWait {
+        /// Stream that will wait.
+        stream: StreamId,
+        /// Event waited on.
+        event: u32,
+    },
+    /// `cudaStreamSynchronize(stream)`: block this thread until all
+    /// work enqueued on `stream` so far completes.
+    StreamSync {
+        /// Stream drained.
+        stream: StreamId,
+    },
+    /// `cudaDeviceSynchronize()`: block until every stream drains.
+    DeviceSync,
+    /// Post a cross-thread token (models the fwd→bwd handoff queue;
+    /// emits no trace event).
+    SignalPeer {
+        /// Token identifier, unique per rank.
+        token: u32,
+    },
+    /// Block until a token is posted (emits no trace event — the
+    /// resulting timeline gap is exactly what Lumos's inter-thread
+    /// dependency detection keys on).
+    WaitPeer {
+        /// Token identifier.
+        token: u32,
+    },
+    /// Open a user-annotation range on this thread.
+    AnnotationBegin {
+        /// Range label, e.g. `layer=7 fwd mb=3`.
+        name: Arc<str>,
+    },
+    /// Close the innermost annotation range.
+    AnnotationEnd,
+}
+
+/// The instruction stream of one host thread.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThreadProgram {
+    /// Thread id (see [`threads`]).
+    pub tid: ThreadId,
+    /// Instructions in program order.
+    pub ops: Vec<HostOp>,
+}
+
+impl ThreadProgram {
+    /// Creates an empty program for `tid`.
+    pub fn new(tid: ThreadId) -> Self {
+        ThreadProgram {
+            tid,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, op: HostOp) {
+        self.ops.push(op);
+    }
+}
+
+/// One rank's full iteration program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    /// Global rank.
+    pub rank: u32,
+    /// Host threads (main + backward).
+    pub threads: Vec<ThreadProgram>,
+}
+
+impl Program {
+    /// Creates a program with the conventional two threads.
+    pub fn new(rank: u32) -> Self {
+        Program {
+            rank,
+            threads: vec![
+                ThreadProgram::new(threads::MAIN),
+                ThreadProgram::new(threads::BACKWARD),
+            ],
+        }
+    }
+
+    /// The main thread's program.
+    pub fn main_mut(&mut self) -> &mut ThreadProgram {
+        &mut self.threads[0]
+    }
+
+    /// The backward thread's program.
+    pub fn backward_mut(&mut self) -> &mut ThreadProgram {
+        &mut self.threads[1]
+    }
+
+    /// Total instruction count across threads.
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(|t| t.ops.len()).sum()
+    }
+
+    /// Returns `true` when no thread has instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks structural sanity: annotations balance per thread, and
+    /// every `WaitPeer` token is signaled somewhere in the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violation; used by
+    /// lowering tests.
+    pub fn assert_well_formed(&self) {
+        let mut signaled = std::collections::HashSet::new();
+        let mut waited = Vec::new();
+        for t in &self.threads {
+            let mut depth: i64 = 0;
+            for op in &t.ops {
+                match op {
+                    HostOp::AnnotationBegin { .. } => depth += 1,
+                    HostOp::AnnotationEnd => {
+                        depth -= 1;
+                        assert!(depth >= 0, "rank {} {:?}: unmatched AnnotationEnd", self.rank, t.tid);
+                    }
+                    HostOp::SignalPeer { token } => {
+                        assert!(
+                            signaled.insert(*token),
+                            "rank {}: token {token} signaled twice",
+                            self.rank
+                        );
+                    }
+                    HostOp::WaitPeer { token } => waited.push(*token),
+                    _ => {}
+                }
+            }
+            assert_eq!(
+                depth, 0,
+                "rank {} {:?}: {depth} unclosed annotations",
+                self.rank, t.tid
+            );
+        }
+        for token in waited {
+            assert!(
+                signaled.contains(&token),
+                "rank {}: token {token} waited but never signaled",
+                self.rank
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_program_passes() {
+        let mut p = Program::new(0);
+        p.main_mut().push(HostOp::AnnotationBegin {
+            name: "iteration".into(),
+        });
+        p.main_mut().push(HostOp::CpuOp {
+            name: "aten::mm".into(),
+        });
+        p.main_mut().push(HostOp::SignalPeer { token: 1 });
+        p.main_mut().push(HostOp::AnnotationEnd);
+        p.backward_mut().push(HostOp::WaitPeer { token: 1 });
+        p.assert_well_formed();
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_annotation_caught() {
+        let mut p = Program::new(0);
+        p.main_mut().push(HostOp::AnnotationBegin {
+            name: "x".into(),
+        });
+        p.assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "never signaled")]
+    fn dangling_wait_caught() {
+        let mut p = Program::new(0);
+        p.backward_mut().push(HostOp::WaitPeer { token: 9 });
+        p.assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "signaled twice")]
+    fn double_signal_caught() {
+        let mut p = Program::new(0);
+        p.main_mut().push(HostOp::SignalPeer { token: 1 });
+        p.main_mut().push(HostOp::SignalPeer { token: 1 });
+        p.assert_well_formed();
+    }
+
+    #[test]
+    fn stream_constants_distinct() {
+        let all = [
+            streams::COMPUTE,
+            streams::TP_COMM,
+            streams::DP_COMM,
+            streams::PP_FWD,
+            streams::PP_BWD,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in all.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! Execution-graph construction from profiled traces (§3.3).
+//!
+//! Implements the paper's four dependency classes:
+//!
+//! * **CPU→CPU**: consecutive host tasks on one thread chain
+//!   sequentially; cross-thread dependencies are detected from
+//!   *significant execution gaps* — a host task that starts after an
+//!   idle gap on its own thread is linked to the latest-finishing task
+//!   on a sibling thread (the fwd→bwd handoff pattern);
+//! * **CPU→GPU**: `cudaLaunchKernel`-style calls link to their kernel
+//!   through the shared correlation id;
+//! * **GPU→CPU**: blocking synchronization calls get *runtime*
+//!   dependencies — the builder marks them, the simulator resolves
+//!   them against the live last-enqueued kernel (Algorithm 1);
+//! * **GPU→GPU**: kernels on one stream chain in enqueue (launch)
+//!   order; `cudaEventRecord`/`cudaStreamWaitEvent` pairs become
+//!   cross-stream edges from the last kernel enqueued before the
+//!   record to the first kernel enqueued after the wait.
+//!
+//! Collective kernels are additionally registered by
+//! `(communicator, sequence)` so the simulator can rendezvous the
+//! instance across ranks — membership is derived purely from the
+//! trace.
+
+use crate::error::CoreError;
+use crate::graph::ExecutionGraph;
+use crate::segment::tag_host_events;
+use crate::task::{DepKind, Processor, SegmentTag, Task, TaskId, TaskKind};
+use lumos_trace::{
+    ClusterTrace, CudaRuntimeKind, Dur, EventKind, RankTrace, StreamId, ThreadId, Ts,
+};
+use std::collections::HashMap;
+
+/// How much of the event-based inter-stream dependency structure the
+/// builder models — the axis separating Lumos from the dPRO baseline
+/// (§4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterStreamMode {
+    /// All `cudaEventRecord`/`cudaStreamWaitEvent` edges (Lumos).
+    Full,
+    /// Keep fences whose *source* is a communication kernel
+    /// (collective → compute consumer edges — recoverable from tensor
+    /// dataflow) but drop fences *into* communication streams.
+    /// A dataflow-level tool like dPRO sees that computation consumes
+    /// a collective's output, but not that the collective itself
+    /// queues behind stream fences.
+    ConsumerOnly,
+    /// Keep fences *into* communication streams (producers gate
+    /// collectives correctly) but drop collective → compute consumer
+    /// fences: downstream computation no longer waits for collectives,
+    /// so communication appears free to overlap.
+    ProducerOnly,
+    /// Drop producer fences into collectives that were launched from
+    /// the autograd (backward) thread. Megatron issues backward
+    /// tensor-parallel all-reduces and DDP gradient buckets from
+    /// autograd *hooks*; an operator-level dataflow reconstruction
+    /// (dPRO's method) sees the hooks' outputs being consumed but not
+    /// what produced their inputs, so those collectives float free of
+    /// their producers and overlap optimistically.
+    DataflowOnly,
+    /// Drop every event-based inter-stream edge.
+    None,
+}
+
+impl InterStreamMode {
+    fn keeps(
+        self,
+        source_is_comm: bool,
+        target_is_comm: bool,
+        target_launched_by_hook: bool,
+    ) -> bool {
+        match self {
+            InterStreamMode::Full => true,
+            // Keep collective→compute consumer fences and neutral
+            // compute→compute edges; drop fences into collectives.
+            InterStreamMode::ConsumerOnly => source_is_comm || !target_is_comm,
+            // Keep compute→collective producer fences and neutral
+            // edges; drop consumer fences out of collectives.
+            InterStreamMode::ProducerOnly => target_is_comm || !source_is_comm,
+            // Drop producer fences into hook-launched collectives.
+            InterStreamMode::DataflowOnly => !(target_is_comm && target_launched_by_hook),
+            InterStreamMode::None => false,
+        }
+    }
+}
+
+/// Options controlling graph construction.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Minimum idle gap on a thread that triggers cross-thread
+    /// dependency detection.
+    pub interthread_gap: Dur,
+    /// Event-based inter-stream dependency coverage.
+    pub interstream: InterStreamMode,
+    /// Validate the input trace before building (correlation
+    /// integrity, per-stream FIFO).
+    pub validate_input: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            interthread_gap: Dur::from_us(20),
+            interstream: InterStreamMode::Full,
+            validate_input: true,
+        }
+    }
+}
+
+impl BuildOptions {
+    /// The dPRO baseline configuration: dataflow-recoverable consumer
+    /// edges only.
+    pub fn dpro_baseline() -> Self {
+        BuildOptions {
+            interstream: InterStreamMode::DataflowOnly,
+            ..BuildOptions::default()
+        }
+    }
+}
+
+/// Builds the execution graph of a cluster trace.
+///
+/// # Errors
+///
+/// Returns trace-validation failures, cycle detection failures, and
+/// inconsistent collective instances.
+pub fn build_graph(trace: &ClusterTrace, opts: &BuildOptions) -> Result<ExecutionGraph, CoreError> {
+    if opts.validate_input {
+        trace.validate()?;
+    }
+    let mut graph = ExecutionGraph::new();
+    for rank_trace in trace.ranks() {
+        build_rank(&mut graph, rank_trace, opts);
+    }
+    graph.validate()?;
+    Ok(graph)
+}
+
+fn build_rank(graph: &mut ExecutionGraph, trace: &RankTrace, opts: &BuildOptions) {
+    let rank = trace.rank();
+    let tags = tag_host_events(trace);
+
+    // --- Create host tasks (per thread, in time order). ---
+    let mut host_by_thread: HashMap<ThreadId, Vec<(usize, TaskId)>> = HashMap::new();
+    // Correlation -> launch task (for this rank).
+    let mut launch_by_corr: HashMap<u64, TaskId> = HashMap::new();
+    // Correlation -> launch timestamp (enqueue order key).
+    let mut launch_ts_by_corr: HashMap<u64, Ts> = HashMap::new();
+    let mut host_indices: Vec<usize> = trace
+        .events()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            matches!(
+                e.kind,
+                EventKind::CpuOp { .. } | EventKind::CudaRuntime { .. }
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    host_indices.sort_by_key(|&i| trace.events()[i].ts);
+
+    for &i in &host_indices {
+        let e = &trace.events()[i];
+        let (tid, kind, corr) = match e.kind {
+            EventKind::CpuOp { tid } => (tid, TaskKind::CpuOp, 0),
+            EventKind::CudaRuntime {
+                tid,
+                kind,
+                correlation,
+            } => (tid, TaskKind::Runtime(kind), correlation),
+            _ => unreachable!("host_indices holds host events only"),
+        };
+        let proc = graph.processor_idx(Processor::Thread { rank, tid });
+        let id = graph.add_task(Task {
+            name: e.name.clone(),
+            kind,
+            processor: proc,
+            duration: e.dur,
+            orig_start: e.ts,
+            correlation: corr,
+            tag: tags.get(&i).copied().unwrap_or_default(),
+        });
+        host_by_thread.entry(tid).or_default().push((i, id));
+        if let TaskKind::Runtime(k) = kind {
+            if k.launches_work() && corr != 0 {
+                launch_by_corr.insert(corr, id);
+                launch_ts_by_corr.insert(corr, e.ts);
+            }
+        }
+    }
+
+    // --- Intra-thread chains. ---
+    for tasks in host_by_thread.values() {
+        for w in tasks.windows(2) {
+            graph.add_edge(w[0].1, w[1].1, DepKind::IntraThread);
+        }
+    }
+
+    // --- Inter-thread dependencies from significant gaps. ---
+    // Per-thread (end, task) lists sorted by end for binary search.
+    let mut ends_by_thread: HashMap<ThreadId, Vec<(Ts, TaskId)>> = HashMap::new();
+    for (&tid, tasks) in &host_by_thread {
+        let mut v: Vec<(Ts, TaskId)> = tasks
+            .iter()
+            .map(|&(i, id)| (trace.events()[i].end(), id))
+            .collect();
+        v.sort();
+        ends_by_thread.insert(tid, v);
+    }
+    for (&tid, tasks) in &host_by_thread {
+        let mut prev_end: Option<Ts> = None;
+        for &(i, id) in tasks {
+            let e = &trace.events()[i];
+            let gap_start = prev_end.unwrap_or(Ts::ZERO);
+            let significant = match prev_end {
+                Some(pe) => e.ts.saturating_since(pe) >= opts.interthread_gap,
+                // First task on a thread that starts late: the thread
+                // was waiting on someone.
+                None => e.ts.saturating_since(Ts::ZERO) >= opts.interthread_gap,
+            };
+            prev_end = Some(e.end());
+            if !significant {
+                continue;
+            }
+            // Latest-finishing task on any *other* thread with
+            // end <= start; it must end inside the gap to explain it.
+            let mut best: Option<(Ts, TaskId)> = None;
+            for (&other_tid, ends) in &ends_by_thread {
+                if other_tid == tid {
+                    continue;
+                }
+                let pos = ends.partition_point(|&(end, _)| end <= e.ts);
+                if pos > 0 {
+                    let cand = ends[pos - 1];
+                    if cand.0 > gap_start && best.is_none_or(|b| cand > b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some((_, src)) = best {
+                graph.add_edge(src, id, DepKind::InterThread);
+            }
+        }
+    }
+
+    // --- Kernel tasks, launch edges, intra-stream chains. ---
+    // Kernels per stream in enqueue (launch-timestamp) order.
+    let mut kernels_by_stream: HashMap<StreamId, Vec<(Ts, usize)>> = HashMap::new();
+    for (i, e) in trace.events().iter().enumerate() {
+        if let EventKind::Kernel {
+            stream,
+            correlation,
+            ..
+        } = e.kind
+        {
+            let launch_ts = launch_ts_by_corr
+                .get(&correlation)
+                .copied()
+                .unwrap_or(e.ts);
+            kernels_by_stream
+                .entry(stream)
+                .or_default()
+                .push((launch_ts, i));
+        }
+    }
+    // (stream -> (launch_ts, kernel task)) for event-edge lookups.
+    let mut stream_kernel_tasks: HashMap<StreamId, Vec<(Ts, TaskId)>> = HashMap::new();
+    for (stream, list) in &mut kernels_by_stream {
+        list.sort();
+        let proc = graph.processor_idx(Processor::Stream {
+            rank,
+            stream: *stream,
+        });
+        let mut prev: Option<TaskId> = None;
+        let mut with_tasks = Vec::with_capacity(list.len());
+        for &(launch_ts, i) in list.iter() {
+            let e = &trace.events()[i];
+            let EventKind::Kernel {
+                correlation, class, ..
+            } = e.kind
+            else {
+                unreachable!()
+            };
+            let launch = launch_by_corr.get(&correlation).copied();
+            let tag = launch
+                .map(|l| graph.task(l).tag)
+                .unwrap_or_else(SegmentTag::default);
+            let id = graph.add_task(Task {
+                name: e.name.clone(),
+                kind: TaskKind::Kernel(class),
+                processor: proc,
+                duration: e.dur,
+                orig_start: e.ts,
+                correlation,
+                tag,
+            });
+            if let Some(l) = launch {
+                graph.add_edge(l, id, DepKind::KernelLaunch);
+                graph.register_kernel(id, l);
+            }
+            if let Some(p) = prev {
+                graph.add_edge(p, id, DepKind::IntraStream);
+            }
+            prev = Some(id);
+            if let lumos_trace::KernelClass::Collective(meta) = class {
+                graph.register_collective(meta.group, meta.seq, id, rank);
+            }
+            with_tasks.push((launch_ts, id));
+        }
+        stream_kernel_tasks.insert(*stream, with_tasks);
+    }
+
+    // --- Inter-stream event edges. ---
+    // The rank's main thread is the one dispatching the earliest host
+    // event; other threads are autograd/hook threads.
+    let main_thread: Option<ThreadId> = host_indices
+        .first()
+        .and_then(|&i| trace.events()[i].kind.tid());
+    if opts.interstream != InterStreamMode::None {
+        // event id -> (record host ts, recorded stream)
+        let mut records: HashMap<u64, (Ts, StreamId)> = HashMap::new();
+        for &i in &host_indices {
+            let e = &trace.events()[i];
+            if let EventKind::CudaRuntime {
+                kind: CudaRuntimeKind::EventRecord { event, stream },
+                ..
+            } = e.kind
+            {
+                records.insert(event, (e.ts, stream));
+            }
+        }
+        for &i in &host_indices {
+            let e = &trace.events()[i];
+            let EventKind::CudaRuntime {
+                kind: CudaRuntimeKind::StreamWaitEvent { stream, event },
+                ..
+            } = e.kind
+            else {
+                continue;
+            };
+            let Some(&(record_ts, record_stream)) = records.get(&event) else {
+                continue;
+            };
+            // Source: last kernel enqueued on the recorded stream
+            // before the record call.
+            let source = stream_kernel_tasks.get(&record_stream).and_then(|ks| {
+                let pos = ks.partition_point(|&(lts, _)| lts <= record_ts);
+                (pos > 0).then(|| ks[pos - 1].1)
+            });
+            // Target: first kernel enqueued on the waiting stream
+            // after the wait call.
+            let target = stream_kernel_tasks.get(&stream).and_then(|ks| {
+                let pos = ks.partition_point(|&(lts, _)| lts < e.ts);
+                ks.get(pos).map(|&(_, id)| id)
+            });
+            if let (Some(s), Some(t)) = (source, target) {
+                let source_is_comm = graph.task(s).is_comm_kernel();
+                let target_is_comm = graph.task(t).is_comm_kernel();
+                // "Hook-launched": enqueued from a thread other than
+                // the rank's main thread (the autograd thread).
+                let target_hooked = graph
+                    .launch_of(t)
+                    .map(|l| {
+                        !matches!(
+                            graph.processor(graph.task(l).processor),
+                            Processor::Thread { tid, .. } if Some(tid) == main_thread
+                        )
+                    })
+                    .unwrap_or(false);
+                if s != t
+                    && opts
+                        .interstream
+                        .keeps(source_is_comm, target_is_comm, target_hooked)
+                {
+                    graph.add_edge(s, t, DepKind::InterStreamEvent);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_trace::{KernelClass, TraceEvent};
+
+    /// Builds a minimal single-rank trace exercising every dependency
+    /// class:
+    ///
+    /// * thread 1: op A, launch k1 (compute), record e1 on compute,
+    ///   wait e1 on comm, launch k2 (comm), streamSync(comm)
+    /// * thread 2: op B starting after a long gap (handoff from
+    ///   thread 1)
+    fn sample_trace() -> ClusterTrace {
+        let t1 = ThreadId(1);
+        let t2 = ThreadId(2);
+        let comp = StreamId(7);
+        let comm = StreamId(13);
+        let mut r = RankTrace::new(0);
+        let us = |x: u64| Ts::from_us(x);
+        r.push(TraceEvent::cpu_op("opA", us(0), Dur::from_us(5), t1));
+        r.push(
+            TraceEvent::cuda_runtime(CudaRuntimeKind::LaunchKernel, us(5), Dur::from_us(2), t1)
+                .with_correlation(1),
+        );
+        r.push(
+            TraceEvent::cuda_runtime(
+                CudaRuntimeKind::EventRecord {
+                    event: 11,
+                    stream: comp,
+                },
+                us(7),
+                Dur::from_us(1),
+                t1,
+            ),
+        );
+        r.push(TraceEvent::cuda_runtime(
+            CudaRuntimeKind::StreamWaitEvent {
+                stream: comm,
+                event: 11,
+            },
+            us(8),
+            Dur::from_us(1),
+            t1,
+        ));
+        r.push(
+            TraceEvent::cuda_runtime(CudaRuntimeKind::LaunchKernel, us(9), Dur::from_us(2), t1)
+                .with_correlation(2),
+        );
+        r.push(TraceEvent::cuda_runtime(
+            CudaRuntimeKind::StreamSynchronize { stream: comm },
+            us(11),
+            Dur::from_us(120),
+            t1,
+        ));
+        // GPU side.
+        r.push(
+            TraceEvent::kernel("k1", us(20), Dur::from_us(50), comp).with_correlation(1),
+        );
+        r.push(
+            TraceEvent::kernel("k2", us(75), Dur::from_us(40), comm).with_correlation(2),
+        );
+        // Thread 2 wakes up long after thread 1 finished its ops.
+        r.push(TraceEvent::cpu_op("opB", us(131), Dur::from_us(5), t2));
+        let mut c = ClusterTrace::new("sample");
+        c.push_rank(r);
+        c
+    }
+
+    #[test]
+    fn builds_all_dependency_classes() {
+        let g = build_graph(&sample_trace(), &BuildOptions::default()).unwrap();
+        let s = g.stats();
+        assert_eq!(s.tasks, 9);
+        assert_eq!(s.intra_thread, 5); // 6 host tasks on t1 chained
+        assert_eq!(s.kernel_launch, 2);
+        assert_eq!(s.inter_stream, 1); // k1 -> k2 via e11
+        assert_eq!(s.inter_thread, 1); // t1 tail -> opB
+        assert_eq!(s.intra_stream, 0); // one kernel per stream
+    }
+
+    #[test]
+    fn interstream_edge_links_kernels() {
+        let g = build_graph(&sample_trace(), &BuildOptions::default()).unwrap();
+        // Find the edge k1 -> k2.
+        let k1 = g
+            .tasks()
+            .iter()
+            .position(|t| &*t.name == "k1")
+            .unwrap() as TaskId;
+        let k2 = g
+            .tasks()
+            .iter()
+            .position(|t| &*t.name == "k2")
+            .unwrap() as TaskId;
+        assert!(g
+            .successors(k1)
+            .iter()
+            .any(|e| e.to == k2 && e.kind == DepKind::InterStreamEvent));
+    }
+
+    #[test]
+    fn interstream_none_drops_all_event_edges() {
+        let opts = BuildOptions {
+            interstream: InterStreamMode::None,
+            ..BuildOptions::default()
+        };
+        let g = build_graph(&sample_trace(), &opts).unwrap();
+        assert_eq!(g.stats().inter_stream, 0);
+        // Everything else is intact.
+        assert_eq!(g.stats().kernel_launch, 2);
+        assert_eq!(g.stats().inter_thread, 1);
+    }
+
+    #[test]
+    fn dpro_mode_drops_hook_launched_producer_fences() {
+        // Rebuild the sample with k2 classed as a collective and its
+        // launch moved to the autograd thread (a hook launch): the
+        // compute→collective producer fence must vanish in dPRO mode.
+        let mut trace = sample_trace();
+        for r in trace.ranks_mut() {
+            for e in r.events_mut() {
+                if &*e.name == "k2" {
+                    *e = e.clone().with_class(KernelClass::Collective(
+                        lumos_trace::CommMeta {
+                            kind: lumos_trace::CollectiveKind::AllReduce,
+                            group: 7,
+                            seq: 0,
+                            bytes: 64,
+                        },
+                    ));
+                }
+                // Retarget k2's launch (correlation 2) to thread 2.
+                if let EventKind::CudaRuntime {
+                    kind: k,
+                    correlation: 2,
+                    ..
+                } = e.kind
+                {
+                    e.kind = EventKind::CudaRuntime {
+                        tid: ThreadId(2),
+                        kind: k,
+                        correlation: 2,
+                    };
+                }
+            }
+        }
+        let lumos = build_graph(&trace, &BuildOptions::default()).unwrap();
+        assert_eq!(lumos.stats().inter_stream, 1);
+        let dpro = build_graph(&trace, &BuildOptions::dpro_baseline()).unwrap();
+        assert_eq!(dpro.stats().inter_stream, 0);
+        // Main-thread-launched collectives keep their producer fence
+        // even in dPRO mode (visible in the op-level dataflow).
+        let mut main_launched = sample_trace();
+        for r in main_launched.ranks_mut() {
+            for e in r.events_mut() {
+                if &*e.name == "k2" {
+                    *e = e.clone().with_class(KernelClass::Collective(
+                        lumos_trace::CommMeta {
+                            kind: lumos_trace::CollectiveKind::AllReduce,
+                            group: 7,
+                            seq: 0,
+                            bytes: 64,
+                        },
+                    ));
+                }
+            }
+        }
+        let dpro_main =
+            build_graph(&main_launched, &BuildOptions::dpro_baseline()).unwrap();
+        assert_eq!(dpro_main.stats().inter_stream, 1);
+    }
+
+    #[test]
+    fn interthread_edge_targets_latest_source() {
+        let g = build_graph(&sample_trace(), &BuildOptions::default()).unwrap();
+        let op_b = g
+            .tasks()
+            .iter()
+            .position(|t| &*t.name == "opB")
+            .unwrap() as TaskId;
+        // Its inter-thread predecessor is the streamSync (latest t1
+        // task ending at 131us).
+        let pred = g
+            .tasks()
+            .iter()
+            .enumerate()
+            .find(|(_, t)| &*t.name == "cudaStreamSynchronize")
+            .map(|(i, _)| i as TaskId)
+            .unwrap();
+        assert!(g
+            .successors(pred)
+            .iter()
+            .any(|e| e.to == op_b && e.kind == DepKind::InterThread));
+    }
+
+    #[test]
+    fn small_gaps_do_not_create_interthread_edges() {
+        let opts = BuildOptions {
+            interthread_gap: Dur::from_ms(10), // larger than any gap
+            ..BuildOptions::default()
+        };
+        let g = build_graph(&sample_trace(), &opts).unwrap();
+        assert_eq!(g.stats().inter_thread, 0);
+    }
+
+    #[test]
+    fn collective_registration_from_trace() {
+        let mut c = ClusterTrace::new("coll");
+        for rank in 0..2u32 {
+            let mut r = RankTrace::new(rank);
+            r.push(
+                TraceEvent::cuda_runtime(
+                    CudaRuntimeKind::LaunchKernel,
+                    Ts::from_us(0),
+                    Dur::from_us(2),
+                    ThreadId(1),
+                )
+                .with_correlation(1),
+            );
+            r.push(
+                TraceEvent::kernel("ar", Ts::from_us(10), Dur::from_us(30), StreamId(13))
+                    .with_correlation(1)
+                    .with_class(KernelClass::Collective(lumos_trace::CommMeta {
+                        kind: lumos_trace::CollectiveKind::AllReduce,
+                        group: 42,
+                        seq: 0,
+                        bytes: 1024,
+                    })),
+            );
+            c.push_rank(r);
+        }
+        let g = build_graph(&c, &BuildOptions::default()).unwrap();
+        assert_eq!(g.stats().collective_instances, 1);
+        assert_eq!(g.collectives()[&(42, 0)].len(), 2);
+        assert_eq!(g.group_ranks(42).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn kernels_inherit_launch_tags() {
+        let mut r = RankTrace::new(0);
+        let tid = ThreadId(1);
+        r.push(TraceEvent::annotation(
+            "layer=3 fwd mb=1",
+            Ts::from_us(0),
+            Dur::from_us(100),
+            tid,
+        ));
+        r.push(
+            TraceEvent::cuda_runtime(
+                CudaRuntimeKind::LaunchKernel,
+                Ts::from_us(10),
+                Dur::from_us(2),
+                tid,
+            )
+            .with_correlation(1),
+        );
+        r.push(
+            TraceEvent::kernel("k", Ts::from_us(200), Dur::from_us(10), StreamId(7))
+                .with_correlation(1),
+        );
+        let mut c = ClusterTrace::new("tags");
+        c.push_rank(r);
+        let g = build_graph(&c, &BuildOptions::default()).unwrap();
+        let kernel = g.tasks().iter().find(|t| &*t.name == "k").unwrap();
+        assert_eq!(kernel.tag.layer, Some(3));
+        assert_eq!(kernel.tag.mb, Some(1));
+    }
+
+    #[test]
+    fn invalid_trace_rejected() {
+        let mut r = RankTrace::new(0);
+        // Orphan kernel (no launch).
+        r.push(TraceEvent::kernel("k", Ts(0), Dur(1), StreamId(7)).with_correlation(5));
+        let mut c = ClusterTrace::new("bad");
+        c.push_rank(r);
+        assert!(matches!(
+            build_graph(&c, &BuildOptions::default()),
+            Err(CoreError::Trace(_))
+        ));
+    }
+
+    #[test]
+    fn empty_trace_builds_empty_graph() {
+        let c = ClusterTrace::new("empty");
+        let g = build_graph(&c, &BuildOptions::default()).unwrap();
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Error types for graph construction, simulation, and manipulation.
+
+use lumos_trace::TraceError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the Lumos core.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The input trace failed validation.
+    Trace(TraceError),
+    /// The fixed-dependency graph contains a cycle.
+    CyclicGraph {
+        /// Number of tasks unreachable by topological order.
+        stuck: usize,
+    },
+    /// A collective instance's member count does not match its
+    /// communicator's rank set.
+    InconsistentCollective {
+        /// Communicator id.
+        group: u64,
+        /// Instance sequence number.
+        seq: u32,
+        /// Members observed for this instance.
+        members: usize,
+        /// Ranks in the communicator.
+        expected: usize,
+    },
+    /// The simulator could not complete all tasks (unsatisfiable
+    /// runtime dependencies).
+    SimulationStuck {
+        /// Completed task count.
+        completed: usize,
+        /// Total task count.
+        total: usize,
+    },
+    /// A manipulation request was invalid for this trace.
+    InvalidTransform {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Required annotations were missing from the trace.
+    MissingAnnotations {
+        /// What the manipulation needed.
+        needed: String,
+    },
+    /// Invalid model/deployment configuration.
+    Model(lumos_model::ModelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Trace(e) => write!(f, "trace error: {e}"),
+            CoreError::CyclicGraph { stuck } => {
+                write!(f, "execution graph has a cycle ({stuck} tasks unordered)")
+            }
+            CoreError::InconsistentCollective {
+                group,
+                seq,
+                members,
+                expected,
+            } => write!(
+                f,
+                "collective group={group} seq={seq} has {members} members, communicator has {expected} ranks"
+            ),
+            CoreError::SimulationStuck { completed, total } => {
+                write!(f, "simulation stalled after {completed}/{total} tasks")
+            }
+            CoreError::InvalidTransform { reason } => write!(f, "invalid transform: {reason}"),
+            CoreError::MissingAnnotations { needed } => {
+                write!(f, "trace lacks annotations required for manipulation: {needed}")
+            }
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Trace(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for CoreError {
+    fn from(e: TraceError) -> Self {
+        CoreError::Trace(e)
+    }
+}
+
+impl From<lumos_model::ModelError> for CoreError {
+    fn from(e: lumos_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::CyclicGraph { stuck: 3 };
+        assert!(e.to_string().contains("3"));
+        let e = CoreError::SimulationStuck {
+            completed: 1,
+            total: 2,
+        };
+        assert!(e.to_string().contains("1/2"));
+    }
+
+    #[test]
+    fn error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

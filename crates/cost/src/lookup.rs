@@ -1,0 +1,261 @@
+//! Trace-fitted lookup cost model — the stand-in for the paper's
+//! "in-house GPU kernel performance model, built by analyzing fleet
+//! GPU traces" (§4.3.1).
+//!
+//! Observed kernel durations are recorded keyed by their shape-
+//! carrying [`KernelClass`] (and, for collectives, by payload and
+//! communicator size/topology). Queries for recorded shapes return the
+//! observed mean; unseen shapes fall back to an inner model —
+//! exactly how a fleet model behaves: accurate where fleet coverage
+//! exists, extrapolating elsewhere.
+
+use crate::CostModel;
+use lumos_trace::{CollectiveKind, Dur, KernelClass};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Default)]
+struct Acc {
+    total_ns: u128,
+    count: u64,
+}
+
+impl Acc {
+    fn record(&mut self, d: Dur) {
+        self.total_ns += d.as_ns() as u128;
+        self.count += 1;
+    }
+
+    fn mean(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            Dur((self.total_ns / self.count as u128) as u64)
+        }
+    }
+}
+
+/// Key for collective observations: payload and communicator
+/// cardinality + placement determine cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CollKey {
+    kind: CollectiveKind,
+    bytes: u64,
+    members: usize,
+    intra_node: bool,
+}
+
+/// A cost model fitted from observed traces, backed by a fallback
+/// model for unseen shapes.
+#[derive(Debug, Clone)]
+pub struct LookupCostModel<F> {
+    compute: HashMap<KernelClass, Acc>,
+    collectives: HashMap<CollKey, Acc>,
+    gpus_per_node: u32,
+    fallback: F,
+}
+
+impl<F: CostModel> LookupCostModel<F> {
+    /// Creates an empty table over `fallback`. `gpus_per_node` is used
+    /// to classify collective placements consistently with the
+    /// fallback's cluster spec.
+    pub fn new(fallback: F, gpus_per_node: u32) -> Self {
+        assert!(gpus_per_node > 0, "gpus_per_node must be positive");
+        LookupCostModel {
+            compute: HashMap::new(),
+            collectives: HashMap::new(),
+            gpus_per_node,
+            fallback,
+        }
+    }
+
+    fn coll_key(&self, kind: CollectiveKind, bytes: u64, members: &[u32]) -> CollKey {
+        let intra_node = {
+            let mut nodes = members.iter().map(|&r| r / self.gpus_per_node);
+            match nodes.next() {
+                Some(first) => nodes.all(|n| n == first),
+                None => true,
+            }
+        };
+        CollKey {
+            kind,
+            bytes,
+            members: members.len(),
+            intra_node,
+        }
+    }
+
+    /// Records one observation of a compute kernel.
+    pub fn record_compute(&mut self, class: KernelClass, observed: Dur) {
+        assert!(
+            !matches!(class, KernelClass::Collective(_)),
+            "collectives are recorded via record_collective"
+        );
+        self.compute.entry(class).or_default().record(observed);
+    }
+
+    /// Records one observation of a collective instance.
+    pub fn record_collective(
+        &mut self,
+        kind: CollectiveKind,
+        bytes: u64,
+        members: &[u32],
+        observed: Dur,
+    ) {
+        self.collectives
+            .entry(self.coll_key(kind, bytes, members))
+            .or_default()
+            .record(observed);
+    }
+
+    /// Number of distinct compute shapes recorded.
+    pub fn compute_entries(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// Number of distinct collective keys recorded.
+    pub fn collective_entries(&self) -> usize {
+        self.collectives.len()
+    }
+
+    /// Whether a compute shape has fleet coverage.
+    pub fn covers(&self, class: &KernelClass) -> bool {
+        self.compute.contains_key(class)
+    }
+
+    /// Fits a table from every kernel observation in a cluster trace —
+    /// the "fleet traces" the paper's in-house model is built from.
+    /// Collective membership is derived from the trace itself (the
+    /// ranks issuing each communicator).
+    pub fn fit_from_trace(
+        trace: &lumos_trace::ClusterTrace,
+        fallback: F,
+        gpus_per_node: u32,
+    ) -> Self {
+        use lumos_trace::EventKind;
+        let mut model = LookupCostModel::new(fallback, gpus_per_node);
+        // First pass: communicator membership.
+        let mut members: HashMap<u64, Vec<u32>> = HashMap::new();
+        for rank_trace in trace.ranks() {
+            for e in rank_trace.kernels() {
+                if let EventKind::Kernel {
+                    class: KernelClass::Collective(meta),
+                    ..
+                } = e.kind
+                {
+                    let m = members.entry(meta.group).or_default();
+                    if !m.contains(&rank_trace.rank().0) {
+                        m.push(rank_trace.rank().0);
+                    }
+                }
+            }
+        }
+        // Second pass: observations.
+        for rank_trace in trace.ranks() {
+            for e in rank_trace.kernels() {
+                if let EventKind::Kernel { class, .. } = e.kind {
+                    match class {
+                        KernelClass::Collective(meta) => {
+                            let m = &members[&meta.group];
+                            model.record_collective(meta.kind, meta.bytes, m, e.dur);
+                        }
+                        other => model.record_compute(other, e.dur),
+                    }
+                }
+            }
+        }
+        model
+    }
+}
+
+impl<F: CostModel> CostModel for LookupCostModel<F> {
+    fn compute_cost(&self, class: &KernelClass) -> Dur {
+        match self.compute.get(class) {
+            Some(acc) if acc.count > 0 => acc.mean(),
+            _ => self.fallback.compute_cost(class),
+        }
+    }
+
+    fn collective_cost(&self, kind: CollectiveKind, bytes: u64, members: &[u32]) -> Dur {
+        match self.collectives.get(&self.coll_key(kind, bytes, members)) {
+            Some(acc) if acc.count > 0 => acc.mean(),
+            _ => self.fallback.collective_cost(kind, bytes, members),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::AnalyticalCostModel;
+
+    fn lookup() -> LookupCostModel<AnalyticalCostModel> {
+        LookupCostModel::new(AnalyticalCostModel::h100(), 8)
+    }
+
+    #[test]
+    fn recorded_shapes_return_observed_mean() {
+        let mut m = lookup();
+        let shape = KernelClass::Gemm { m: 128, n: 128, k: 128 };
+        m.record_compute(shape, Dur::from_us(100));
+        m.record_compute(shape, Dur::from_us(200));
+        assert_eq!(m.compute_cost(&shape), Dur::from_us(150));
+        assert!(m.covers(&shape));
+        assert_eq!(m.compute_entries(), 1);
+    }
+
+    #[test]
+    fn unseen_shapes_fall_back() {
+        let m = lookup();
+        let shape = KernelClass::Gemm { m: 4096, n: 4096, k: 4096 };
+        assert!(!m.covers(&shape));
+        assert_eq!(
+            m.compute_cost(&shape),
+            AnalyticalCostModel::h100().compute_cost(&shape)
+        );
+    }
+
+    #[test]
+    fn collectives_keyed_by_topology() {
+        let mut m = lookup();
+        let intra: Vec<u32> = (0..4).collect();
+        let inter = [0u32, 9];
+        m.record_collective(CollectiveKind::AllReduce, 1024, &intra, Dur::from_us(50));
+        // Same bytes, different placement: still falls back.
+        let fb = AnalyticalCostModel::h100();
+        assert_eq!(
+            m.collective_cost(CollectiveKind::AllReduce, 1024, &inter),
+            fb.collective_cost(CollectiveKind::AllReduce, 1024, &inter)
+        );
+        assert_eq!(
+            m.collective_cost(CollectiveKind::AllReduce, 1024, &intra),
+            Dur::from_us(50)
+        );
+        // Any 4 intra-node members hit the same key.
+        let other_intra: Vec<u32> = (8..12).collect();
+        assert_eq!(
+            m.collective_cost(CollectiveKind::AllReduce, 1024, &other_intra),
+            Dur::from_us(50)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "record_collective")]
+    fn recording_collective_as_compute_panics() {
+        let mut m = lookup();
+        m.record_compute(
+            KernelClass::Collective(lumos_trace::CommMeta {
+                kind: CollectiveKind::AllReduce,
+                group: 0,
+                seq: 0,
+                bytes: 8,
+            }),
+            Dur::from_us(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gpus_per_node_panics() {
+        let _ = LookupCostModel::new(AnalyticalCostModel::h100(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for model and deployment configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising from invalid model or deployment configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A parallelism degree was zero.
+    ZeroParallelism {
+        /// Which axis ("tp", "pp", or "dp").
+        axis: &'static str,
+    },
+    /// The number of layers is not divisible by the pipeline depth.
+    LayersNotDivisible {
+        /// Total transformer layers.
+        layers: u32,
+        /// Pipeline-parallel degree.
+        pp: u32,
+    },
+    /// The attention heads are not divisible by the tensor-parallel
+    /// degree.
+    HeadsNotDivisible {
+        /// Attention heads.
+        heads: u32,
+        /// Tensor-parallel degree.
+        tp: u32,
+    },
+    /// A schedule was requested with zero micro-batches or stages.
+    EmptySchedule,
+    /// A schedule failed validation.
+    InvalidSchedule {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A model dimension was zero.
+    ZeroDimension {
+        /// Which dimension.
+        dim: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroParallelism { axis } => {
+                write!(f, "parallelism degree `{axis}` must be at least 1")
+            }
+            ModelError::LayersNotDivisible { layers, pp } => {
+                write!(f, "{layers} layers cannot be split evenly into {pp} pipeline stages")
+            }
+            ModelError::HeadsNotDivisible { heads, tp } => {
+                write!(f, "{heads} attention heads cannot be split across tp={tp}")
+            }
+            ModelError::EmptySchedule => write!(f, "schedule needs at least 1 stage and 1 micro-batch"),
+            ModelError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            ModelError::ZeroDimension { dim } => write!(f, "model dimension `{dim}` must be at least 1"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ModelError::ZeroParallelism { axis: "tp" }
+            .to_string()
+            .contains("tp"));
+        assert!(ModelError::LayersNotDivisible { layers: 10, pp: 3 }
+            .to_string()
+            .contains("10"));
+    }
+}

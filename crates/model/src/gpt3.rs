@@ -1,0 +1,306 @@
+//! GPT-3 transformer architecture descriptions.
+//!
+//! Presets reproduce the paper's Table 1 (evaluation models) and
+//! Table 2 (architecture variants derived from GPT-3 15B). All other
+//! parameters follow the open-source Megatron GPT-3 implementation
+//! from the MLPerf training benchmarks.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A decoder-only transformer architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name (e.g. "GPT-3 175B").
+    pub name: String,
+    /// Number of transformer layers (`n_layers`).
+    pub num_layers: u32,
+    /// Model (hidden) dimension (`d_model`).
+    pub hidden_size: u64,
+    /// Feed-forward network inner dimension (`d_ffn`).
+    pub ffn_size: u64,
+    /// Attention heads (`n_heads`).
+    pub num_heads: u32,
+    /// Per-head dimension (`d_head`).
+    pub head_dim: u64,
+    /// Vocabulary size (padded, per Megatron convention).
+    pub vocab_size: u64,
+    /// Maximum sequence length (positional embedding table size).
+    pub max_seq_len: u64,
+}
+
+impl ModelConfig {
+    /// GPT-3 15B (Table 1): 48 layers, d_model 6144, d_ffn 12288,
+    /// 48 heads × 128.
+    pub fn gpt3_15b() -> Self {
+        ModelConfig::custom("GPT-3 15B", 48, 6144, 12288, 48, 128)
+    }
+
+    /// GPT-3 44B (Table 1): 48 layers, d_model 12288, d_ffn 24576,
+    /// 48 heads × 128.
+    pub fn gpt3_44b() -> Self {
+        ModelConfig::custom("GPT-3 44B", 48, 12288, 24576, 48, 128)
+    }
+
+    /// GPT-3 117B (Table 1): 96 layers, d_model 12288, d_ffn 24576,
+    /// 96 heads × 128.
+    pub fn gpt3_117b() -> Self {
+        ModelConfig::custom("GPT-3 117B", 96, 12288, 24576, 96, 128)
+    }
+
+    /// GPT-3 175B (Table 1): 96 layers, d_model 12288, d_ffn 49152,
+    /// 96 heads × 128.
+    pub fn gpt3_175b() -> Self {
+        ModelConfig::custom("GPT-3 175B", 96, 12288, 49152, 96, 128)
+    }
+
+    /// GPT-3 V1 (Table 2): 15B base with 64 layers (≈20B params).
+    pub fn gpt3_v1() -> Self {
+        ModelConfig::custom("GPT-3 V1", 64, 6144, 12288, 48, 128)
+    }
+
+    /// GPT-3 V2 (Table 2): 15B base with 96 layers (≈30B params).
+    pub fn gpt3_v2() -> Self {
+        ModelConfig::custom("GPT-3 V2", 96, 6144, 12288, 48, 128)
+    }
+
+    /// GPT-3 V3 (Table 2): 15B base with d_model 9216 / d_ffn 18432
+    /// (≈28B params).
+    pub fn gpt3_v3() -> Self {
+        ModelConfig::custom("GPT-3 V3", 48, 9216, 18432, 48, 128)
+    }
+
+    /// GPT-3 V4 (Table 2): 15B base with d_model 12288 / d_ffn 24576
+    /// (≈44B params, same architecture as GPT-3 44B).
+    pub fn gpt3_v4() -> Self {
+        ModelConfig::custom("GPT-3 V4", 48, 12288, 24576, 48, 128)
+    }
+
+    /// All Table 1 evaluation models, smallest first.
+    pub fn table1() -> Vec<ModelConfig> {
+        vec![
+            ModelConfig::gpt3_15b(),
+            ModelConfig::gpt3_44b(),
+            ModelConfig::gpt3_117b(),
+            ModelConfig::gpt3_175b(),
+        ]
+    }
+
+    /// All Table 2 architecture variants, in paper order.
+    pub fn table2() -> Vec<ModelConfig> {
+        vec![
+            ModelConfig::gpt3_v1(),
+            ModelConfig::gpt3_v2(),
+            ModelConfig::gpt3_v3(),
+            ModelConfig::gpt3_v4(),
+        ]
+    }
+
+    /// A tiny model for tests and examples (2 layers, d_model 256).
+    pub fn tiny() -> Self {
+        ModelConfig {
+            name: "tiny".to_string(),
+            num_layers: 2,
+            hidden_size: 256,
+            ffn_size: 1024,
+            num_heads: 4,
+            head_dim: 64,
+            vocab_size: 1024,
+            max_seq_len: 512,
+        }
+    }
+
+    /// Builds a GPT-3-family config with MLPerf defaults for the
+    /// vocabulary (51 200 padded) and sequence length (2 048).
+    pub fn custom(
+        name: &str,
+        num_layers: u32,
+        hidden_size: u64,
+        ffn_size: u64,
+        num_heads: u32,
+        head_dim: u64,
+    ) -> Self {
+        ModelConfig {
+            name: name.to_string(),
+            num_layers,
+            hidden_size,
+            ffn_size,
+            num_heads,
+            head_dim,
+            vocab_size: 51_200,
+            max_seq_len: 2_048,
+        }
+    }
+
+    /// Validates that all dimensions are non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroDimension`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let dims = [
+            ("num_layers", self.num_layers as u64),
+            ("hidden_size", self.hidden_size),
+            ("ffn_size", self.ffn_size),
+            ("num_heads", self.num_heads as u64),
+            ("head_dim", self.head_dim),
+            ("vocab_size", self.vocab_size),
+            ("max_seq_len", self.max_seq_len),
+        ];
+        for (dim, v) in dims {
+            if v == 0 {
+                return Err(ModelError::ZeroDimension { dim });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total attention projection width `n_heads × d_head` (equals
+    /// `d_model` for the classic GPT-3 shapes, but Table 1's 44B model
+    /// deviates).
+    pub fn attn_size(&self) -> u64 {
+        self.num_heads as u64 * self.head_dim
+    }
+
+    /// Parameters in one transformer layer: QKV + output projections,
+    /// two MLP matrices, biases, and the two LayerNorms.
+    pub fn params_per_layer(&self) -> u64 {
+        let d = self.hidden_size;
+        let a = self.attn_size();
+        let f = self.ffn_size;
+        let attn = d * 3 * a + 3 * a // QKV weight + bias
+            + a * d + d; // output proj weight + bias
+        let mlp = d * f + f + f * d + d;
+        let norms = 2 * 2 * d; // two LayerNorms, scale + bias each
+        attn + mlp + norms
+    }
+
+    /// Parameters in the embedding tables (token + position).
+    /// The output head shares the token embedding (GPT-3 ties them).
+    pub fn params_embedding(&self) -> u64 {
+        self.vocab_size * self.hidden_size + self.max_seq_len * self.hidden_size
+    }
+
+    /// Total parameter count (embeddings + layers + final LayerNorm).
+    pub fn num_params(&self) -> u64 {
+        self.params_embedding()
+            + self.num_layers as u64 * self.params_per_layer()
+            + 2 * self.hidden_size
+    }
+
+    /// Forward-pass FLOPs for one token position in one layer
+    /// (multiply-accumulate counted as 2 FLOPs), for a sequence of
+    /// length `seq`.
+    pub fn flops_per_token_per_layer(&self, seq: u64) -> u64 {
+        let d = self.hidden_size;
+        let a = self.attn_size();
+        let f = self.ffn_size;
+        let proj = 2 * d * 3 * a + 2 * a * d; // QKV + out-proj
+        let attn = 2 * seq * a + 2 * seq * a; // QK^T + AV (per token)
+        let mlp = 2 * d * f + 2 * f * d;
+        proj + attn + mlp
+    }
+
+    /// Model FLOPs for a full forward pass over `tokens` tokens of
+    /// sequences of length `seq` (excludes the LM head).
+    pub fn forward_flops(&self, tokens: u64, seq: u64) -> u64 {
+        self.num_layers as u64 * self.flops_per_token_per_layer(seq) * tokens
+    }
+}
+
+impl fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (L={}, d={}, ffn={}, heads={}x{})",
+            self.name, self.num_layers, self.hidden_size, self.ffn_size, self.num_heads, self.head_dim
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 / Table 2 name-plate sizes must match computed
+    /// parameter counts within 6% (name plates are rounded).
+    #[test]
+    fn param_counts_match_nameplates() {
+        let cases = [
+            (ModelConfig::gpt3_15b(), 15.0e9),
+            (ModelConfig::gpt3_44b(), 44.0e9),
+            (ModelConfig::gpt3_117b(), 117.0e9),
+            (ModelConfig::gpt3_175b(), 175.0e9),
+            (ModelConfig::gpt3_v1(), 20.0e9),
+            (ModelConfig::gpt3_v2(), 30.0e9),
+            (ModelConfig::gpt3_v3(), 28.0e9),
+            (ModelConfig::gpt3_v4(), 44.0e9),
+        ];
+        for (cfg, plate) in cases {
+            let params = cfg.num_params() as f64;
+            let err = (params - plate).abs() / plate;
+            assert!(
+                err < 0.06,
+                "{}: computed {params:.3e} vs plate {plate:.1e} (err {err:.3})",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn table1_and_2_shapes() {
+        let m175 = ModelConfig::gpt3_175b();
+        assert_eq!(m175.num_layers, 96);
+        assert_eq!(m175.hidden_size, 12_288);
+        assert_eq!(m175.ffn_size, 49_152);
+        assert_eq!(m175.attn_size(), 12_288);
+
+        // Table 1's 44B deviates: 48 heads x 128 = 6144 != d_model.
+        let m44 = ModelConfig::gpt3_44b();
+        assert_eq!(m44.attn_size(), 6_144);
+        assert_eq!(m44.hidden_size, 12_288);
+
+        // V4 shares the 44B architecture.
+        let v4 = ModelConfig::gpt3_v4();
+        assert_eq!(
+            (v4.num_layers, v4.hidden_size, v4.ffn_size),
+            (m44.num_layers, m44.hidden_size, m44.ffn_size)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_zero() {
+        let mut cfg = ModelConfig::tiny();
+        assert!(cfg.validate().is_ok());
+        cfg.hidden_size = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ModelError::ZeroDimension { dim: "hidden_size" })
+        );
+    }
+
+    #[test]
+    fn flops_scale_with_dims() {
+        let base = ModelConfig::gpt3_15b();
+        let bigger = ModelConfig::gpt3_44b();
+        assert!(bigger.flops_per_token_per_layer(2048) > base.flops_per_token_per_layer(2048));
+        // Forward flops scale linearly in tokens.
+        assert_eq!(
+            base.forward_flops(100, 2048),
+            10 * base.forward_flops(10, 2048)
+        );
+    }
+
+    #[test]
+    fn collections_complete() {
+        assert_eq!(ModelConfig::table1().len(), 4);
+        assert_eq!(ModelConfig::table2().len(), 4);
+    }
+
+    #[test]
+    fn display_contains_name() {
+        assert!(ModelConfig::gpt3_15b().to_string().contains("GPT-3 15B"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Interleaved 1F1B: Megatron's virtual-pipeline schedule
+//! (Narayanan et al., 2021 — the schedule the paper's Figure 4 policy
+//! generalizes).
+//!
+//! With `v` model *chunks* per rank, the model's layers are dealt
+//! round-robin across `p·v` virtual stages, shrinking the pipeline
+//! bubble from `(p−1)/m` of ideal time to `(p−1)/(v·m)` at the price
+//! of `v×` more pipeline communication. This module generates the
+//! per-rank execution order, validates its safety (per-chunk ordering,
+//! global deadlock-freedom), and exposes the bubble analytics planners
+//! need to weigh interleaving against its communication overhead.
+//!
+//! Megatron requires the micro-batch count to divide evenly into
+//! groups of `p` for interleaving; [`InterleavedSchedule::generate`]
+//! enforces the same constraint.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One slot in a rank's interleaved execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterleavedItem {
+    /// Micro-batch index (0-based).
+    pub mb: u32,
+    /// Model-chunk index on this rank (0-based, `< v`).
+    pub chunk: u32,
+    /// `true` for the forward pass, `false` for backward.
+    pub forward: bool,
+}
+
+impl fmt::Display for InterleavedItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.forward { 'F' } else { 'B' };
+        write!(f, "{tag}{}.{}", self.mb, self.chunk)
+    }
+}
+
+/// A complete interleaved-1F1B schedule: per rank, the order of
+/// (micro-batch, chunk) forward/backward slots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterleavedSchedule {
+    num_ranks: u32,
+    chunks: u32,
+    num_microbatches: u32,
+    ranks: Vec<Vec<InterleavedItem>>,
+}
+
+impl InterleavedSchedule {
+    /// Generates the Megatron virtual-pipeline schedule for `p` ranks,
+    /// `v` chunks per rank, and `m` micro-batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptySchedule`] for zero inputs and
+    /// [`ModelError::InvalidSchedule`] when `m` is not a multiple of
+    /// `p` (Megatron's interleaving constraint) or `v < 2` (use the
+    /// plain 1F1B schedule instead).
+    pub fn generate(p: u32, v: u32, m: u32) -> Result<Self, ModelError> {
+        if p == 0 || v == 0 || m == 0 {
+            return Err(ModelError::EmptySchedule);
+        }
+        if v < 2 {
+            return Err(ModelError::InvalidSchedule {
+                reason: "interleaving needs at least 2 chunks; use PipelineSchedule for v=1"
+                    .to_string(),
+            });
+        }
+        if !m.is_multiple_of(p) {
+            return Err(ModelError::InvalidSchedule {
+                reason: format!(
+                    "interleaved 1F1B requires microbatches ({m}) divisible by pipeline ranks ({p})"
+                ),
+            });
+        }
+        let ranks = (0..p).map(|r| rank_order(r, p, v, m)).collect();
+        let schedule = InterleavedSchedule {
+            num_ranks: p,
+            chunks: v,
+            num_microbatches: m,
+            ranks,
+        };
+        schedule
+            .validate()
+            .expect("generated interleaved schedules are always valid");
+        Ok(schedule)
+    }
+
+    /// Number of pipeline ranks.
+    pub fn num_ranks(&self) -> u32 {
+        self.num_ranks
+    }
+
+    /// Model chunks per rank (`v`).
+    pub fn chunks(&self) -> u32 {
+        self.chunks
+    }
+
+    /// Micro-batches per iteration.
+    pub fn num_microbatches(&self) -> u32 {
+        self.num_microbatches
+    }
+
+    /// The execution order of one rank.
+    pub fn rank(&self, rank: u32) -> Option<&[InterleavedItem]> {
+        self.ranks.get(rank as usize).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(rank, order)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[InterleavedItem])> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .map(|(r, v)| (r as u32, v.as_slice()))
+    }
+
+    /// The virtual stage (global pipeline position) of `chunk` on
+    /// `rank`: chunks are dealt round-robin, so virtual stage
+    /// `= chunk·p + rank`.
+    pub fn virtual_stage(&self, rank: u32, chunk: u32) -> u32 {
+        chunk * self.num_ranks + rank
+    }
+
+    /// Analytic bubble fraction of total iteration time with equal
+    /// per-chunk stage times: `((p−1)/v) / (m + (p−1)/v)` — the
+    /// Narayanan et al. result that interleaving divides the bubble
+    /// by `v`.
+    pub fn bubble_fraction(&self) -> f64 {
+        let p = self.num_ranks as f64;
+        let v = self.chunks as f64;
+        let m = self.num_microbatches as f64;
+        let bubble = (p - 1.0) / v;
+        bubble / (m + bubble)
+    }
+
+    /// Extra pipeline-communication factor vs plain 1F1B: every
+    /// micro-batch now crosses `p·v − 1` boundaries instead of `p − 1`.
+    pub fn comm_amplification(&self) -> f64 {
+        let p = self.num_ranks as f64;
+        if p <= 1.0 {
+            return 1.0;
+        }
+        (p * self.chunks as f64 - 1.0) / (p - 1.0)
+    }
+
+    /// Compact rendering of one rank's order (e.g. `F0.0 F1.0 …`).
+    pub fn rank_string(&self, rank: u32) -> String {
+        self.rank(rank)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(InterleavedItem::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default()
+    }
+
+    /// Validates per-rank safety and global feasibility:
+    ///
+    /// * every (chunk, micro-batch) runs exactly once forward and once
+    ///   backward on every rank, with `B` after `F`;
+    /// * forwards of each chunk appear in micro-batch order, as do
+    ///   backwards;
+    /// * executing all ranks concurrently under virtual-stage
+    ///   dependencies (forward of virtual stage `s` needs stage `s−1`;
+    ///   backward of `s` needs `s+1`) never deadlocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSchedule`] describing the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let (v, m) = (self.chunks, self.num_microbatches);
+        for (r, order) in self.iter() {
+            if order.len() != (2 * v * m) as usize {
+                return Err(ModelError::InvalidSchedule {
+                    reason: format!(
+                        "rank {r}: {} items, expected {}",
+                        order.len(),
+                        2 * v * m
+                    ),
+                });
+            }
+            let mut next_f = vec![0u32; v as usize];
+            let mut next_b = vec![0u32; v as usize];
+            for item in order {
+                if item.chunk >= v {
+                    return Err(ModelError::InvalidSchedule {
+                        reason: format!("rank {r}: chunk {} out of range", item.chunk),
+                    });
+                }
+                let c = item.chunk as usize;
+                if item.forward {
+                    if item.mb != next_f[c] {
+                        return Err(ModelError::InvalidSchedule {
+                            reason: format!(
+                                "rank {r}: expected F{}.{c}, found {item}",
+                                next_f[c]
+                            ),
+                        });
+                    }
+                    next_f[c] += 1;
+                } else {
+                    if item.mb != next_b[c] {
+                        return Err(ModelError::InvalidSchedule {
+                            reason: format!(
+                                "rank {r}: expected B{}.{c}, found {item}",
+                                next_b[c]
+                            ),
+                        });
+                    }
+                    if item.mb >= next_f[c] {
+                        return Err(ModelError::InvalidSchedule {
+                            reason: format!("rank {r}: {item} precedes its forward"),
+                        });
+                    }
+                    next_b[c] += 1;
+                }
+            }
+            if next_f.iter().any(|&f| f != m) || next_b.iter().any(|&b| b != m) {
+                return Err(ModelError::InvalidSchedule {
+                    reason: format!("rank {r}: incomplete chunk coverage"),
+                });
+            }
+        }
+        self.check_feasible()
+    }
+
+    /// Concurrent-execution deadlock check under virtual-stage
+    /// dependencies.
+    fn check_feasible(&self) -> Result<(), ModelError> {
+        let (p, v, m) = (
+            self.num_ranks as usize,
+            self.chunks as usize,
+            self.num_microbatches as usize,
+        );
+        let stages = p * v;
+        // done[virtual_stage][mb] for forward / backward.
+        let mut fwd = vec![vec![false; m]; stages];
+        let mut bwd = vec![vec![false; m]; stages];
+        let mut pos = vec![0usize; p];
+        let total = p * v * m * 2;
+        let mut done = 0usize;
+        loop {
+            let mut progressed = false;
+            for r in 0..p {
+                let order = &self.ranks[r];
+                while pos[r] < order.len() {
+                    let item = order[pos[r]];
+                    let s = self.virtual_stage(r as u32, item.chunk) as usize;
+                    let mb = item.mb as usize;
+                    let ready = if item.forward {
+                        s == 0 || fwd[s - 1][mb]
+                    } else if s + 1 == stages {
+                        fwd[s][mb]
+                    } else {
+                        bwd[s + 1][mb]
+                    };
+                    if !ready {
+                        break;
+                    }
+                    if item.forward {
+                        fwd[s][mb] = true;
+                    } else {
+                        bwd[s][mb] = true;
+                    }
+                    pos[r] += 1;
+                    done += 1;
+                    progressed = true;
+                }
+            }
+            if done == total {
+                return Ok(());
+            }
+            if !progressed {
+                return Err(ModelError::InvalidSchedule {
+                    reason: format!("deadlock after {done}/{total} items"),
+                });
+            }
+        }
+    }
+}
+
+/// Megatron's per-rank interleaved order: forwards and backwards are
+/// enumerated by global step index with micro-batches processed in
+/// groups of `p`, chunk advancing every `p` steps.
+fn rank_order(rank: u32, p: u32, v: u32, m: u32) -> Vec<InterleavedItem> {
+    let total = v * m; // forward steps (and backward steps)
+    let chunk_of = |step: u32, forward: bool| -> u32 {
+        let in_group = step % (p * v);
+        let c = in_group / p;
+        if forward {
+            c
+        } else {
+            v - 1 - c
+        }
+    };
+    let mb_of = |step: u32| -> u32 { (step / (p * v)) * p + step % p };
+    let warmup = ((p - rank - 1) * 2 + (v - 1) * p).min(total);
+
+    let mut order = Vec::with_capacity(2 * total as usize);
+    for f in 0..warmup {
+        order.push(InterleavedItem {
+            mb: mb_of(f),
+            chunk: chunk_of(f, true),
+            forward: true,
+        });
+    }
+    let steady = total - warmup;
+    for i in 0..steady {
+        order.push(InterleavedItem {
+            mb: mb_of(warmup + i),
+            chunk: chunk_of(warmup + i, true),
+            forward: true,
+        });
+        order.push(InterleavedItem {
+            mb: mb_of(i),
+            chunk: chunk_of(i, false),
+            forward: false,
+        });
+    }
+    for b in steady..total {
+        order.push(InterleavedItem {
+            mb: mb_of(b),
+            chunk: chunk_of(b, false),
+            forward: false,
+        });
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narayanan_figure_shape() {
+        // p=4, v=2, m=8: rank 0 warms up with (4-0-1)*2 + 1*4 = 10
+        // forwards — chunk 0 of mbs 0..3, chunk 1 of mbs 0..3, then
+        // chunk 0 of mbs 4..5.
+        let s = InterleavedSchedule::generate(4, 2, 8).unwrap();
+        let r0 = s.rank(0).unwrap();
+        let warmup: Vec<String> = r0.iter().take(10).map(|i| i.to_string()).collect();
+        assert_eq!(
+            warmup,
+            ["F0.0", "F1.0", "F2.0", "F3.0", "F0.1", "F1.1", "F2.1", "F3.1", "F4.0", "F5.0"]
+        );
+        // First backward drains the deepest chunk (v-1).
+        let first_b = r0.iter().find(|i| !i.forward).unwrap();
+        assert_eq!((first_b.mb, first_b.chunk), (0, 1));
+    }
+
+    #[test]
+    fn bubble_shrinks_with_chunks() {
+        let plain = crate::schedule::PipelineSchedule::generate(
+            crate::schedule::ScheduleKind::OneFOneB,
+            4,
+            8,
+        )
+        .unwrap();
+        let v2 = InterleavedSchedule::generate(4, 2, 8).unwrap();
+        let v4 = InterleavedSchedule::generate(4, 4, 8).unwrap();
+        assert!(v2.bubble_fraction() < plain.bubble_fraction());
+        assert!(v4.bubble_fraction() < v2.bubble_fraction());
+    }
+
+    #[test]
+    fn comm_amplification_matches_chunks() {
+        let s = InterleavedSchedule::generate(4, 2, 8).unwrap();
+        // (4*2 - 1)/(4 - 1) = 7/3.
+        assert!((s.comm_amplification() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraints_enforced() {
+        assert!(matches!(
+            InterleavedSchedule::generate(4, 2, 6), // 6 % 4 != 0
+            Err(ModelError::InvalidSchedule { .. })
+        ));
+        assert!(matches!(
+            InterleavedSchedule::generate(4, 1, 8), // v=1: use plain
+            Err(ModelError::InvalidSchedule { .. })
+        ));
+        assert!(matches!(
+            InterleavedSchedule::generate(0, 2, 8),
+            Err(ModelError::EmptySchedule)
+        ));
+    }
+
+    #[test]
+    fn virtual_stage_layout_is_round_robin() {
+        let s = InterleavedSchedule::generate(4, 2, 4).unwrap();
+        assert_eq!(s.virtual_stage(0, 0), 0);
+        assert_eq!(s.virtual_stage(3, 0), 3);
+        assert_eq!(s.virtual_stage(0, 1), 4);
+        assert_eq!(s.virtual_stage(3, 1), 7);
+    }
+
+    #[test]
+    fn display_format() {
+        let item = InterleavedItem {
+            mb: 3,
+            chunk: 1,
+            forward: false,
+        };
+        assert_eq!(item.to_string(), "B3.1");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Every generated interleaved schedule validates (ordering,
+        /// completeness, and global deadlock-freedom).
+        #[test]
+        fn generated_schedules_always_validate(
+            p in 1u32..7,
+            v in 2u32..5,
+            groups in 1u32..4,
+        ) {
+            let m = p * groups;
+            let s = InterleavedSchedule::generate(p, v, m).unwrap();
+            prop_assert!(s.validate().is_ok());
+            for (_, order) in s.iter() {
+                prop_assert_eq!(order.len(), (2 * v * m) as usize);
+            }
+        }
+
+        /// The bubble fraction is monotonically decreasing in v and m.
+        #[test]
+        fn bubble_monotone(p in 2u32..6, v in 2u32..5, groups in 1u32..4) {
+            let m = p * groups;
+            let base = InterleavedSchedule::generate(p, v, m).unwrap();
+            let more_chunks = InterleavedSchedule::generate(p, v + 1, m).unwrap();
+            let more_mbs = InterleavedSchedule::generate(p, v, m + p).unwrap();
+            prop_assert!(more_chunks.bubble_fraction() < base.bubble_fraction());
+            prop_assert!(more_mbs.bubble_fraction() < base.bubble_fraction());
+        }
+    }
+}

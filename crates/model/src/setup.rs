@@ -1,0 +1,72 @@
+//! A complete training-job description: model, deployment, batching,
+//! and scheduling policy.
+
+use crate::batch::BatchConfig;
+use crate::error::ModelError;
+use crate::gpt3::ModelConfig;
+use crate::parallel::Parallelism;
+use crate::schedule::ScheduleKind;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to describe one training configuration — the
+/// unit both the ground-truth engine executes and Lumos's graph
+/// manipulation reasons about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSetup {
+    /// The transformer architecture.
+    pub model: ModelConfig,
+    /// The 3D parallelism deployment.
+    pub parallelism: Parallelism,
+    /// Batching parameters.
+    pub batch: BatchConfig,
+    /// Pipeline scheduling policy.
+    pub schedule: ScheduleKind,
+}
+
+impl TrainingSetup {
+    /// A setup with 1F1B scheduling and `2 × PP` micro-batches (the
+    /// repository default documented in DESIGN.md).
+    pub fn new(model: ModelConfig, parallelism: Parallelism) -> Self {
+        TrainingSetup {
+            model,
+            parallelism,
+            batch: BatchConfig::gpt3_default(2 * parallelism.pp),
+            schedule: ScheduleKind::OneFOneB,
+        }
+    }
+
+    /// Label like `GPT-3 15B @ 2x2x4`.
+    pub fn label(&self) -> String {
+        format!("{} @ {}", self.model.name, self.parallelism.label())
+    }
+
+    /// Validates model/deployment compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-dimension and divisibility errors.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        self.model.validate()?;
+        self.parallelism
+            .validate_for(self.model.num_layers, self.model.num_heads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_label() {
+        let s = TrainingSetup::new(ModelConfig::tiny(), Parallelism::new(1, 2, 1).unwrap());
+        assert_eq!(s.batch.num_microbatches, 4);
+        assert_eq!(s.label(), "tiny @ 1x2x1");
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_propagates() {
+        let s = TrainingSetup::new(ModelConfig::tiny(), Parallelism::new(3, 1, 1).unwrap());
+        assert!(s.validate().is_err()); // 4 heads % 3 != 0
+    }
+}

@@ -1,0 +1,575 @@
+//! Trace events: the vocabulary recorded by PyTorch-Kineto-style
+//! profilers.
+//!
+//! Four kinds of events appear in a trace, mirroring Kineto:
+//!
+//! * **CPU ops** — framework operators (e.g. `aten::mm`) on a host
+//!   thread;
+//! * **CUDA runtime events** — host-side CUDA API calls
+//!   (`cudaLaunchKernel`, `cudaEventRecord`, `cudaStreamWaitEvent`,
+//!   `cudaStreamSynchronize`, …) carrying a *correlation id*;
+//! * **GPU kernels** — device-side executions on a CUDA stream, tagged
+//!   with the correlation id of the launching runtime call;
+//! * **user annotations** — logical ranges (micro-batch / layer /
+//!   phase markers) on the host timeline.
+//!
+//! Event names are shared `Arc<str>` so that a multi-million-event
+//! cluster trace stores each distinct kernel name once.
+
+use crate::time::{Dur, TimeSpan, Ts};
+use crate::trace::{StreamId, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a CUDA event object used by
+/// `cudaEventRecord`/`cudaStreamWaitEvent` pairs.
+pub type CudaEventId = u64;
+
+/// Correlation id linking a CUDA runtime call to the GPU activity it
+/// enqueued (Kineto's `correlation` field).
+pub type CorrelationId = u64;
+
+/// Identifier of a communicator / process group (one per TP group, DP
+/// group, PP peer pair, …). Stable across ranks.
+pub type CommGroupId = u64;
+
+/// The collective communication algorithm a kernel implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Ring/tree all-reduce (sum).
+    AllReduce,
+    /// All-gather.
+    AllGather,
+    /// Reduce-scatter.
+    ReduceScatter,
+    /// One-to-all broadcast.
+    Broadcast,
+    /// Batched point-to-point send+recv (pipeline-parallel boundary
+    /// exchange; behaves like a 2-member synchronizing collective).
+    SendRecv,
+    /// Pure synchronization barrier.
+    Barrier,
+}
+
+impl CollectiveKind {
+    /// NCCL-style kernel name for this collective.
+    pub fn kernel_name(self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "ncclDevKernel_AllReduce_Sum",
+            CollectiveKind::AllGather => "ncclDevKernel_AllGather",
+            CollectiveKind::ReduceScatter => "ncclDevKernel_ReduceScatter_Sum",
+            CollectiveKind::Broadcast => "ncclDevKernel_Broadcast",
+            CollectiveKind::SendRecv => "ncclDevKernel_SendRecv",
+            CollectiveKind::Barrier => "ncclDevKernel_AllReduce_Sum_barrier",
+        }
+    }
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::AllGather => "all_gather",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::SendRecv => "send_recv",
+            CollectiveKind::Barrier => "barrier",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metadata describing one rank's participation in a collective
+/// instance.
+///
+/// Instances are matched across ranks by `(group, seq)`: every member
+/// of communicator `group` issues the collectives of that group in the
+/// same order, so the `seq`-th issue on each member belongs to the same
+/// instance (NCCL semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CommMeta {
+    /// Which collective algorithm.
+    pub kind: CollectiveKind,
+    /// Communicator this instance runs on.
+    pub group: CommGroupId,
+    /// Issue index within the communicator.
+    pub seq: u32,
+    /// Payload bytes contributed by this rank.
+    pub bytes: u64,
+}
+
+/// Coarse classification of a GPU kernel, carrying the shape
+/// information needed to re-cost it under a modified configuration
+/// (§3.4: "we modify the input tensor dimensions for the relevant
+/// operators and kernels and update their execution times").
+///
+/// Kineto exposes the same information through kernel names plus
+/// recorded operator input shapes; we keep it structured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Dense matmul `C[m,n] += A[m,k] B[k,n]`.
+    Gemm {
+        /// Rows of the output.
+        m: u64,
+        /// Columns of the output.
+        n: u64,
+        /// Contraction dimension.
+        k: u64,
+    },
+    /// Fused attention forward (FlashAttention-style).
+    AttentionFwd {
+        /// Batch size × heads on this rank.
+        batch_heads: u64,
+        /// Sequence length.
+        seq: u64,
+        /// Per-head dimension.
+        head_dim: u64,
+    },
+    /// Fused attention backward.
+    AttentionBwd {
+        /// Batch size × heads on this rank.
+        batch_heads: u64,
+        /// Sequence length.
+        seq: u64,
+        /// Per-head dimension.
+        head_dim: u64,
+    },
+    /// Single-query attention against a KV cache (inference decode).
+    AttentionDecode {
+        /// Batch size × heads on this rank.
+        batch_heads: u64,
+        /// KV-cache length attended over.
+        kv_len: u64,
+        /// Per-head dimension.
+        head_dim: u64,
+    },
+    /// Pointwise kernel over `elems` elements (bias+GeLU, dropout,
+    /// residual add, …).
+    Elementwise {
+        /// Element count.
+        elems: u64,
+    },
+    /// LayerNorm / RMSNorm over `elems` elements.
+    Norm {
+        /// Element count.
+        elems: u64,
+    },
+    /// Softmax + cross-entropy style reduction.
+    Softmax {
+        /// Element count.
+        elems: u64,
+    },
+    /// Embedding lookup / gradient.
+    Embedding {
+        /// Element count gathered.
+        elems: u64,
+    },
+    /// Fused optimizer step over `params` parameters (Adam).
+    Optimizer {
+        /// Parameters updated.
+        params: u64,
+    },
+    /// Device-to-device / host-device copy.
+    Memcpy {
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// Memset.
+    Memset {
+        /// Bytes set.
+        bytes: u64,
+    },
+    /// Collective communication kernel.
+    Collective(CommMeta),
+    /// Anything else.
+    Other,
+}
+
+impl KernelClass {
+    /// Returns `true` for communication kernels — the paper's
+    /// "communication" category in the execution breakdown.
+    pub fn is_comm(&self) -> bool {
+        matches!(self, KernelClass::Collective(_))
+    }
+
+    /// Returns the collective metadata if this is a communication
+    /// kernel.
+    pub fn comm_meta(&self) -> Option<&CommMeta> {
+        match self {
+            KernelClass::Collective(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for kernels whose runtime depends on tensor
+    /// shapes in a way Lumos re-costs during manipulation (§4.3.2
+    /// observes GEMM and communication kernels dominate the change).
+    pub fn is_shape_sensitive(&self) -> bool {
+        !matches!(self, KernelClass::Other)
+    }
+}
+
+/// Host-side CUDA runtime API calls captured by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CudaRuntimeKind {
+    /// `cudaLaunchKernel` — enqueues the kernel with the same
+    /// correlation id.
+    LaunchKernel,
+    /// `cudaMemcpyAsync` — enqueues a copy.
+    MemcpyAsync,
+    /// `cudaMemsetAsync` — enqueues a memset.
+    MemsetAsync,
+    /// `cudaEventRecord(event, stream)` — marks a sync point after all
+    /// prior work on `stream`.
+    EventRecord {
+        /// CUDA event being recorded.
+        event: CudaEventId,
+        /// Stream the event is recorded on.
+        stream: StreamId,
+    },
+    /// `cudaStreamWaitEvent(stream, event)` — all later work on
+    /// `stream` waits for `event`.
+    StreamWaitEvent {
+        /// Stream that will wait.
+        stream: StreamId,
+        /// Event being waited on.
+        event: CudaEventId,
+    },
+    /// `cudaEventSynchronize(event)` — host blocks until `event`.
+    EventSynchronize {
+        /// Event being waited on.
+        event: CudaEventId,
+    },
+    /// `cudaStreamSynchronize(stream)` — host blocks until all work on
+    /// `stream` completes.
+    StreamSynchronize {
+        /// Stream being drained.
+        stream: StreamId,
+    },
+    /// `cudaDeviceSynchronize()` — host blocks on the whole device.
+    DeviceSynchronize,
+    /// Any other runtime call (mallocs, queries, …).
+    Other,
+}
+
+impl CudaRuntimeKind {
+    /// Conventional API name, as it appears in Kineto traces.
+    pub fn api_name(&self) -> &'static str {
+        match self {
+            CudaRuntimeKind::LaunchKernel => "cudaLaunchKernel",
+            CudaRuntimeKind::MemcpyAsync => "cudaMemcpyAsync",
+            CudaRuntimeKind::MemsetAsync => "cudaMemsetAsync",
+            CudaRuntimeKind::EventRecord { .. } => "cudaEventRecord",
+            CudaRuntimeKind::StreamWaitEvent { .. } => "cudaStreamWaitEvent",
+            CudaRuntimeKind::EventSynchronize { .. } => "cudaEventSynchronize",
+            CudaRuntimeKind::StreamSynchronize { .. } => "cudaStreamSynchronize",
+            CudaRuntimeKind::DeviceSynchronize => "cudaDeviceSynchronize",
+            CudaRuntimeKind::Other => "cudaRuntimeOther",
+        }
+    }
+
+    /// Returns `true` for calls that enqueue GPU work (and therefore
+    /// carry a meaningful correlation id linking to a GPU event).
+    pub fn launches_work(&self) -> bool {
+        matches!(
+            self,
+            CudaRuntimeKind::LaunchKernel
+                | CudaRuntimeKind::MemcpyAsync
+                | CudaRuntimeKind::MemsetAsync
+        )
+    }
+
+    /// Returns `true` for calls that block the host on GPU progress
+    /// (the paper's GPU→CPU dependency class).
+    pub fn blocks_host(&self) -> bool {
+        matches!(
+            self,
+            CudaRuntimeKind::EventSynchronize { .. }
+                | CudaRuntimeKind::StreamSynchronize { .. }
+                | CudaRuntimeKind::DeviceSynchronize
+        )
+    }
+}
+
+/// Where an event executed and what it represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A framework operator on a host thread.
+    CpuOp {
+        /// Host thread.
+        tid: ThreadId,
+    },
+    /// A CUDA runtime API call on a host thread.
+    CudaRuntime {
+        /// Host thread.
+        tid: ThreadId,
+        /// Which API.
+        kind: CudaRuntimeKind,
+        /// Correlation id (0 when the call enqueues no GPU work).
+        correlation: CorrelationId,
+    },
+    /// A GPU kernel (or copy/memset) on a CUDA stream.
+    Kernel {
+        /// Stream the kernel ran on.
+        stream: StreamId,
+        /// Correlation id of the launching runtime call.
+        correlation: CorrelationId,
+        /// Shape-carrying classification.
+        class: KernelClass,
+    },
+    /// A logical range on the host timeline (micro-batch / layer /
+    /// phase marker).
+    UserAnnotation {
+        /// Host thread the range was recorded on.
+        tid: ThreadId,
+    },
+}
+
+impl EventKind {
+    /// Host thread, for host-side events.
+    pub fn tid(&self) -> Option<ThreadId> {
+        match self {
+            EventKind::CpuOp { tid }
+            | EventKind::CudaRuntime { tid, .. }
+            | EventKind::UserAnnotation { tid } => Some(*tid),
+            EventKind::Kernel { .. } => None,
+        }
+    }
+
+    /// CUDA stream, for device-side events.
+    pub fn stream(&self) -> Option<StreamId> {
+        match self {
+            EventKind::Kernel { stream, .. } => Some(*stream),
+            _ => None,
+        }
+    }
+
+    /// Correlation id, if the event participates in launch linking.
+    pub fn correlation(&self) -> Option<CorrelationId> {
+        match self {
+            EventKind::CudaRuntime { correlation, .. } if *correlation != 0 => Some(*correlation),
+            EventKind::Kernel { correlation, .. } => Some(*correlation),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for device-side events.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, EventKind::Kernel { .. })
+    }
+}
+
+/// One profiled event: a name, a kind, and a `[ts, ts+dur)` interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Display name (operator, API, or kernel name).
+    pub name: Arc<str>,
+    /// Classification and placement.
+    pub kind: EventKind,
+    /// Start timestamp.
+    pub ts: Ts,
+    /// Duration.
+    pub dur: Dur,
+}
+
+impl TraceEvent {
+    /// Creates a CPU operator event.
+    pub fn cpu_op(name: impl Into<Arc<str>>, ts: Ts, dur: Dur, tid: ThreadId) -> Self {
+        TraceEvent {
+            name: name.into(),
+            kind: EventKind::CpuOp { tid },
+            ts,
+            dur,
+        }
+    }
+
+    /// Creates a CUDA runtime event. The name is derived from the API.
+    pub fn cuda_runtime(kind: CudaRuntimeKind, ts: Ts, dur: Dur, tid: ThreadId) -> Self {
+        TraceEvent {
+            name: Arc::from(kind.api_name()),
+            kind: EventKind::CudaRuntime {
+                tid,
+                kind,
+                correlation: 0,
+            },
+            ts,
+            dur,
+        }
+    }
+
+    /// Creates a GPU kernel event with class [`KernelClass::Other`].
+    /// Use [`TraceEvent::with_class`] to refine.
+    pub fn kernel(name: impl Into<Arc<str>>, ts: Ts, dur: Dur, stream: StreamId) -> Self {
+        TraceEvent {
+            name: name.into(),
+            kind: EventKind::Kernel {
+                stream,
+                correlation: 0,
+                class: KernelClass::Other,
+            },
+            ts,
+            dur,
+        }
+    }
+
+    /// Creates a user annotation range.
+    pub fn annotation(name: impl Into<Arc<str>>, ts: Ts, dur: Dur, tid: ThreadId) -> Self {
+        TraceEvent {
+            name: name.into(),
+            kind: EventKind::UserAnnotation { tid },
+            ts,
+            dur,
+        }
+    }
+
+    /// Sets the correlation id (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event kind carries no correlation id.
+    pub fn with_correlation(mut self, correlation: CorrelationId) -> Self {
+        match &mut self.kind {
+            EventKind::CudaRuntime {
+                correlation: c, ..
+            }
+            | EventKind::Kernel {
+                correlation: c, ..
+            } => *c = correlation,
+            _ => panic!("event kind {:?} has no correlation id", self.kind),
+        }
+        self
+    }
+
+    /// Sets the kernel class (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is not a kernel.
+    pub fn with_class(mut self, class: KernelClass) -> Self {
+        match &mut self.kind {
+            EventKind::Kernel { class: c, .. } => *c = class,
+            _ => panic!("event kind {:?} is not a kernel", self.kind),
+        }
+        self
+    }
+
+    /// The `[ts, ts+dur)` interval this event occupies.
+    pub fn span(&self) -> TimeSpan {
+        TimeSpan::from_start_dur(self.ts, self.dur)
+    }
+
+    /// End timestamp (`ts + dur`).
+    pub fn end(&self) -> Ts {
+        self.ts + self.dur
+    }
+
+    /// Returns `true` for device-side events.
+    pub fn is_gpu(&self) -> bool {
+        self.kind.is_gpu()
+    }
+
+    /// Returns `true` for communication kernels.
+    pub fn is_comm_kernel(&self) -> bool {
+        matches!(
+            &self.kind,
+            EventKind::Kernel { class, .. } if class.is_comm()
+        )
+    }
+
+    /// Returns `true` for compute (non-communication) kernels.
+    pub fn is_compute_kernel(&self) -> bool {
+        matches!(
+            &self.kind,
+            EventKind::Kernel { class, .. } if !class.is_comm()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify() {
+        let op = TraceEvent::cpu_op("aten::mm", Ts(0), Dur(10), ThreadId(1));
+        assert_eq!(op.kind.tid(), Some(ThreadId(1)));
+        assert!(!op.is_gpu());
+
+        let k = TraceEvent::kernel("gemm", Ts(5), Dur(50), StreamId(7)).with_correlation(3);
+        assert!(k.is_gpu());
+        assert!(k.is_compute_kernel());
+        assert_eq!(k.kind.stream(), Some(StreamId(7)));
+        assert_eq!(k.kind.correlation(), Some(3));
+        assert_eq!(k.end(), Ts(55));
+    }
+
+    #[test]
+    fn comm_kernel_detection() {
+        let meta = CommMeta {
+            kind: CollectiveKind::AllReduce,
+            group: 1,
+            seq: 0,
+            bytes: 1 << 20,
+        };
+        let k = TraceEvent::kernel(
+            CollectiveKind::AllReduce.kernel_name(),
+            Ts(0),
+            Dur(10),
+            StreamId(13),
+        )
+        .with_class(KernelClass::Collective(meta));
+        assert!(k.is_comm_kernel());
+        assert!(!k.is_compute_kernel());
+        assert_eq!(
+            k.kind,
+            EventKind::Kernel {
+                stream: StreamId(13),
+                correlation: 0,
+                class: KernelClass::Collective(meta)
+            }
+        );
+    }
+
+    #[test]
+    fn runtime_kind_properties() {
+        assert!(CudaRuntimeKind::LaunchKernel.launches_work());
+        assert!(!CudaRuntimeKind::LaunchKernel.blocks_host());
+        let sync = CudaRuntimeKind::StreamSynchronize {
+            stream: StreamId(7),
+        };
+        assert!(sync.blocks_host());
+        assert!(!sync.launches_work());
+        assert_eq!(sync.api_name(), "cudaStreamSynchronize");
+        assert!(CudaRuntimeKind::DeviceSynchronize.blocks_host());
+    }
+
+    #[test]
+    fn zero_correlation_is_none() {
+        let e = TraceEvent::cuda_runtime(
+            CudaRuntimeKind::DeviceSynchronize,
+            Ts(0),
+            Dur(1),
+            ThreadId(1),
+        );
+        assert_eq!(e.kind.correlation(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no correlation")]
+    fn correlation_on_cpu_op_panics() {
+        let _ = TraceEvent::cpu_op("x", Ts(0), Dur(0), ThreadId(1)).with_correlation(1);
+    }
+
+    #[test]
+    fn collective_kind_names_distinct() {
+        use CollectiveKind::*;
+        let kinds = [AllReduce, AllGather, ReduceScatter, Broadcast, SendRecv];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in kinds.iter().skip(i + 1) {
+                assert_ne!(a.kernel_name(), b.kernel_name());
+                assert_ne!(a.to_string(), b.to_string());
+            }
+        }
+    }
+}

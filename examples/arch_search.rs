@@ -1,0 +1,74 @@
+//! Architecture exploration: estimate iteration time for model
+//! variants (layers, width) from one profiled trace — the paper's
+//! Figure 8 workflow ("how will changes to the model architecture
+//! impact performance?").
+//!
+//! Run with: `cargo run --release --example arch_search`
+
+use lumos::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Base: an 8-layer, d=2048 research model on 4 GPUs.
+    let model = ModelConfig::custom("base-8L-2048d", 8, 2048, 8192, 16, 128);
+    let base = TrainingSetup::new(model, Parallelism::new(1, 2, 2)?);
+    let cluster = GroundTruthCluster::new(&base, AnalyticalCostModel::h100())?
+        .with_jitter(JitterModel::realistic(23));
+    let profiled = cluster.profile_iteration(0)?;
+    println!(
+        "base {}: {:.2} ms/iter, {:.2}B params\n",
+        base.label(),
+        profiled.makespan.as_ms_f64(),
+        base.model.num_params() as f64 / 1e9
+    );
+
+    let lumos = Lumos::new();
+    let variants: Vec<(&str, Vec<Transform>)> = vec![
+        ("deeper (12 layers)", vec![Transform::NumLayers { layers: 12 }]),
+        ("deeper (16 layers)", vec![Transform::NumLayers { layers: 16 }]),
+        (
+            "wider (d=3072)",
+            vec![Transform::HiddenSize {
+                hidden: 3072,
+                ffn: 12288,
+            }],
+        ),
+        (
+            "wider (d=4096)",
+            vec![Transform::HiddenSize {
+                hidden: 4096,
+                ffn: 16384,
+            }],
+        ),
+        (
+            "deeper + wider",
+            vec![
+                Transform::NumLayers { layers: 12 },
+                Transform::HiddenSize {
+                    hidden: 3072,
+                    ffn: 12288,
+                },
+            ],
+        ),
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>14}",
+        "variant", "params", "iter (ms)", "ms per Gparam"
+    );
+    for (label, transforms) in variants {
+        let prediction = lumos.predict(
+            &profiled.trace,
+            &base,
+            &transforms,
+            AnalyticalCostModel::h100(),
+        )?;
+        let params = prediction.setup.model.num_params() as f64 / 1e9;
+        let iter_ms = prediction.makespan().as_ms_f64();
+        println!(
+            "{label:<22} {params:>9.2}B {iter_ms:>12.2} {:>14.2}",
+            iter_ms / params
+        );
+    }
+    println!("\n(each row predicted from the single base trace via graph manipulation;\n shape-changed GEMMs and collectives re-priced by the cost model)");
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Capacity planning: predict how a training job scales across
+//! parallelism configurations *from one profiled trace* — the paper's
+//! "which parallelism configuration will deliver the best results?"
+//! what-if question (§3.4), answered without re-running on hardware.
+//!
+//! Run with: `cargo run --release --example parallelism_sweep`
+
+use lumos::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Base: an 8-layer model on 8 GPUs (TP=2, PP=2, DP=2).
+    let model = ModelConfig::custom("sweep-model", 8, 4096, 16384, 32, 128);
+    let base = TrainingSetup::new(model, Parallelism::new(2, 2, 2)?);
+
+    println!("profiling base configuration {} ...", base.label());
+    let cluster = GroundTruthCluster::new(&base, AnalyticalCostModel::h100())?
+        .with_jitter(JitterModel::realistic(11));
+    let profiled = cluster.profile_iteration(0)?;
+    println!(
+        "base iteration: {:.2} ms on {} GPUs\n",
+        profiled.makespan.as_ms_f64(),
+        base.parallelism.world_size()
+    );
+
+    // Sweep deployment candidates by manipulating the base trace.
+    let lumos = Lumos::new();
+    let candidates: Vec<(&str, Vec<Transform>)> = vec![
+        ("2x2x4 (2x DP)", vec![Transform::DataParallel { dp: 4 }]),
+        ("2x2x8 (4x DP)", vec![Transform::DataParallel { dp: 8 }]),
+        ("2x4x2 (2x PP)", vec![Transform::PipelineParallel { pp: 4 }]),
+        (
+            "2x4x4 (2x PP + 2x DP)",
+            vec![
+                Transform::PipelineParallel { pp: 4 },
+                Transform::DataParallel { dp: 4 },
+            ],
+        ),
+        (
+            "2x8x2 (4x PP)",
+            vec![Transform::PipelineParallel { pp: 8 }],
+        ),
+    ];
+
+    println!(
+        "{:<24} {:>6} {:>12} {:>16} {:>14}",
+        "candidate", "GPUs", "iter (ms)", "tokens/s/GPU", "bubble frac"
+    );
+    let tokens_per_iter = |s: &TrainingSetup| {
+        s.batch.tokens_per_microbatch() * s.batch.num_microbatches as u64 * s.parallelism.dp as u64
+    };
+    for (label, transforms) in candidates {
+        let prediction = lumos.predict(
+            &profiled.trace,
+            &base,
+            &transforms,
+            AnalyticalCostModel::h100(),
+        )?;
+        let setup = &prediction.setup;
+        let secs = prediction.makespan().as_secs_f64();
+        let tput = tokens_per_iter(setup) as f64 / secs / setup.parallelism.world_size() as f64;
+        let schedule = PipelineSchedule::generate(
+            setup.schedule,
+            setup.parallelism.pp,
+            setup.batch.num_microbatches,
+        )?;
+        println!(
+            "{label:<24} {:>6} {:>12.2} {:>16.0} {:>14.3}",
+            setup.parallelism.world_size(),
+            prediction.makespan().as_ms_f64(),
+            tput,
+            schedule.bubble_fraction()
+        );
+    }
+    println!("\n(all predictions derived from the single base trace — no new runs)");
+
+    // Schedule-level what-if: how much pipeline bubble would
+    // interleaved 1F1B (Megatron's virtual pipeline) recover at pp=4,
+    // and what does it cost in extra pipeline communication?
+    use lumos::model::InterleavedSchedule;
+    let pp = 4u32;
+    let m = 8u32;
+    let plain = PipelineSchedule::generate(ScheduleKind::OneFOneB, pp, m)?;
+    println!("\ninterleaved-1F1B analysis (pp={pp}, {m} micro-batches):");
+    println!(
+        "  {:<12} {:>12} {:>18}",
+        "schedule", "bubble frac", "pp-comm multiplier"
+    );
+    println!("  {:<12} {:>12.3} {:>18.2}", "plain 1F1B", plain.bubble_fraction(), 1.0);
+    for v in [2u32, 4] {
+        let inter = InterleavedSchedule::generate(pp, v, m)?;
+        println!(
+            "  {:<12} {:>12.3} {:>18.2}",
+            format!("v={v} chunks"),
+            inter.bubble_fraction(),
+            inter.comm_amplification()
+        );
+    }
+    println!(
+        "  (interleaving divides the bubble by v but multiplies pipeline\n\
+         transfers; profitable when bubbles dominate transfers — deep\n\
+         pipelines with few micro-batches)"
+    );
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! Property tests for the Chrome-Trace-Format (Kineto-style) JSON
+//! layer: arbitrary traces must survive export → import losslessly,
+//! and replays must be identical through the JSON round trip.
+
+use lumos::prelude::*;
+use lumos_trace::{
+    from_chrome_json, to_chrome_json, ChromeTraceOptions, CollectiveKind, CommMeta,
+    CudaRuntimeKind, EventKind, KernelClass, RankTrace, StreamId, ThreadId, TraceEvent,
+};
+use proptest::prelude::*;
+
+fn arb_kernel_class() -> impl Strategy<Value = KernelClass> {
+    prop_oneof![
+        (1u64..4096, 1u64..4096, 1u64..4096)
+            .prop_map(|(m, n, k)| KernelClass::Gemm { m, n, k }),
+        (1u64..64, 1u64..4096, 16u64..256).prop_map(|(batch_heads, seq, head_dim)| {
+            KernelClass::AttentionFwd {
+                batch_heads,
+                seq,
+                head_dim,
+            }
+        }),
+        (1u64..64, 1u64..8192, 16u64..256).prop_map(|(batch_heads, kv_len, head_dim)| {
+            KernelClass::AttentionDecode {
+                batch_heads,
+                kv_len,
+                head_dim,
+            }
+        }),
+        (1u64..1_000_000).prop_map(|elems| KernelClass::Elementwise { elems }),
+        (1u64..1_000_000).prop_map(|elems| KernelClass::Norm { elems }),
+        (1u64..1_000_000).prop_map(|params| KernelClass::Optimizer { params }),
+        (1u64..(1 << 30)).prop_map(|bytes| KernelClass::Memcpy { bytes }),
+        Just(KernelClass::Other),
+        (0u64..8, 0u32..16, 1u64..(1 << 24)).prop_map(|(group, seq, bytes)| {
+            KernelClass::Collective(CommMeta {
+                kind: CollectiveKind::AllReduce,
+                group,
+                seq,
+                bytes,
+            })
+        }),
+    ]
+}
+
+/// One host op + launch + kernel triple at a random offset, plus an
+/// optional annotation / sync event — the building blocks of real
+/// Kineto timelines.
+fn arb_rank_trace(rank: u32) -> impl Strategy<Value = RankTrace> {
+    let triple = (
+        0u64..1_000_000,
+        1u64..10_000,
+        1u64..100_000,
+        arb_kernel_class(),
+        prop::bool::ANY,
+    );
+    prop::collection::vec(triple, 1..12).prop_map(move |triples| {
+        let tid = ThreadId(1);
+        let mut t = RankTrace::new(rank);
+        for (i, (ts, host_dur, kernel_dur, class, annotate)) in
+            triples.into_iter().enumerate()
+        {
+            let corr = i as u64 + 1;
+            let stream = if class.is_comm() {
+                StreamId(13)
+            } else {
+                StreamId(7)
+            };
+            t.push(TraceEvent::cpu_op("op", Ts(ts), Dur(host_dur), tid));
+            t.push(
+                TraceEvent::cuda_runtime(
+                    CudaRuntimeKind::LaunchKernel,
+                    Ts(ts + host_dur),
+                    Dur(2_000),
+                    tid,
+                )
+                .with_correlation(corr),
+            );
+            t.push(
+                TraceEvent::kernel(
+                    "k",
+                    Ts(ts + host_dur + 4_000 + i as u64 * 200_000),
+                    Dur(kernel_dur),
+                    stream,
+                )
+                .with_correlation(corr)
+                .with_class(class),
+            );
+            if annotate {
+                t.push(TraceEvent::annotation(
+                    format!("layer={i} fwd mb=0"),
+                    Ts(ts),
+                    Dur(host_dur + kernel_dur),
+                    tid,
+                ));
+            }
+        }
+        t
+    })
+}
+
+fn arb_cluster() -> impl Strategy<Value = ClusterTrace> {
+    prop::collection::vec(Just(()), 1..4).prop_flat_map(|ranks| {
+        let strategies: Vec<_> = (0..ranks.len() as u32).map(arb_rank_trace).collect();
+        strategies.prop_map(|rank_traces| {
+            let mut c = ClusterTrace::new("proptest");
+            for r in rank_traces {
+                c.push_rank(r);
+            }
+            c
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Export → import preserves every event of every rank.
+    #[test]
+    fn chrome_round_trip_lossless(cluster in arb_cluster()) {
+        let json = to_chrome_json(&cluster, &ChromeTraceOptions::default());
+        let parsed = from_chrome_json(&json).unwrap();
+        prop_assert_eq!(parsed.world_size(), cluster.world_size());
+        for (a, b) in cluster.ranks().iter().zip(parsed.ranks()) {
+            prop_assert_eq!(a.rank(), b.rank());
+            let mut ae = a.events().to_vec();
+            let mut be = b.events().to_vec();
+            let key = |e: &TraceEvent| (e.ts, e.dur, format!("{:?}", e.kind));
+            ae.sort_by_key(key);
+            be.sort_by_key(key);
+            prop_assert_eq!(ae, be);
+        }
+    }
+
+    /// Kernel classes — including the inference decode class — survive
+    /// the args encoding exactly.
+    #[test]
+    fn kernel_classes_survive_json(class in arb_kernel_class()) {
+        let mut r = RankTrace::new(0);
+        r.push(
+            TraceEvent::cuda_runtime(CudaRuntimeKind::LaunchKernel, Ts(0), Dur(1_000), ThreadId(1))
+                .with_correlation(1),
+        );
+        r.push(
+            TraceEvent::kernel("k", Ts(2_000), Dur(5_000), StreamId(7))
+                .with_correlation(1)
+                .with_class(class),
+        );
+        let mut c = ClusterTrace::new("classes");
+        c.push_rank(r);
+        let parsed = from_chrome_json(&to_chrome_json(&c, &ChromeTraceOptions::default())).unwrap();
+        let kernel = parsed.ranks()[0]
+            .events()
+            .iter()
+            .find(|e| e.is_gpu())
+            .unwrap();
+        match kernel.kind {
+            EventKind::Kernel { class: parsed_class, .. } => prop_assert_eq!(parsed_class, class),
+            _ => prop_assert!(false, "kernel did not survive"),
+        }
+    }
+
+    /// Replaying a parsed trace gives exactly the same makespan as
+    /// replaying the original.
+    #[test]
+    fn replay_identical_through_json(cluster in arb_cluster()) {
+        let direct = Lumos::new().replay(&cluster);
+        let json = to_chrome_json(&cluster, &ChromeTraceOptions::default());
+        let parsed = from_chrome_json(&json).unwrap();
+        let via_json = Lumos::new().replay(&parsed);
+        match (direct, via_json) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.makespan(), b.makespan()),
+            (Err(_), Err(_)) => {} // consistent rejection is fine
+            (a, b) => prop_assert!(
+                false,
+                "inconsistent: direct={:?} via_json={:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+}
