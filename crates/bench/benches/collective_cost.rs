@@ -1,7 +1,9 @@
 //! Collective cost-model evaluation throughput and algorithm
 //! comparison (ring vs tree vs auto).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lumos_cost::{AnalyticalCostModel, ClusterSpec, CollectiveAlgorithm, CollectiveModel, CostModel};
+use lumos_cost::{
+    AnalyticalCostModel, ClusterSpec, CollectiveAlgorithm, CollectiveModel, CostModel,
+};
 use lumos_trace::CollectiveKind;
 
 fn bench_collective_cost(c: &mut Criterion) {
@@ -12,11 +14,7 @@ fn bench_collective_cost(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("allreduce_{n}ranks")),
             &members,
-            |b, m| {
-                b.iter(|| {
-                    model.collective_cost(CollectiveKind::AllReduce, 256 << 20, m)
-                })
-            },
+            |b, m| b.iter(|| model.collective_cost(CollectiveKind::AllReduce, 256 << 20, m)),
         );
     }
     group.finish();
@@ -39,12 +37,8 @@ fn bench_algorithms(c: &mut Criterion) {
                     // Sweep the payload range a training iteration sees.
                     let mut acc = lumos_trace::Dur::ZERO;
                     for pow in 10..30 {
-                        acc += model.duration_with(
-                            a,
-                            CollectiveKind::AllReduce,
-                            1 << pow,
-                            &members,
-                        );
+                        acc +=
+                            model.duration_with(a, CollectiveKind::AllReduce, 1 << pow, &members);
                     }
                     acc
                 })

@@ -38,17 +38,13 @@ fn bench_manipulate(c: &mut Criterion) {
             }],
         ),
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &transforms,
-            |b, tr| {
-                b.iter(|| {
-                    lumos
-                        .predict(&trace, &cfg, tr, AnalyticalCostModel::h100())
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &transforms, |b, tr| {
+            b.iter(|| {
+                lumos
+                    .predict(&trace, &cfg, tr, AnalyticalCostModel::h100())
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,87 @@
+//! Search-engine throughput: candidates priced per second, end to end
+//! (enumeration + memory gate + parallel evaluation + ranking).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lumos_cluster::{GroundTruthCluster, JitterModel, SimConfig};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+use lumos_search::{search, SearchOptions, SpaceSpec};
+use lumos_trace::ClusterTrace;
+
+fn base() -> (SimConfig, ClusterTrace) {
+    let cfg = SimConfig {
+        model: ModelConfig::custom("bench-search", 8, 1024, 4096, 8, 128),
+        parallelism: Parallelism::new(1, 2, 2).unwrap(),
+        batch: BatchConfig {
+            seq_len: 512,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .with_jitter(JitterModel::realistic(2025))
+        .profile_iteration(0)
+        .unwrap()
+        .trace;
+    (cfg, trace)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let (cfg, trace) = base();
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    for (name, spec) in [
+        (
+            "small-12",
+            SpaceSpec::deployment_grid(&[1], &[1, 2], &[1, 2]).with_microbatches(&[2, 4, 8]),
+        ),
+        (
+            "medium-96",
+            SpaceSpec::deployment_grid(&[1], &[1, 2, 4, 8], &[1, 2, 4])
+                .with_microbatches(&[2, 4, 8, 16])
+                .with_interleave(&[1, 2]),
+        ),
+    ] {
+        let candidates = spec.grid_upper_bound(&cfg) as u64;
+        group.throughput(Throughput::Elements(candidates));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                search(
+                    &trace,
+                    &cfg,
+                    spec,
+                    &SearchOptions::default(),
+                    AnalyticalCostModel::h100(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_threads(c: &mut Criterion) {
+    let (cfg, trace) = base();
+    let spec =
+        SpaceSpec::deployment_grid(&[1], &[1, 2, 4], &[1, 2, 4]).with_microbatches(&[2, 4, 8]);
+    let mut group = c.benchmark_group("search_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let opts = SearchOptions {
+                    threads: Some(threads),
+                    ..SearchOptions::default()
+                };
+                b.iter(|| search(&trace, &cfg, &spec, &opts, AnalyticalCostModel::h100()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_search_threads);
+criterion_main!(benches);

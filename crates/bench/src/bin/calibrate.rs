@@ -31,16 +31,31 @@ fn main() {
         );
         for (name, mode, rdv) in [
             ("lumos", InterStreamMode::Full, RendezvousMode::All),
-            ("dflow+sr", InterStreamMode::DataflowOnly, RendezvousMode::SendRecvOnly),
-            ("dflow+all", InterStreamMode::DataflowOnly, RendezvousMode::All),
-            ("cons+all", InterStreamMode::ConsumerOnly, RendezvousMode::All),
+            (
+                "dflow+sr",
+                InterStreamMode::DataflowOnly,
+                RendezvousMode::SendRecvOnly,
+            ),
+            (
+                "dflow+all",
+                InterStreamMode::DataflowOnly,
+                RendezvousMode::All,
+            ),
+            (
+                "cons+all",
+                InterStreamMode::ConsumerOnly,
+                RendezvousMode::All,
+            ),
         ] {
             let toolkit = Lumos {
                 build: BuildOptions {
                     interstream: mode,
                     ..BuildOptions::default()
                 },
-                sim: SimOptions { rendezvous: rdv, ..SimOptions::default() },
+                sim: SimOptions {
+                    rendezvous: rdv,
+                    ..SimOptions::default()
+                },
             };
             let r = toolkit.replay(&profiled.output.trace).unwrap();
             print!(

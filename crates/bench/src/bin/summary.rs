@@ -9,7 +9,13 @@ fn main() {
     let opts = RunOptions::default();
     let mut progress = |s: &str| eprintln!("[summary] {s}");
     let out = fig5(&ModelConfig::table1(), &opts, &mut progress);
-    let mut t = TextTable::new(&["toolkit", "avg error", "max error", "paper avg", "paper max"]);
+    let mut t = TextTable::new(&[
+        "toolkit",
+        "avg error",
+        "max error",
+        "paper avg",
+        "paper max",
+    ]);
     t.row(vec![
         "Lumos".into(),
         pct(out.lumos_avg),

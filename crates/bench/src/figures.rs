@@ -36,10 +36,19 @@ pub fn model_table(models: &[ModelConfig]) -> TextTable {
 /// (TP8/PP4/DP8) — actual vs dPRO vs Lumos.
 pub fn fig1(opts: &RunOptions, progress: Progress) -> TextTable {
     let cfg = paper::fig1_config(opts.microbatches);
-    progress(&format!("fig1: running {} ({} GPUs)", cfg.label(), cfg.parallelism.world_size()));
+    progress(&format!(
+        "fig1: running {} ({} GPUs)",
+        cfg.label(),
+        cfg.parallelism.world_size()
+    ));
     let row = replay_experiment(&cfg, opts);
     let mut t = TextTable::new(&[
-        "series", "exposed compute (ms)", "overlapped (ms)", "exposed comm (ms)", "other (ms)", "total (ms)",
+        "series",
+        "exposed compute (ms)",
+        "overlapped (ms)",
+        "exposed comm (ms)",
+        "other (ms)",
+        "total (ms)",
     ]);
     for (name, b, total) in [
         ("Actual", row.actual_breakdown, row.actual),
@@ -83,7 +92,12 @@ pub fn fig5(models: &[ModelConfig], opts: &RunOptions, progress: Progress) -> Fi
     let mut dpro_errs = Vec::new();
     for model in models {
         let mut t = TextTable::new(&[
-            "config", "actual (ms)", "lumos (ms)", "lumos err", "dpro (ms)", "dpro err",
+            "config",
+            "actual (ms)",
+            "lumos (ms)",
+            "lumos err",
+            "dpro (ms)",
+            "dpro err",
             "actual cmp/ovl/comm/other",
             "lumos cmp/ovl/comm/other",
         ]);
@@ -148,7 +162,11 @@ pub fn fig6(opts: &RunOptions, progress: Progress) -> (TextTable, String) {
     let dpro_u = sm_utilization(dpro.trace.rank(rank).expect("rank 0"), bin);
 
     let mut t = TextTable::new(&["series", "bins", "mean util", "MAE vs actual"]);
-    for (name, u) in [("Actual", &actual_u), ("Lumos", &lumos_u), ("dPRO", &dpro_u)] {
+    for (name, u) in [
+        ("Actual", &actual_u),
+        ("Lumos", &lumos_u),
+        ("dPRO", &dpro_u),
+    ] {
         t.row(vec![
             name.to_string(),
             u.len().to_string(),
@@ -192,7 +210,10 @@ pub fn fig7(part: char, opts: &RunOptions, progress: Progress) -> TextTable {
         other => panic!("unknown figure-7 part `{other}` (use a, b, or c)"),
     };
     let mut t = TextTable::new(&[
-        "config", "predicted (ms)", "actual (ms)", "error",
+        "config",
+        "predicted (ms)",
+        "actual (ms)",
+        "error",
         "predicted cmp/ovl/comm/other",
         "actual cmp/ovl/comm/other",
     ]);
@@ -307,7 +328,10 @@ pub fn extension_transforms(opts: &RunOptions, progress: Progress) -> TextTable 
         ),
     ];
     let mut t = TextTable::new(&[
-        "target", "predicted (ms)", "actual (ms)", "error",
+        "target",
+        "predicted (ms)",
+        "actual (ms)",
+        "error",
         "predicted cmp/ovl/comm/other",
         "actual cmp/ovl/comm/other",
     ]);
@@ -333,7 +357,10 @@ pub fn fig8(opts: &RunOptions, progress: Progress) -> TextTable {
     progress(&format!("fig8: profiling base {}", base.label()));
     let profiled = profile_config(&base, opts);
     let mut t = TextTable::new(&[
-        "variant", "predicted (ms)", "actual (ms)", "error",
+        "variant",
+        "predicted (ms)",
+        "actual (ms)",
+        "error",
         "predicted cmp/ovl/comm/other",
         "actual cmp/ovl/comm/other",
     ]);

@@ -70,11 +70,7 @@ pub fn profile_config(config: &SimConfig, opts: &RunOptions) -> Profiled {
             .makespan;
         n += 1;
     }
-    let actual = if n == 0 {
-        output.makespan
-    } else {
-        total / n
-    };
+    let actual = if n == 0 { output.makespan } else { total / n };
     let actual_breakdown = output.trace.breakdown();
     Profiled {
         config: config.clone(),

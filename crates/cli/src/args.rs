@@ -120,9 +120,9 @@ impl ArgSet {
     pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::Usage(format!("option --{name}: cannot parse `{raw}`"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("option --{name}: cannot parse `{raw}`"))),
         }
     }
 
@@ -134,9 +134,10 @@ impl ArgSet {
     pub fn get_num_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
         match self.get(name) {
             None => Ok(None),
-            Some(raw) => raw.parse().map(Some).map_err(|_| {
-                CliError::Usage(format!("option --{name}: cannot parse `{raw}`"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("option --{name}: cannot parse `{raw}`"))),
         }
     }
 }

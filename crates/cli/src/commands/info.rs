@@ -58,7 +58,12 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
         ms(b.exposed_comm),
         share(b.exposed_comm)
     )?;
-    writeln!(out, "  other            {:>12}  {:>6}", ms(b.other), share(b.other))?;
+    writeln!(
+        out,
+        "  other            {:>12}  {:>6}",
+        ms(b.other),
+        share(b.other)
+    )?;
 
     if let Some(rank0) = trace.ranks().first() {
         let stats = TraceStats::from_trace(rank0);

@@ -72,7 +72,11 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     let flops = iteration_flops(&setup, recompute);
     let util = utilization(&setup, recompute, time_secs, gpu.peak_flops());
     writeln!(out, "config:          {}", setup.label())?;
-    writeln!(out, "gpu:             {} ({} GiB)", gpu.name, gpu.memory_gib)?;
+    writeln!(
+        out,
+        "gpu:             {} ({} GiB)",
+        gpu.name, gpu.memory_gib
+    )?;
     writeln!(out, "iteration:       {:.2} ms", time_secs * 1e3)?;
     let pf = flops.model_flops() as f64 / 1e15;
     if pf >= 0.1 {

@@ -6,5 +6,6 @@ pub mod info;
 pub mod mfu;
 pub mod predict;
 pub mod replay;
+pub mod search;
 pub mod smutil;
 pub mod synth;

@@ -41,16 +41,28 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(
         out,
         "model:     {}",
-        if args.has("dpro") { "dPRO baseline" } else { "Lumos" }
+        if args.has("dpro") {
+            "dPRO baseline"
+        } else {
+            "Lumos"
+        }
     )?;
     writeln!(out, "recorded:  {}", ms(recorded))?;
     writeln!(out, "replayed:  {}", ms(simulated))?;
-    writeln!(out, "error:     {}", pct(simulated.relative_error(recorded)))?;
+    writeln!(
+        out,
+        "error:     {}",
+        pct(simulated.relative_error(recorded))
+    )?;
 
     let rb = replayed.trace.breakdown();
     let ab = trace.breakdown();
     writeln!(out)?;
-    writeln!(out, "breakdown        {:>12}  {:>12}", "replayed", "recorded")?;
+    writeln!(
+        out,
+        "breakdown        {:>12}  {:>12}",
+        "replayed", "recorded"
+    )?;
     for (name, r, a) in [
         ("exposed compute", rb.exposed_compute, ab.exposed_compute),
         ("overlapped", rb.overlapped, ab.overlapped),

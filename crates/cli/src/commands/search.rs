@@ -1,0 +1,194 @@
+//! `lumos search` — parallel what-if configuration search: enumerate a
+//! (TP, PP, DP, micro-batch, interleave, GPU-count) space, prune
+//! memory-infeasible configs before simulation, evaluate the rest in
+//! parallel from one profiled trace, and print a ranked report.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::{load_setup, load_trace, parse_model, sidecar_path};
+use crate::error::CliError;
+use lumos_cost::{AnalyticalCostModel, GpuSpec};
+use lumos_model::{Parallelism, TrainingSetup};
+use lumos_search::{search, SearchOptions, SpaceSpec, SpecFile};
+use std::io::Write;
+
+/// Options of `lumos search`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &[
+        "setup",
+        "space",
+        "model",
+        "base-tp",
+        "base-pp",
+        "base-dp",
+        "seed",
+        "tp",
+        "pp",
+        "dp",
+        "microbatches",
+        "interleave",
+        "gpus",
+        "max-gpus",
+        "objective",
+        "top",
+        "memory-gib",
+        "threads",
+    ],
+    flags: &[],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--space spec.toml]\n\
+    [--model NAME --base-tp N --base-pp N --base-dp N [--seed N]]\n\
+    [--tp 1,2,4] [--pp 1,2] [--dp 1,2,4,8] [--microbatches 4,8]\n\
+    [--interleave 1,2] [--gpus 8,16,32] [--max-gpus N]\n\
+    [--objective makespan|throughput|mfu] [--top K]\n\
+    [--memory-gib N] [--threads N]\n\
+  Searches a what-if configuration space from one profiled trace:\n\
+  candidates are enumerated over the axis grids (comma-separated\n\
+  values, or a TOML space file; flags override the file), pruned by\n\
+  the memory-feasibility model before any simulation, evaluated in\n\
+  parallel via graph manipulation with a shared trace-fitted cost\n\
+  model, and ranked by the objective. With --model instead of a trace\n\
+  file, the base iteration is profiled on the ground-truth cluster\n\
+  first. The setup sidecar defaults to <trace>.setup.json.";
+
+/// Comma-separated integer list (`--tp 1,2,4`).
+fn parse_axis(args: &ArgSet, name: &str) -> Result<Option<Vec<u32>>, CliError> {
+    match args.get(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim().parse::<u32>().map_err(|_| {
+                    CliError::Usage(format!("option --{name}: cannot parse `{s}` in `{raw}`"))
+                })
+            })
+            .collect::<Result<Vec<u32>, CliError>>()
+            .map(Some),
+    }
+}
+
+/// Builds the space: TOML file first (if any), then flag overrides.
+fn space_from(args: &ArgSet) -> Result<SpecFile, CliError> {
+    let mut file = match args.get("space") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            SpecFile::parse(&text).map_err(|e| CliError::Usage(e.to_string()))?
+        }
+        None => SpecFile {
+            space: SpaceSpec::empty(),
+            ..SpecFile::default()
+        },
+    };
+    if let Some(v) = parse_axis(args, "tp")? {
+        file.space.tp = v;
+    }
+    if let Some(v) = parse_axis(args, "pp")? {
+        file.space.pp = v;
+    }
+    if let Some(v) = parse_axis(args, "dp")? {
+        file.space.dp = v;
+    }
+    if let Some(v) = parse_axis(args, "microbatches")? {
+        file.space.microbatches = v;
+    }
+    if let Some(v) = parse_axis(args, "interleave")? {
+        file.space.interleave = v;
+    }
+    if let Some(v) = parse_axis(args, "gpus")? {
+        file.space.gpus = Some(v);
+    }
+    if let Some(v) = args.get_num_opt::<u32>("max-gpus")? {
+        file.space.max_gpus = v;
+    }
+    Ok(file)
+}
+
+/// The base (trace, setup) pair: loaded from disk, or synthesized via
+/// `--model`.
+fn base_from(
+    args: &ArgSet,
+    out: &mut dyn Write,
+) -> Result<(lumos_trace::ClusterTrace, TrainingSetup), CliError> {
+    if let Some(model) = args.get("model") {
+        if !args.positionals().is_empty() {
+            return Err(CliError::Usage(
+                "give either a trace file or --model, not both".to_string(),
+            ));
+        }
+        let model = parse_model(model)?;
+        let par = Parallelism::new(
+            args.get_num("base-tp", 1)?,
+            args.get_num("base-pp", 1)?,
+            args.get_num("base-dp", 1)?,
+        )
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+        let setup = TrainingSetup::new(model, par);
+        let seed = args.get_num("seed", 2025u64)?;
+        writeln!(out, "profiling base {} (seed {seed}) ...", setup.label())?;
+        let trace = lumos_search::profile_base(&setup, seed)?;
+        Ok((trace, setup))
+    } else {
+        for flag in ["base-tp", "base-pp", "base-dp", "seed"] {
+            if args.get(flag).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--{flag} only applies with --model (trace-file mode takes the \
+                     base from the setup sidecar)"
+                )));
+            }
+        }
+        let path = args.one_positional("trace file (or use --model)")?;
+        let setup_path = match args.get("setup") {
+            Some(p) => p.to_string(),
+            None => sidecar_path(path),
+        };
+        Ok((load_trace(path)?, load_setup(&setup_path)?))
+    }
+}
+
+/// Runs `lumos search`.
+///
+/// # Errors
+///
+/// Returns usage, I/O, parse, and search failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let file = space_from(args)?;
+    let (trace, setup) = base_from(args, out)?;
+
+    let mut opts = SearchOptions::default();
+    if let Some(objective) = args.get("objective") {
+        opts.objective = objective.parse().map_err(|e: String| CliError::Usage(e))?;
+    } else if let Some(objective) = file.objective {
+        opts.objective = objective;
+    }
+    let memory_gib = match args.get_num_opt::<u32>("memory-gib")? {
+        Some(v) => Some(v),
+        None => file.gpu_memory_gib,
+    };
+    if let Some(gib) = memory_gib {
+        if gib == 0 {
+            return Err(CliError::Usage(
+                "gpu memory capacity must be positive (--memory-gib / gpu-memory-gib)".to_string(),
+            ));
+        }
+        opts.gpu = GpuSpec {
+            memory_gib: gib,
+            ..opts.gpu
+        };
+    }
+    opts.threads = args.get_num_opt::<usize>("threads")?;
+    let top = match args.get_num_opt::<usize>("top")? {
+        Some(k) => k,
+        None => file.top_k.unwrap_or(10),
+    };
+
+    let report = search(
+        &trace,
+        &setup,
+        &file.space,
+        &opts,
+        AnalyticalCostModel::h100(),
+    )?;
+    write!(out, "{}", report.format_top(top))?;
+    Ok(())
+}

@@ -63,6 +63,12 @@ impl From<lumos_model::ModelError> for CliError {
     }
 }
 
+impl From<lumos_search::SearchError> for CliError {
+    fn from(e: lumos_search::SearchError) -> Self {
+        CliError::Tool(format!("search error: {e}"))
+    }
+}
+
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
         CliError::Tool(format!("json error: {e}"))

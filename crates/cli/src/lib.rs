@@ -9,6 +9,7 @@
 //! | `info` | trace dimensions, breakdown, heaviest kernels |
 //! | `replay` | replay through Algorithm 1 (`--dpro` for the baseline) |
 //! | `predict` | graph manipulation + simulation for what-if configs |
+//! | `search` | parallel what-if search over a configuration space |
 //! | `sm-util` | §4.2.3 SM-utilization timeline |
 //! | `critical-path` | longest dependency chain + bottleneck kernels |
 //! | `mfu` | MFU/HFU and memory feasibility (§5 future-work metrics) |
@@ -19,8 +20,8 @@
 #![warn(missing_docs)]
 
 mod args;
-mod common;
 mod commands;
+mod common;
 mod error;
 
 pub use args::{ArgSet, ArgSpec};
@@ -38,6 +39,7 @@ commands:\n\
   info           summarize a trace\n\
   replay         replay a trace through the simulator\n\
   predict        estimate performance for a modified configuration\n\
+  search         rank a whole configuration space from one trace\n\
   sm-util        SM-utilization timeline\n\
   critical-path  critical path and bottleneck kernels\n\
   mfu            FLOPS utilization and memory feasibility\n\
@@ -61,6 +63,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "info" => commands::info::run(&ArgSet::parse(rest, &commands::info::SPEC)?, out),
         "replay" => commands::replay::run(&ArgSet::parse(rest, &commands::replay::SPEC)?, out),
         "predict" => commands::predict::run(&ArgSet::parse(rest, &commands::predict::SPEC)?, out),
+        "search" => commands::search::run(&ArgSet::parse(rest, &commands::search::SPEC)?, out),
         "sm-util" => commands::smutil::run(&ArgSet::parse(rest, &commands::smutil::SPEC)?, out),
         "critical-path" => {
             commands::critical::run(&ArgSet::parse(rest, &commands::critical::SPEC)?, out)
@@ -73,12 +76,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some("info") => writeln!(out, "{}", commands::info::HELP)?,
                 Some("replay") => writeln!(out, "{}", commands::replay::HELP)?,
                 Some("predict") => writeln!(out, "{}", commands::predict::HELP)?,
+                Some("search") => writeln!(out, "{}", commands::search::HELP)?,
                 Some("sm-util") => writeln!(out, "{}", commands::smutil::HELP)?,
                 Some("critical-path") => writeln!(out, "{}", commands::critical::HELP)?,
                 Some("mfu") => writeln!(out, "{}", commands::mfu::HELP)?,
-                Some(other) => {
-                    return Err(CliError::Usage(format!("unknown command `{other}`")))
-                }
+                Some(other) => return Err(CliError::Usage(format!("unknown command `{other}`"))),
                 None => writeln!(out, "{GENERAL_HELP}")?,
             }
             Ok(())
@@ -160,6 +162,79 @@ mod tests {
         let out = run_to_string(&["mfu", trace]).unwrap();
         assert!(out.contains("MFU"));
         assert!(out.contains("peak memory"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn search_from_synth_trace_and_from_model() {
+        let dir = std::env::temp_dir().join(format!("lumos-cli-search-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("s.json");
+        let trace = trace.to_str().unwrap();
+
+        run_to_string(&[
+            "synth", "--model", "tiny", "--tp", "1", "--pp", "2", "--dp", "1", "--out", trace,
+        ])
+        .unwrap();
+
+        // Trace-file mode with axis flags.
+        let out = run_to_string(&[
+            "search",
+            trace,
+            "--dp",
+            "1,2,4",
+            "--microbatches",
+            "2,4",
+            "--top",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("grid points"), "{out}");
+        assert!(out.contains("tok/s/GPU"), "{out}");
+        assert!(out.contains("objective"), "{out}");
+
+        // Space-file mode layered under a flag override.
+        let spec = dir.join("space.toml");
+        std::fs::write(
+            &spec,
+            "dp = [1, 2]\nmicrobatches = [2]\nobjective = \"makespan\"\ntop-k = 2\n",
+        )
+        .unwrap();
+        let out = run_to_string(&[
+            "search",
+            trace,
+            "--space",
+            spec.to_str().unwrap(),
+            "--dp",
+            "1,2,4",
+        ])
+        .unwrap();
+        assert!(out.contains("objective: makespan"), "{out}");
+
+        // Trace-less mode profiles the base itself.
+        let out = run_to_string(&[
+            "search",
+            "--model",
+            "tiny",
+            "--base-pp",
+            "2",
+            "--dp",
+            "1,2",
+            "--microbatches",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("profiling base"), "{out}");
+        assert!(out.contains("rank"), "{out}");
+
+        // Usage errors stay loud.
+        assert!(run_to_string(&["search"]).is_err());
+        assert!(run_to_string(&["search", trace, "--dp", "x"]).is_err());
+        assert!(run_to_string(&["search", trace, "--model", "tiny"]).is_err());
+        assert!(run_to_string(&["help", "search"])
+            .unwrap()
+            .contains("--space"));
 
         std::fs::remove_dir_all(&dir).ok();
     }

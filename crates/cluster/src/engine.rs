@@ -440,7 +440,13 @@ impl<'a, C: CostModel> Engine<'a, C> {
                         ),
                     );
                     let si = self.stream_idx(rank, stream);
-                    self.enqueue(si, Entry::Record { event: (rank, event) }, clock);
+                    self.enqueue(
+                        si,
+                        Entry::Record {
+                            event: (rank, event),
+                        },
+                        clock,
+                    );
                 }
                 HostOp::StreamWait { stream, event } => {
                     let dur = self.host_dur(i, self.oh.event_call);
@@ -460,7 +466,13 @@ impl<'a, C: CostModel> Engine<'a, C> {
                         ),
                     );
                     let si = self.stream_idx(rank, stream);
-                    self.enqueue(si, Entry::WaitEv { event: (rank, event) }, clock);
+                    self.enqueue(
+                        si,
+                        Entry::WaitEv {
+                            event: (rank, event),
+                        },
+                        clock,
+                    );
                 }
                 HostOp::StreamSync { stream } => {
                     let rank = self.threads[i].rank;
@@ -560,7 +572,9 @@ impl<'a, C: CostModel> Engine<'a, C> {
         if pending == 0 {
             let sync_dur = self.host_dur(thread, self.oh.sync_call);
             let t = &mut self.threads[thread];
-            let end = (start + sync_dur).max(latest + SYNC_POLL_LATENCY).max(start);
+            let end = (start + sync_dur)
+                .max(latest + SYNC_POLL_LATENCY)
+                .max(start);
             let (rank, tid) = (t.rank, t.tid);
             let ev = TraceEvent::cuda_runtime(kind, start, end - start, tid);
             t.clock = end;
@@ -611,11 +625,9 @@ impl<'a, C: CostModel> Engine<'a, C> {
                     else {
                         unreachable!()
                     };
-                    let (name, class, earliest, corr) =
-                        (name.clone(), *class, *earliest, *corr);
+                    let (name, class, earliest, corr) = (name.clone(), *class, *earliest, *corr);
                     let base = self.cost.compute_cost(&class);
-                    let dur =
-                        base.scale(self.jitter.kernel_multiplier(self.iteration, rank, corr));
+                    let dur = base.scale(self.jitter.kernel_multiplier(self.iteration, rank, corr));
                     let start = self.streams[si].clock.max(earliest);
                     self.emit(
                         rank,
@@ -698,14 +710,11 @@ impl<'a, C: CostModel> Engine<'a, C> {
             .unwrap_or_else(|| panic!("unknown communicator group {}", key.0));
         let expected = members.len();
 
-        let inst = self
-            .collectives
-            .entry(key)
-            .or_insert_with(|| CollInstance {
-                expected,
-                arrivals: Vec::new(),
-                resolved: None,
-            });
+        let inst = self.collectives.entry(key).or_insert_with(|| CollInstance {
+            expected,
+            arrivals: Vec::new(),
+            resolved: None,
+        });
         if newly_arrived {
             inst.arrivals.push((si, ready));
         }
@@ -720,11 +729,10 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 unreachable!("collective entries carry collective classes")
             };
             let base = self.cost.collective_cost(meta.kind, meta.bytes, members);
-            let dur = base.scale(self.jitter.comm_multiplier(
-                self.iteration,
-                key.0,
-                key.1 as u64,
-            ));
+            let dur = base.scale(
+                self.jitter
+                    .comm_multiplier(self.iteration, key.0, key.1 as u64),
+            );
             inst.resolved = Some((start, dur));
             // Wake the other member streams so they emit and advance.
             let others: Vec<usize> = inst
@@ -858,7 +866,10 @@ mod tests {
                     ..
                 } = e.kind
                 {
-                    by_key.entry((m.group, m.seq)).or_default().push((e.ts, e.dur));
+                    by_key
+                        .entry((m.group, m.seq))
+                        .or_default()
+                        .push((e.ts, e.dur));
                 }
             }
         }

@@ -65,10 +65,7 @@ impl JitterModel {
 
     /// Returns `true` when all components are disabled.
     pub fn is_none(&self) -> bool {
-        self.kernel_cv == 0.0
-            && self.host_cv == 0.0
-            && self.comm_cv == 0.0
-            && self.drift_cv == 0.0
+        self.kernel_cv == 0.0 && self.host_cv == 0.0 && self.comm_cv == 0.0 && self.drift_cv == 0.0
     }
 
     /// The correlated drift of one iteration (applied to every GPU

@@ -191,7 +191,11 @@ impl RankLowerer<'_> {
         let name = self.names.intern(op.name.to_string());
         self.push(th, HostOp::CpuOp { name });
         match op.body {
-            OpBody::Collective { op: coll, scope, bytes } => {
+            OpBody::Collective {
+                op: coll,
+                scope,
+                bytes,
+            } => {
                 let (group, stream) = match scope {
                     CommScope::Tp => (self.tp_group, streams::TP_COMM),
                     CommScope::Dp => (self.dp_group, streams::DP_COMM),
@@ -371,10 +375,7 @@ impl RankLowerer<'_> {
         let last_mb = self.config.batch.num_microbatches - 1;
         self.annotate(Th::Main, "iteration".to_string());
 
-        let order: Vec<ScheduleItem> = schedule
-            .stage(stage)
-            .expect("stage in range")
-            .to_vec();
+        let order: Vec<ScheduleItem> = schedule.stage(stage).expect("stage in range").to_vec();
         for item in order {
             match item {
                 ScheduleItem::Forward { mb } => self.emit_forward(mb),
@@ -605,10 +606,7 @@ pub(crate) fn kernel_of(body: &OpBody) -> (String, KernelClass) {
             "vectorized_elementwise_kernel".to_string(),
             KernelClass::Elementwise { elems },
         ),
-        OpBody::Norm { elems } => (
-            "ln_fwd_bwd_kernel".to_string(),
-            KernelClass::Norm { elems },
-        ),
+        OpBody::Norm { elems } => ("ln_fwd_bwd_kernel".to_string(), KernelClass::Norm { elems }),
         OpBody::Softmax { elems } => (
             "softmax_xent_kernel".to_string(),
             KernelClass::Softmax { elems },

@@ -193,7 +193,12 @@ impl Program {
                     HostOp::AnnotationBegin { .. } => depth += 1,
                     HostOp::AnnotationEnd => {
                         depth -= 1;
-                        assert!(depth >= 0, "rank {} {:?}: unmatched AnnotationEnd", self.rank, t.tid);
+                        assert!(
+                            depth >= 0,
+                            "rank {} {:?}: unmatched AnnotationEnd",
+                            self.rank,
+                            t.tid
+                        );
                     }
                     HostOp::SignalPeer { token } => {
                         assert!(
@@ -246,9 +251,8 @@ mod tests {
     #[should_panic(expected = "unclosed")]
     fn unbalanced_annotation_caught() {
         let mut p = Program::new(0);
-        p.main_mut().push(HostOp::AnnotationBegin {
-            name: "x".into(),
-        });
+        p.main_mut()
+            .push(HostOp::AnnotationBegin { name: "x".into() });
         p.assert_well_formed();
     }
 

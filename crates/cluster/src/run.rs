@@ -169,10 +169,7 @@ impl<C: CostModel> GroundTruthCluster<C> {
 /// # Errors
 ///
 /// Returns configuration or engine errors.
-pub fn profile(
-    config: &SimConfig,
-    seed: u64,
-) -> Result<ClusterTrace, ClusterError> {
+pub fn profile(config: &SimConfig, seed: u64) -> Result<ClusterTrace, ClusterError> {
     let cluster = GroundTruthCluster::new(config, lumos_cost::AnalyticalCostModel::h100())?
         .with_jitter(JitterModel::realistic(seed));
     Ok(cluster.profile_iteration(0)?.trace)
@@ -235,8 +232,7 @@ mod tests {
 
     #[test]
     fn zero_jitter_measurements_identical() {
-        let cluster =
-            GroundTruthCluster::new(&tiny(), AnalyticalCostModel::h100()).unwrap();
+        let cluster = GroundTruthCluster::new(&tiny(), AnalyticalCostModel::h100()).unwrap();
         let stats = cluster.measure(3).unwrap();
         assert_eq!(stats.std_dev(), Dur::ZERO);
         assert_eq!(stats.iterations[0], stats.iterations[2]);

@@ -82,10 +82,7 @@ pub fn critical_path(graph: &ExecutionGraph, sim: &SimResult) -> CriticalPath {
     // on the same processor.
     let mut by_proc: HashMap<u32, Vec<TaskId>> = HashMap::new();
     for t in 0..n as u32 {
-        by_proc
-            .entry(graph.task(t).processor)
-            .or_default()
-            .push(t);
+        by_proc.entry(graph.task(t).processor).or_default().push(t);
     }
     let mut proc_prev: Vec<Option<TaskId>> = vec![None; n];
     for list in by_proc.values_mut() {
@@ -181,8 +178,7 @@ pub fn bottleneck_kernels(
         e.0 += d;
         e.1 += 1;
     }
-    let mut v: Vec<(Arc<str>, Dur, u64)> =
-        acc.into_iter().map(|(n, (d, c))| (n, d, c)).collect();
+    let mut v: Vec<(Arc<str>, Dur, u64)> = acc.into_iter().map(|(n, (d, c))| (n, d, c)).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v.truncate(top);
     v

@@ -254,10 +254,7 @@ fn build_rank(graph: &mut ExecutionGraph, trace: &RankTrace, opts: &BuildOptions
             ..
         } = e.kind
         {
-            let launch_ts = launch_ts_by_corr
-                .get(&correlation)
-                .copied()
-                .unwrap_or(e.ts);
+            let launch_ts = launch_ts_by_corr.get(&correlation).copied().unwrap_or(e.ts);
             kernels_by_stream
                 .entry(stream)
                 .or_default()
@@ -404,17 +401,15 @@ mod tests {
             TraceEvent::cuda_runtime(CudaRuntimeKind::LaunchKernel, us(5), Dur::from_us(2), t1)
                 .with_correlation(1),
         );
-        r.push(
-            TraceEvent::cuda_runtime(
-                CudaRuntimeKind::EventRecord {
-                    event: 11,
-                    stream: comp,
-                },
-                us(7),
-                Dur::from_us(1),
-                t1,
-            ),
-        );
+        r.push(TraceEvent::cuda_runtime(
+            CudaRuntimeKind::EventRecord {
+                event: 11,
+                stream: comp,
+            },
+            us(7),
+            Dur::from_us(1),
+            t1,
+        ));
         r.push(TraceEvent::cuda_runtime(
             CudaRuntimeKind::StreamWaitEvent {
                 stream: comm,
@@ -435,12 +430,8 @@ mod tests {
             t1,
         ));
         // GPU side.
-        r.push(
-            TraceEvent::kernel("k1", us(20), Dur::from_us(50), comp).with_correlation(1),
-        );
-        r.push(
-            TraceEvent::kernel("k2", us(75), Dur::from_us(40), comm).with_correlation(2),
-        );
+        r.push(TraceEvent::kernel("k1", us(20), Dur::from_us(50), comp).with_correlation(1));
+        r.push(TraceEvent::kernel("k2", us(75), Dur::from_us(40), comm).with_correlation(2));
         // Thread 2 wakes up long after thread 1 finished its ops.
         r.push(TraceEvent::cpu_op("opB", us(131), Dur::from_us(5), t2));
         let mut c = ClusterTrace::new("sample");
@@ -464,16 +455,8 @@ mod tests {
     fn interstream_edge_links_kernels() {
         let g = build_graph(&sample_trace(), &BuildOptions::default()).unwrap();
         // Find the edge k1 -> k2.
-        let k1 = g
-            .tasks()
-            .iter()
-            .position(|t| &*t.name == "k1")
-            .unwrap() as TaskId;
-        let k2 = g
-            .tasks()
-            .iter()
-            .position(|t| &*t.name == "k2")
-            .unwrap() as TaskId;
+        let k1 = g.tasks().iter().position(|t| &*t.name == "k1").unwrap() as TaskId;
+        let k2 = g.tasks().iter().position(|t| &*t.name == "k2").unwrap() as TaskId;
         assert!(g
             .successors(k1)
             .iter()
@@ -502,14 +485,14 @@ mod tests {
         for r in trace.ranks_mut() {
             for e in r.events_mut() {
                 if &*e.name == "k2" {
-                    *e = e.clone().with_class(KernelClass::Collective(
-                        lumos_trace::CommMeta {
+                    *e = e
+                        .clone()
+                        .with_class(KernelClass::Collective(lumos_trace::CommMeta {
                             kind: lumos_trace::CollectiveKind::AllReduce,
                             group: 7,
                             seq: 0,
                             bytes: 64,
-                        },
-                    ));
+                        }));
                 }
                 // Retarget k2's launch (correlation 2) to thread 2.
                 if let EventKind::CudaRuntime {
@@ -536,30 +519,25 @@ mod tests {
         for r in main_launched.ranks_mut() {
             for e in r.events_mut() {
                 if &*e.name == "k2" {
-                    *e = e.clone().with_class(KernelClass::Collective(
-                        lumos_trace::CommMeta {
+                    *e = e
+                        .clone()
+                        .with_class(KernelClass::Collective(lumos_trace::CommMeta {
                             kind: lumos_trace::CollectiveKind::AllReduce,
                             group: 7,
                             seq: 0,
                             bytes: 64,
-                        },
-                    ));
+                        }));
                 }
             }
         }
-        let dpro_main =
-            build_graph(&main_launched, &BuildOptions::dpro_baseline()).unwrap();
+        let dpro_main = build_graph(&main_launched, &BuildOptions::dpro_baseline()).unwrap();
         assert_eq!(dpro_main.stats().inter_stream, 1);
     }
 
     #[test]
     fn interthread_edge_targets_latest_source() {
         let g = build_graph(&sample_trace(), &BuildOptions::default()).unwrap();
-        let op_b = g
-            .tasks()
-            .iter()
-            .position(|t| &*t.name == "opB")
-            .unwrap() as TaskId;
+        let op_b = g.tasks().iter().position(|t| &*t.name == "opB").unwrap() as TaskId;
         // Its inter-thread predecessor is the streamSync (latest t1
         // task ending at 131us).
         let pred = g

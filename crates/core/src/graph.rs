@@ -127,7 +127,10 @@ impl ExecutionGraph {
 
     /// Registers a collective member kernel.
     pub fn register_collective(&mut self, group: u64, seq: u32, member: TaskId, rank: RankId) {
-        self.collectives.entry((group, seq)).or_default().push(member);
+        self.collectives
+            .entry((group, seq))
+            .or_default()
+            .push(member);
         let ranks = self.groups.entry(group).or_default();
         if !ranks.contains(&rank) {
             ranks.push(rank);
@@ -337,7 +340,13 @@ mod tests {
         g.add_edge(a, b, DepKind::IntraThread);
         assert_eq!(g.pred_count(b), 1);
         assert_eq!(g.pred_count(a), 0);
-        assert_eq!(g.successors(a), &[Edge { to: b, kind: DepKind::IntraThread }]);
+        assert_eq!(
+            g.successors(a),
+            &[Edge {
+                to: b,
+                kind: DepKind::IntraThread
+            }]
+        );
         assert_eq!(g.stats().intra_thread, 1);
         g.validate().unwrap();
     }

@@ -283,8 +283,18 @@ mod tests {
         let tid = ThreadId(1);
         let mut r = RankTrace::new(0);
         let us = Ts::from_us;
-        r.push(TraceEvent::annotation("iteration", us(0), Dur::from_us(1000), tid));
-        r.push(TraceEvent::annotation("fwd mb=0", us(0), Dur::from_us(400), tid));
+        r.push(TraceEvent::annotation(
+            "iteration",
+            us(0),
+            Dur::from_us(1000),
+            tid,
+        ));
+        r.push(TraceEvent::annotation(
+            "fwd mb=0",
+            us(0),
+            Dur::from_us(400),
+            tid,
+        ));
         r.push(TraceEvent::annotation(
             "layer=0 fwd mb=0",
             us(10),
@@ -306,7 +316,12 @@ mod tests {
             Dur::from_us(30),
             tid,
         ));
-        r.push(TraceEvent::cpu_op("nccl:all_reduce_dp_grads", us(121), Dur::from_us(6), tid));
+        r.push(TraceEvent::cpu_op(
+            "nccl:all_reduce_dp_grads",
+            us(121),
+            Dur::from_us(6),
+            tid,
+        ));
         let mut c = ClusterTrace::new("annotated");
         c.push_rank(r);
         c
@@ -314,11 +329,8 @@ mod tests {
 
     #[test]
     fn extracts_layer_block_with_kernel() {
-        let lib = BlockLibrary::extract(
-            &annotated_trace(),
-            Parallelism::new(1, 1, 1).unwrap(),
-        )
-        .unwrap();
+        let lib =
+            BlockLibrary::extract(&annotated_trace(), Parallelism::new(1, 1, 1).unwrap()).unwrap();
         let key = BlockKey {
             tp: 0,
             dp: 0,
@@ -337,21 +349,15 @@ mod tests {
 
     #[test]
     fn dp_grads_ranges_not_extracted() {
-        let lib = BlockLibrary::extract(
-            &annotated_trace(),
-            Parallelism::new(1, 1, 1).unwrap(),
-        )
-        .unwrap();
+        let lib =
+            BlockLibrary::extract(&annotated_trace(), Parallelism::new(1, 1, 1).unwrap()).unwrap();
         assert_eq!(lib.len(), 1); // only the layer block
     }
 
     #[test]
     fn host_profile_fitted_from_trace() {
-        let lib = BlockLibrary::extract(
-            &annotated_trace(),
-            Parallelism::new(1, 1, 1).unwrap(),
-        )
-        .unwrap();
+        let lib =
+            BlockLibrary::extract(&annotated_trace(), Parallelism::new(1, 1, 1).unwrap()).unwrap();
         assert_eq!(lib.host.cpu_op, Dur::from_us(6));
         assert_eq!(lib.host.launch, Dur::from_us(4));
         // No record/wait events in the trace: default used.

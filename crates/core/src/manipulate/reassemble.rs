@@ -27,8 +27,7 @@ use crate::task::Phase;
 use lumos_cost::CostModel;
 use lumos_model::ops::{self, OpBody, OpDesc};
 use lumos_model::{
-    CommScope, GroupRegistry, PipelineSchedule, RankCoords, ScheduleItem,
-    TrainingSetup,
+    CommScope, GroupRegistry, PipelineSchedule, RankCoords, ScheduleItem, TrainingSetup,
 };
 use lumos_trace::{
     ClusterTrace, CollectiveKind, CommMeta, CudaRuntimeKind, Dur, EventKind, KernelClass,
@@ -205,11 +204,7 @@ impl<C: CostModel> RankEmitter<'_, C> {
         let last_mb = new.batch.num_microbatches - 1;
         let iter_start = self.main_cursor;
 
-        let order: Vec<ScheduleItem> = self
-            .schedule
-            .stage(stage)
-            .expect("stage in range")
-            .to_vec();
+        let order: Vec<ScheduleItem> = self.schedule.stage(stage).expect("stage in range").to_vec();
         for item in order {
             match item {
                 ScheduleItem::Forward { mb } => self.emit_forward(mb)?,
@@ -299,7 +294,14 @@ impl<C: CostModel> RankEmitter<'_, C> {
         *self.cursor(tid) = ts + dur + dur;
     }
 
-    fn emit_launch(&mut self, tid: ThreadId, name: &str, class: KernelClass, stream: StreamId, dur: Dur) {
+    fn emit_launch(
+        &mut self,
+        tid: ThreadId,
+        name: &str,
+        class: KernelClass,
+        stream: StreamId,
+        dur: Dur,
+    ) {
         let launch_dur = self.library.host.launch;
         let corr = self.fresh_corr();
         let ts = *self.cursor(tid);
@@ -433,13 +435,13 @@ impl<C: CostModel> RankEmitter<'_, C> {
             (BlockKind::Layer(_), Phase::Backward) => {
                 ops::layer_backward_ops(&new.model, tp, &new.batch)
             }
-            (BlockKind::Embed, Phase::Forward) => ops::embedding_forward_ops(&new.model, &new.batch),
+            (BlockKind::Embed, Phase::Forward) => {
+                ops::embedding_forward_ops(&new.model, &new.batch)
+            }
             (BlockKind::Embed, Phase::Backward) => {
                 ops::embedding_backward_ops(&new.model, &new.batch)
             }
-            (BlockKind::Head, Phase::Forward) => {
-                ops::head_forward_ops(&new.model, tp, &new.batch)
-            }
+            (BlockKind::Head, Phase::Forward) => ops::head_forward_ops(&new.model, tp, &new.batch),
             (BlockKind::Head, Phase::Backward) => {
                 ops::head_backward_ops(&new.model, tp, &new.batch)
             }
@@ -448,12 +450,7 @@ impl<C: CostModel> RankEmitter<'_, C> {
     }
 
     /// Looks up the source block for (kind-of-new-content, mb).
-    fn source_block(
-        &self,
-        kind: BlockKind,
-        mb: u32,
-        phase: Phase,
-    ) -> Result<&'_ Block, CoreError> {
+    fn source_block(&self, kind: BlockKind, mb: u32, phase: Phase) -> Result<&'_ Block, CoreError> {
         let old = &self.spec.old;
         let src_kind = match kind {
             BlockKind::Layer(new_layer) => {
@@ -470,9 +467,11 @@ impl<C: CostModel> RankEmitter<'_, C> {
             mb: mb % old.batch.num_microbatches,
             phase,
         };
-        self.library.get(&key).ok_or_else(|| CoreError::MissingAnnotations {
-            needed: format!("block {key:?} absent from source trace"),
-        })
+        self.library
+            .get(&key)
+            .ok_or_else(|| CoreError::MissingAnnotations {
+                needed: format!("block {key:?} absent from source trace"),
+            })
     }
 
     /// Pastes one block at the thread cursor, renumbering ids and
@@ -604,7 +603,11 @@ impl<C: CostModel> RankEmitter<'_, C> {
         let mut launch_ts: HashMap<u64, Ts> = HashMap::new();
         for e in &block.events {
             match e.kind {
-                EventKind::Kernel { stream, correlation, class } => {
+                EventKind::Kernel {
+                    stream,
+                    correlation,
+                    class,
+                } => {
                     let (new_corr, update) = updates[&correlation];
                     let (class, dur) = match update {
                         Some((c, d)) => (c, d),
@@ -619,28 +622,28 @@ impl<C: CostModel> RankEmitter<'_, C> {
                     };
                     kernels.push(k);
                 }
-                EventKind::CudaRuntime { tid: _, kind, correlation } => {
+                EventKind::CudaRuntime {
+                    tid: _,
+                    kind,
+                    correlation,
+                } => {
                     let mut ev = e.clone();
                     ev.ts = base + Dur(e.ts.0);
                     let new_kind = match kind {
                         CudaRuntimeKind::EventRecord { event, stream } => {
-                            let id = *event_map
-                                .entry(event)
-                                .or_insert_with(|| {
-                                    let e = self.next_event;
-                                    self.next_event += 1;
-                                    e
-                                });
+                            let id = *event_map.entry(event).or_insert_with(|| {
+                                let e = self.next_event;
+                                self.next_event += 1;
+                                e
+                            });
                             CudaRuntimeKind::EventRecord { event: id, stream }
                         }
                         CudaRuntimeKind::StreamWaitEvent { stream, event } => {
-                            let id = *event_map
-                                .entry(event)
-                                .or_insert_with(|| {
-                                    let e = self.next_event;
-                                    self.next_event += 1;
-                                    e
-                                });
+                            let id = *event_map.entry(event).or_insert_with(|| {
+                                let e = self.next_event;
+                                self.next_event += 1;
+                                e
+                            });
                             CudaRuntimeKind::StreamWaitEvent { stream, event: id }
                         }
                         other => other,
@@ -678,13 +681,15 @@ impl<C: CostModel> RankEmitter<'_, C> {
                 .unwrap_or(k.ts)
         });
         for mut k in kernels {
-            let EventKind::Kernel { stream, correlation, .. } = k.kind else {
+            let EventKind::Kernel {
+                stream,
+                correlation,
+                ..
+            } = k.kind
+            else {
                 unreachable!()
             };
-            let le = launch_ts
-                .get(&correlation)
-                .copied()
-                .unwrap_or(base);
+            let le = launch_ts.get(&correlation).copied().unwrap_or(base);
             k.ts = self.place_kernel(stream, le, k.dur);
             self.events.push(k);
         }
@@ -760,8 +765,7 @@ impl<C: CostModel> RankEmitter<'_, C> {
             .rev()
             .collect();
         let dp = new.parallelism.dp;
-        let layer_params =
-            new.model.params_per_layer() / new.parallelism.tp as u64;
+        let layer_params = new.model.params_per_layer() / new.parallelism.tp as u64;
         for l in layers {
             self.paste_block(BACKWARD, BlockKind::Layer(l), Some(l), mb, Phase::Backward)?;
             if is_last_mb && dp > 1 {
@@ -798,8 +802,7 @@ impl<C: CostModel> RankEmitter<'_, C> {
             self.emit_stream_sync(MAIN, streams::DP_COMM);
         }
         if new.parallelism.pp > 1 && (stage == 0 || stage == new.parallelism.pp - 1) {
-            let bytes =
-                new.model.params_embedding() / new.parallelism.tp as u64 * ops::GRAD_BYTES;
+            let bytes = new.model.params_embedding() / new.parallelism.tp as u64 * ops::GRAD_BYTES;
             let group = self.registry.group_id(CommScope::Embedding, self.coords);
             let members = self.registry.members(CommScope::Embedding, self.coords);
             let dur = self
@@ -821,12 +824,7 @@ impl<C: CostModel> RankEmitter<'_, C> {
             );
             self.emit_stream_sync(MAIN, streams::DP_COMM);
         }
-        let params = ops::local_params(
-            &new.model,
-            new.parallelism.tp,
-            new.parallelism.pp,
-            stage,
-        );
+        let params = ops::local_params(&new.model, new.parallelism.tp, new.parallelism.pp, stage);
         for op in ops::optimizer_ops(params) {
             self.emit_cpu_op(MAIN, op.name);
             if let Some(class) = class_of_body(&op.body) {
@@ -905,4 +903,3 @@ fn kernel_name_of(body: &OpBody) -> String {
         OpBody::Collective { op, .. } => format!("nccl_{op:?}"),
     }
 }
-

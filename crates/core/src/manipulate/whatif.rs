@@ -46,9 +46,11 @@ pub fn scale_kernel_class(
     factor: f64,
     matcher: impl Fn(&KernelClass) -> bool,
 ) -> usize {
-    scale_tasks(graph, factor, |t| {
-        matches!(&t.kind, TaskKind::Kernel(c) if matcher(c))
-    })
+    scale_tasks(
+        graph,
+        factor,
+        |t| matches!(&t.kind, TaskKind::Kernel(c) if matcher(c)),
+    )
 }
 
 /// Scales every GEMM kernel ("what if matmuls were 2× faster?").

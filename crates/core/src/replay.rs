@@ -119,9 +119,7 @@ mod tests {
             TraceEvent::cuda_runtime(CudaRuntimeKind::LaunchKernel, Ts(5_000), Dur(2_000), t1)
                 .with_correlation(1),
         );
-        r.push(
-            TraceEvent::kernel("k", Ts(9_000), Dur(50_000), StreamId(7)).with_correlation(1),
-        );
+        r.push(TraceEvent::kernel("k", Ts(9_000), Dur(50_000), StreamId(7)).with_correlation(1));
         let mut c = ClusterTrace::new("small");
         c.push_rank(r);
         c
@@ -149,10 +147,7 @@ mod tests {
     #[test]
     fn dpro_baseline_differs_in_build_options() {
         let d = Lumos::dpro_baseline();
-        assert_ne!(
-            d.build.interstream,
-            crate::build::InterStreamMode::Full
-        );
+        assert_ne!(d.build.interstream, crate::build::InterStreamMode::Full);
         assert_eq!(
             Lumos::new().build.interstream,
             crate::build::InterStreamMode::Full

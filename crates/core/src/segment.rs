@@ -130,10 +130,7 @@ mod tests {
         assert_eq!(t.mb, Some(7));
 
         assert!(parse_annotation("iteration").is_empty());
-        assert_eq!(
-            parse_annotation("optimizer").phase,
-            Some(Phase::Optimizer)
-        );
+        assert_eq!(parse_annotation("optimizer").phase, Some(Phase::Optimizer));
         // Garbage tolerated.
         assert!(parse_annotation("layer=x unknown").is_empty());
     }
@@ -153,7 +150,12 @@ mod tests {
         let mut trace = RankTrace::new(0);
         let tid = ThreadId(1);
         trace.push(TraceEvent::annotation("fwd mb=0", Ts(0), Dur(100), tid));
-        trace.push(TraceEvent::annotation("layer=2 fwd mb=0", Ts(10), Dur(50), tid));
+        trace.push(TraceEvent::annotation(
+            "layer=2 fwd mb=0",
+            Ts(10),
+            Dur(50),
+            tid,
+        ));
         trace.push(TraceEvent::cpu_op("inside_layer", Ts(20), Dur(5), tid)); // idx 2
         trace.push(TraceEvent::cpu_op("inside_fwd_only", Ts(70), Dur(5), tid)); // idx 3
         trace.push(TraceEvent::cpu_op("outside", Ts(200), Dur(5), tid)); // idx 4
@@ -168,8 +170,18 @@ mod tests {
     #[test]
     fn threads_do_not_cross_tag() {
         let mut trace = RankTrace::new(0);
-        trace.push(TraceEvent::annotation("fwd mb=1", Ts(0), Dur(100), ThreadId(1)));
-        trace.push(TraceEvent::cpu_op("other_thread", Ts(50), Dur(5), ThreadId(2)));
+        trace.push(TraceEvent::annotation(
+            "fwd mb=1",
+            Ts(0),
+            Dur(100),
+            ThreadId(1),
+        ));
+        trace.push(TraceEvent::cpu_op(
+            "other_thread",
+            Ts(50),
+            Dur(5),
+            ThreadId(2),
+        ));
         let tags = tag_host_events(&trace);
         assert!(tags.is_empty());
     }

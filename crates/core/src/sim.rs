@@ -315,9 +315,7 @@ pub fn simulate(graph: &ExecutionGraph, opts: &SimOptions) -> Result<SimResult, 
             // A completed kernel may release deferred syncs.
             if let Some(waiters) = sync_waiters.remove(&c) {
                 for s in waiters {
-                    let (unmet, latest) = sync_state
-                        .get_mut(&s)
-                        .expect("waiting sync has state");
+                    let (unmet, latest) = sync_state.get_mut(&s).expect("waiting sync has state");
                     *unmet -= 1;
                     *latest = (*latest).max(end);
                     if *unmet == 0 {
@@ -355,13 +353,7 @@ mod tests {
         ExecutionGraph::new()
     }
 
-    fn add(
-        g: &mut ExecutionGraph,
-        proc: Processor,
-        kind: TaskKind,
-        dur: u64,
-        orig: u64,
-    ) -> TaskId {
+    fn add(g: &mut ExecutionGraph, proc: Processor, kind: TaskKind, dur: u64, orig: u64) -> TaskId {
         let p = g.processor_idx(proc);
         g.add_task(Task {
             name: "t".into(),

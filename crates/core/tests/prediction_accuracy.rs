@@ -85,8 +85,7 @@ fn dp_scaling_prediction() {
 fn pp_scaling_prediction() {
     // Figure 7b: scale PP 2 -> 4 (micro-batches kept).
     let base = base_setup(1, 2, 1, 4);
-    let (predicted, actual) =
-        predict_vs_actual(&base, &[Transform::PipelineParallel { pp: 4 }]);
+    let (predicted, actual) = predict_vs_actual(&base, &[Transform::PipelineParallel { pp: 4 }]);
     assert_close(predicted, actual, 0.08, "pp 2->4");
 }
 
@@ -131,8 +130,7 @@ fn tp_preserving_prediction_with_tensor_parallel_base() {
     // TP stays fixed but the base uses it: TP all-reduce blocks must
     // remap groups/seqs correctly across the new stages.
     let base = base_setup(2, 2, 1, 4);
-    let (predicted, actual) =
-        predict_vs_actual(&base, &[Transform::PipelineParallel { pp: 4 }]);
+    let (predicted, actual) = predict_vs_actual(&base, &[Transform::PipelineParallel { pp: 4 }]);
     assert_close(predicted, actual, 0.08, "tp=2 base, pp 2->4");
 }
 

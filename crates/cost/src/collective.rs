@@ -201,8 +201,16 @@ mod tests {
         // moves large-payload cost (paper Fig. 7a: DP scaling changes
         // comm time modestly).
         let m = model();
-        let t16 = m.duration(CollectiveKind::AllReduce, 256 * MB, &(0..16).collect::<Vec<_>>());
-        let t32 = m.duration(CollectiveKind::AllReduce, 256 * MB, &(0..32).collect::<Vec<_>>());
+        let t16 = m.duration(
+            CollectiveKind::AllReduce,
+            256 * MB,
+            &(0..16).collect::<Vec<_>>(),
+        );
+        let t32 = m.duration(
+            CollectiveKind::AllReduce,
+            256 * MB,
+            &(0..32).collect::<Vec<_>>(),
+        );
         let ratio = t32.as_secs_f64() / t16.as_secs_f64();
         assert!((1.0..1.15).contains(&ratio), "ratio {ratio}");
     }
@@ -274,8 +282,18 @@ mod tests {
         // 64 inter-node ranks, 64 KiB: ring pays 126 hops, tree 12.
         let m = model();
         let members: Vec<u32> = (0..64).collect();
-        let ring = m.duration_with(CollectiveAlgorithm::Ring, CollectiveKind::AllReduce, 64 << 10, &members);
-        let tree = m.duration_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, 64 << 10, &members);
+        let ring = m.duration_with(
+            CollectiveAlgorithm::Ring,
+            CollectiveKind::AllReduce,
+            64 << 10,
+            &members,
+        );
+        let tree = m.duration_with(
+            CollectiveAlgorithm::Tree,
+            CollectiveKind::AllReduce,
+            64 << 10,
+            &members,
+        );
         assert!(tree < ring, "tree {tree} !< ring {ring}");
     }
 
@@ -284,8 +302,18 @@ mod tests {
         // 1 GiB over 16 ranks: ring moves 2S·15/16, tree 2S.
         let m = model();
         let members: Vec<u32> = (0..16).collect();
-        let ring = m.duration_with(CollectiveAlgorithm::Ring, CollectiveKind::AllReduce, 1 << 30, &members);
-        let tree = m.duration_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, 1 << 30, &members);
+        let ring = m.duration_with(
+            CollectiveAlgorithm::Ring,
+            CollectiveKind::AllReduce,
+            1 << 30,
+            &members,
+        );
+        let tree = m.duration_with(
+            CollectiveAlgorithm::Tree,
+            CollectiveKind::AllReduce,
+            1 << 30,
+            &members,
+        );
         assert!(ring < tree, "ring {ring} !< tree {tree}");
     }
 
@@ -294,9 +322,24 @@ mod tests {
         let m = model();
         let members: Vec<u32> = (0..64).collect();
         for bytes in [1u64 << 10, 1 << 20, 1 << 30] {
-            let ring = m.duration_with(CollectiveAlgorithm::Ring, CollectiveKind::AllReduce, bytes, &members);
-            let tree = m.duration_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, bytes, &members);
-            let auto = m.duration_with(CollectiveAlgorithm::Auto, CollectiveKind::AllReduce, bytes, &members);
+            let ring = m.duration_with(
+                CollectiveAlgorithm::Ring,
+                CollectiveKind::AllReduce,
+                bytes,
+                &members,
+            );
+            let tree = m.duration_with(
+                CollectiveAlgorithm::Tree,
+                CollectiveKind::AllReduce,
+                bytes,
+                &members,
+            );
+            let auto = m.duration_with(
+                CollectiveAlgorithm::Auto,
+                CollectiveKind::AllReduce,
+                bytes,
+                &members,
+            );
             assert_eq!(auto, ring.min(tree));
         }
     }
@@ -325,7 +368,12 @@ mod tests {
         let members: Vec<u32> = (0..64).collect();
         assert_eq!(
             m.duration(CollectiveKind::AllReduce, 1 << 12, &members),
-            m.duration_with(CollectiveAlgorithm::Auto, CollectiveKind::AllReduce, 1 << 12, &members)
+            m.duration_with(
+                CollectiveAlgorithm::Auto,
+                CollectiveKind::AllReduce,
+                1 << 12,
+                &members
+            )
         );
     }
 
@@ -339,8 +387,18 @@ mod tests {
         let mut prev_tree_wins: Option<bool> = None;
         for pow in 10..32 {
             let bytes = 1u64 << pow;
-            let ring = m.duration_with(CollectiveAlgorithm::Ring, CollectiveKind::AllReduce, bytes, &members);
-            let tree = m.duration_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, bytes, &members);
+            let ring = m.duration_with(
+                CollectiveAlgorithm::Ring,
+                CollectiveKind::AllReduce,
+                bytes,
+                &members,
+            );
+            let tree = m.duration_with(
+                CollectiveAlgorithm::Tree,
+                CollectiveKind::AllReduce,
+                bytes,
+                &members,
+            );
             let tree_wins = tree < ring;
             if let Some(prev) = prev_tree_wins {
                 if prev != tree_wins {

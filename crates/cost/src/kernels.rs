@@ -226,7 +226,11 @@ mod tests {
     fn all_compute_classes_positive_and_deterministic() {
         let m = model();
         let classes = [
-            KernelClass::Gemm { m: 64, n: 64, k: 64 },
+            KernelClass::Gemm {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
             KernelClass::AttentionFwd {
                 batch_heads: 4,
                 seq: 128,

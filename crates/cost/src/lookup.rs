@@ -195,7 +195,11 @@ mod tests {
     #[test]
     fn recorded_shapes_return_observed_mean() {
         let mut m = lookup();
-        let shape = KernelClass::Gemm { m: 128, n: 128, k: 128 };
+        let shape = KernelClass::Gemm {
+            m: 128,
+            n: 128,
+            k: 128,
+        };
         m.record_compute(shape, Dur::from_us(100));
         m.record_compute(shape, Dur::from_us(200));
         assert_eq!(m.compute_cost(&shape), Dur::from_us(150));
@@ -206,7 +210,11 @@ mod tests {
     #[test]
     fn unseen_shapes_fall_back() {
         let m = lookup();
-        let shape = KernelClass::Gemm { m: 4096, n: 4096, k: 4096 };
+        let shape = KernelClass::Gemm {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+        };
         assert!(!m.covers(&shape));
         assert_eq!(
             m.compute_cost(&shape),

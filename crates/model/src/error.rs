@@ -48,14 +48,21 @@ impl fmt::Display for ModelError {
                 write!(f, "parallelism degree `{axis}` must be at least 1")
             }
             ModelError::LayersNotDivisible { layers, pp } => {
-                write!(f, "{layers} layers cannot be split evenly into {pp} pipeline stages")
+                write!(
+                    f,
+                    "{layers} layers cannot be split evenly into {pp} pipeline stages"
+                )
             }
             ModelError::HeadsNotDivisible { heads, tp } => {
                 write!(f, "{heads} attention heads cannot be split across tp={tp}")
             }
-            ModelError::EmptySchedule => write!(f, "schedule needs at least 1 stage and 1 micro-batch"),
+            ModelError::EmptySchedule => {
+                write!(f, "schedule needs at least 1 stage and 1 micro-batch")
+            }
             ModelError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
-            ModelError::ZeroDimension { dim } => write!(f, "model dimension `{dim}` must be at least 1"),
+            ModelError::ZeroDimension { dim } => {
+                write!(f, "model dimension `{dim}` must be at least 1")
+            }
         }
     }
 }

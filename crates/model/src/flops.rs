@@ -128,10 +128,7 @@ mod tests {
     use crate::parallel::Parallelism;
 
     fn setup_175b() -> TrainingSetup {
-        TrainingSetup::new(
-            ModelConfig::gpt3_175b(),
-            Parallelism::new(8, 4, 8).unwrap(),
-        )
+        TrainingSetup::new(ModelConfig::gpt3_175b(), Parallelism::new(8, 4, 8).unwrap())
     }
 
     #[test]
@@ -184,11 +181,7 @@ mod tests {
         // band for the paper's Figure 1 setup (~7s iterations).
         let s = setup_175b();
         let u = utilization(&s, Recompute::Selective, 7.0, 989e12);
-        assert!(
-            (0.05..0.95).contains(&u.mfu),
-            "implausible MFU {}",
-            u.mfu
-        );
+        assert!((0.05..0.95).contains(&u.mfu), "implausible MFU {}", u.mfu);
         assert_eq!(u.mfu, u.hfu);
         assert!(u.tflops_per_gpu > 0.0);
     }

@@ -215,7 +215,12 @@ impl fmt::Display for ModelConfig {
         write!(
             f,
             "{} (L={}, d={}, ffn={}, heads={}x{})",
-            self.name, self.num_layers, self.hidden_size, self.ffn_size, self.num_heads, self.head_dim
+            self.name,
+            self.num_layers,
+            self.hidden_size,
+            self.ffn_size,
+            self.num_heads,
+            self.head_dim
         )
     }
 }

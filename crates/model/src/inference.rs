@@ -281,7 +281,9 @@ mod tests {
             .unwrap();
         match dec.body {
             OpBody::AttentionDecode {
-                kv_len, batch_heads, ..
+                kv_len,
+                batch_heads,
+                ..
             } => {
                 assert_eq!(kv_len, 128);
                 assert_eq!(batch_heads, 4 * 2); // batch 4 × 2 local heads
@@ -336,7 +338,12 @@ mod tests {
     fn sampling_prices_last_position_only() {
         let s = setup();
         let head = sampling_ops(&s);
-        match head.iter().find(|o| o.name == "aten::mm_lm_head").unwrap().body {
+        match head
+            .iter()
+            .find(|o| o.name == "aten::mm_lm_head")
+            .unwrap()
+            .body
+        {
             OpBody::Gemm { m, n, .. } => {
                 assert_eq!(m, s.batch_size);
                 assert_eq!(n, s.model.vocab_size / 2);

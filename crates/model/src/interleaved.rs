@@ -175,11 +175,7 @@ impl InterleavedSchedule {
         for (r, order) in self.iter() {
             if order.len() != (2 * v * m) as usize {
                 return Err(ModelError::InvalidSchedule {
-                    reason: format!(
-                        "rank {r}: {} items, expected {}",
-                        order.len(),
-                        2 * v * m
-                    ),
+                    reason: format!("rank {r}: {} items, expected {}", order.len(), 2 * v * m),
                 });
             }
             let mut next_f = vec![0u32; v as usize];
@@ -194,20 +190,14 @@ impl InterleavedSchedule {
                 if item.forward {
                     if item.mb != next_f[c] {
                         return Err(ModelError::InvalidSchedule {
-                            reason: format!(
-                                "rank {r}: expected F{}.{c}, found {item}",
-                                next_f[c]
-                            ),
+                            reason: format!("rank {r}: expected F{}.{c}, found {item}", next_f[c]),
                         });
                     }
                     next_f[c] += 1;
                 } else {
                     if item.mb != next_b[c] {
                         return Err(ModelError::InvalidSchedule {
-                            reason: format!(
-                                "rank {r}: expected B{}.{c}, found {item}",
-                                next_b[c]
-                            ),
+                            reason: format!("rank {r}: expected B{}.{c}, found {item}", next_b[c]),
                         });
                     }
                     if item.mb >= next_f[c] {

@@ -228,7 +228,8 @@ impl MemoryModel {
 
         let layers_here = (model.num_layers / par.pp) as u64;
         let per_layer = self.activation_bytes_per_layer(model, batch, par.tp);
-        let in_flight = self.in_flight(setup.schedule, par.pp, stage, batch.num_microbatches) as u64;
+        let in_flight =
+            self.in_flight(setup.schedule, par.pp, stage, batch.num_microbatches) as u64;
         let mut activations = in_flight * layers_here * per_layer;
         if stage == 0 {
             // Embedding output held per in-flight micro-batch.
@@ -335,10 +336,7 @@ mod tests {
             ..MemoryModel::default()
         };
         let (stage, est) = dist.estimate_peak(&s);
-        assert!(
-            est.fits(H100_CAPACITY),
-            "stage {stage} does not fit: {est}"
-        );
+        assert!(est.fits(H100_CAPACITY), "stage {stage} does not fit: {est}");
     }
 
     #[test]

@@ -348,10 +348,7 @@ pub fn layer_backward_ops(model: &ModelConfig, tp: u32, batch: &BatchConfig) -> 
         ));
     }
     ops.extend([
-        OpDesc::new(
-            "aten::layer_norm_bwd",
-            OpBody::Norm { elems: tokens * d },
-        ),
+        OpDesc::new("aten::layer_norm_bwd", OpBody::Norm { elems: tokens * d }),
         OpDesc::new(
             "aten::dropout_add_bwd",
             OpBody::Elementwise { elems: tokens * d },
@@ -594,8 +591,14 @@ mod tests {
     fn backward_flops_roughly_twice_forward() {
         let m = model();
         let b = batch();
-        let fwd: u64 = layer_forward_ops(&m, 1, &b).iter().map(|o| o.body.flops()).sum();
-        let bwd: u64 = layer_backward_ops(&m, 1, &b).iter().map(|o| o.body.flops()).sum();
+        let fwd: u64 = layer_forward_ops(&m, 1, &b)
+            .iter()
+            .map(|o| o.body.flops())
+            .sum();
+        let bwd: u64 = layer_backward_ops(&m, 1, &b)
+            .iter()
+            .map(|o| o.body.flops())
+            .sum();
         let ratio = bwd as f64 / fwd as f64;
         assert!((1.8..2.6).contains(&ratio), "bwd/fwd flop ratio {ratio}");
     }
@@ -605,11 +608,11 @@ mod tests {
         let b = batch();
         let ops1 = layer_forward_ops(&model(), 1, &b);
         let ops4 = layer_forward_ops(&model(), 4, &b);
-        let n_of = |ops: &[OpDesc]| match ops.iter().find(|o| o.name == "aten::mm_qkv").unwrap().body
-        {
-            OpBody::Gemm { n, .. } => n,
-            _ => unreachable!(),
-        };
+        let n_of =
+            |ops: &[OpDesc]| match ops.iter().find(|o| o.name == "aten::mm_qkv").unwrap().body {
+                OpBody::Gemm { n, .. } => n,
+                _ => unreachable!(),
+            };
         assert_eq!(n_of(&ops1), 4 * n_of(&ops4));
     }
 
@@ -662,7 +665,12 @@ mod tests {
     fn head_ops_shard_vocab() {
         let b = batch();
         let ops = head_forward_ops(&model(), 4, &b);
-        match ops.iter().find(|o| o.name == "aten::mm_lm_head").unwrap().body {
+        match ops
+            .iter()
+            .find(|o| o.name == "aten::mm_lm_head")
+            .unwrap()
+            .body
+        {
             OpBody::Gemm { n, .. } => assert_eq!(n, 51_200 / 4),
             _ => panic!("lm head is a gemm"),
         }

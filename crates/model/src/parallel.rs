@@ -257,9 +257,7 @@ impl GroupRegistry {
                         + coords.tp as u64)
             }
             // One embedding group per (tp, dp).
-            CommScope::Embedding => {
-                SCOPE_EMB | (coords.dp as u64 * p.tp as u64 + coords.tp as u64)
-            }
+            CommScope::Embedding => SCOPE_EMB | (coords.dp as u64 * p.tp as u64 + coords.tp as u64),
         }
     }
 

@@ -154,9 +154,7 @@ impl PipelineSchedule {
                     ScheduleItem::Forward { mb } => {
                         if *mb != next_f {
                             return Err(ModelError::InvalidSchedule {
-                                reason: format!(
-                                    "stage {s}: expected F{next_f}, found F{mb}"
-                                ),
+                                reason: format!("stage {s}: expected F{next_f}, found F{mb}"),
                             });
                         }
                         next_f += 1;
@@ -166,9 +164,7 @@ impl PipelineSchedule {
                     ScheduleItem::Backward { mb } => {
                         if *mb != next_b {
                             return Err(ModelError::InvalidSchedule {
-                                reason: format!(
-                                    "stage {s}: expected B{next_b}, found B{mb}"
-                                ),
+                                reason: format!("stage {s}: expected B{next_b}, found B{mb}"),
                             });
                         }
                         if *mb >= next_f {

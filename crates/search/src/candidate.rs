@@ -1,0 +1,164 @@
+//! One point of the search space and its mapping onto graph-
+//! manipulation transforms.
+
+use crate::space::{ArchPoint, SpaceSpec};
+use lumos_core::manipulate::{apply_transforms, Transform};
+use lumos_core::CoreError;
+use lumos_model::TrainingSetup;
+
+/// One candidate configuration: a deployment (and optionally an
+/// architecture variant) reachable from the base trace by graph
+/// manipulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Pipeline-parallel degree.
+    pub pp: u32,
+    /// Data-parallel degree.
+    pub dp: u32,
+    /// Micro-batches per iteration.
+    pub microbatches: u32,
+    /// Interleaved-1F1B virtual chunks (`1` = plain 1F1B).
+    pub interleave: u32,
+    /// Index into [`SpaceSpec::arch`]; `None` = base architecture.
+    pub arch: Option<usize>,
+}
+
+impl Candidate {
+    /// Total GPUs this candidate occupies.
+    pub fn world_size(&self) -> u32 {
+        self.tp * self.pp * self.dp
+    }
+
+    /// `TPxPPxDP` label in the paper's convention, with micro-batch /
+    /// interleave / arch suffixes when they differ from defaults.
+    pub fn label(&self, spec: &SpaceSpec) -> String {
+        let mut s = format!("{}x{}x{}", self.tp, self.pp, self.dp);
+        s.push_str(&format!(" m={}", self.microbatches));
+        if self.interleave > 1 {
+            s.push_str(&format!(" v={}", self.interleave));
+        }
+        if let Some(i) = self.arch {
+            if let Some(a) = spec.arch.get(i) {
+                s.push_str(&format!(" [{}]", a.label));
+            }
+        }
+        s
+    }
+
+    /// The architecture point this candidate targets, if any.
+    pub fn arch_point<'s>(&self, spec: &'s SpaceSpec) -> Option<&'s ArchPoint> {
+        self.arch.and_then(|i| spec.arch.get(i))
+    }
+
+    /// The transform list taking the base setup to this candidate
+    /// (identity candidates produce an empty list).
+    pub fn transforms_from(&self, base: &TrainingSetup, spec: &SpaceSpec) -> Vec<Transform> {
+        let mut transforms = Vec::new();
+        if let Some(a) = self.arch_point(spec) {
+            if a.layers != base.model.num_layers {
+                transforms.push(Transform::NumLayers { layers: a.layers });
+            }
+            if a.hidden != base.model.hidden_size || a.ffn != base.model.ffn_size {
+                transforms.push(Transform::HiddenSize {
+                    hidden: a.hidden,
+                    ffn: a.ffn,
+                });
+            }
+        }
+        if self.tp != base.parallelism.tp {
+            transforms.push(Transform::TensorParallel { tp: self.tp });
+        }
+        if self.pp != base.parallelism.pp {
+            transforms.push(Transform::PipelineParallel { pp: self.pp });
+        }
+        if self.dp != base.parallelism.dp {
+            transforms.push(Transform::DataParallel { dp: self.dp });
+        }
+        if self.microbatches != base.batch.num_microbatches {
+            transforms.push(Transform::Microbatches {
+                num: self.microbatches,
+            });
+        }
+        transforms
+    }
+
+    /// Applies [`Candidate::transforms_from`] to the base, validating
+    /// the resulting setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns divisibility/validity violations of the target setup.
+    pub fn target_setup(
+        &self,
+        base: &TrainingSetup,
+        spec: &SpaceSpec,
+    ) -> Result<TrainingSetup, CoreError> {
+        apply_transforms(base, &self.transforms_from(base, spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_model::{ModelConfig, Parallelism};
+
+    fn base() -> TrainingSetup {
+        TrainingSetup::new(ModelConfig::tiny(), Parallelism::new(1, 2, 1).unwrap())
+    }
+
+    fn cand(tp: u32, pp: u32, dp: u32, m: u32) -> Candidate {
+        Candidate {
+            tp,
+            pp,
+            dp,
+            microbatches: m,
+            interleave: 1,
+            arch: None,
+        }
+    }
+
+    #[test]
+    fn identity_candidate_has_no_transforms() {
+        let b = base();
+        let c = cand(1, 2, 1, b.batch.num_microbatches);
+        assert!(c.transforms_from(&b, &SpaceSpec::empty()).is_empty());
+        assert_eq!(c.target_setup(&b, &SpaceSpec::empty()).unwrap(), b);
+    }
+
+    #[test]
+    fn deployment_changes_map_to_transforms() {
+        let b = base();
+        let c = cand(1, 2, 4, 8);
+        let ts = c.transforms_from(&b, &SpaceSpec::empty());
+        assert_eq!(ts.len(), 2); // dp + microbatches
+        let target = c.target_setup(&b, &SpaceSpec::empty()).unwrap();
+        assert_eq!(target.parallelism.dp, 4);
+        assert_eq!(target.batch.num_microbatches, 8);
+    }
+
+    #[test]
+    fn arch_axis_maps_to_shape_transforms() {
+        let b = base();
+        let spec = SpaceSpec::empty().with_arch(vec![ArchPoint::new("deep", 4, 256, 1024)]);
+        let c = Candidate {
+            arch: Some(0),
+            ..cand(1, 2, 1, b.batch.num_microbatches)
+        };
+        let target = c.target_setup(&b, &spec).unwrap();
+        assert_eq!(target.model.num_layers, 4);
+    }
+
+    #[test]
+    fn label_is_humane() {
+        let c = Candidate {
+            interleave: 2,
+            ..cand(2, 4, 8, 16)
+        };
+        let label = c.label(&SpaceSpec::empty());
+        assert!(label.contains("2x4x8"));
+        assert!(label.contains("v=2"));
+        assert_eq!(c.world_size(), 64);
+    }
+}

@@ -1,0 +1,196 @@
+//! Deterministic candidate enumeration over the divisibility lattice.
+
+use crate::candidate::Candidate;
+use crate::space::SpaceSpec;
+use lumos_model::{InterleavedSchedule, TrainingSetup};
+
+/// Why a grid point was rejected before costing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// World size exceeds the budget or is not an allowed cluster
+    /// size.
+    Budget,
+    /// Layers/heads/chunks do not divide into the requested degrees,
+    /// or the target setup fails validation.
+    Divisibility,
+    /// TP rescale would change collective structure (`tp = 1 ↔ tp >
+    /// 1`), which graph manipulation cannot reach from the trace.
+    Structural,
+}
+
+/// The enumeration result: surviving candidates (with their validated
+/// target setups) plus rejection counters.
+#[derive(Debug, Clone)]
+pub struct EnumerationOutcome {
+    /// Lattice-valid candidates in deterministic grid order, paired
+    /// with their validated target setups.
+    pub candidates: Vec<(Candidate, TrainingSetup)>,
+    /// Counters for every grid point visited.
+    pub stats: crate::prune::PruneStats,
+}
+
+/// Walks the normalized grid in a fixed order (arch, tp, pp, dp,
+/// micro-batches, interleave — each ascending) and keeps the
+/// lattice-valid candidates.
+///
+/// The order is part of the crate's determinism contract: ranking
+/// tie-breaks fall back to this enumeration index.
+pub fn enumerate_candidates(spec: &SpaceSpec, base: &TrainingSetup) -> EnumerationOutcome {
+    let axes = spec.resolved_axes(base);
+    let arch_axis: Vec<Option<usize>> = if axes.arch_points.is_empty() {
+        vec![None]
+    } else {
+        (0..axes.arch_points.len()).map(Some).collect()
+    };
+    // Work against a spec whose arch table matches the resolved axes.
+    let resolved_spec = SpaceSpec {
+        arch: axes.arch_points.clone(),
+        ..spec.clone()
+    };
+
+    let mut stats = crate::prune::PruneStats::default();
+    let mut candidates = Vec::new();
+    for &arch in &arch_axis {
+        for &tp in &axes.tp {
+            for &pp in &axes.pp {
+                for &dp in &axes.dp {
+                    for &microbatches in &axes.microbatches {
+                        for &interleave in &axes.interleave {
+                            stats.enumerated += 1;
+                            let cand = Candidate {
+                                tp,
+                                pp,
+                                dp,
+                                microbatches,
+                                interleave,
+                                arch,
+                            };
+                            match admit(&cand, base, &resolved_spec, &axes) {
+                                Ok(setup) => candidates.push((cand, setup)),
+                                Err(RejectReason::Budget) => stats.budget_rejects += 1,
+                                Err(RejectReason::Divisibility) => stats.divisibility_rejects += 1,
+                                Err(RejectReason::Structural) => stats.structural_rejects += 1,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    EnumerationOutcome { candidates, stats }
+}
+
+/// Checks one grid point against the lattice, returning its validated
+/// target setup on success.
+fn admit(
+    cand: &Candidate,
+    base: &TrainingSetup,
+    spec: &SpaceSpec,
+    axes: &crate::space::ResolvedAxes,
+) -> Result<TrainingSetup, RejectReason> {
+    let world = cand.world_size();
+    match &axes.gpus {
+        Some(allowed) if !allowed.contains(&world) => return Err(RejectReason::Budget),
+        _ => {}
+    }
+    if world > axes.max_gpus {
+        return Err(RejectReason::Budget);
+    }
+    // Structural TP constraint: the trace either has TP collectives
+    // inside its blocks or it does not; crossing tp=1 in either
+    // direction would require inserting/deleting them (§3.4).
+    if (base.parallelism.tp == 1) != (cand.tp == 1) {
+        return Err(RejectReason::Structural);
+    }
+    let setup = cand
+        .target_setup(base, spec)
+        .map_err(|_| RejectReason::Divisibility)?;
+    if cand.interleave > 1 {
+        // Interleaved virtual chunks are defined on 1F1B only (the
+        // evaluator's bubble adjustment assumes it).
+        if base.schedule != lumos_model::ScheduleKind::OneFOneB {
+            return Err(RejectReason::Structural);
+        }
+        // Interleaving needs pp > 1, layers divisible into pp × v
+        // chunks, and a generable schedule.
+        if cand.pp < 2
+            || !setup
+                .model
+                .num_layers
+                .is_multiple_of(cand.pp * cand.interleave)
+            || InterleavedSchedule::generate(cand.pp, cand.interleave, cand.microbatches).is_err()
+        {
+            return Err(RejectReason::Divisibility);
+        }
+    }
+    Ok(setup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_model::{ModelConfig, Parallelism};
+
+    fn base_tp2() -> TrainingSetup {
+        // 4 heads, 2 layers (tiny): tp ∈ {1, 2, 4}, pp ∈ {1, 2}.
+        TrainingSetup::new(ModelConfig::tiny(), Parallelism::new(2, 1, 1).unwrap())
+    }
+
+    #[test]
+    fn lattice_rejects_and_counts() {
+        let base = base_tp2();
+        let spec = SpaceSpec::deployment_grid(&[1, 2, 3, 4], &[1, 2, 3], &[1, 2]).with_max_gpus(8);
+        let out = enumerate_candidates(&spec, &base);
+        assert_eq!(out.stats.enumerated, 4 * 3 * 2);
+        // tp=1 arm is structural (base tp > 1).
+        assert!(out.stats.structural_rejects > 0);
+        // tp=3 (heads=4) and pp=3 (layers=2) are divisibility rejects.
+        assert!(out.stats.divisibility_rejects > 0);
+        // 4*3*2=24 > 8 GPUs appears via (tp=4, pp=3) → divisibility
+        // fires first there; force a budget reject separately below.
+        for (cand, setup) in &out.candidates {
+            assert!(cand.world_size() <= 8);
+            assert_eq!(setup.parallelism.tp, cand.tp);
+            setup.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn budget_and_allowed_gpus() {
+        let base = base_tp2();
+        let spec = SpaceSpec::deployment_grid(&[2], &[1], &[1, 2, 4]).with_max_gpus(4);
+        let out = enumerate_candidates(&spec, &base);
+        assert_eq!(out.candidates.len(), 2); // dp=4 → 8 GPUs > 4
+        assert_eq!(out.stats.budget_rejects, 1);
+
+        let spec = SpaceSpec::deployment_grid(&[2], &[1], &[1, 2, 4]).with_gpus(&[8]);
+        let out = enumerate_candidates(&spec, &base);
+        assert_eq!(out.candidates.len(), 1);
+        assert_eq!(out.candidates[0].0.dp, 4);
+    }
+
+    #[test]
+    fn interleave_needs_chunkable_layers() {
+        let mut base = base_tp2();
+        base.model.num_layers = 8;
+        // pp=2, v=2 ⇒ 8 layers into 4 chunks: fine. v=3 ⇒ 6 chunks: no.
+        let spec = SpaceSpec::deployment_grid(&[2], &[2], &[1])
+            .with_interleave(&[1, 2, 3])
+            .with_microbatches(&[4]);
+        let out = enumerate_candidates(&spec, &base);
+        let vs: Vec<u32> = out.candidates.iter().map(|(c, _)| c.interleave).collect();
+        assert_eq!(vs, vec![1, 2]);
+    }
+
+    #[test]
+    fn enumeration_order_is_deterministic() {
+        let base = base_tp2();
+        let spec = SpaceSpec::deployment_grid(&[2, 4], &[1, 2], &[2, 1]);
+        let a = enumerate_candidates(&spec, &base);
+        let b = enumerate_candidates(&spec, &base);
+        assert_eq!(
+            a.candidates.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            b.candidates.iter().map(|(c, _)| *c).collect::<Vec<_>>()
+        );
+    }
+}

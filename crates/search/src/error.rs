@@ -1,0 +1,57 @@
+//! Search-level errors.
+
+use lumos_core::CoreError;
+use std::fmt;
+
+/// A failed search run.
+#[derive(Debug)]
+pub enum SearchError {
+    /// Every grid point was rejected by the lattice.
+    EmptySpace {
+        /// Grid points visited.
+        enumerated: usize,
+        /// Grid points rejected.
+        rejected: usize,
+    },
+    /// A candidate's graph manipulation or simulation failed.
+    Evaluation {
+        /// The candidate's label.
+        candidate: String,
+        /// The underlying failure.
+        source: CoreError,
+    },
+    /// Profiling the base configuration failed (trace-less entry
+    /// point).
+    BaseProfile(String),
+    /// A malformed space-spec file.
+    Spec(String),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::EmptySpace {
+                enumerated,
+                rejected,
+            } => write!(
+                f,
+                "search space is empty: all {enumerated} grid points rejected \
+                 ({rejected} lattice violations)"
+            ),
+            SearchError::Evaluation { candidate, source } => {
+                write!(f, "evaluating candidate {candidate}: {source}")
+            }
+            SearchError::BaseProfile(msg) => write!(f, "profiling base configuration: {msg}"),
+            SearchError::Spec(msg) => write!(f, "invalid space spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Evaluation { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Parallel what-if configuration search over the Lumos estimation
+//! stack.
+//!
+//! Lumos's headline capability is cheap what-if estimation: one
+//! profiled trace plus graph manipulation (§3.4) prices a *new*
+//! configuration in milliseconds instead of a cluster run. The obvious
+//! consumer of that capability is not a single question but a *search*:
+//! "over thousands of candidate (TP, PP, DP, micro-batch, interleave,
+//! GPU-count) deployments, which feasible one trains fastest?" This
+//! crate turns the one-at-a-time [`lumos_core::Lumos::predict`] flow
+//! into that engine:
+//!
+//! 1. **Describe** the space with a [`SpaceSpec`] — value grids per
+//!    axis plus a world-size divisibility lattice (layer/head/chunk
+//!    divisibility, GPU budget, structural TP constraints);
+//! 2. **Enumerate** candidates deterministically
+//!    ([`enumerate_candidates`]), rejecting lattice violations before
+//!    they cost anything;
+//! 3. **Pre-prune** on memory feasibility via
+//!    [`lumos_model::MemoryModel`] — configurations that would OOM
+//!    never reach simulation, and every pruned candidate records the
+//!    stage and byte requirement that killed it;
+//! 4. **Evaluate** survivors in parallel: the trace-fitted
+//!    [`lumos_cost::LookupCostModel`] is fitted **once** and shared
+//!    (read-only) across worker threads, each of which reassembles the
+//!    base execution graph under the candidate's transforms and
+//!    replays it;
+//! 5. **Rank** into a [`SearchReport`]: top-k by the chosen
+//!    [`Objective`], per-candidate makespan/MFU/memory, and pruning
+//!    statistics.
+//!
+//! Results are bit-for-bit deterministic: the same spec produces the
+//! same report regardless of thread count.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lumos_search::{search, Objective, SearchOptions, SpaceSpec};
+//! use lumos_cluster::{GroundTruthCluster, JitterModel};
+//! use lumos_cost::AnalyticalCostModel;
+//! use lumos_model::{ModelConfig, Parallelism, TrainingSetup};
+//!
+//! // Profile one base iteration (in real use: load a Kineto trace).
+//! let base = TrainingSetup::new(ModelConfig::tiny(), Parallelism::new(1, 2, 1)?);
+//! let profiled = GroundTruthCluster::new(&base, AnalyticalCostModel::h100())?
+//!     .with_jitter(JitterModel::realistic(7))
+//!     .profile_iteration(0)?;
+//!
+//! // Search deployments of up to 8 GPUs reachable from that trace.
+//! let spec = SpaceSpec::deployment_grid(&[1], &[1, 2], &[1, 2, 4]);
+//! let report = search(
+//!     &profiled.trace,
+//!     &base,
+//!     &spec,
+//!     &SearchOptions::default(),
+//!     AnalyticalCostModel::h100(),
+//! )?;
+//! assert!(!report.results.is_empty());
+//! println!("{report}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod candidate;
+mod enumerate;
+mod error;
+mod evaluate;
+pub mod parallel;
+mod prune;
+mod report;
+mod space;
+pub mod spec_toml;
+
+pub use candidate::Candidate;
+pub use enumerate::{enumerate_candidates, EnumerationOutcome, RejectReason};
+pub use error::SearchError;
+pub use evaluate::CandidateResult;
+pub use prune::{PruneStats, PrunedCandidate};
+pub use report::{Objective, SearchReport};
+pub use space::{ArchPoint, SpaceSpec};
+pub use spec_toml::SpecFile;
+
+use lumos_cost::{CostModel, GpuSpec};
+use lumos_model::{MemoryModel, TrainingSetup};
+use lumos_trace::ClusterTrace;
+
+/// Knobs of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// What to rank by.
+    pub objective: Objective,
+    /// The device candidates must fit on (capacity bytes + peak
+    /// FLOP/s for MFU).
+    pub gpu: GpuSpec,
+    /// Memory-model constants for the feasibility gate.
+    pub memory_model: MemoryModel,
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// GPUs per node, for collective-topology classification in the
+    /// shared lookup cost model.
+    pub gpus_per_node: u32,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            objective: Objective::PerGpuThroughput,
+            gpu: GpuSpec::h100_sxm(),
+            memory_model: MemoryModel::default(),
+            threads: None,
+            gpus_per_node: 8,
+        }
+    }
+}
+
+/// Runs the full search pipeline: enumerate → memory-prune →
+/// parallel-evaluate → rank.
+///
+/// `trace` is the profiled base iteration and `base` the setup that
+/// produced it; `fallback` prices kernel shapes absent from the trace
+/// (shared read-only across workers, fitted once).
+///
+/// A report with **zero results** is a valid outcome: it means every
+/// lattice-valid candidate was memory-pruned, and the report's
+/// [`SearchReport::pruned`] list says why, per candidate.
+///
+/// # Errors
+///
+/// Returns [`SearchError::EmptySpace`] when no candidate survives the
+/// lattice, and propagates manipulation/simulation failures from
+/// candidate evaluation.
+pub fn search<C>(
+    trace: &ClusterTrace,
+    base: &TrainingSetup,
+    spec: &SpaceSpec,
+    opts: &SearchOptions,
+    fallback: C,
+) -> Result<SearchReport, SearchError>
+where
+    C: CostModel + Send + Sync + 'static,
+{
+    let outcome = enumerate_candidates(spec, base);
+    if outcome.candidates.is_empty() {
+        return Err(SearchError::EmptySpace {
+            enumerated: outcome.stats.enumerated,
+            rejected: outcome.stats.structural_rejects
+                + outcome.stats.divisibility_rejects
+                + outcome.stats.budget_rejects,
+        });
+    }
+    let (feasible, pruned) = prune::memory_gate(
+        &outcome.candidates,
+        &opts.memory_model,
+        opts.gpu.memory_bytes(),
+    );
+    let mut stats = outcome.stats;
+    stats.memory_pruned = pruned.len();
+    stats.evaluated = feasible.len();
+
+    let normalized = spec.normalized();
+    let threads = parallel::effective_threads(opts.threads, feasible.len());
+    let results =
+        evaluate::evaluate_all(trace, base, &normalized, &feasible, opts, fallback, threads)?;
+    let ranked = report::rank(results, opts.objective);
+
+    Ok(SearchReport {
+        base_label: base.label(),
+        base_makespan: trace.makespan(),
+        objective: opts.objective,
+        results: ranked,
+        pruned,
+        stats,
+        threads,
+    })
+}
+
+/// Profiles one `seed`-jittered iteration of `base` on the
+/// ground-truth cluster under the default H100 cost model — the base
+/// trace for trace-less searches (the CLI's `--model` mode calls
+/// this).
+///
+/// # Errors
+///
+/// Returns [`SearchError::BaseProfile`] on invalid configurations or
+/// engine failures.
+pub fn profile_base(base: &TrainingSetup, seed: u64) -> Result<ClusterTrace, SearchError> {
+    use lumos_cluster::{GroundTruthCluster, JitterModel};
+
+    let cluster = GroundTruthCluster::new(base, lumos_cost::AnalyticalCostModel::h100())
+        .map_err(|e| SearchError::BaseProfile(e.to_string()))?
+        .with_jitter(JitterModel::realistic(seed));
+    Ok(cluster
+        .profile_iteration(0)
+        .map_err(|e| SearchError::BaseProfile(e.to_string()))?
+        .trace)
+}
+
+/// One-call convenience: [`profile_base`] followed by [`search`] under
+/// the default H100 analytical fallback.
+///
+/// # Errors
+///
+/// Propagates base-profiling and search failures.
+pub fn profile_and_search(
+    base: &TrainingSetup,
+    spec: &SpaceSpec,
+    opts: &SearchOptions,
+    seed: u64,
+) -> Result<SearchReport, SearchError> {
+    let trace = profile_base(base, seed)?;
+    search(
+        &trace,
+        base,
+        spec,
+        opts,
+        lumos_cost::AnalyticalCostModel::h100(),
+    )
+}

@@ -1,0 +1,104 @@
+//! Memory-feasibility pre-pruning: infeasible configurations never
+//! reach simulation.
+
+use crate::candidate::Candidate;
+use lumos_model::{MemoryModel, TrainingSetup};
+
+/// Counters over every grid point of a search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Grid points visited.
+    pub enumerated: usize,
+    /// Rejected: over GPU budget / not an allowed cluster size.
+    pub budget_rejects: usize,
+    /// Rejected: divisibility or setup-validity violations.
+    pub divisibility_rejects: usize,
+    /// Rejected: TP structure change unreachable from the trace.
+    pub structural_rejects: usize,
+    /// Pruned by the memory-feasibility gate (would OOM).
+    pub memory_pruned: usize,
+    /// Candidates that reached (parallel) simulation.
+    pub evaluated: usize,
+}
+
+impl PruneStats {
+    /// Everything that was cut before simulation.
+    pub fn total_skipped(&self) -> usize {
+        self.budget_rejects
+            + self.divisibility_rejects
+            + self.structural_rejects
+            + self.memory_pruned
+    }
+}
+
+/// A candidate cut by the memory gate, with the evidence.
+#[derive(Debug, Clone)]
+pub struct PrunedCandidate {
+    /// The infeasible candidate.
+    pub candidate: Candidate,
+    /// Its (validated) target setup label.
+    pub label: String,
+    /// Pipeline stage that binds (overflows first).
+    pub stage: u32,
+    /// Bytes that stage requires.
+    pub required_bytes: u64,
+    /// Device capacity it exceeded.
+    pub capacity_bytes: u64,
+}
+
+/// Splits candidates into memory-feasible and pruned, using
+/// [`MemoryModel::check`] against `capacity` bytes per device.
+///
+/// The gate is exact with respect to the memory model: a candidate is
+/// pruned **iff** its peak-stage estimate exceeds capacity (tested by
+/// `pruning_is_exact_and_loses_no_candidate` in
+/// `tests/search_engine.rs`).
+pub fn memory_gate(
+    candidates: &[(Candidate, TrainingSetup)],
+    memory: &MemoryModel,
+    capacity: u64,
+) -> (Vec<(Candidate, TrainingSetup)>, Vec<PrunedCandidate>) {
+    let mut feasible = Vec::with_capacity(candidates.len());
+    let mut pruned = Vec::new();
+    for (cand, setup) in candidates {
+        match memory.check(setup, capacity) {
+            Ok(_) => feasible.push((*cand, setup.clone())),
+            Err(oom) => pruned.push(PrunedCandidate {
+                candidate: *cand,
+                label: setup.label(),
+                stage: oom.stage,
+                required_bytes: oom.required,
+                capacity_bytes: oom.capacity,
+            }),
+        }
+    }
+    (feasible, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos_model::{ModelConfig, Parallelism};
+
+    #[test]
+    fn gate_partitions_exactly() {
+        let tiny = TrainingSetup::new(ModelConfig::tiny(), Parallelism::new(1, 1, 1).unwrap());
+        let big = TrainingSetup::new(ModelConfig::gpt3_175b(), Parallelism::new(1, 1, 1).unwrap());
+        let cand = Candidate {
+            tp: 1,
+            pp: 1,
+            dp: 1,
+            microbatches: 2,
+            interleave: 1,
+            arch: None,
+        };
+        let memory = MemoryModel::default();
+        let capacity = 80 << 30;
+        let input = vec![(cand, tiny), (cand, big)];
+        let (feasible, pruned) = memory_gate(&input, &memory, capacity);
+        assert_eq!(feasible.len(), 1);
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned[0].required_bytes > pruned[0].capacity_bytes);
+        assert!(pruned[0].label.contains("175"));
+    }
+}

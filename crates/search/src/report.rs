@@ -1,0 +1,202 @@
+//! Ranking and the final search report.
+
+use crate::evaluate::CandidateResult;
+use crate::prune::{PruneStats, PrunedCandidate};
+use lumos_trace::Dur;
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// What the search ranks by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Fastest predicted iteration, GPUs be damned.
+    Makespan,
+    /// Highest tokens/s **per GPU** — the capacity-planning default,
+    /// since it normalizes across cluster sizes.
+    #[default]
+    PerGpuThroughput,
+    /// Highest model-FLOPS utilization.
+    Mfu,
+}
+
+impl Objective {
+    /// Lower-is-better sort key for a result (negated for
+    /// higher-is-better objectives).
+    fn key(&self, r: &CandidateResult) -> f64 {
+        match self {
+            Objective::Makespan => r.makespan.as_secs_f64(),
+            Objective::PerGpuThroughput => -r.tokens_per_sec_per_gpu,
+            Objective::Mfu => -r.utilization.mfu,
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Objective::Makespan => "makespan",
+            Objective::PerGpuThroughput => "per-gpu-throughput",
+            Objective::Mfu => "mfu",
+        })
+    }
+}
+
+impl FromStr for Objective {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "makespan" | "iteration" | "time" => Ok(Objective::Makespan),
+            "per-gpu-throughput" | "throughput" | "tokens" => Ok(Objective::PerGpuThroughput),
+            "mfu" => Ok(Objective::Mfu),
+            other => Err(format!(
+                "unknown objective `{other}` (expected makespan, throughput, or mfu)"
+            )),
+        }
+    }
+}
+
+/// Sorts results by objective, breaking exact ties by enumeration
+/// index so rankings are fully deterministic.
+pub(crate) fn rank(
+    mut results: Vec<CandidateResult>,
+    objective: Objective,
+) -> Vec<CandidateResult> {
+    results.sort_by(|a, b| {
+        objective
+            .key(a)
+            .partial_cmp(&objective.key(b))
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    results
+}
+
+/// The outcome of one search run: ranked results plus everything that
+/// was cut and why.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// The base configuration the trace came from.
+    pub base_label: String,
+    /// Recorded makespan of the base trace.
+    pub base_makespan: Dur,
+    /// The ranking objective.
+    pub objective: Objective,
+    /// Evaluated candidates, best first.
+    pub results: Vec<CandidateResult>,
+    /// Candidates cut by the memory gate, with evidence.
+    pub pruned: Vec<PrunedCandidate>,
+    /// Grid counters.
+    pub stats: PruneStats,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl SearchReport {
+    /// The best `k` results (fewer if fewer were evaluated).
+    pub fn top_k(&self, k: usize) -> &[CandidateResult] {
+        &self.results[..k.min(self.results.len())]
+    }
+
+    /// The winner, if anything was evaluated.
+    pub fn best(&self) -> Option<&CandidateResult> {
+        self.results.first()
+    }
+
+    /// Formats the header, prune statistics, and the top-`k` table.
+    pub fn format_top(&self, k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "search over {} grid points from base {} ({:.2} ms recorded)",
+            s.enumerated,
+            self.base_label,
+            self.base_makespan.as_ms_f64()
+        );
+        let _ = writeln!(
+            out,
+            "  lattice rejects: {} budget, {} divisibility, {} structural",
+            s.budget_rejects, s.divisibility_rejects, s.structural_rejects
+        );
+        let _ = writeln!(
+            out,
+            "  memory-pruned before simulation: {}   evaluated (on {} threads): {}",
+            s.memory_pruned, self.threads, s.evaluated
+        );
+        let _ = writeln!(out, "  objective: {}", self.objective);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<22} {:>5} {:>11} {:>8} {:>13} {:>8} {:>10}",
+            "rank", "candidate", "GPUs", "iter (ms)", "MFU", "tok/s/GPU", "bubble", "mem (GiB)"
+        );
+        if self.results.is_empty() {
+            let _ = writeln!(
+                out,
+                "      (no feasible candidate survived the memory gate — \
+                 see the pruning statistics above)"
+            );
+        }
+        for (i, r) in self.top_k(k).iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<22} {:>5} {:>11.2} {:>7.1}% {:>13.0} {:>8.3} {:>10.1}",
+                i + 1,
+                r.label,
+                r.world_size(),
+                r.makespan.as_ms_f64(),
+                r.utilization.mfu * 100.0,
+                r.tokens_per_sec_per_gpu,
+                r.bubble_fraction,
+                r.memory.total() as f64 / (1u64 << 30) as f64,
+            );
+        }
+        if !self.pruned.is_empty() {
+            let _ = writeln!(out);
+            let worst = self
+                .pruned
+                .iter()
+                .max_by_key(|p| p.required_bytes)
+                .expect("non-empty");
+            let _ = writeln!(
+                out,
+                "({} infeasible configs never simulated; worst wanted {:.1} GiB \
+                 at stage {} vs {:.1} GiB capacity)",
+                self.pruned.len(),
+                worst.required_bytes as f64 / (1u64 << 30) as f64,
+                worst.stage,
+                worst.capacity_bytes as f64 / (1u64 << 30) as f64,
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for SearchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.format_top(10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_parses_and_prints() {
+        assert_eq!(
+            "makespan".parse::<Objective>().unwrap(),
+            Objective::Makespan
+        );
+        assert_eq!(
+            "THROUGHPUT".parse::<Objective>().unwrap(),
+            Objective::PerGpuThroughput
+        );
+        assert_eq!("mfu".parse::<Objective>().unwrap(), Objective::Mfu);
+        assert!("speed".parse::<Objective>().is_err());
+        assert_eq!(Objective::Makespan.to_string(), "makespan");
+    }
+}

@@ -1,0 +1,252 @@
+//! Space-spec files: a small TOML subset (this workspace builds
+//! offline, so no `toml` crate).
+//!
+//! Supported syntax — flat `key = value` lines, `#` comments, integer
+//! / float / string / boolean scalars, integer arrays, and arrays of
+//! integer arrays (for the arch axis):
+//!
+//! ```toml
+//! # lumos search space
+//! tp = [2, 4]
+//! pp = [1, 2, 4]
+//! dp = [1, 2, 4, 8]
+//! microbatches = [4, 8, 16]
+//! interleave = [1, 2]
+//! max-gpus = 64
+//! # arch points as [layers, hidden, ffn] triples (optional)
+//! arch = [[8, 4096, 16384], [12, 3072, 12288]]
+//!
+//! # search options (optional; CLI flags override)
+//! objective = "throughput"
+//! top-k = 10
+//! gpu-memory-gib = 80
+//! ```
+
+use crate::report::Objective;
+use crate::space::{ArchPoint, SpaceSpec};
+use crate::SearchError;
+
+/// A parsed spec file: the space plus optional search options.
+#[derive(Debug, Clone, Default)]
+pub struct SpecFile {
+    /// The search space.
+    pub space: SpaceSpec,
+    /// Optional ranking objective.
+    pub objective: Option<Objective>,
+    /// Optional report size.
+    pub top_k: Option<usize>,
+    /// Optional per-GPU memory capacity in whole GiB.
+    pub gpu_memory_gib: Option<u32>,
+}
+
+impl SpecFile {
+    /// Parses the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Spec`] naming the offending line.
+    pub fn parse(text: &str) -> Result<Self, SearchError> {
+        let mut file = SpecFile::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(err(lineno, "tables are not supported; use flat keys"));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+            let key = key.trim().replace('_', "-");
+            let value = value.trim();
+            match key.as_str() {
+                "tp" => file.space.tp = int_array(value, lineno)?,
+                "pp" => file.space.pp = int_array(value, lineno)?,
+                "dp" => file.space.dp = int_array(value, lineno)?,
+                "microbatches" => file.space.microbatches = int_array(value, lineno)?,
+                "interleave" => file.space.interleave = int_array(value, lineno)?,
+                "gpus" => file.space.gpus = Some(int_array(value, lineno)?),
+                "max-gpus" => file.space.max_gpus = int_scalar(value, lineno)?,
+                "arch" => file.space.arch = arch_array(value, lineno)?,
+                "objective" => {
+                    file.objective = Some(
+                        string_scalar(value, lineno)?
+                            .parse()
+                            .map_err(|e: String| err(lineno, &e))?,
+                    )
+                }
+                "top-k" => file.top_k = Some(int_scalar::<usize>(value, lineno)?),
+                "gpu-memory-gib" => file.gpu_memory_gib = Some(int_scalar::<u32>(value, lineno)?),
+                other => return Err(err(lineno, &format!("unknown key `{other}`"))),
+            }
+        }
+        Ok(file)
+    }
+}
+
+fn err(lineno: usize, msg: &str) -> SearchError {
+    SearchError::Spec(format!("line {}: {msg}", lineno + 1))
+}
+
+/// Drops a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn int_scalar<T: std::str::FromStr>(value: &str, lineno: usize) -> Result<T, SearchError> {
+    value
+        .parse()
+        .map_err(|_| err(lineno, &format!("expected an integer, got `{value}`")))
+}
+
+fn string_scalar(value: &str, lineno: usize) -> Result<String, SearchError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(err(
+            lineno,
+            &format!("expected a \"string\", got `{value}`"),
+        ))
+    }
+}
+
+/// Splits the contents of one bracket pair at top-level commas.
+fn bracket_items(value: &str, lineno: usize) -> Result<Vec<&str>, SearchError> {
+    let v = value.trim();
+    if !(v.starts_with('[') && v.ends_with(']')) {
+        return Err(err(lineno, &format!("expected an array, got `{value}`")));
+    }
+    let inner = &v[1..v.len() - 1];
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| err(lineno, "unbalanced brackets"))?
+            }
+            ',' if depth == 0 => {
+                items.push(inner[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(err(lineno, "unbalanced brackets"));
+    }
+    let last = inner[start..].trim();
+    if !last.is_empty() {
+        items.push(last);
+    }
+    Ok(items)
+}
+
+fn int_array(value: &str, lineno: usize) -> Result<Vec<u32>, SearchError> {
+    bracket_items(value, lineno)?
+        .into_iter()
+        .map(|item| int_scalar(item, lineno))
+        .collect()
+}
+
+/// `[[layers, hidden, ffn], …]` → labeled arch points.
+fn arch_array(value: &str, lineno: usize) -> Result<Vec<ArchPoint>, SearchError> {
+    bracket_items(value, lineno)?
+        .into_iter()
+        .map(|triple| {
+            let parts = bracket_items(triple, lineno)?;
+            if parts.len() != 3 {
+                return Err(err(
+                    lineno,
+                    "each arch point needs exactly [layers, hidden, ffn]",
+                ));
+            }
+            let layers: u32 = int_scalar(parts[0], lineno)?;
+            let hidden: u64 = int_scalar(parts[1], lineno)?;
+            let ffn: u64 = int_scalar(parts[2], lineno)?;
+            Ok(ArchPoint::new(
+                format!("{layers}L-d{hidden}"),
+                layers,
+                hidden,
+                ffn,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# capacity planning sweep
+tp = [2, 4]
+pp = [1, 2]          # pipeline depths
+dp = [1, 2, 4, 8]
+microbatches = [4, 8]
+interleave = [1, 2]
+max-gpus = 64
+arch = [[8, 4096, 16384], [12, 3072, 12288]]
+objective = "throughput"
+top-k = 5
+gpu-memory-gib = 80
+"#;
+
+    #[test]
+    fn parses_full_sample() {
+        let f = SpecFile::parse(SAMPLE).unwrap();
+        assert_eq!(f.space.tp, vec![2, 4]);
+        assert_eq!(f.space.dp, vec![1, 2, 4, 8]);
+        assert_eq!(f.space.max_gpus, 64);
+        assert_eq!(f.space.arch.len(), 2);
+        assert_eq!(f.space.arch[1].hidden, 3072);
+        assert_eq!(f.space.arch[0].label, "8L-d4096");
+        assert_eq!(f.objective, Some(Objective::PerGpuThroughput));
+        assert_eq!(f.top_k, Some(5));
+        assert_eq!(f.gpu_memory_gib, Some(80));
+    }
+
+    #[test]
+    fn underscores_and_dashes_both_work() {
+        let f = SpecFile::parse("max_gpus = 8\ntop_k = 3").unwrap();
+        assert_eq!(f.space.max_gpus, 8);
+        assert_eq!(f.top_k, Some(3));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = SpecFile::parse("tp = [1]\nbogus = 3").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+        assert!(e.to_string().contains("bogus"));
+        assert!(SpecFile::parse("tp = 1,2").is_err());
+        assert!(SpecFile::parse("[section]").is_err());
+        assert!(SpecFile::parse("objective = fast").is_err());
+        assert!(SpecFile::parse("arch = [[1, 2]]").is_err());
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let f = SpecFile::parse("objective = \"mfu\" # ranked by utilization").unwrap();
+        assert_eq!(f.objective, Some(Objective::Mfu));
+    }
+
+    #[test]
+    fn empty_file_is_empty_space() {
+        let f = SpecFile::parse("\n# nothing\n").unwrap();
+        assert!(f.space.tp.is_empty());
+        assert_eq!(f.space.max_gpus, 1024);
+    }
+}

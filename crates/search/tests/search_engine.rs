@@ -1,0 +1,210 @@
+//! The issue-mandated behavioral guarantees of `lumos-search`:
+//! determinism across runs and thread counts, exactness of the
+//! memory-pruning gate, top-k ranking sanity, and a ≥200-point space
+//! completing end to end with parallel evaluation.
+
+use lumos_cluster::{GroundTruthCluster, JitterModel};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind, TrainingSetup};
+use lumos_search::{
+    enumerate_candidates, search, Objective, SearchOptions, SearchReport, SpaceSpec,
+};
+use lumos_trace::ClusterTrace;
+
+/// An 8-layer research model: divisible into pp ∈ {1, 2, 4, 8} and
+/// interleavable, small enough that hundreds of replays stay fast.
+fn base_setup() -> TrainingSetup {
+    TrainingSetup {
+        model: ModelConfig::custom("search-e2e", 8, 256, 1024, 4, 64),
+        parallelism: Parallelism::new(1, 2, 2).unwrap(),
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    }
+}
+
+fn base_trace(base: &TrainingSetup) -> ClusterTrace {
+    GroundTruthCluster::new(base, AnalyticalCostModel::h100())
+        .unwrap()
+        .with_jitter(JitterModel::realistic(42))
+        .profile_iteration(0)
+        .unwrap()
+        .trace
+}
+
+fn report_fingerprint(r: &SearchReport) -> Vec<(String, u64, u64)> {
+    r.results
+        .iter()
+        .map(|c| (c.label.clone(), c.makespan.as_ns(), c.memory.total()))
+        .collect()
+}
+
+#[test]
+fn same_spec_same_report_across_runs_and_thread_counts() {
+    let base = base_setup();
+    let trace = base_trace(&base);
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2, 4], &[1, 2])
+        .with_microbatches(&[2, 4, 8])
+        .with_interleave(&[1, 2]);
+
+    let mut fingerprints = Vec::new();
+    for threads in [1, 2, 7] {
+        let opts = SearchOptions {
+            threads: Some(threads),
+            ..SearchOptions::default()
+        };
+        let report = search(&trace, &base, &spec, &opts, AnalyticalCostModel::h100()).unwrap();
+        assert!(!report.results.is_empty());
+        fingerprints.push(report_fingerprint(&report));
+    }
+    assert_eq!(fingerprints[0], fingerprints[1], "1 vs 2 threads");
+    assert_eq!(fingerprints[0], fingerprints[2], "1 vs 7 threads");
+
+    // And a genuinely repeated run (fresh trace from the same seed).
+    let opts = SearchOptions::default();
+    let again = search(
+        &base_trace(&base),
+        &base,
+        &spec,
+        &opts,
+        AnalyticalCostModel::h100(),
+    )
+    .unwrap();
+    assert_eq!(fingerprints[0], report_fingerprint(&again), "repeated run");
+}
+
+#[test]
+fn pruning_is_exact_and_loses_no_candidate() {
+    // ~510M parameters at 18 bytes/param: pp=1 holds ~8.6 GiB of
+    // model state, pp=2 about half — so a 7 GiB device (with runtime
+    // overhead zeroed below) prunes exactly the pp=1 arm.
+    let base = TrainingSetup {
+        model: ModelConfig::custom("prune-model", 8, 2048, 8192, 4, 512),
+        parallelism: Parallelism::new(1, 2, 1).unwrap(),
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = base_trace(&base);
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2], &[1, 2]).with_microbatches(&[2, 4, 8]);
+
+    // A deliberately small device so the gate has real work to do;
+    // overhead is zeroed so the discriminating term is model state.
+    let mut gpu = lumos_cost::GpuSpec::h100_sxm();
+    gpu.memory_gib = 7;
+    let opts = SearchOptions {
+        gpu,
+        memory_model: lumos_model::MemoryModel {
+            overhead_bytes: 0,
+            ..lumos_model::MemoryModel::default()
+        },
+        ..SearchOptions::default()
+    };
+    let capacity = opts.gpu.memory_bytes();
+    let report = search(&trace, &base, &spec, &opts, AnalyticalCostModel::h100()).unwrap();
+
+    assert!(
+        !report.pruned.is_empty(),
+        "test needs a capacity tight enough to prune something"
+    );
+    assert!(
+        !report.results.is_empty(),
+        "test needs a capacity loose enough to keep something"
+    );
+
+    // Every pruned candidate really exceeds the budget…
+    for p in &report.pruned {
+        assert_eq!(p.capacity_bytes, capacity);
+        assert!(
+            p.required_bytes > capacity,
+            "{} was pruned but fits: {} <= {capacity}",
+            p.label,
+            p.required_bytes
+        );
+        let est = opts
+            .memory_model
+            .estimate_peak(&p.candidate.target_setup(&base, &spec).unwrap());
+        assert_eq!(est.1.total(), p.required_bytes);
+    }
+    // …every evaluated candidate really fits…
+    for r in &report.results {
+        assert!(
+            r.memory.total() <= capacity,
+            "{} was evaluated but overflows",
+            r.label
+        );
+    }
+    // …and together they account for every lattice-admitted candidate.
+    let admitted = enumerate_candidates(&spec, &base).candidates.len();
+    assert_eq!(report.results.len() + report.pruned.len(), admitted);
+    assert_eq!(report.stats.evaluated, report.results.len());
+    assert_eq!(report.stats.memory_pruned, report.pruned.len());
+}
+
+#[test]
+fn top_k_ranking_is_sane() {
+    let base = base_setup();
+    let trace = base_trace(&base);
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2], &[1, 2]).with_microbatches(&[2, 4]);
+
+    for objective in [
+        Objective::Makespan,
+        Objective::PerGpuThroughput,
+        Objective::Mfu,
+    ] {
+        let opts = SearchOptions {
+            objective,
+            ..SearchOptions::default()
+        };
+        let report = search(&trace, &base, &spec, &opts, AnalyticalCostModel::h100()).unwrap();
+        let key = |r: &lumos_search::CandidateResult| match objective {
+            Objective::Makespan => r.makespan.as_secs_f64(),
+            Objective::PerGpuThroughput => -r.tokens_per_sec_per_gpu,
+            Objective::Mfu => -r.utilization.mfu,
+        };
+        for pair in report.results.windows(2) {
+            assert!(
+                key(&pair[0]) <= key(&pair[1]),
+                "ranking violates {objective}: {} before {}",
+                pair[0].label,
+                pair[1].label
+            );
+        }
+        assert_eq!(report.top_k(3).len(), 3.min(report.results.len()));
+        assert_eq!(report.top_k(usize::MAX).len(), report.results.len());
+        assert_eq!(report.best().unwrap().label, report.results[0].label);
+    }
+}
+
+#[test]
+fn two_hundred_candidate_space_completes_in_parallel() {
+    let base = base_setup();
+    let trace = base_trace(&base);
+    // 1 × 5 × 3 × 4 × 2 × 2 (arch) = 240 grid points.
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2, 4, 8, 16], &[1, 2, 4])
+        .with_microbatches(&[2, 4, 6, 8])
+        .with_interleave(&[1, 2])
+        .with_arch(vec![
+            lumos_search::ArchPoint::new("8L-d256", 8, 256, 1024),
+            lumos_search::ArchPoint::new("8L-d512", 8, 512, 2048),
+        ])
+        .with_max_gpus(32);
+    assert!(spec.grid_upper_bound(&base) >= 200);
+
+    let opts = SearchOptions::default();
+    let report = search(&trace, &base, &spec, &opts, AnalyticalCostModel::h100()).unwrap();
+    assert_eq!(report.stats.enumerated, 240);
+    assert!(report.stats.evaluated > 50, "stats: {:?}", report.stats);
+    assert!(report.threads >= 1);
+    // The report renders with a ranked table and pruning statistics.
+    let text = report.format_top(10);
+    assert!(text.contains("grid points"));
+    assert!(text.contains("rank"));
+    assert!(text.contains("tok/s/GPU"));
+}

@@ -36,7 +36,10 @@ impl Breakdown {
     ///
     /// Only GPU events contribute; kernels are split into compute and
     /// communication by [`TraceEvent::is_comm_kernel`].
-    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a TraceEvent>, window: TimeSpan) -> Self {
+    pub fn from_events<'a>(
+        events: impl IntoIterator<Item = &'a TraceEvent>,
+        window: TimeSpan,
+    ) -> Self {
         let mut compute_spans = Vec::new();
         let mut comm_spans = Vec::new();
         for e in events {

@@ -258,7 +258,12 @@ mod tests {
         let mut cluster = ClusterTrace::new("unit-test");
         for rank in 0..2u32 {
             let mut t = RankTrace::new(rank);
-            t.push(TraceEvent::cpu_op("aten::mm", Ts(1_000), Dur(500), ThreadId(1)));
+            t.push(TraceEvent::cpu_op(
+                "aten::mm",
+                Ts(1_000),
+                Dur(500),
+                ThreadId(1),
+            ));
             t.push(
                 TraceEvent::cuda_runtime(
                     CudaRuntimeKind::LaunchKernel,
@@ -271,7 +276,11 @@ mod tests {
             t.push(
                 TraceEvent::kernel("sm90_gemm", Ts(2_000), Dur(10_000), StreamId(7))
                     .with_correlation(7)
-                    .with_class(KernelClass::Gemm { m: 64, n: 64, k: 64 }),
+                    .with_class(KernelClass::Gemm {
+                        m: 64,
+                        n: 64,
+                        k: 64,
+                    }),
             );
             t.push(
                 TraceEvent::kernel("nccl_ar", Ts(15_000), Dur(5_000), StreamId(13)).with_class(
@@ -283,7 +292,12 @@ mod tests {
                     }),
                 ),
             );
-            t.push(TraceEvent::annotation("fwd mb=0", Ts(900), Dur(12_000), ThreadId(1)));
+            t.push(TraceEvent::annotation(
+                "fwd mb=0",
+                Ts(900),
+                Dur(12_000),
+                ThreadId(1),
+            ));
             cluster.push_rank(t);
         }
         cluster
@@ -353,7 +367,10 @@ mod tests {
             runtime_kind_from_name("cudaStreamSynchronize"),
             CudaRuntimeKind::StreamSynchronize { .. }
         ));
-        assert_eq!(runtime_kind_from_name("cudaFuncGetAttributes"), CudaRuntimeKind::Other);
+        assert_eq!(
+            runtime_kind_from_name("cudaFuncGetAttributes"),
+            CudaRuntimeKind::Other
+        );
     }
 }
 
@@ -369,7 +386,13 @@ mod proptests {
             Just("ncclDevKernel_AllReduce_Sum"),
             Just("fused_adam"),
         ];
-        (name, 0u64..1_000_000, 0u64..10_000, 0u32..4, prop_oneof![Just(0u8), Just(1), Just(2), Just(3)])
+        (
+            name,
+            0u64..1_000_000,
+            0u64..10_000,
+            0u32..4,
+            prop_oneof![Just(0u8), Just(1), Just(2), Just(3)],
+        )
             .prop_map(|(name, ts, dur, id, kind)| {
                 let (ts, dur) = (Ts(ts * 1000), Dur(dur * 1000));
                 match kind {
@@ -383,11 +406,7 @@ mod proptests {
                     .with_correlation(id as u64 + 1),
                     2 => TraceEvent::kernel(name, ts, dur, StreamId(id))
                         .with_correlation(id as u64 + 1)
-                        .with_class(KernelClass::Gemm {
-                            m: 8,
-                            n: 16,
-                            k: 32,
-                        }),
+                        .with_class(KernelClass::Gemm { m: 8, n: 16, k: 32 }),
                     _ => TraceEvent::annotation(name, ts, dur, ThreadId(id)),
                 }
             })

@@ -81,7 +81,10 @@ impl fmt::Display for TraceError {
             ),
             TraceError::Json(e) => write!(f, "chrome trace JSON error: {e}"),
             TraceError::MalformedChromeEvent { field, index } => {
-                write!(f, "chrome trace event #{index} has missing/invalid `{field}`")
+                write!(
+                    f,
+                    "chrome trace event #{index} has missing/invalid `{field}`"
+                )
             }
         }
     }

@@ -430,12 +430,8 @@ impl TraceEvent {
     /// Panics if the event kind carries no correlation id.
     pub fn with_correlation(mut self, correlation: CorrelationId) -> Self {
         match &mut self.kind {
-            EventKind::CudaRuntime {
-                correlation: c, ..
-            }
-            | EventKind::Kernel {
-                correlation: c, ..
-            } => *c = correlation,
+            EventKind::CudaRuntime { correlation: c, .. }
+            | EventKind::Kernel { correlation: c, .. } => *c = correlation,
             _ => panic!("event kind {:?} has no correlation id", self.kind),
         }
         self

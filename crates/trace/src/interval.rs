@@ -215,10 +215,7 @@ mod tests {
         let a = set(&[(2, 4), (6, 8)]);
         let w = TimeSpan::new(Ts(0), Ts(10));
         assert_eq!(a.complement_within(w), set(&[(0, 2), (4, 6), (8, 10)]));
-        assert_eq!(
-            IntervalSet::new().complement_within(w),
-            set(&[(0, 10)])
-        );
+        assert_eq!(IntervalSet::new().complement_within(w), set(&[(0, 10)]));
     }
 
     #[test]

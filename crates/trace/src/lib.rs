@@ -45,12 +45,10 @@ mod trace;
 pub use breakdown::{Breakdown, BreakdownExt};
 pub use chrome::{from_chrome_json, to_chrome_json, ChromeTraceOptions};
 pub use error::TraceError;
-pub use event::{
-    CollectiveKind, CommMeta, CudaRuntimeKind, EventKind, KernelClass, TraceEvent,
-};
+pub use event::{CollectiveKind, CommMeta, CudaRuntimeKind, EventKind, KernelClass, TraceEvent};
 pub use interval::IntervalSet;
 pub use queue::{queue_delays, stream_occupancy, QueueDelayStats, StreamOccupancy};
 pub use sm_util::{sm_utilization, SmUtilization};
 pub use stats::{KernelStats, TraceStats};
-pub use time::{Dur, Ts, TimeSpan};
+pub use time::{Dur, TimeSpan, Ts};
 pub use trace::{ClusterTrace, RankId, RankTrace, StreamId, ThreadId};

@@ -209,7 +209,12 @@ mod tests {
                 .with_correlation(corr),
             );
         }
-        r.push(TraceEvent::cpu_op("tail", Ts::from_us(990), Dur::from_us(10), tid));
+        r.push(TraceEvent::cpu_op(
+            "tail",
+            Ts::from_us(990),
+            Dur::from_us(10),
+            tid,
+        ));
         let occ = stream_occupancy(&r);
         assert_eq!(occ.len(), 2);
         assert_eq!(occ[0].stream, 7);

@@ -333,13 +333,8 @@ mod tests {
 
     fn launch_and_kernel(corr: u64, ts: u64) -> [TraceEvent; 2] {
         [
-            TraceEvent::cuda_runtime(
-                CudaRuntimeKind::LaunchKernel,
-                Ts(ts),
-                Dur(2),
-                ThreadId(1),
-            )
-            .with_correlation(corr),
+            TraceEvent::cuda_runtime(CudaRuntimeKind::LaunchKernel, Ts(ts), Dur(2), ThreadId(1))
+                .with_correlation(corr),
             TraceEvent::kernel("k", Ts(ts + 5), Dur(10), StreamId(7)).with_correlation(corr),
         ]
     }
@@ -375,7 +370,10 @@ mod tests {
         t.push(TraceEvent::kernel("k", Ts(0), Dur(1), StreamId(7)).with_correlation(99));
         assert!(matches!(
             t.validate(),
-            Err(TraceError::OrphanKernel { correlation: 99, .. })
+            Err(TraceError::OrphanKernel {
+                correlation: 99,
+                ..
+            })
         ));
     }
 
@@ -430,7 +428,12 @@ mod tests {
     fn sort_orders_enclosing_first() {
         let mut t = RankTrace::new(0);
         t.push(TraceEvent::cpu_op("inner", Ts(10), Dur(5), ThreadId(1)));
-        t.push(TraceEvent::annotation("outer", Ts(10), Dur(50), ThreadId(1)));
+        t.push(TraceEvent::annotation(
+            "outer",
+            Ts(10),
+            Dur(50),
+            ThreadId(1),
+        ));
         t.sort();
         assert_eq!(&*t.events()[0].name, "outer");
     }

@@ -1,0 +1,80 @@
+//! A vendored, offline stand-in for `rand_distr` providing the
+//! [`LogNormal`] distribution used by the jitter model, sampled via
+//! the Box–Muller transform.
+
+use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The log-normal distribution: `exp(mu + sigma * Z)` for standard
+/// normal `Z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given location and scale of the
+    /// underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma < 0.0 || !sigma.is_finite() || !mu.is_finite() {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms → one standard normal.
+        let mut u1 = rng.gen_f64();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = rng.gen_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_matches_lognormal_identity() {
+        // E[LogNormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+        let cv: f64 = 0.1;
+        let sigma2 = (1.0 + cv * cv).ln();
+        let dist = LogNormal::new(-sigma2 / 2.0, sigma2.sqrt()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Deserialization errors.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A deserialization failure: a human-readable description of the
+/// first mismatch between a value tree and the target type.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with an explicit message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" convenience.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error::new(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing-field convenience for derived struct impls.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::new(format!("missing field `{field}` for {ty}"))
+    }
+
+    /// Unknown-variant convenience for derived enum impls.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,389 @@
+//! A vendored, offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments with no access to crates.io,
+//! so instead of the real serde (trait-object-free visitor
+//! architecture) we provide a much smaller design that covers exactly
+//! the API surface the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` on concrete (non-generic) types, the
+//! `#[serde(transparent)]`, `#[serde(rename = "…")]`,
+//! `#[serde(default)]`, `#[serde(skip)]`, and
+//! `#[serde(skip_serializing_if = "…")]` attributes, and the
+//! `serde_json` entry points built on top.
+//!
+//! The data model is a concrete [`value::Value`] tree (the moral
+//! equivalent of `serde_json::Value`); [`Serialize`] renders into it
+//! and [`Deserialize`] reads back out of it. Representation choices
+//! (externally tagged enums, transparent newtypes, maps with
+//! non-string keys as arrays of pairs) match real serde closely enough
+//! that JSON written by this stand-in parses the way the workspace
+//! expects.
+
+pub mod de;
+pub mod value;
+
+pub use de::Error as DeError;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts to a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Converts from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] describing the first mismatch between
+    /// the value tree and `Self`'s expected shape.
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+// ---------------------------------------------------------------- //
+// Primitive impls
+// ---------------------------------------------------------------- //
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| de::Error::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| de::Error::new(format!(
+                    "integer {n} out of range for {}",
+                    stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| de::Error::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| de::Error::new(format!(
+                    "integer {n} out of range for {}",
+                    stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64().ok_or_else(|| de::Error::expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.as_f64().ok_or_else(|| de::Error::expected("f32", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for &'static str {
+    /// Leaks the parsed string. Exists so types carrying static name
+    /// tables (e.g. operator descriptors) can derive `Deserialize`;
+    /// those types are serialized for debugging and effectively never
+    /// read back, so the leak is acceptable and bounded.
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(de::Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(de::Error::expected("char", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(de::Error::expected("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Containers
+// ---------------------------------------------------------------- //
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(de::Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(Arc::from(s.as_str())),
+            other => Err(de::Error::expected("string", other)),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(Arc::new(T::deserialize_value(v)?))
+    }
+}
+
+// Maps are encoded as arrays of `[key, value]` pairs, sorted by the
+// canonical ordering of the serialized key so output is deterministic
+// regardless of hash-map iteration order. (Real serde_json writes
+// string-keyed maps as objects and rejects the rest; the pair-list
+// encoding covers both uniformly and round-trips through this crate.)
+impl<K: Serialize, V: Serialize, S: ::std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize_value(), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| value::cmp_values(&a.0, &b.0));
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + ::std::hash::Hash,
+    V: Deserialize,
+    S: ::std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Array(kv) if kv.len() == 2 => {
+                        Ok((K::deserialize_value(&kv[0])?, V::deserialize_value(&kv[1])?))
+                    }
+                    other => Err(de::Error::expected("[key, value] pair", other)),
+                })
+                .collect(),
+            other => Err(de::Error::expected("array of pairs", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Array(kv) if kv.len() == 2 => {
+                        Ok((K::deserialize_value(&kv[0])?, V::deserialize_value(&kv[1])?))
+                    }
+                    other => Err(de::Error::expected("[key, value] pair", other)),
+                })
+                .collect(),
+            other => Err(de::Error::expected("array of pairs", other)),
+        }
+    }
+}
+
+// Tuples (used both directly and as pair-map keys).
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(de::Error::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,593 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! Implemented without `syn`/`quote` (this workspace builds offline):
+//! the derive input is parsed by walking `proc_macro::TokenTree`s
+//! directly, and the generated impl is assembled as a string and
+//! re-parsed into a `TokenStream`.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! * non-generic structs: named fields, tuple (newtype serializes
+//!   transparently, wider tuples as arrays), unit;
+//! * non-generic enums with unit / newtype / tuple / struct variants,
+//!   externally tagged (`"Variant"` or `{"Variant": …}`);
+//! * container attribute `#[serde(transparent)]`;
+//! * field attributes `#[serde(rename = "…")]`, `#[serde(default)]`,
+//!   `#[serde(skip)]`, `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        compile_error(&format!("serde_derive generated invalid code: {e}\n{code}"))
+    })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------- //
+// Parsed representation
+// ---------------------------------------------------------------- //
+
+struct Item {
+    name: String,
+    body: Body,
+    transparent: bool,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    ident: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.ident)
+    }
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------- //
+// Token-stream parsing
+// ---------------------------------------------------------------- //
+
+type Toks = Vec<TokenTree>;
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Toks = input.into_iter().collect();
+    let mut i = 0;
+
+    let container_serde = collect_attrs(&toks, &mut i);
+    let transparent = container_serde
+        .iter()
+        .any(|(name, _)| name == "transparent");
+
+    skip_visibility(&toks, &mut i);
+
+    let kw = ident_at(&toks, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&toks, i).ok_or("expected type name")?;
+    i += 1;
+
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            _ => return Err("unsupported struct body".to_string()),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("expected enum body".to_string()),
+        },
+        other => return Err(format!("expected struct or enum, found `{other}`")),
+    };
+
+    Ok(Item {
+        name,
+        body,
+        transparent,
+    })
+}
+
+fn ident_at(toks: &Toks, i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Consumes leading `#[…]` attributes, returning the flattened
+/// `(name, value)` pairs of every `#[serde(…)]` among them.
+fn collect_attrs(toks: &Toks, i: &mut usize) -> Vec<(String, Option<String>)> {
+    let mut serde_args = Vec::new();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            let inner: Toks = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        serde_args.extend(parse_serde_args(args.stream()));
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    serde_args
+}
+
+/// Parses `default, rename = "x", skip_serializing_if = "path"` into
+/// `(name, value)` pairs (string literals unquoted).
+fn parse_serde_args(stream: TokenStream) -> Vec<(String, Option<String>)> {
+    let toks: Toks = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let Some(name) = ident_at(&toks, i) else {
+            i += 1;
+            continue;
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            if let Some(TokenTree::Literal(lit)) = toks.get(i) {
+                value = Some(unquote(&lit.to_string()));
+                i += 1;
+            }
+        }
+        out.push((name, value));
+        // Skip the separating comma if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn field_attrs(serde_args: Vec<(String, Option<String>)>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    for (name, value) in serde_args {
+        match name.as_str() {
+            "rename" => attrs.rename = value,
+            "default" => attrs.default = true,
+            "skip" => attrs.skip = true,
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            _ => {}
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(toks: &Toks, i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Skips one type expression: everything up to a top-level `,`
+/// (respecting `<…>` nesting). Leaves `i` on the comma or at the end.
+fn skip_type(toks: &Toks, i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Toks = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let serde_args = collect_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let Some(ident) = ident_at(&toks, i) else {
+            return Err(format!(
+                "expected field name, found {:?}",
+                toks.get(i).map(|t| t.to_string())
+            ));
+        };
+        i += 1;
+        if !matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{ident}`"));
+        }
+        i += 1;
+        skip_type(&toks, &mut i);
+        // Now on the comma (or end).
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            ident,
+            attrs: field_attrs(serde_args),
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Toks = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let mut j = i;
+        // A tuple field may start with attributes / visibility.
+        collect_attrs(&toks, &mut j);
+        skip_visibility(&toks, &mut j);
+        skip_type(&toks, &mut j);
+        count += 1;
+        i = j + 1; // past the comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Toks = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _serde_args = collect_attrs(&toks, &mut i);
+        let Some(name) = ident_at(&toks, i) else {
+            return Err("expected variant name".to_string());
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let mut depth = 0i32;
+            while let Some(t) = toks.get(i) {
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- //
+// Code generation
+// ---------------------------------------------------------------- //
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "::serde::Serialize::serialize_value(&self.{})",
+                fields[0].ident
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let mut s = String::from("let mut map = ::serde::value::Map::new();\n");
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let insert = format!(
+                    "map.insert({:?}.to_string(), ::serde::Serialize::serialize_value(&self.{}));",
+                    f.key(),
+                    f.ident
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    s.push_str(&format!("if !({pred})(&self.{}) {{ {insert} }}\n", f.ident));
+                } else {
+                    s.push_str(&insert);
+                    s.push('\n');
+                }
+            }
+            s.push_str("::serde::Value::Object(map)");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(x) => {{\n\
+                         let mut map = ::serde::value::Map::new();\n\
+                         map.insert({vname:?}.to_string(), ::serde::Serialize::serialize_value(x));\n\
+                         ::serde::Value::Object(map)\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut map = ::serde::value::Map::new();\n\
+                             map.insert({vname:?}.to_string(), ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut inner = ::serde::value::Map::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert({:?}.to_string(), ::serde::Serialize::serialize_value({}));\n",
+                                f.key(),
+                                f.ident
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}\
+                             let mut map = ::serde::value::Map::new();\n\
+                             map.insert({vname:?}.to_string(), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// The expression used for a missing field: honors `default`/`skip`,
+/// otherwise deserializes `Null` (so `Option` fields become `None`)
+/// with a missing-field error as fallback.
+fn missing_field_expr(ty: &str, f: &Field) -> String {
+    if f.attrs.default || f.attrs.skip {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "::serde::Deserialize::deserialize_value(&::serde::Value::Null)\
+             .map_err(|_| ::serde::de::Error::missing_field({ty:?}, {:?}))?",
+            f.key()
+        )
+    }
+}
+
+fn gen_named_struct_de(ty: &str, path: &str, fields: &[Field], obj: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.ident
+            ));
+            continue;
+        }
+        inits.push_str(&format!(
+            "{}: match {obj}.get({:?}) {{\n\
+             Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+             None => {},\n}},\n",
+            f.ident,
+            f.key(),
+            missing_field_expr(ty, f)
+        ));
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "Ok({name} {{ {}: ::serde::Deserialize::deserialize_value(v)? }})",
+                fields[0].ident
+            )
+        }
+        Body::NamedStruct(fields) => {
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::de::Error::expected({:?}, v))?;\n\
+                 Ok({})",
+                format!("object for {name}"),
+                gen_named_struct_de(name, name, fields, "obj")
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 Ok({name}({})),\n\
+                 other => Err(::serde::de::Error::expected({:?}, other)),\n}}",
+                elems.join(", "),
+                format!("array of {n} for {name}")
+            )
+        }
+        Body::UnitStruct => format!("let _ = v; Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for var in variants {
+                let vname = &var.name;
+                match &var.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"))
+                    }
+                    VariantKind::Newtype => data_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vname:?} => match inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                             Ok({name}::{vname}({})),\n\
+                             other => Err(::serde::de::Error::expected(\"variant tuple\", other)),\n\
+                             }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        data_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::de::Error::expected(\"variant object\", inner))?;\n\
+                             Ok({})\n}},\n",
+                            gen_named_struct_de(name, &format!("{name}::{vname}"), fields, "obj")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::de::Error::unknown_variant({name:?}, other)),\n}},\n\
+                 ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                 let (tag, inner) = map.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::de::Error::unknown_variant({name:?}, other)),\n}}\n}},\n\
+                 other => Err(::serde::de::Error::expected({:?}, other)),\n}}",
+                format!("string or single-key object for {name}")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

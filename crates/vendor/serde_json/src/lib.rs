@@ -1,0 +1,106 @@
+//! A vendored, offline stand-in for `serde_json`, implementing the
+//! entry points the workspace uses (`to_string`, `to_string_pretty`,
+//! `from_str`, `to_value`, `from_value`, [`json!`], [`Value`]) on top
+//! of the vendored `serde` value model.
+
+mod parse;
+mod print;
+
+pub use serde::value::{Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serialization or parse failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.serialize_value()))
+}
+
+/// Serializes to human-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.serialize_value()))
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns the first shape mismatch.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns parse errors (malformed JSON) and shape mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Object values and array
+/// elements may be arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem).expect("json! element") ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::to_value(&$val).expect("json! value")); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}

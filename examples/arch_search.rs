@@ -1,11 +1,13 @@
 //! Architecture exploration: estimate iteration time for model
 //! variants (layers, width) from one profiled trace — the paper's
 //! Figure 8 workflow ("how will changes to the model architecture
-//! impact performance?").
+//! impact performance?") driven by the `lumos-search` engine's
+//! architecture axis.
 //!
 //! Run with: `cargo run --release --example arch_search`
 
 use lumos::prelude::*;
+use lumos::search::ArchPoint;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Base: an 8-layer, d=2048 research model on 4 GPUs.
@@ -21,54 +23,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.model.num_params() as f64 / 1e9
     );
 
-    let lumos = Lumos::new();
-    let variants: Vec<(&str, Vec<Transform>)> = vec![
-        ("deeper (12 layers)", vec![Transform::NumLayers { layers: 12 }]),
-        ("deeper (16 layers)", vec![Transform::NumLayers { layers: 16 }]),
-        (
-            "wider (d=3072)",
-            vec![Transform::HiddenSize {
-                hidden: 3072,
-                ffn: 12288,
-            }],
-        ),
-        (
-            "wider (d=4096)",
-            vec![Transform::HiddenSize {
-                hidden: 4096,
-                ffn: 16384,
-            }],
-        ),
-        (
-            "deeper + wider",
-            vec![
-                Transform::NumLayers { layers: 12 },
-                Transform::HiddenSize {
-                    hidden: 3072,
-                    ffn: 12288,
-                },
-            ],
-        ),
-    ];
-
+    // The variant grid: every (architecture × deployment) combination
+    // is one candidate; the engine prunes the ones that no longer fit
+    // and ranks the rest. The base shape is included so variants are
+    // always compared against it under the same ranking.
+    let spec = SpaceSpec::deployment_grid(&[1], &[2, 4], &[1, 2])
+        .with_microbatches(&[4, 8])
+        .with_arch(vec![
+            ArchPoint::new("base-8L-2048d", 8, 2048, 8192),
+            ArchPoint::new("deeper-12L", 12, 2048, 8192),
+            ArchPoint::new("deeper-16L", 16, 2048, 8192),
+            ArchPoint::new("wider-3072d", 8, 3072, 12288),
+            ArchPoint::new("wider-4096d", 8, 4096, 16384),
+            ArchPoint::new("deep+wide", 12, 3072, 12288),
+        ])
+        .with_max_gpus(16);
     println!(
-        "{:<22} {:>10} {:>12} {:>14}",
+        "searching {} (arch × deployment) candidates ...",
+        spec.grid_upper_bound(&base)
+    );
+
+    let opts = SearchOptions {
+        objective: Objective::Makespan,
+        ..SearchOptions::default()
+    };
+    let report = search_space(
+        &profiled.trace,
+        &base,
+        &spec,
+        &opts,
+        AnalyticalCostModel::h100(),
+    )?;
+    println!("{}", report.format_top(12));
+
+    // Per-variant cost efficiency, from the same report: best
+    // deployment found for each architecture, priced per Gparam.
+    println!(
+        "{:<16} {:>10} {:>12} {:>14}",
         "variant", "params", "iter (ms)", "ms per Gparam"
     );
-    for (label, transforms) in variants {
-        let prediction = lumos.predict(
-            &profiled.trace,
-            &base,
-            &transforms,
-            AnalyticalCostModel::h100(),
-        )?;
-        let params = prediction.setup.model.num_params() as f64 / 1e9;
-        let iter_ms = prediction.makespan().as_ms_f64();
+    let mut seen = std::collections::HashSet::new();
+    for r in &report.results {
+        let name = r.setup.model.name.clone();
+        if !seen.insert(name.clone()) {
+            continue; // keep only each architecture's best deployment
+        }
+        let params = r.setup.model.num_params() as f64 / 1e9;
+        let iter_ms = r.makespan.as_ms_f64();
         println!(
-            "{label:<22} {params:>9.2}B {iter_ms:>12.2} {:>14.2}",
+            "{name:<16} {params:>9.2}B {iter_ms:>12.2} {:>14.2}",
             iter_ms / params
         );
     }
-    println!("\n(each row predicted from the single base trace via graph manipulation;\n shape-changed GEMMs and collectives re-priced by the cost model)");
+    println!("\n(each row predicted from the single base trace via graph manipulation;\n shape-changed GEMMs and collectives re-priced by the shared cost model)");
     Ok(())
 }

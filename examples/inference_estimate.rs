@@ -15,9 +15,7 @@ use lumos_trace::KernelClass;
 fn ttft_of(trace: &ClusterTrace) -> Option<Dur> {
     let rank0 = trace.ranks().first()?;
     let origin = rank0.events().iter().map(|e| e.ts).min()?;
-    let first_sample = rank0
-        .annotations()
-        .find(|a| &*a.name == "sample step=0")?;
+    let first_sample = rank0.annotations().find(|a| &*a.name == "sample step=0")?;
     Some(first_sample.end().saturating_since(origin))
 }
 
@@ -81,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let baseline = replayed.makespan();
     let gain = |d: Dur| (1.0 - d.as_secs_f64() / baseline.as_secs_f64()) * 100.0;
-    println!("what-if studies (vs {:.2} ms replay):", baseline.as_ms_f64());
+    println!(
+        "what-if studies (vs {:.2} ms replay):",
+        baseline.as_ms_f64()
+    );
     println!(
         "  2x faster host dispatch:    {:.2} ms ({:+.1}%)",
         host_fast.as_ms_f64(),

@@ -82,13 +82,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Transform::DataParallel { dp },
             Transform::Microbatches { num: 8 },
         ];
-        let predicted = match lumos.predict(&base_trace, &base, &transforms, AnalyticalCostModel::h100()) {
-            Ok(p) => p,
-            Err(e) => {
-                println!("{label:<10} {:>30}", format!("unpredictable: {e}"));
-                continue;
-            }
-        };
+        let predicted =
+            match lumos.predict(&base_trace, &base, &transforms, AnalyticalCostModel::h100()) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("{label:<10} {:>30}", format!("unpredictable: {e}"));
+                    continue;
+                }
+            };
         let iter = predicted.makespan();
         let util = utilization(
             &predicted.setup,

@@ -1,11 +1,13 @@
-//! Capacity planning: predict how a training job scales across
-//! parallelism configurations *from one profiled trace* — the paper's
-//! "which parallelism configuration will deliver the best results?"
-//! what-if question (§3.4), answered without re-running on hardware.
+//! Capacity planning: rank *every* parallelism configuration reachable
+//! from one profiled trace — the paper's "which parallelism
+//! configuration will deliver the best results?" what-if question
+//! (§3.4), answered by the `lumos-search` engine instead of a
+//! hand-written candidate list.
 //!
 //! Run with: `cargo run --release --example parallelism_sweep`
 
 use lumos::prelude::*;
+use lumos::search::ArchPoint;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Base: an 8-layer model on 8 GPUs (TP=2, PP=2, DP=2).
@@ -22,83 +24,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.parallelism.world_size()
     );
 
-    // Sweep deployment candidates by manipulating the base trace.
-    let lumos = Lumos::new();
-    let candidates: Vec<(&str, Vec<Transform>)> = vec![
-        ("2x2x4 (2x DP)", vec![Transform::DataParallel { dp: 4 }]),
-        ("2x2x8 (4x DP)", vec![Transform::DataParallel { dp: 8 }]),
-        ("2x4x2 (2x PP)", vec![Transform::PipelineParallel { pp: 4 }]),
-        (
-            "2x4x4 (2x PP + 2x DP)",
-            vec![
-                Transform::PipelineParallel { pp: 4 },
-                Transform::DataParallel { dp: 4 },
-            ],
-        ),
-        (
-            "2x8x2 (4x PP)",
-            vec![Transform::PipelineParallel { pp: 8 }],
-        ),
-    ];
-
+    // The whole deployment lattice up to 64 GPUs, in one spec: the
+    // engine enumerates it, drops configurations that cannot divide
+    // the model or would OOM an H100, prices the rest in parallel
+    // from the single base trace, and ranks by per-GPU throughput.
+    let spec = SpaceSpec::deployment_grid(&[2, 4], &[2, 4, 8], &[1, 2, 4, 8])
+        .with_microbatches(&[4, 8, 16])
+        .with_interleave(&[1, 2])
+        .with_max_gpus(64);
     println!(
-        "{:<24} {:>6} {:>12} {:>16} {:>14}",
-        "candidate", "GPUs", "iter (ms)", "tokens/s/GPU", "bubble frac"
+        "searching {} grid points (≤64 GPUs, 1F1B and interleaved) ...",
+        spec.grid_upper_bound(&base)
     );
-    let tokens_per_iter = |s: &TrainingSetup| {
-        s.batch.tokens_per_microbatch() * s.batch.num_microbatches as u64 * s.parallelism.dp as u64
+
+    let opts = SearchOptions {
+        objective: Objective::PerGpuThroughput,
+        ..SearchOptions::default()
     };
-    for (label, transforms) in candidates {
-        let prediction = lumos.predict(
-            &profiled.trace,
-            &base,
-            &transforms,
-            AnalyticalCostModel::h100(),
-        )?;
-        let setup = &prediction.setup;
-        let secs = prediction.makespan().as_secs_f64();
-        let tput = tokens_per_iter(setup) as f64 / secs / setup.parallelism.world_size() as f64;
-        let schedule = PipelineSchedule::generate(
-            setup.schedule,
-            setup.parallelism.pp,
-            setup.batch.num_microbatches,
-        )?;
-        println!(
-            "{label:<24} {:>6} {:>12.2} {:>16.0} {:>14.3}",
-            setup.parallelism.world_size(),
-            prediction.makespan().as_ms_f64(),
-            tput,
-            schedule.bubble_fraction()
-        );
-    }
-    println!("\n(all predictions derived from the single base trace — no new runs)");
+    let report = search_space(
+        &profiled.trace,
+        &base,
+        &spec,
+        &opts,
+        AnalyticalCostModel::h100(),
+    )?;
+    println!("{}", report.format_top(10));
+    println!("(all predictions derived from the single base trace — no new runs)");
 
-    // Schedule-level what-if: how much pipeline bubble would
-    // interleaved 1F1B (Megatron's virtual pipeline) recover at pp=4,
-    // and what does it cost in extra pipeline communication?
-    use lumos::model::InterleavedSchedule;
-    let pp = 4u32;
-    let m = 8u32;
-    let plain = PipelineSchedule::generate(ScheduleKind::OneFOneB, pp, m)?;
-    println!("\ninterleaved-1F1B analysis (pp={pp}, {m} micro-batches):");
-    println!(
-        "  {:<12} {:>12} {:>18}",
-        "schedule", "bubble frac", "pp-comm multiplier"
-    );
-    println!("  {:<12} {:>12.3} {:>18.2}", "plain 1F1B", plain.bubble_fraction(), 1.0);
-    for v in [2u32, 4] {
-        let inter = InterleavedSchedule::generate(pp, v, m)?;
+    // The same engine answers the fastest-iteration question too —
+    // note how the winner shifts once per-GPU efficiency stops
+    // mattering.
+    let fastest = search_space(
+        &profiled.trace,
+        &base,
+        &spec,
+        &SearchOptions {
+            objective: Objective::Makespan,
+            ..SearchOptions::default()
+        },
+        AnalyticalCostModel::h100(),
+    )?;
+    if let Some(best) = fastest.best() {
         println!(
-            "  {:<12} {:>12.3} {:>18.2}",
-            format!("v={v} chunks"),
-            inter.bubble_fraction(),
-            inter.comm_amplification()
+            "\nfastest-iteration winner instead: {} ({} GPUs, {:.2} ms)",
+            best.label,
+            best.world_size(),
+            best.makespan.as_ms_f64()
         );
     }
-    println!(
-        "  (interleaving divides the bubble by v but multiplies pipeline\n\
-         transfers; profitable when bubbles dominate transfers — deep\n\
-         pipelines with few micro-batches)"
-    );
+
+    // Architecture axes ride along in the same spec (Figure 8 style):
+    // a deeper variant joins the sweep without a second profile.
+    let with_arch = SpaceSpec::deployment_grid(&[2], &[2, 4], &[2])
+        .with_microbatches(&[8])
+        .with_arch(vec![ArchPoint::new("12L", 12, 4096, 16384)])
+        .with_max_gpus(64);
+    let arch_report = search_space(
+        &profiled.trace,
+        &base,
+        &with_arch,
+        &opts,
+        AnalyticalCostModel::h100(),
+    )?;
+    println!("\ndeeper-variant sweep:\n{}", arch_report.format_top(5));
     Ok(())
 }

@@ -47,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nwhat-if studies (2x speedups):");
     type Edit = Box<dyn Fn(&mut lumos::core::ExecutionGraph) -> usize>;
     let scenarios: Vec<(&str, Edit)> = vec![
-        (
-            "GEMMs 2x faster",
-            Box::new(|g| whatif::scale_gemms(g, 0.5)),
-        ),
+        ("GEMMs 2x faster", Box::new(|g| whatif::scale_gemms(g, 0.5))),
         (
             "network 2x faster",
             Box::new(|g| whatif::scale_comms(g, 0.5)),

@@ -21,7 +21,10 @@
 //!   construction, Algorithm 1 replay, and graph manipulation
 //!   (DP/PP/TP/layers/width/sequence-length transforms and what-if
 //!   studies);
-//! * [`dpro`] — the dPRO baseline replayer.
+//! * [`dpro`] — the dPRO baseline replayer;
+//! * [`search`] — the parallel what-if configuration-search engine:
+//!   space descriptors, memory-feasibility pre-pruning, and ranked
+//!   top-k reports over thousands of candidate deployments.
 //!
 //! A command-line interface over the same workflow ships as the
 //! `lumos` binary in the `lumos-cli` crate.
@@ -64,6 +67,7 @@ pub use lumos_core as core;
 pub use lumos_cost as cost;
 pub use lumos_dpro as dpro;
 pub use lumos_model as model;
+pub use lumos_search as search;
 pub use lumos_trace as trace;
 
 /// The most commonly used items, importable in one line.
@@ -76,7 +80,8 @@ pub mod prelude {
     pub use lumos_model::{
         BatchConfig, ModelConfig, Parallelism, PipelineSchedule, ScheduleKind, TrainingSetup,
     };
-    pub use lumos_trace::{
-        Breakdown, BreakdownExt, ClusterTrace, Dur, RankTrace, TraceEvent, Ts,
+    pub use lumos_search::{
+        search as search_space, Objective, SearchOptions, SearchReport, SpaceSpec,
     };
+    pub use lumos_trace::{Breakdown, BreakdownExt, ClusterTrace, Dur, RankTrace, TraceEvent, Ts};
 }

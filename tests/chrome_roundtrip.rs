@@ -11,8 +11,7 @@ use proptest::prelude::*;
 
 fn arb_kernel_class() -> impl Strategy<Value = KernelClass> {
     prop_oneof![
-        (1u64..4096, 1u64..4096, 1u64..4096)
-            .prop_map(|(m, n, k)| KernelClass::Gemm { m, n, k }),
+        (1u64..4096, 1u64..4096, 1u64..4096).prop_map(|(m, n, k)| KernelClass::Gemm { m, n, k }),
         (1u64..64, 1u64..4096, 16u64..256).prop_map(|(batch_heads, seq, head_dim)| {
             KernelClass::AttentionFwd {
                 batch_heads,
@@ -57,9 +56,7 @@ fn arb_rank_trace(rank: u32) -> impl Strategy<Value = RankTrace> {
     prop::collection::vec(triple, 1..12).prop_map(move |triples| {
         let tid = ThreadId(1);
         let mut t = RankTrace::new(rank);
-        for (i, (ts, host_dur, kernel_dur, class, annotate)) in
-            triples.into_iter().enumerate()
-        {
+        for (i, (ts, host_dur, kernel_dur, class, annotate)) in triples.into_iter().enumerate() {
             let corr = i as u64 + 1;
             let stream = if class.is_comm() {
                 StreamId(13)

@@ -53,12 +53,7 @@ fn simulator_is_deterministic_across_rebuilds() {
         spans.push(replayed.makespan());
         // The full simulated timeline must match, not just the end.
         let again = lumos.replay(&trace).unwrap();
-        for (a, b) in replayed
-            .trace
-            .ranks()
-            .iter()
-            .zip(again.trace.ranks())
-        {
+        for (a, b) in replayed.trace.ranks().iter().zip(again.trace.ranks()) {
             assert_eq!(a.events(), b.events());
         }
     }

@@ -57,9 +57,13 @@ fn small_batch_decode_is_host_bound() {
     let baseline = lumos.replay(&trace).unwrap().makespan();
 
     let mut kernel_graph = lumos.build_graph(&trace).unwrap();
-    let touched = lumos::core::manipulate::whatif::scale_kernel_class(&mut kernel_graph, 0.5, |c| {
-        matches!(c, KernelClass::AttentionDecode { .. } | KernelClass::Gemm { .. })
-    });
+    let touched =
+        lumos::core::manipulate::whatif::scale_kernel_class(&mut kernel_graph, 0.5, |c| {
+            matches!(
+                c,
+                KernelClass::AttentionDecode { .. } | KernelClass::Gemm { .. }
+            )
+        });
     assert!(touched > 0, "decode kernels present in the graph");
     let kernel_fast = lumos::core::simulate(&kernel_graph, &SimOptions::default())
         .unwrap()

@@ -122,9 +122,7 @@ fn capacity_planner_workflow() {
     let mut gpipe = setup_for(2, 2, 1, 32);
     gpipe.schedule = ScheduleKind::GPipe;
     let f1b = setup_for(2, 2, 1, 32);
-    assert!(
-        memory.estimate_peak(&gpipe).1.activations > memory.estimate_peak(&f1b).1.activations
-    );
+    assert!(memory.estimate_peak(&gpipe).1.activations > memory.estimate_peak(&f1b).1.activations);
 }
 
 #[test]
