@@ -61,6 +61,38 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streaming mode on a deliberately oversized grid: most points are
+/// cheap lattice/budget rejects, survivors flow through the memoized
+/// lower bound and bounded top-k heaps. Measures candidates *visited*
+/// per second end to end.
+fn bench_search_streaming(c: &mut Criterion) {
+    let (cfg, trace) = base();
+    let dp: Vec<u32> = (1..=100).collect();
+    let interleave: Vec<u32> = (1..=8).collect();
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2, 4, 8], &dp)
+        .with_microbatches(&[2, 4, 8, 16])
+        .with_interleave(&interleave)
+        .with_max_gpus(16);
+    let mut group = c.benchmark_group("search_streaming");
+    group.sample_size(10);
+    let candidates = spec.grid_upper_bound(&cfg) as u64;
+    group.throughput(Throughput::Elements(candidates));
+    for top_k in [10usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("top{top_k}-of-{candidates}")),
+            &top_k,
+            |b, &top_k| {
+                let opts = SearchOptions {
+                    top_k: Some(top_k),
+                    ..SearchOptions::default()
+                };
+                b.iter(|| search(&trace, &cfg, &spec, &opts, AnalyticalCostModel::h100()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_search_threads(c: &mut Criterion) {
     let (cfg, trace) = base();
     let spec =
@@ -83,5 +115,10 @@ fn bench_search_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_search_threads);
+criterion_group!(
+    benches,
+    bench_search,
+    bench_search_streaming,
+    bench_search_threads
+);
 criterion_main!(benches);

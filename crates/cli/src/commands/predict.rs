@@ -23,6 +23,9 @@ pub const SPEC: ArgSpec = ArgSpec {
         "ffn",
         "seq",
         "microbatches",
+        "scale-gemms",
+        "scale-comms",
+        "scale-host",
         "out",
     ],
     flags: &["dpro"],
@@ -31,17 +34,54 @@ pub const SPEC: ArgSpec = ArgSpec {
 /// Usage text.
 pub const HELP: &str = "lumos predict <trace.json> [--setup setup.json]\n\
     [--dp N] [--pp N] [--tp N] [--layers N] [--hidden N --ffn N]\n\
-    [--seq N] [--microbatches N] [--out predicted.json]\n\
+    [--seq N] [--microbatches N]\n\
+    [--scale-gemms F] [--scale-comms F] [--scale-host F]\n\
+    [--out predicted.json]\n\
   Manipulates the execution graph for the requested configuration\n\
   changes (§3.4) and predicts the new iteration time by simulation.\n\
+  The --scale-* factors run an operator-level what-if on top (0.5 =\n\
+  twice as fast); factors must be finite and non-negative.\n\
   The setup sidecar defaults to <trace>.setup.json.";
+
+/// One operator-level scale request: (report label, factor, apply).
+type ScaleOp = (
+    &'static str,
+    f64,
+    fn(&mut lumos_core::ExecutionGraph, f64) -> Result<usize, lumos_core::CoreError>,
+);
+
+/// Parses the `--scale-*` what-if factors. Validation of the factor's
+/// *value* happens in the fallible `try_scale_*` APIs so that CLI
+/// input can never hit the panicking variants.
+fn scales_from(args: &ArgSet) -> Result<Vec<ScaleOp>, CliError> {
+    use lumos_core::manipulate::whatif;
+    let mut scales: Vec<ScaleOp> = Vec::new();
+    if let Some(f) = args.get_num_opt::<f64>("scale-gemms")? {
+        scales.push(("GEMMs", f, whatif::try_scale_gemms));
+    }
+    if let Some(f) = args.get_num_opt::<f64>("scale-comms")? {
+        scales.push(("collectives", f, whatif::try_scale_comms));
+    }
+    if let Some(f) = args.get_num_opt::<f64>("scale-host")? {
+        scales.push(("host tasks", f, whatif::try_scale_host));
+    }
+    // Reject every bad factor up front (via the same fallible scaling
+    // check the graph edit uses) so a later invalid factor cannot
+    // leave a half-reported what-if transcript on stdout.
+    for (label, factor, _) in &scales {
+        if let Err(e) = lumos_trace::Dur::ZERO.try_scale(*factor) {
+            return Err(CliError::Usage(format!("option --scale ({label}): {e}")));
+        }
+    }
+    Ok(scales)
+}
 
 /// Builds the transform list from the parsed flags.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] when no transform was requested or
-/// `--hidden`/`--ffn` are not given together.
+/// Returns [`CliError::Usage`] when `--hidden`/`--ffn` are not given
+/// together.
 pub fn transforms_from(args: &ArgSet) -> Result<Vec<Transform>, CliError> {
     let mut transforms = Vec::new();
     if let Some(tp) = args.get_num_opt::<u32>("tp")? {
@@ -74,12 +114,6 @@ pub fn transforms_from(args: &ArgSet) -> Result<Vec<Transform>, CliError> {
     if let Some(num) = args.get_num_opt::<u32>("microbatches")? {
         transforms.push(Transform::Microbatches { num });
     }
-    if transforms.is_empty() {
-        return Err(CliError::Usage(
-            "no transform requested (pass --dp/--pp/--tp/--layers/--hidden+--ffn/--seq/--microbatches)"
-                .to_string(),
-        ));
-    }
     Ok(transforms)
 }
 
@@ -97,18 +131,40 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     let setup = load_setup(&setup_path)?;
     let trace = load_trace(path)?;
     let transforms = transforms_from(args)?;
+    let scales = scales_from(args)?;
+    if transforms.is_empty() && scales.is_empty() {
+        return Err(CliError::Usage(
+            "no transform requested (pass --dp/--pp/--tp/--layers/--hidden+--ffn/--seq/\
+             --microbatches, or an operator-level --scale-* factor)"
+                .to_string(),
+        ));
+    }
 
     let toolkit = if args.has("dpro") {
         Lumos::dpro_baseline()
     } else {
         Lumos::new()
     };
-    let prediction = toolkit.predict(&trace, &setup, &transforms, AnalyticalCostModel::h100())?;
+    let mut prediction =
+        toolkit.predict(&trace, &setup, &transforms, AnalyticalCostModel::h100())?;
 
     writeln!(out, "base:      {}", setup.label())?;
     writeln!(out, "target:    {}", prediction.setup.label())?;
     writeln!(out, "recorded:  {}", ms(trace.makespan()))?;
     writeln!(out, "predicted: {}", ms(prediction.makespan()))?;
+    if !scales.is_empty() {
+        // Operator-level what-if on the graph the prediction already
+        // built (its replay is re-done below), routed through the
+        // fallible scaling APIs so bad factors are usage errors.
+        let mut graph = prediction.replayed.graph;
+        for (label, factor, apply) in &scales {
+            let touched = apply(&mut graph, *factor)
+                .map_err(|e| CliError::Usage(format!("--scale option: {e}")))?;
+            writeln!(out, "scaled {touched} {label} by {factor}")?;
+        }
+        prediction.replayed = toolkit.replay_graph(graph, &prediction.trace.label.clone())?;
+        writeln!(out, "what-if:   {}", ms(prediction.makespan()))?;
+    }
     let b = prediction.replayed.trace.breakdown();
     writeln!(out)?;
     writeln!(out, "predicted breakdown:")?;
@@ -121,7 +177,15 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "  {name:<15} {:>12}", ms(d))?;
     }
     if let Some(out_path) = args.get("out") {
-        save_trace(&prediction.trace, out_path)?;
+        // With --scale-* applied, the honest artifact is the scaled
+        // replay — the synthesized pre-scale trace would contradict
+        // the what-if numbers just printed.
+        let trace_to_save = if scales.is_empty() {
+            &prediction.trace
+        } else {
+            &prediction.replayed.trace
+        };
+        save_trace(trace_to_save, out_path)?;
         writeln!(out)?;
         writeln!(out, "predicted trace: {out_path}")?;
     }

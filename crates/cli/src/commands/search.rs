@@ -33,7 +33,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "memory-gib",
         "threads",
     ],
-    flags: &[],
+    flags: &["progress", "keep-all"],
 };
 
 /// Usage text.
@@ -42,15 +42,19 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
     [--tp 1,2,4] [--pp 1,2] [--dp 1,2,4,8] [--microbatches 4,8]\n\
     [--interleave 1,2] [--gpus 8,16,32] [--max-gpus N]\n\
     [--objective makespan|throughput|mfu] [--top K]\n\
-    [--memory-gib N] [--threads N]\n\
+    [--memory-gib N] [--threads N] [--progress] [--keep-all]\n\
   Searches a what-if configuration space from one profiled trace:\n\
-  candidates are enumerated over the axis grids (comma-separated\n\
-  values, or a TOML space file; flags override the file), pruned by\n\
-  the memory-feasibility model before any simulation, evaluated in\n\
-  parallel via graph manipulation with a shared trace-fitted cost\n\
-  model, and ranked by the objective. With --model instead of a trace\n\
-  file, the base iteration is profiled on the ground-truth cluster\n\
-  first. The setup sidecar defaults to <trace>.setup.json.";
+  candidates are enumerated lazily over the axis grids\n\
+  (comma-separated values, or a TOML space file; flags override the\n\
+  file), pruned by the memory-feasibility model before any\n\
+  simulation, skipped outright when a memoized analytic lower bound\n\
+  proves they cannot reach the top K, evaluated in parallel via graph\n\
+  manipulation with a shared trace-fitted cost model, and ranked by\n\
+  the objective. Memory stays proportional to --top (pass --keep-all\n\
+  to retain every result instead, disabling bound skipping). With\n\
+  --model instead of a trace file, the base iteration is profiled on\n\
+  the ground-truth cluster first; --progress reports completion to\n\
+  stderr. The setup sidecar defaults to <trace>.setup.json.";
 
 /// Comma-separated integer list (`--tp 1,2,4`).
 fn parse_axis(args: &ArgSet, name: &str) -> Result<Option<Vec<u32>>, CliError> {
@@ -181,6 +185,24 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
         Some(k) => k,
         None => file.top_k.unwrap_or(10),
     };
+    if top == 0 {
+        return Err(CliError::Usage(
+            "--top must be at least 1 (a zero-length report retains nothing)".to_string(),
+        ));
+    }
+    // Streaming retention: keep only the top K in memory (and arm
+    // lower-bound skipping) unless the user wants the full ranking.
+    if !args.has("keep-all") {
+        opts.top_k = Some(top);
+    }
+    if args.has("progress") {
+        opts.progress = Some(lumos_search::ProgressSink::new(|p| {
+            eprintln!(
+                "  ... {}/{} grid points ({} evaluated, {} memory-pruned, {} bound-skipped)",
+                p.claimed, p.grid_points, p.evaluated, p.memory_pruned, p.bound_skipped
+            );
+        }));
+    }
 
     let report = search(
         &trace,

@@ -153,6 +153,25 @@ mod tests {
         let out = run_to_string(&["predict", trace, "--microbatches", "4"]).unwrap();
         assert!(out.contains("predicted:"));
 
+        // Operator-level what-ifs route through the fallible scaling
+        // APIs: valid factors report an adjusted estimate, bad ones
+        // are usage errors instead of panics.
+        let out = run_to_string(&[
+            "predict",
+            trace,
+            "--scale-gemms",
+            "0.5",
+            "--scale-host",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("what-if:"), "{out}");
+        assert!(out.contains("scaled"), "{out}");
+        let err = run_to_string(&["predict", trace, "--scale-comms", "-1"]).unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
+        let err = run_to_string(&["predict", trace, "--scale-comms", "NaN"]).unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
+
         let out = run_to_string(&["sm-util", trace]).unwrap();
         assert!(out.contains("mean utilization"));
 
@@ -226,6 +245,23 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("profiling base"), "{out}");
+        assert!(out.contains("rank"), "{out}");
+
+        // Streaming knobs: --keep-all retains the full ranking,
+        // --progress only writes to stderr (stdout table unchanged).
+        let out = run_to_string(&[
+            "search",
+            trace,
+            "--dp",
+            "1,2,4",
+            "--microbatches",
+            "2,4",
+            "--top",
+            "2",
+            "--keep-all",
+            "--progress",
+        ])
+        .unwrap();
         assert!(out.contains("rank"), "{out}");
 
         // Usage errors stay loud.

@@ -45,6 +45,8 @@ pub enum CoreError {
         /// What the manipulation needed.
         needed: String,
     },
+    /// A what-if duration-scale factor was negative or not finite.
+    InvalidScale(lumos_trace::ScaleError),
     /// Invalid model/deployment configuration.
     Model(lumos_model::ModelError),
 }
@@ -72,6 +74,7 @@ impl fmt::Display for CoreError {
             CoreError::MissingAnnotations { needed } => {
                 write!(f, "trace lacks annotations required for manipulation: {needed}")
             }
+            CoreError::InvalidScale(e) => write!(f, "invalid what-if scale: {e}"),
             CoreError::Model(e) => write!(f, "model error: {e}"),
         }
     }
@@ -82,6 +85,7 @@ impl Error for CoreError {
         match self {
             CoreError::Trace(e) => Some(e),
             CoreError::Model(e) => Some(e),
+            CoreError::InvalidScale(e) => Some(e),
             _ => None,
         }
     }
@@ -96,6 +100,12 @@ impl From<TraceError> for CoreError {
 impl From<lumos_model::ModelError> for CoreError {
     fn from(e: lumos_model::ModelError) -> Self {
         CoreError::Model(e)
+    }
+}
+
+impl From<lumos_trace::ScaleError> for CoreError {
+    fn from(e: lumos_trace::ScaleError) -> Self {
+        CoreError::InvalidScale(e)
     }
 }
 

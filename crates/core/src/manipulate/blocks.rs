@@ -58,6 +58,37 @@ impl Block {
     pub fn kernel_count(&self) -> usize {
         self.events.iter().filter(|e| e.is_gpu()).count()
     }
+
+    /// The block's work-launching runtime calls in host order — the
+    /// order reassembly pairs them with regenerated op lists. Shared
+    /// (rather than re-derived) by every consumer that must stay in
+    /// lockstep with that pairing, e.g. search's stage-cost memo.
+    pub fn launches_in_host_order(&self) -> Vec<&TraceEvent> {
+        let mut launches: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::CudaRuntime { kind, .. } if kind.launches_work()
+                )
+            })
+            .collect();
+        launches.sort_by_key(|e| e.ts);
+        launches
+    }
+
+    /// The block's GPU kernel events keyed by correlation id (how a
+    /// launch finds the kernel it dispatched).
+    pub fn kernels_by_correlation(&self) -> HashMap<u64, &TraceEvent> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Kernel { correlation, .. } => Some((correlation, e)),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// Mean host-side call durations fitted from the source trace, used
@@ -120,6 +151,11 @@ impl BlockLibrary {
     /// Looks up a block.
     pub fn get(&self, key: &BlockKey) -> Option<&Block> {
         self.blocks.get(key)
+    }
+
+    /// Iterates over every `(key, block)` pair (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockKey, &Block)> {
+        self.blocks.iter()
     }
 
     /// Number of extracted blocks.

@@ -35,7 +35,9 @@ mod reassemble;
 pub mod whatif;
 
 pub use blocks::{Block, BlockKey, BlockKind, BlockLibrary, HostProfile};
-pub use reassemble::{reassemble, ReassembleSpec};
+pub use reassemble::{
+    kernel_class_of_op, reassemble, reassemble_with_library, regenerated_block_ops, ReassembleSpec,
+};
 
 use crate::error::CoreError;
 use crate::replay::{Lumos, Replayed};
@@ -154,13 +156,18 @@ pub fn apply_transforms(
     Ok(new)
 }
 
+/// The proportional old → new layer map reassembly plans with: new
+/// layer `l` sources its blocks from old layer `(l·old)/new`. Public
+/// so cost consumers (e.g. the search engine's lower bound) map layers
+/// exactly the way [`plan`] does, without cloning setups.
+pub fn proportional_layer_map(old_layers: u32, new_layers: u32) -> Vec<u32> {
+    let (old, new) = (old_layers as u64, new_layers as u64);
+    (0..new).map(|l| ((l * old) / new) as u32).collect()
+}
+
 /// Builds the reassembly plan for an old → new setup pair.
 pub fn plan(old: &TrainingSetup, new: &TrainingSetup) -> ReassembleSpec {
-    let old_layers = old.model.num_layers as u64;
-    let new_layers = new.model.num_layers as u64;
-    let layer_map = (0..new_layers)
-        .map(|l| ((l * old_layers) / new_layers) as u32)
-        .collect();
+    let layer_map = proportional_layer_map(old.model.num_layers, new.model.num_layers);
     let tp_rescale = new.parallelism.tp != old.parallelism.tp;
     let recost_kernels = tp_rescale
         || new.model.hidden_size != old.model.hidden_size

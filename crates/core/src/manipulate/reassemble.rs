@@ -144,8 +144,31 @@ pub fn reassemble<C: CostModel>(
     spec: &ReassembleSpec,
     cost: &C,
 ) -> Result<ClusterTrace, CoreError> {
+    // Validate before paying the O(trace-events) extraction walk, and
+    // so invalid specs keep reporting spec errors even on traces that
+    // would also fail extraction.
     spec.validate()?;
     let library = BlockLibrary::extract(trace, spec.old.parallelism)?;
+    reassemble_with_library(&library, spec, cost)
+}
+
+/// [`reassemble`] against a pre-extracted [`BlockLibrary`].
+///
+/// Extraction walks every event of the source trace; callers pricing
+/// many configurations from the *same* trace (the `lumos-search`
+/// evaluator) extract once and share the library across candidates
+/// instead of re-extracting per call. `library` must come from
+/// [`BlockLibrary::extract`] on the trace `spec.old` describes.
+///
+/// # Errors
+///
+/// Returns spec-validation failures and missing-block errors.
+pub fn reassemble_with_library<C: CostModel>(
+    library: &BlockLibrary,
+    spec: &ReassembleSpec,
+    cost: &C,
+) -> Result<ClusterTrace, CoreError> {
+    spec.validate()?;
     let schedule = PipelineSchedule::generate(
         spec.new.schedule,
         spec.new.parallelism.pp,
@@ -157,7 +180,7 @@ pub fn reassemble<C: CostModel>(
     for rank in spec.new.parallelism.all_ranks() {
         let emitter = RankEmitter {
             spec,
-            library: &library,
+            library,
             cost,
             registry,
             schedule: &schedule,
@@ -426,27 +449,7 @@ impl<C: CostModel> RankEmitter<'_, C> {
         if !self.spec.recost_kernels {
             return None;
         }
-        let new = &self.spec.new;
-        let tp = new.parallelism.tp;
-        Some(match (kind, phase) {
-            (BlockKind::Layer(_), Phase::Forward) => {
-                ops::layer_forward_ops(&new.model, tp, &new.batch)
-            }
-            (BlockKind::Layer(_), Phase::Backward) => {
-                ops::layer_backward_ops(&new.model, tp, &new.batch)
-            }
-            (BlockKind::Embed, Phase::Forward) => {
-                ops::embedding_forward_ops(&new.model, &new.batch)
-            }
-            (BlockKind::Embed, Phase::Backward) => {
-                ops::embedding_backward_ops(&new.model, &new.batch)
-            }
-            (BlockKind::Head, Phase::Forward) => ops::head_forward_ops(&new.model, tp, &new.batch),
-            (BlockKind::Head, Phase::Backward) => {
-                ops::head_backward_ops(&new.model, tp, &new.batch)
-            }
-            _ => return None,
-        })
+        regenerated_block_ops(&self.spec.new, kind, phase)
     }
 
     /// Looks up the source block for (kind-of-new-content, mb).
@@ -489,36 +492,26 @@ impl<C: CostModel> RankEmitter<'_, C> {
         let recost = self.recost_ops(kind, phase);
         let base = *self.cursor(tid);
 
-        // Pass 1: walk launches in host order, assigning new
+        // Pass 1: walk launches in host order (the shared
+        // [`Block::launches_in_host_order`] contract), assigning new
         // correlation ids and (class, duration) updates per kernel.
-        let mut launch_events: Vec<&TraceEvent> = block
-            .events
-            .iter()
-            .filter(|e| {
-                matches!(
-                    e.kind,
-                    EventKind::CudaRuntime { kind, .. } if kind.launches_work()
-                )
-            })
-            .collect();
-        launch_events.sort_by_key(|e| e.ts);
+        let launch_events = block.launches_in_host_order();
         // Old correlation -> (new corr, new class, new duration).
         let mut updates: HashMap<u64, (u64, Option<(KernelClass, Dur)>)> = HashMap::new();
-        // Kernel classes by old correlation (for collective remap).
-        let mut kernel_class: HashMap<u64, KernelClass> = HashMap::new();
-        for e in &block.events {
-            if let EventKind::Kernel {
-                correlation, class, ..
-            } = e.kind
-            {
-                kernel_class.insert(correlation, class);
+        // Kernels by old correlation (for class lookup and collective
+        // remap), via the same shared helper cost consumers use.
+        let kernels_by_corr = block.kernels_by_correlation();
+        let class_of_corr = |corr: u64| -> Option<KernelClass> {
+            match kernels_by_corr.get(&corr)?.kind {
+                EventKind::Kernel { class, .. } => Some(class),
+                _ => None,
             }
-        }
+        };
         let mut op_iter = recost.as_deref().map(|ops| ops.iter());
         for launch in &launch_events {
             let old_corr = launch.kind.correlation().unwrap_or(0);
             let new_corr = self.fresh_corr();
-            let old_class = kernel_class.get(&old_corr).copied();
+            let old_class = class_of_corr(old_corr);
             let next_op: Option<&OpDesc> = match op_iter.as_mut() {
                 Some(it) => {
                     let op = it.next().ok_or_else(|| CoreError::InvalidTransform {
@@ -846,6 +839,47 @@ fn kernel_dur(block: &Block, corr: u64) -> Dur {
         .find(|e| e.is_gpu() && e.kind.correlation() == Some(corr))
         .map(|e| e.dur)
         .unwrap_or(Dur::ZERO)
+}
+
+/// Maps a compute op body to its kernel class (collectives return
+/// `None`) — the shape key a [`CostModel`] prices re-generated ops by.
+/// Public so cost consumers (e.g. the search engine's stage-cost memo)
+/// price op lists exactly the way reassembly does.
+pub fn kernel_class_of_op(body: &OpBody) -> Option<KernelClass> {
+    class_of_body(body)
+}
+
+/// The op list reassembly regenerates for a block of `kind`/`phase`
+/// under `setup` when [`ReassembleSpec::recost_kernels`] is set
+/// (`None` for block kinds whose recorded durations are always kept).
+/// Public so cost consumers re-price blocks in lockstep with
+/// reassembly — a drifted copy of this mapping would silently desync
+/// lower bounds from the prices candidates actually simulate under.
+pub fn regenerated_block_ops(
+    setup: &TrainingSetup,
+    kind: BlockKind,
+    phase: Phase,
+) -> Option<Vec<OpDesc>> {
+    let tp = setup.parallelism.tp;
+    Some(match (kind, phase) {
+        (BlockKind::Layer(_), Phase::Forward) => {
+            ops::layer_forward_ops(&setup.model, tp, &setup.batch)
+        }
+        (BlockKind::Layer(_), Phase::Backward) => {
+            ops::layer_backward_ops(&setup.model, tp, &setup.batch)
+        }
+        (BlockKind::Embed, Phase::Forward) => {
+            ops::embedding_forward_ops(&setup.model, &setup.batch)
+        }
+        (BlockKind::Embed, Phase::Backward) => {
+            ops::embedding_backward_ops(&setup.model, &setup.batch)
+        }
+        (BlockKind::Head, Phase::Forward) => ops::head_forward_ops(&setup.model, tp, &setup.batch),
+        (BlockKind::Head, Phase::Backward) => {
+            ops::head_backward_ops(&setup.model, tp, &setup.batch)
+        }
+        _ => return None,
+    })
 }
 
 /// Maps a compute op body to its kernel class (collectives return

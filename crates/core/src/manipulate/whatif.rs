@@ -10,9 +10,10 @@
 //! [`ExecutionGraph`]; re-simulating the edited graph answers the
 //! question.
 
+use crate::error::CoreError;
 use crate::graph::ExecutionGraph;
 use crate::task::{Task, TaskKind};
-use lumos_trace::KernelClass;
+use lumos_trace::{KernelClass, ScaleError};
 
 /// Scales the duration of every task matched by `predicate` by
 /// `factor` (0.5 = twice as fast). Returns the number of tasks
@@ -20,16 +21,35 @@ use lumos_trace::KernelClass;
 ///
 /// # Panics
 ///
-/// Panics if `factor` is negative or not finite.
+/// Panics if `factor` is negative or not finite. Callers handling
+/// user-supplied factors should use [`try_scale_tasks`].
 pub fn scale_tasks(
     graph: &mut ExecutionGraph,
     factor: f64,
     predicate: impl Fn(&Task) -> bool,
 ) -> usize {
-    assert!(
-        factor >= 0.0 && factor.is_finite(),
-        "scale factor must be finite and non-negative, got {factor}"
-    );
+    match try_scale_tasks(graph, factor, predicate) {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`scale_tasks`]: rejects negative, NaN, and infinite
+/// factors with a typed error instead of panicking. The graph is left
+/// untouched on error.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidScale`] when `factor` is negative or
+/// not finite.
+pub fn try_scale_tasks(
+    graph: &mut ExecutionGraph,
+    factor: f64,
+    predicate: impl Fn(&Task) -> bool,
+) -> Result<usize, CoreError> {
+    if !(factor >= 0.0 && factor.is_finite()) {
+        return Err(CoreError::InvalidScale(ScaleError { factor }));
+    }
     let mut affected = 0;
     for task in graph.tasks_mut() {
         if predicate(task) {
@@ -37,10 +57,14 @@ pub fn scale_tasks(
             affected += 1;
         }
     }
-    affected
+    Ok(affected)
 }
 
 /// Scales every GPU kernel whose class matches `matcher`.
+///
+/// # Panics
+///
+/// Panics on invalid factors; see [`try_scale_kernel_class`].
 pub fn scale_kernel_class(
     graph: &mut ExecutionGraph,
     factor: f64,
@@ -53,20 +77,78 @@ pub fn scale_kernel_class(
     )
 }
 
+/// Fallible [`scale_kernel_class`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidScale`] on invalid factors.
+pub fn try_scale_kernel_class(
+    graph: &mut ExecutionGraph,
+    factor: f64,
+    matcher: impl Fn(&KernelClass) -> bool,
+) -> Result<usize, CoreError> {
+    try_scale_tasks(
+        graph,
+        factor,
+        |t| matches!(&t.kind, TaskKind::Kernel(c) if matcher(c)),
+    )
+}
+
 /// Scales every GEMM kernel ("what if matmuls were 2× faster?").
+///
+/// # Panics
+///
+/// Panics on invalid factors; see [`try_scale_gemms`].
 pub fn scale_gemms(graph: &mut ExecutionGraph, factor: f64) -> usize {
     scale_kernel_class(graph, factor, |c| matches!(c, KernelClass::Gemm { .. }))
 }
 
+/// Fallible [`scale_gemms`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidScale`] on invalid factors.
+pub fn try_scale_gemms(graph: &mut ExecutionGraph, factor: f64) -> Result<usize, CoreError> {
+    try_scale_kernel_class(graph, factor, |c| matches!(c, KernelClass::Gemm { .. }))
+}
+
 /// Scales every communication kernel ("what if the network were 2×
 /// faster?").
+///
+/// # Panics
+///
+/// Panics on invalid factors; see [`try_scale_comms`].
 pub fn scale_comms(graph: &mut ExecutionGraph, factor: f64) -> usize {
     scale_kernel_class(graph, factor, KernelClass::is_comm)
 }
 
+/// Fallible [`scale_comms`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidScale`] on invalid factors.
+pub fn try_scale_comms(graph: &mut ExecutionGraph, factor: f64) -> Result<usize, CoreError> {
+    try_scale_kernel_class(graph, factor, KernelClass::is_comm)
+}
+
 /// Scales every host-side task ("what if dispatch overhead halved?").
+///
+/// # Panics
+///
+/// Panics on invalid factors; see [`try_scale_host`].
 pub fn scale_host(graph: &mut ExecutionGraph, factor: f64) -> usize {
     scale_tasks(graph, factor, |t| {
+        matches!(t.kind, TaskKind::CpuOp | TaskKind::Runtime(_))
+    })
+}
+
+/// Fallible [`scale_host`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidScale`] on invalid factors.
+pub fn try_scale_host(graph: &mut ExecutionGraph, factor: f64) -> Result<usize, CoreError> {
+    try_scale_tasks(graph, factor, |t| {
         matches!(t.kind, TaskKind::CpuOp | TaskKind::Runtime(_))
     })
 }
@@ -248,6 +330,32 @@ mod tests {
     fn negative_factor_panics() {
         let mut g = graph_with_kernels();
         scale_gemms(&mut g, -1.0);
+    }
+
+    #[test]
+    fn try_variants_reject_bad_factors_and_leave_graph_untouched() {
+        let mut g = graph_with_kernels();
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            for result in [
+                try_scale_gemms(&mut g, bad),
+                try_scale_comms(&mut g, bad),
+                try_scale_host(&mut g, bad),
+                try_scale_tasks(&mut g, bad, |_| true),
+            ] {
+                assert!(matches!(result, Err(CoreError::InvalidScale(_))));
+            }
+        }
+        // Nothing was scaled by the failed calls.
+        assert_eq!(g.task(0).duration, Dur(100));
+        assert_eq!(g.task(1).duration, Dur(200));
+        assert_eq!(g.task(2).duration, Dur(50));
+        // Valid factors behave exactly like the panicking variants.
+        assert_eq!(try_scale_gemms(&mut g, 0.5).unwrap(), 1);
+        assert_eq!(g.task(0).duration, Dur(50));
+        assert_eq!(try_scale_comms(&mut g, 2.0).unwrap(), 1);
+        assert_eq!(g.task(1).duration, Dur(400));
+        assert_eq!(try_scale_host(&mut g, 0.1).unwrap(), 1);
+        assert_eq!(g.task(2).duration, Dur(5));
     }
 
     /// gemm, ew, ew, norm, gemm, ew on one stream: one fusible run of

@@ -126,11 +126,15 @@ impl InterleavedSchedule {
     /// Narayanan et al. result that interleaving divides the bubble
     /// by `v`.
     pub fn bubble_fraction(&self) -> f64 {
-        let p = self.num_ranks as f64;
-        let v = self.chunks as f64;
-        let m = self.num_microbatches as f64;
-        let bubble = (p - 1.0) / v;
-        bubble / (m + bubble)
+        InterleavedSchedule::analytic_bubble(self.num_ranks, self.chunks, self.num_microbatches)
+    }
+
+    /// [`InterleavedSchedule::bubble_fraction`] without generating the
+    /// schedule — for planners and cost bounds that only need the
+    /// number.
+    pub fn analytic_bubble(p: u32, v: u32, m: u32) -> f64 {
+        let bubble = (p as f64 - 1.0) / v as f64;
+        bubble / (m as f64 + bubble)
     }
 
     /// Extra pipeline-communication factor vs plain 1F1B: every

@@ -45,6 +45,7 @@ pub mod ops;
 mod parallel;
 mod schedule;
 mod setup;
+pub mod stagecost;
 
 pub use batch::BatchConfig;
 pub use error::ModelError;
@@ -56,3 +57,4 @@ pub use memory::{MemoryEstimate, MemoryModel, OomError, OptimizerPlacement, Reco
 pub use parallel::{CommScope, GroupRegistry, Parallelism, RankCoords};
 pub use schedule::{PipelineSchedule, ScheduleItem, ScheduleKind};
 pub use setup::TrainingSetup;
+pub use stagecost::{StageCostKey, StageWork};

@@ -201,8 +201,15 @@ impl PipelineSchedule {
     /// The analytic pipeline bubble fraction `(P-1)/(M+P-1)` of the
     /// 1F1B (and GPipe) schedule with equal stage times.
     pub fn bubble_fraction(&self) -> f64 {
-        let p = self.num_stages as f64;
-        let m = self.num_microbatches as f64;
+        PipelineSchedule::analytic_bubble(self.num_stages, self.num_microbatches)
+    }
+
+    /// [`PipelineSchedule::bubble_fraction`] without generating the
+    /// schedule — for planners and cost bounds that only need the
+    /// number (the formula is schedule-kind independent).
+    pub fn analytic_bubble(num_stages: u32, num_microbatches: u32) -> f64 {
+        let p = num_stages as f64;
+        let m = num_microbatches as f64;
         (p - 1.0) / (m + p - 1.0)
     }
 

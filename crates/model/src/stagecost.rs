@@ -1,0 +1,172 @@
+//! Stage-cost factoring for configuration search.
+//!
+//! A pipeline candidate's per-stage compute cost is determined by a
+//! small sub-configuration of the full [`TrainingSetup`]: the tensor-
+//! parallel degree (kernel shard shapes), the layer shape (hidden /
+//! feed-forward / head / vocabulary dimensions), and the per-micro-
+//! batch workload (sequence length × micro-batch size). Pipeline
+//! depth, data parallelism, interleaving, and the *number* of
+//! micro-batches only rearrange those per-stage costs — they never
+//! change them.
+//!
+//! [`StageCostKey`] captures exactly that determining tuple, so cost
+//! derivations can be memoized once per key and shared across every
+//! candidate that differs only in PP/DP/micro-batch-count/interleave.
+//! [`StageWork`] holds derived per-micro-batch stage seconds and
+//! combines them into the analytic serial-work lower bound search
+//! engines use to skip provably dominated candidates.
+
+use crate::setup::TrainingSetup;
+
+/// The sub-configuration that determines per-stage compute costs.
+///
+/// Two setups with equal keys have identical per-layer, embedding, and
+/// LM-head costs under any cost model that prices kernels by shape —
+/// regardless of their pipeline/data-parallel degrees, micro-batch
+/// counts, or interleaving.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StageCostKey {
+    /// Tensor-parallel degree (shard shapes).
+    pub tp: u32,
+    /// Model (hidden) dimension.
+    pub hidden: u64,
+    /// Feed-forward inner dimension.
+    pub ffn: u64,
+    /// Attention heads.
+    pub heads: u32,
+    /// Per-head dimension.
+    pub head_dim: u64,
+    /// Vocabulary size (embedding / LM-head shapes).
+    pub vocab: u64,
+    /// Sequence length per sample.
+    pub seq_len: u64,
+    /// Samples per micro-batch.
+    pub microbatch_size: u64,
+}
+
+impl StageCostKey {
+    /// The stage-cost key of a setup.
+    pub fn of(setup: &TrainingSetup) -> Self {
+        StageCostKey {
+            tp: setup.parallelism.tp,
+            hidden: setup.model.hidden_size,
+            ffn: setup.model.ffn_size,
+            heads: setup.model.num_heads,
+            head_dim: setup.model.head_dim,
+            vocab: setup.model.vocab_size,
+            seq_len: setup.batch.seq_len,
+            microbatch_size: setup.batch.microbatch_size,
+        }
+    }
+}
+
+/// Per-micro-batch stage work in seconds, resolved for one candidate's
+/// layer arrangement: `layer_secs[l]` is the combined forward +
+/// backward compute cost of target layer `l`, with embedding and head
+/// costs held separately (they pin to the first and last stage).
+///
+/// All entries are *lower bounds* on serial device time when built for
+/// pruning; combinators preserve that direction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageWork {
+    /// Forward + backward seconds per target layer, per micro-batch.
+    pub layer_secs: Vec<f64>,
+    /// Embedding block seconds (first stage), per micro-batch.
+    pub embed_secs: f64,
+    /// LM-head block seconds (last stage), per micro-batch.
+    pub head_secs: f64,
+}
+
+impl StageWork {
+    /// Per-micro-batch work of `stage` when the layers are dealt
+    /// contiguously over `pp` stages (the Megatron partition). Layers
+    /// that do not divide evenly are not supported by the schedules
+    /// this models, so `layer_secs.len()` must be a multiple of `pp`.
+    pub fn stage_secs(&self, pp: u32, stage: u32) -> f64 {
+        let per_stage = self.layer_secs.len() / pp as usize;
+        let start = per_stage * stage as usize;
+        let mut secs: f64 = self.layer_secs[start..start + per_stage].iter().sum();
+        if stage == 0 {
+            secs += self.embed_secs;
+        }
+        if stage == pp - 1 {
+            secs += self.head_secs;
+        }
+        secs
+    }
+
+    /// Per-micro-batch work of the busiest stage.
+    pub fn bottleneck_stage_secs(&self, pp: u32) -> f64 {
+        (0..pp).map(|s| self.stage_secs(pp, s)).fold(0.0, f64::max)
+    }
+
+    /// Analytic lower bound on any pipeline-parallel iteration over
+    /// `num_microbatches` micro-batches: the busiest stage must run
+    /// its forward and backward work for every micro-batch serially,
+    /// whatever the schedule, overlap, or communication pattern.
+    pub fn pipeline_lower_bound_secs(&self, pp: u32, num_microbatches: u32) -> f64 {
+        num_microbatches as f64 * self.bottleneck_stage_secs(pp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpt3::ModelConfig;
+    use crate::parallel::Parallelism;
+
+    fn setup(tp: u32, pp: u32, dp: u32, microbatches: u32) -> TrainingSetup {
+        let mut s = TrainingSetup::new(
+            ModelConfig::custom("stagecost", 8, 512, 2048, 8, 64),
+            Parallelism::new(tp, pp, dp).unwrap(),
+        );
+        s.batch.num_microbatches = microbatches;
+        s
+    }
+
+    #[test]
+    fn key_ignores_pp_dp_microbatch_count_and_interleave() {
+        let a = StageCostKey::of(&setup(2, 1, 1, 2));
+        let b = StageCostKey::of(&setup(2, 4, 8, 16));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_distinguishes_tp_and_shape() {
+        let base = StageCostKey::of(&setup(2, 2, 1, 4));
+        assert_ne!(base, StageCostKey::of(&setup(4, 2, 1, 4)));
+        let mut wider = setup(2, 2, 1, 4);
+        wider.model.hidden_size = 1024;
+        assert_ne!(base, StageCostKey::of(&wider));
+        let mut longer = setup(2, 2, 1, 4);
+        longer.batch.seq_len *= 2;
+        assert_ne!(base, StageCostKey::of(&longer));
+    }
+
+    #[test]
+    fn stage_secs_partitions_layers_and_pins_embed_head() {
+        let work = StageWork {
+            layer_secs: vec![1.0, 2.0, 3.0, 4.0],
+            embed_secs: 10.0,
+            head_secs: 20.0,
+        };
+        // pp=2: stage 0 = layers 0..2 + embed, stage 1 = 2..4 + head.
+        assert_eq!(work.stage_secs(2, 0), 1.0 + 2.0 + 10.0);
+        assert_eq!(work.stage_secs(2, 1), 3.0 + 4.0 + 20.0);
+        // pp=1: everything on the single stage.
+        assert_eq!(work.stage_secs(1, 0), 1.0 + 2.0 + 3.0 + 4.0 + 30.0);
+        assert_eq!(work.bottleneck_stage_secs(2), 27.0);
+    }
+
+    #[test]
+    fn lower_bound_scales_with_microbatches() {
+        let work = StageWork {
+            layer_secs: vec![1.0, 1.0],
+            embed_secs: 0.0,
+            head_secs: 0.0,
+        };
+        assert_eq!(work.pipeline_lower_bound_secs(2, 1), 1.0);
+        assert_eq!(work.pipeline_lower_bound_secs(2, 8), 8.0);
+        assert_eq!(work.pipeline_lower_bound_secs(1, 4), 8.0);
+    }
+}

@@ -1,7 +1,13 @@
 //! Deterministic candidate enumeration over the divisibility lattice.
+//!
+//! Enumeration is *streaming*: the grid is a mixed-radix index space
+//! decoded on demand ([`Grid`]), never a materialized vector, so
+//! million-candidate spaces cost O(1) memory to walk. [`CandidateStream`]
+//! is the lazy iterator façade; [`enumerate_candidates`] collects it
+//! for callers that want the full set.
 
 use crate::candidate::Candidate;
-use crate::space::SpaceSpec;
+use crate::space::{ResolvedAxes, SpaceSpec};
 use lumos_model::{InterleavedSchedule, TrainingSetup};
 
 /// Why a grid point was rejected before costing anything.
@@ -16,6 +22,165 @@ pub enum RejectReason {
     /// TP rescale would change collective structure (`tp = 1 ↔ tp >
     /// 1`), which graph manipulation cannot reach from the trace.
     Structural,
+}
+
+/// The grid as a random-access index space: grid point `i` decodes to
+/// a candidate in the fixed enumeration order (arch, tp, pp, dp,
+/// micro-batches, interleave — each ascending, interleave innermost).
+///
+/// Random access is what lets the parallel evaluator shard the grid
+/// across workers with one atomic cursor instead of a locked iterator,
+/// and what keeps enumeration-order tie-breaks well-defined without
+/// materializing anything.
+pub(crate) struct Grid<'a> {
+    base: &'a TrainingSetup,
+    axes: ResolvedAxes,
+    /// Spec whose arch table matches the resolved axes (labels and
+    /// transforms index into it).
+    spec: SpaceSpec,
+    total: usize,
+}
+
+impl<'a> Grid<'a> {
+    /// Builds the grid for `spec` over `base`.
+    pub(crate) fn new(spec: &SpaceSpec, base: &'a TrainingSetup) -> Self {
+        let axes = spec.resolved_axes(base);
+        let resolved_spec = SpaceSpec {
+            arch: axes.arch_points.clone(),
+            ..spec.clone()
+        };
+        let arch = axes.arch_points.len().max(1);
+        let total = arch
+            * axes.tp.len()
+            * axes.pp.len()
+            * axes.dp.len()
+            * axes.microbatches.len()
+            * axes.interleave.len();
+        Grid {
+            base,
+            axes,
+            spec: resolved_spec,
+            total,
+        }
+    }
+
+    /// Number of grid points.
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The spec enumeration works against (resolved arch table).
+    pub(crate) fn spec(&self) -> &SpaceSpec {
+        &self.spec
+    }
+
+    /// Decodes grid point `index` (`< total()`) into its candidate.
+    pub(crate) fn candidate(&self, index: usize) -> Candidate {
+        debug_assert!(index < self.total);
+        let mut rem = index;
+        let take = |rem: &mut usize, axis: &[u32]| {
+            let v = axis[*rem % axis.len()];
+            *rem /= axis.len();
+            v
+        };
+        let interleave = take(&mut rem, &self.axes.interleave);
+        let microbatches = take(&mut rem, &self.axes.microbatches);
+        let dp = take(&mut rem, &self.axes.dp);
+        let pp = take(&mut rem, &self.axes.pp);
+        let tp = take(&mut rem, &self.axes.tp);
+        let arch = if self.axes.arch_points.is_empty() {
+            None
+        } else {
+            Some(rem)
+        };
+        Candidate {
+            tp,
+            pp,
+            dp,
+            microbatches,
+            interleave,
+            arch,
+        }
+    }
+
+    /// Checks one candidate against the lattice, returning its
+    /// validated target setup on success.
+    pub(crate) fn admit(&self, cand: &Candidate) -> Result<TrainingSetup, RejectReason> {
+        admit(cand, self.base, &self.spec, &self.axes)
+    }
+}
+
+/// A grid point that survived the lattice: its deterministic
+/// enumeration index (the ranking tie-break), the candidate, and its
+/// validated target setup.
+#[derive(Debug, Clone)]
+pub struct EnumeratedCandidate {
+    /// Grid index in enumeration order.
+    pub index: usize,
+    /// The candidate configuration.
+    pub candidate: Candidate,
+    /// Its validated target setup.
+    pub setup: TrainingSetup,
+}
+
+/// A lazy walk of the grid: yields lattice-valid candidates one at a
+/// time, counting rejections as it goes, with **O(1) memory** in the
+/// size of the space.
+///
+/// The yield order is the crate's deterministic enumeration order;
+/// [`CandidateStream::stats`] exposes the rejection counters
+/// accumulated so far (complete once the iterator is exhausted).
+pub struct CandidateStream<'a> {
+    grid: Grid<'a>,
+    cursor: usize,
+    stats: crate::prune::PruneStats,
+}
+
+impl<'a> CandidateStream<'a> {
+    /// Starts a streaming enumeration of `spec` over `base`.
+    pub fn new(spec: &SpaceSpec, base: &'a TrainingSetup) -> Self {
+        CandidateStream {
+            grid: Grid::new(spec, base),
+            cursor: 0,
+            stats: crate::prune::PruneStats::default(),
+        }
+    }
+
+    /// Number of grid points the full walk visits.
+    pub fn grid_size(&self) -> usize {
+        self.grid.total()
+    }
+
+    /// Counters accumulated so far (complete after exhaustion).
+    pub fn stats(&self) -> crate::prune::PruneStats {
+        self.stats
+    }
+}
+
+impl Iterator for CandidateStream<'_> {
+    type Item = EnumeratedCandidate;
+
+    fn next(&mut self) -> Option<EnumeratedCandidate> {
+        while self.cursor < self.grid.total() {
+            let index = self.cursor;
+            self.cursor += 1;
+            self.stats.enumerated += 1;
+            let candidate = self.grid.candidate(index);
+            match self.grid.admit(&candidate) {
+                Ok(setup) => {
+                    return Some(EnumeratedCandidate {
+                        index,
+                        candidate,
+                        setup,
+                    })
+                }
+                Err(RejectReason::Budget) => self.stats.budget_rejects += 1,
+                Err(RejectReason::Divisibility) => self.stats.divisibility_rejects += 1,
+                Err(RejectReason::Structural) => self.stats.structural_rejects += 1,
+            }
+        }
+        None
+    }
 }
 
 /// The enumeration result: surviving candidates (with their validated
@@ -33,51 +198,20 @@ pub struct EnumerationOutcome {
 /// micro-batches, interleave — each ascending) and keeps the
 /// lattice-valid candidates.
 ///
-/// The order is part of the crate's determinism contract: ranking
-/// tie-breaks fall back to this enumeration index.
+/// This materializes the full survivor set; for large spaces prefer
+/// [`CandidateStream`], which yields the same candidates in the same
+/// order lazily. The order is part of the crate's determinism
+/// contract: ranking tie-breaks fall back to this enumeration index.
 pub fn enumerate_candidates(spec: &SpaceSpec, base: &TrainingSetup) -> EnumerationOutcome {
-    let axes = spec.resolved_axes(base);
-    let arch_axis: Vec<Option<usize>> = if axes.arch_points.is_empty() {
-        vec![None]
-    } else {
-        (0..axes.arch_points.len()).map(Some).collect()
-    };
-    // Work against a spec whose arch table matches the resolved axes.
-    let resolved_spec = SpaceSpec {
-        arch: axes.arch_points.clone(),
-        ..spec.clone()
-    };
-
-    let mut stats = crate::prune::PruneStats::default();
+    let mut stream = CandidateStream::new(spec, base);
     let mut candidates = Vec::new();
-    for &arch in &arch_axis {
-        for &tp in &axes.tp {
-            for &pp in &axes.pp {
-                for &dp in &axes.dp {
-                    for &microbatches in &axes.microbatches {
-                        for &interleave in &axes.interleave {
-                            stats.enumerated += 1;
-                            let cand = Candidate {
-                                tp,
-                                pp,
-                                dp,
-                                microbatches,
-                                interleave,
-                                arch,
-                            };
-                            match admit(&cand, base, &resolved_spec, &axes) {
-                                Ok(setup) => candidates.push((cand, setup)),
-                                Err(RejectReason::Budget) => stats.budget_rejects += 1,
-                                Err(RejectReason::Divisibility) => stats.divisibility_rejects += 1,
-                                Err(RejectReason::Structural) => stats.structural_rejects += 1,
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    for ec in stream.by_ref() {
+        candidates.push((ec.candidate, ec.setup));
     }
-    EnumerationOutcome { candidates, stats }
+    EnumerationOutcome {
+        candidates,
+        stats: stream.stats(),
+    }
 }
 
 /// Checks one grid point against the lattice, returning its validated
@@ -86,7 +220,7 @@ fn admit(
     cand: &Candidate,
     base: &TrainingSetup,
     spec: &SpaceSpec,
-    axes: &crate::space::ResolvedAxes,
+    axes: &ResolvedAxes,
 ) -> Result<TrainingSetup, RejectReason> {
     let world = cand.world_size();
     match &axes.gpus {
@@ -192,5 +326,62 @@ mod tests {
             a.candidates.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
             b.candidates.iter().map(|(c, _)| *c).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn grid_decode_covers_every_point_in_loop_order() {
+        let base = base_tp2();
+        let spec = SpaceSpec::deployment_grid(&[2, 4], &[1, 2], &[1, 2])
+            .with_microbatches(&[2, 4])
+            .with_interleave(&[1, 2])
+            .with_arch(vec![
+                crate::space::ArchPoint::new("a", 2, 256, 1024),
+                crate::space::ArchPoint::new("b", 4, 256, 1024),
+            ]);
+        let grid = Grid::new(&spec, &base);
+        assert_eq!(grid.total(), 2 * 2 * 2 * 2 * 2 * 2);
+        // Reconstruct the reference nested-loop order and compare.
+        let axes = spec.resolved_axes(&base);
+        let mut expected = Vec::new();
+        for a in 0..axes.arch_points.len().max(1) {
+            for &tp in &axes.tp {
+                for &pp in &axes.pp {
+                    for &dp in &axes.dp {
+                        for &m in &axes.microbatches {
+                            for &v in &axes.interleave {
+                                expected.push(Candidate {
+                                    tp,
+                                    pp,
+                                    dp,
+                                    microbatches: m,
+                                    interleave: v,
+                                    arch: (!axes.arch_points.is_empty()).then_some(a),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let decoded: Vec<Candidate> = (0..grid.total()).map(|i| grid.candidate(i)).collect();
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn stream_yields_same_set_as_materialized() {
+        let base = base_tp2();
+        let spec = SpaceSpec::deployment_grid(&[2, 4], &[1, 2], &[1, 2]).with_microbatches(&[2, 4]);
+        let materialized = enumerate_candidates(&spec, &base);
+        let mut stream = CandidateStream::new(&spec, &base);
+        let streamed: Vec<(Candidate, TrainingSetup)> =
+            stream.by_ref().map(|ec| (ec.candidate, ec.setup)).collect();
+        assert_eq!(streamed, materialized.candidates);
+        assert_eq!(stream.stats(), materialized.stats);
+        // Indices are strictly increasing grid positions.
+        let indices: Vec<usize> = CandidateStream::new(&spec, &base)
+            .map(|ec| ec.index)
+            .collect();
+        assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        assert!(indices.iter().all(|&i| i < stream.grid_size()));
     }
 }

@@ -20,6 +20,13 @@ pub enum SearchError {
         /// The underlying failure.
         source: CoreError,
     },
+    /// Extracting the shared block library from the base trace failed
+    /// (e.g. the trace lacks layer annotations), so no candidate can
+    /// be priced.
+    Extraction {
+        /// The underlying failure.
+        source: CoreError,
+    },
     /// Profiling the base configuration failed (trace-less entry
     /// point).
     BaseProfile(String),
@@ -41,6 +48,9 @@ impl fmt::Display for SearchError {
             SearchError::Evaluation { candidate, source } => {
                 write!(f, "evaluating candidate {candidate}: {source}")
             }
+            SearchError::Extraction { source } => {
+                write!(f, "extracting blocks from the base trace: {source}")
+            }
             SearchError::BaseProfile(msg) => write!(f, "profiling base configuration: {msg}"),
             SearchError::Spec(msg) => write!(f, "invalid space spec: {msg}"),
         }
@@ -50,7 +60,9 @@ impl fmt::Display for SearchError {
 impl std::error::Error for SearchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SearchError::Evaluation { source, .. } => Some(source),
+            SearchError::Evaluation { source, .. } | SearchError::Extraction { source } => {
+                Some(source)
+            }
             _ => None,
         }
     }

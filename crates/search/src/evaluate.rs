@@ -1,12 +1,26 @@
-//! The parallel candidate evaluator: one shared trace-fitted cost
-//! model, one reassembly + replay per feasible candidate.
+//! The streaming parallel evaluator: one shared trace-fitted cost
+//! model and block library, one reassembly + replay per candidate
+//! that cannot be skipped, bounded top-k retention per worker.
+//!
+//! Workers claim grid indices from a single atomic cursor, decode and
+//! lattice-check them on the fly ([`crate::enumerate::Grid`]), gate on
+//! memory feasibility, and then — when a retention bound is set —
+//! consult the memoized analytic lower bound
+//! ([`crate::memo::StageCostCache`]) to skip full interleaved-1F1B
+//! scoring for candidates that provably cannot enter the top-k. Peak
+//! memory is proportional to `top_k × threads`, not to the size of the
+//! space, and the merged result is byte-identical to ranking every
+//! candidate: a candidate is only skipped when its objective key is
+//! *strictly* worse than `k` already-scored candidates.
 
 use crate::candidate::Candidate;
+use crate::enumerate::Grid;
 use crate::error::SearchError;
-use crate::parallel::parallel_map;
-use crate::space::SpaceSpec;
-use crate::SearchOptions;
-use lumos_core::manipulate::{plan, reassemble};
+use crate::memo::StageCostCache;
+use crate::prune::{self, MemoStats, PruneStats, PrunedCandidate};
+use crate::report::{objective_key_cmp, rank_cmp, Objective};
+use crate::{SearchOptions, SearchProgress};
+use lumos_core::manipulate::{plan, reassemble_with_library, BlockLibrary};
 use lumos_core::Lumos;
 use lumos_cost::{CostModel, LookupCostModel};
 use lumos_model::{
@@ -14,7 +28,59 @@ use lumos_model::{
     TrainingSetup, Utilization,
 };
 use lumos_trace::{ClusterTrace, CollectiveKind, Dur, EventKind, KernelClass};
-use std::sync::Arc;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+
+/// Why a fully scored candidate was rejected instead of ranked.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Infeasibility {
+    /// The schedule's bubble fraction reached 1.0 — no useful work
+    /// share, so the interleaving adjustment would divide by zero.
+    DegenerateBubble {
+        /// The degenerate bubble fraction.
+        bubble: f64,
+    },
+    /// The predicted makespan is zero; per-GPU throughput and MFU are
+    /// undefined.
+    ZeroMakespan,
+    /// The device spec reports no peak FLOP/s; MFU is undefined.
+    NoPeakFlops,
+    /// The objective key came out non-finite (NaN or ±∞) — reported
+    /// instead of ranked so the sort never sees it.
+    NonFiniteObjective {
+        /// The offending key value.
+        key: f64,
+    },
+}
+
+impl std::fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Infeasibility::DegenerateBubble { bubble } => {
+                write!(f, "degenerate pipeline bubble ({bubble})")
+            }
+            Infeasibility::ZeroMakespan => write!(f, "zero predicted makespan"),
+            Infeasibility::NoPeakFlops => write!(f, "device spec has no peak FLOP/s"),
+            Infeasibility::NonFiniteObjective { key } => {
+                write!(f, "non-finite objective key ({key})")
+            }
+        }
+    }
+}
+
+/// A fully scored candidate rejected with a typed reason.
+#[derive(Debug, Clone)]
+pub struct RejectedCandidate {
+    /// The candidate configuration.
+    pub candidate: Candidate,
+    /// Display label.
+    pub label: String,
+    /// Enumeration index.
+    pub index: usize,
+    /// Why it was rejected.
+    pub reason: Infeasibility,
+}
 
 /// One evaluated candidate: the numbers a capacity planner ranks by.
 #[derive(Debug, Clone)]
@@ -42,6 +108,11 @@ pub struct CandidateResult {
     pub memory_stage: u32,
     /// Training throughput normalized by cluster size.
     pub tokens_per_sec_per_gpu: f64,
+    /// `Some` when the candidate must not be ranked: degenerate
+    /// bubble, zero makespan, missing peak FLOP/s, or a non-finite
+    /// objective key. Such results are reported in
+    /// [`crate::SearchReport::rejected`], never in `results`.
+    pub infeasibility: Option<Infeasibility>,
 }
 
 impl CandidateResult {
@@ -49,55 +120,431 @@ impl CandidateResult {
     pub fn world_size(&self) -> u32 {
         self.candidate.world_size()
     }
+
+    /// `true` when the result is rankable (no infeasibility flag).
+    pub fn is_feasible(&self) -> bool {
+        self.infeasibility.is_none()
+    }
 }
 
-/// Evaluates every feasible candidate on `threads` workers.
-///
-/// The [`LookupCostModel`] is fitted from the base trace **once** and
-/// shared read-only across workers (`Arc`), so every candidate reuses
-/// the same memoized shape → duration table; only genuinely new shapes
-/// fall through to the analytical fallback.
-pub(crate) fn evaluate_all<C>(
+/// Everything the streaming engine produced, pre-merge of the final
+/// report.
+pub(crate) struct EngineOutcome {
+    pub results: Vec<CandidateResult>,
+    pub pruned: Vec<PrunedCandidate>,
+    pub rejected: Vec<RejectedCandidate>,
+    pub stats: PruneStats,
+    pub memo: MemoStats,
+    pub threads: usize,
+}
+
+/// Shared per-run atomic counters.
+#[derive(Default)]
+struct Counters {
+    claimed: AtomicUsize,
+    budget: AtomicUsize,
+    divisibility: AtomicUsize,
+    structural: AtomicUsize,
+    memory_pruned: AtomicUsize,
+    bound_skipped: AtomicUsize,
+    evaluated: AtomicUsize,
+    infeasible: AtomicUsize,
+}
+
+/// A max-heap entry ordered by (objective key, index) under the
+/// NaN-safe total order: the heap's top is the *worst* retained
+/// candidate, the one a new candidate must strictly beat.
+struct HeapEntry {
+    key: f64,
+    result: CandidateResult,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        objective_key_cmp(self.key, other.key)
+            .then_with(|| self.result.index.cmp(&other.result.index))
+    }
+}
+
+/// Per-worker bounded retention: an unbounded list when no cap is set
+/// (full-ranking compatibility mode), a size-`k` max-heap otherwise.
+struct TopK {
+    cap: Option<usize>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl TopK {
+    fn new(cap: Option<usize>) -> Self {
+        TopK {
+            cap,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// `true` once the retention bound is reached (never for
+    /// unbounded retention — skipping stays disabled there).
+    fn full(&self) -> bool {
+        self.cap.is_some_and(|k| self.heap.len() >= k)
+    }
+
+    /// The objective key a challenger must strictly beat, once full.
+    fn worst_key(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    fn push(&mut self, key: f64, result: CandidateResult) {
+        let entry = HeapEntry { key, result };
+        match self.cap {
+            Some(k) if self.heap.len() >= k => {
+                if k == 0 {
+                    return;
+                }
+                if entry.cmp(self.heap.peek().expect("non-empty")) == Ordering::Less {
+                    self.heap.pop();
+                    self.heap.push(entry);
+                }
+            }
+            _ => self.heap.push(entry),
+        }
+    }
+
+    fn into_results(self) -> Vec<CandidateResult> {
+        self.heap.into_iter().map(|e| e.result).collect()
+    }
+}
+
+/// What one worker hands back at join time.
+struct WorkerOut {
+    results: Vec<CandidateResult>,
+    pruned: Vec<PrunedCandidate>,
+    rejected: Vec<RejectedCandidate>,
+    /// Lowest-index evaluation failure this worker hit.
+    error: Option<(usize, SearchError)>,
+}
+
+/// Runs the full streaming pipeline over the grid of `spec` (already
+/// normalized): claim → decode → lattice → memory gate → lower-bound
+/// skip → evaluate → per-worker top-k, merged deterministically.
+pub(crate) fn run_streaming<C>(
     trace: &ClusterTrace,
     base: &TrainingSetup,
-    spec: &SpaceSpec,
-    feasible: &[(Candidate, TrainingSetup)],
+    spec: &crate::SpaceSpec,
     opts: &SearchOptions,
     fallback: C,
-    threads: usize,
-) -> Result<Vec<CandidateResult>, SearchError>
+) -> Result<EngineOutcome, SearchError>
 where
     C: CostModel + Send + Sync + 'static,
 {
-    let lookup = Arc::new(LookupCostModel::fit_from_trace(
-        trace,
-        fallback,
-        opts.gpus_per_node,
-    ));
+    let grid = Grid::new(spec, base);
+    let total = grid.total();
+    let lookup = LookupCostModel::fit_from_trace(trace, fallback, opts.gpus_per_node);
+    let library = BlockLibrary::extract(trace, base.parallelism)
+        .map_err(|source| SearchError::Extraction { source })?;
+    // The stage-cost memo's construction walks the whole library
+    // (dominant-stream scan + completeness probe); build it only when
+    // a worker actually queries a bound — never in full-retention
+    // mode, where heaps never fill.
+    let cache: std::sync::OnceLock<StageCostCache<'_, C>> = std::sync::OnceLock::new();
+    let bound_cache = || cache.get_or_init(|| StageCostCache::new(base, &library, &lookup));
     let lumos = Lumos::new();
-    let results = parallel_map(feasible, threads, |index, (cand, setup)| {
-        evaluate_one(trace, base, spec, cand, setup, index, opts, &lumos, &lookup).map_err(
-            |source| SearchError::Evaluation {
-                candidate: cand.label(spec),
-                source,
-            },
-        )
+    let threads = crate::parallel::effective_threads(opts.threads, total);
+    let capacity = opts.gpu.memory_bytes();
+
+    let counters = Counters::default();
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let progress_stride = (total / 20).clamp(1, 65_536);
+
+    let worker = |_worker_idx: usize| -> WorkerOut {
+        let mut top = TopK::new(opts.top_k);
+        let mut out = WorkerOut {
+            results: Vec::new(),
+            pruned: Vec::new(),
+            rejected: Vec::new(),
+            error: None,
+        };
+        loop {
+            if abort.load(AtomicOrdering::Relaxed) {
+                break;
+            }
+            let index = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+            if index >= total {
+                break;
+            }
+            let claimed = counters.claimed.fetch_add(1, AtomicOrdering::Relaxed) + 1;
+            if claimed % progress_stride == 0 {
+                if let Some(sink) = &opts.progress {
+                    (sink.0)(SearchProgress {
+                        grid_points: total,
+                        claimed,
+                        evaluated: counters.evaluated.load(AtomicOrdering::Relaxed),
+                        memory_pruned: counters.memory_pruned.load(AtomicOrdering::Relaxed),
+                        bound_skipped: counters.bound_skipped.load(AtomicOrdering::Relaxed),
+                    });
+                }
+            }
+            let cand = grid.candidate(index);
+            let setup = match grid.admit(&cand) {
+                Ok(setup) => setup,
+                Err(crate::RejectReason::Budget) => {
+                    counters.budget.fetch_add(1, AtomicOrdering::Relaxed);
+                    continue;
+                }
+                Err(crate::RejectReason::Divisibility) => {
+                    counters.divisibility.fetch_add(1, AtomicOrdering::Relaxed);
+                    continue;
+                }
+                Err(crate::RejectReason::Structural) => {
+                    counters.structural.fetch_add(1, AtomicOrdering::Relaxed);
+                    continue;
+                }
+            };
+            if let Some(pruned) =
+                prune::gate_one(index, &cand, &setup, &opts.memory_model, capacity)
+            {
+                counters.memory_pruned.fetch_add(1, AtomicOrdering::Relaxed);
+                bounded_push(&mut out.pruned, pruned, opts.top_k, pruned_order);
+                continue;
+            }
+            // Lower-bound skip: only once the local heap already holds
+            // k candidates, and only when the bound is *strictly*
+            // worse than all of them — ties must still be scored, the
+            // enumeration-index tie-break could admit them. (With
+            // `top_k = Some(0)` the heap is trivially full but has no
+            // worst entry to dominate, so nothing is ever *claimed* to
+            // be dominated: every candidate is still scored honestly,
+            // just not retained.)
+            if top.full() {
+                let dominated = match bound_cache().lower_bound_secs(&cand, &setup) {
+                    Some(lb) => match objective_key_lower_bound(opts.objective, &setup, lb, opts) {
+                        Some(key_lb) => top
+                            .worst_key()
+                            .is_some_and(|w| objective_key_cmp(key_lb, w) == Ordering::Greater),
+                        None => false,
+                    },
+                    None => false,
+                };
+                if dominated {
+                    counters.bound_skipped.fetch_add(1, AtomicOrdering::Relaxed);
+                    continue;
+                }
+            }
+            counters.evaluated.fetch_add(1, AtomicOrdering::Relaxed);
+            let mut result = match evaluate_one(
+                &library,
+                base,
+                grid.spec(),
+                &cand,
+                &setup,
+                index,
+                opts,
+                &lumos,
+                &lookup,
+            ) {
+                Ok(r) => r,
+                Err(source) => {
+                    let err = SearchError::Evaluation {
+                        candidate: cand.label(grid.spec()),
+                        source,
+                    };
+                    if out.error.as_ref().is_none_or(|(i, _)| index < *i) {
+                        out.error = Some((index, err));
+                    }
+                    abort.store(true, AtomicOrdering::Relaxed);
+                    break;
+                }
+            };
+            if result.is_feasible() {
+                let key = opts.objective.key(&result);
+                if !key.is_finite() {
+                    result.infeasibility = Some(Infeasibility::NonFiniteObjective { key });
+                }
+            }
+            match result.infeasibility.clone() {
+                Some(reason) => {
+                    counters.infeasible.fetch_add(1, AtomicOrdering::Relaxed);
+                    bounded_push(
+                        &mut out.rejected,
+                        RejectedCandidate {
+                            candidate: result.candidate,
+                            label: result.label.clone(),
+                            index: result.index,
+                            reason,
+                        },
+                        opts.top_k,
+                        rejected_order,
+                    );
+                }
+                None => top.push(opts.objective.key(&result), result),
+            }
+        }
+        out.results = top.into_results();
+        finish_bounded(&mut out.pruned, opts.top_k, pruned_order);
+        finish_bounded(&mut out.rejected, opts.top_k, rejected_order);
+        out
+    };
+
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || worker(w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
     });
-    // Deterministic error selection: the lowest-index failure wins.
-    let mut out = Vec::with_capacity(results.len());
-    for r in results {
-        out.push(r?);
+
+    // Deterministic error selection: the lowest-index failure wins
+    // among the failures workers saw before aborting.
+    let mut error: Option<(usize, SearchError)> = None;
+    let mut results = Vec::new();
+    let mut pruned = Vec::new();
+    let mut rejected = Vec::new();
+    for out in outs {
+        if let Some((i, e)) = out.error {
+            if error.as_ref().is_none_or(|(j, _)| i < *j) {
+                error = Some((i, e));
+            }
+        }
+        results.extend(out.results);
+        pruned.extend(out.pruned);
+        rejected.extend(out.rejected);
     }
-    Ok(out)
+    if let Some((_, e)) = error {
+        return Err(e);
+    }
+
+    let stats = PruneStats {
+        enumerated: counters.claimed.load(AtomicOrdering::Relaxed),
+        budget_rejects: counters.budget.load(AtomicOrdering::Relaxed),
+        divisibility_rejects: counters.divisibility.load(AtomicOrdering::Relaxed),
+        structural_rejects: counters.structural.load(AtomicOrdering::Relaxed),
+        memory_pruned: counters.memory_pruned.load(AtomicOrdering::Relaxed),
+        bound_skipped: counters.bound_skipped.load(AtomicOrdering::Relaxed),
+        evaluated: counters.evaluated.load(AtomicOrdering::Relaxed),
+        infeasible: counters.infeasible.load(AtomicOrdering::Relaxed),
+    };
+    if stats.memory_pruned + stats.bound_skipped + stats.evaluated == 0 {
+        return Err(SearchError::EmptySpace {
+            enumerated: stats.enumerated,
+            rejected: stats.budget_rejects + stats.divisibility_rejects + stats.structural_rejects,
+        });
+    }
+
+    // Deterministic merges: the union of per-worker top-k sets
+    // contains the global top-k; ranking + truncation recovers it
+    // exactly, independent of how workers carved up the grid.
+    results.sort_by(|a, b| rank_cmp(a, b, opts.objective));
+    if let Some(k) = opts.top_k {
+        results.truncate(k);
+    }
+    pruned.sort_by(pruned_order);
+    rejected.sort_by(rejected_order);
+    if let Some(k) = opts.top_k {
+        pruned.truncate(k);
+        rejected.truncate(k);
+    }
+
+    Ok(EngineOutcome {
+        results,
+        pruned,
+        rejected,
+        stats,
+        memo: cache.get().map(StageCostCache::stats).unwrap_or_default(),
+        threads,
+    })
+}
+
+/// Retention order for pruned examples: worst offender (largest
+/// requirement) first, enumeration index as tie-break.
+fn pruned_order(a: &PrunedCandidate, b: &PrunedCandidate) -> Ordering {
+    b.required_bytes
+        .cmp(&a.required_bytes)
+        .then_with(|| a.index.cmp(&b.index))
+}
+
+/// Retention order for rejected examples: enumeration order.
+fn rejected_order(a: &RejectedCandidate, b: &RejectedCandidate) -> Ordering {
+    a.index.cmp(&b.index)
+}
+
+/// Bounded example retention: unbounded when no cap is set; otherwise
+/// amortized sort-and-truncate keeping the `cap` best by `order`.
+fn bounded_push<T>(list: &mut Vec<T>, item: T, cap: Option<usize>, order: fn(&T, &T) -> Ordering) {
+    list.push(item);
+    if let Some(cap) = cap {
+        if list.len() >= cap.saturating_mul(2) + 16 {
+            list.sort_by(order);
+            list.truncate(cap);
+        }
+    }
+}
+
+/// Final truncation pass for [`bounded_push`] lists.
+fn finish_bounded<T>(list: &mut Vec<T>, cap: Option<usize>, order: fn(&T, &T) -> Ordering) {
+    if let Some(cap) = cap {
+        list.sort_by(order);
+        list.truncate(cap);
+    }
+}
+
+/// Tokens one iteration trains across all data-parallel replicas —
+/// shared between the scored result and the throughput lower bound,
+/// which is only sound while both use the same formula.
+fn tokens_per_iter(setup: &TrainingSetup) -> u64 {
+    setup.batch.tokens_per_microbatch()
+        * setup.batch.num_microbatches as u64
+        * setup.parallelism.dp as u64
+}
+
+/// A lower bound on the candidate's objective *key* given a lower
+/// bound on its iteration seconds (`None`: no sound bound exists).
+fn objective_key_lower_bound(
+    objective: Objective,
+    setup: &TrainingSetup,
+    lb_secs: f64,
+    opts: &SearchOptions,
+) -> Option<f64> {
+    if !(lb_secs > 0.0 && lb_secs.is_finite()) {
+        return None;
+    }
+    match objective {
+        Objective::Makespan => Some(lb_secs),
+        Objective::PerGpuThroughput => {
+            let tokens = tokens_per_iter(setup);
+            // secs ≥ lb ⇒ throughput ≤ tokens/(lb·world) ⇒ key ≥ this.
+            Some(-(tokens as f64 / lb_secs / setup.parallelism.world_size() as f64))
+        }
+        Objective::Mfu => {
+            let peak = opts.gpu.peak_flops();
+            if !(peak > 0.0 && peak.is_finite()) {
+                return None;
+            }
+            Some(-utilization(setup, opts.memory_model.recompute, lb_secs, peak).mfu)
+        }
+    }
 }
 
 /// Prices one candidate: reassemble the base graph under the
-/// candidate's transforms, replay it, and derive planner metrics.
+/// candidate's transforms (against the shared block library), replay
+/// it, and derive planner metrics. Degenerate numerics become typed
+/// [`Infeasibility`] flags instead of NaN/∞ metrics.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_one<C: CostModel>(
-    trace: &ClusterTrace,
+    library: &BlockLibrary,
     base: &TrainingSetup,
-    space: &SpaceSpec,
+    space: &crate::SpaceSpec,
     cand: &Candidate,
     setup: &TrainingSetup,
     index: usize,
@@ -106,7 +553,7 @@ fn evaluate_one<C: CostModel>(
     lookup: &LookupCostModel<C>,
 ) -> Result<CandidateResult, lumos_core::CoreError> {
     let rspec = plan(base, setup);
-    let predicted = reassemble(trace, &rspec, lookup)?;
+    let predicted = reassemble_with_library(library, &rspec, lookup)?;
     let label = predicted.label.clone();
     let graph = lumos.build_graph(&predicted)?;
     let replayed = lumos.replay_graph(graph, &label)?;
@@ -118,6 +565,7 @@ fn evaluate_one<C: CostModel>(
     // under (1F1B or GPipe — reassemble honors `setup.schedule`).
     let plain_bubble = PipelineSchedule::generate(setup.schedule, pp, m)?.bubble_fraction();
 
+    let mut infeasibility = None;
     // Interleaved 1F1B is scored analytically on top of the simulated
     // plain replay: graph manipulation cannot restage a recorded
     // pipeline into virtual chunks (same class of limitation as the
@@ -130,28 +578,47 @@ fn evaluate_one<C: CostModel>(
         debug_assert_eq!(setup.schedule, ScheduleKind::OneFOneB);
         let inter = InterleavedSchedule::generate(pp, cand.interleave, m)?;
         let bi = inter.bubble_fraction();
-        let work_secs = simulated.as_secs_f64() * (1.0 - plain_bubble);
-        let extra_comm_secs =
-            (inter.comm_amplification() - 1.0) * pipeline_comm_secs_per_rank(&replayed.trace);
-        let adjusted = work_secs / (1.0 - bi) + extra_comm_secs;
-        (Dur::from_secs_f64(adjusted.max(0.0)), bi)
+        if bi >= 1.0 || bi.is_nan() || plain_bubble >= 1.0 {
+            infeasibility = Some(Infeasibility::DegenerateBubble {
+                bubble: bi.max(plain_bubble),
+            });
+            (simulated, bi)
+        } else {
+            let work_secs = simulated.as_secs_f64() * (1.0 - plain_bubble);
+            let extra_comm_secs =
+                (inter.comm_amplification() - 1.0) * pipeline_comm_secs_per_rank(&replayed.trace);
+            let adjusted = work_secs / (1.0 - bi) + extra_comm_secs;
+            (Dur::from_secs_f64(adjusted.max(0.0)), bi)
+        }
     } else {
+        if plain_bubble >= 1.0 {
+            infeasibility = Some(Infeasibility::DegenerateBubble {
+                bubble: plain_bubble,
+            });
+        }
         (simulated, plain_bubble)
     };
 
+    if infeasibility.is_none() && makespan.is_zero() {
+        infeasibility = Some(Infeasibility::ZeroMakespan);
+    }
     let secs = makespan.as_secs_f64().max(1e-12);
-    let util = utilization(
-        setup,
-        opts.memory_model.recompute,
-        secs,
-        opts.gpu.peak_flops(),
-    );
+    let peak = opts.gpu.peak_flops();
+    let util = if peak > 0.0 && peak.is_finite() {
+        utilization(setup, opts.memory_model.recompute, secs, peak)
+    } else {
+        if infeasibility.is_none() {
+            infeasibility = Some(Infeasibility::NoPeakFlops);
+        }
+        Utilization {
+            mfu: 0.0,
+            hfu: 0.0,
+            tflops_per_gpu: 0.0,
+        }
+    };
     let (memory_stage, memory) = opts.memory_model.estimate_peak(setup);
-    let tokens_per_iter = setup.batch.tokens_per_microbatch()
-        * setup.batch.num_microbatches as u64
-        * setup.parallelism.dp as u64;
     let tokens_per_sec_per_gpu =
-        tokens_per_iter as f64 / secs / setup.parallelism.world_size() as f64;
+        tokens_per_iter(setup) as f64 / secs / setup.parallelism.world_size() as f64;
 
     Ok(CandidateResult {
         candidate: *cand,
@@ -165,6 +632,7 @@ fn evaluate_one<C: CostModel>(
         memory,
         memory_stage,
         tokens_per_sec_per_gpu,
+        infeasibility,
     })
 }
 

@@ -5,7 +5,7 @@
 //! profiled trace plus graph manipulation (§3.4) prices a *new*
 //! configuration in milliseconds instead of a cluster run. The obvious
 //! consumer of that capability is not a single question but a *search*:
-//! "over thousands of candidate (TP, PP, DP, micro-batch, interleave,
+//! "over a million candidate (TP, PP, DP, micro-batch, interleave,
 //! GPU-count) deployments, which feasible one trains fastest?" This
 //! crate turns the one-at-a-time [`lumos_core::Lumos::predict`] flow
 //! into that engine:
@@ -13,24 +13,44 @@
 //! 1. **Describe** the space with a [`SpaceSpec`] — value grids per
 //!    axis plus a world-size divisibility lattice (layer/head/chunk
 //!    divisibility, GPU budget, structural TP constraints);
-//! 2. **Enumerate** candidates deterministically
-//!    ([`enumerate_candidates`]), rejecting lattice violations before
-//!    they cost anything;
+//! 2. **Stream** candidates: the grid is a mixed-radix index space
+//!    decoded on demand ([`CandidateStream`]), never a materialized
+//!    vector, so enumeration costs O(1) memory however large the
+//!    space. Worker threads claim grid indices from one atomic
+//!    cursor; lattice violations are rejected before they cost
+//!    anything;
 //! 3. **Pre-prune** on memory feasibility via
 //!    [`lumos_model::MemoryModel`] — configurations that would OOM
 //!    never reach simulation, and every pruned candidate records the
 //!    stage and byte requirement that killed it;
-//! 4. **Evaluate** survivors in parallel: the trace-fitted
-//!    [`lumos_cost::LookupCostModel`] is fitted **once** and shared
-//!    (read-only) across worker threads, each of which reassembles the
-//!    base execution graph under the candidate's transforms and
-//!    replays it;
-//! 5. **Rank** into a [`SearchReport`]: top-k by the chosen
-//!    [`Objective`], per-candidate makespan/MFU/memory, and pruning
-//!    statistics.
+//! 4. **Skip dominated candidates**: per-stage compute costs are
+//!    derived once per [`lumos_model::StageCostKey`] and memoized
+//!    across every candidate that differs only in PP/DP/micro-batch
+//!    count/interleave. The memo feeds a sound analytic lower bound
+//!    on iteration time; once a worker's top-k heap is full,
+//!    candidates whose bound is strictly worse than the heap's worst
+//!    entry are counted ([`PruneStats::bound_skipped`]) and never
+//!    fully simulated — without changing the reported top-k;
+//! 5. **Evaluate** the rest in parallel: the trace-fitted
+//!    [`lumos_cost::LookupCostModel`] and the reassembly block
+//!    library are each built **once** and shared read-only across
+//!    workers, which reassemble the base execution graph under the
+//!    candidate's transforms and replay it. Degenerate candidates
+//!    (zero makespan, bubble → 1, missing peak FLOP/s, non-finite
+//!    objective) become typed [`Infeasibility`] rejections instead of
+//!    NaN-ranked garbage;
+//! 6. **Rank** into a [`SearchReport`]: bounded per-worker top-k
+//!    heaps merged under a NaN-safe total order ([`f64::total_cmp`],
+//!    non-finite keys strictly last, enumeration index as tie-break).
+//!    With [`SearchOptions::top_k`] set, peak memory is proportional
+//!    to `top_k × threads` — not to the size of the space — and the
+//!    result is byte-identical to ranking every candidate.
 //!
-//! Results are bit-for-bit deterministic: the same spec produces the
-//! same report regardless of thread count.
+//! Reported top-k results are bit-for-bit deterministic: the same spec
+//! produces the same ranking regardless of thread count or how workers
+//! happened to carve up the grid. (Skip *counters* may vary across
+//! runs — they depend on how early each worker's heap filled — but
+//! which candidates appear in the report never does.)
 //!
 //! # Quickstart
 //!
@@ -46,13 +66,18 @@
 //!     .with_jitter(JitterModel::realistic(7))
 //!     .profile_iteration(0)?;
 //!
-//! // Search deployments of up to 8 GPUs reachable from that trace.
+//! // Search deployments of up to 8 GPUs reachable from that trace,
+//! // keeping only the 5 best in memory.
 //! let spec = SpaceSpec::deployment_grid(&[1], &[1, 2], &[1, 2, 4]);
+//! let opts = SearchOptions {
+//!     top_k: Some(5),
+//!     ..SearchOptions::default()
+//! };
 //! let report = search(
 //!     &profiled.trace,
 //!     &base,
 //!     &spec,
-//!     &SearchOptions::default(),
+//!     &opts,
 //!     AnalyticalCostModel::h100(),
 //! )?;
 //! assert!(!report.results.is_empty());
@@ -66,6 +91,7 @@ mod candidate;
 mod enumerate;
 mod error;
 mod evaluate;
+mod memo;
 pub mod parallel;
 mod prune;
 mod report;
@@ -73,17 +99,56 @@ mod space;
 pub mod spec_toml;
 
 pub use candidate::Candidate;
-pub use enumerate::{enumerate_candidates, EnumerationOutcome, RejectReason};
+pub use enumerate::{
+    enumerate_candidates, CandidateStream, EnumeratedCandidate, EnumerationOutcome, RejectReason,
+};
 pub use error::SearchError;
-pub use evaluate::CandidateResult;
-pub use prune::{PruneStats, PrunedCandidate};
-pub use report::{Objective, SearchReport};
+pub use evaluate::{CandidateResult, Infeasibility, RejectedCandidate};
+pub use prune::{memory_gate, MemoStats, PruneStats, PrunedCandidate};
+pub use report::{rank, Objective, SearchReport};
 pub use space::{ArchPoint, SpaceSpec};
 pub use spec_toml::SpecFile;
 
 use lumos_cost::{CostModel, GpuSpec};
 use lumos_model::{MemoryModel, TrainingSetup};
 use lumos_trace::ClusterTrace;
+use std::fmt;
+use std::sync::Arc;
+
+/// A live progress snapshot of a streaming search, delivered to
+/// [`SearchOptions::progress`] roughly every 5% of the grid (at most
+/// every 65 536 grid points).
+#[derive(Debug, Clone, Copy)]
+pub struct SearchProgress {
+    /// Total grid points in the space.
+    pub grid_points: usize,
+    /// Grid points claimed by workers so far.
+    pub claimed: usize,
+    /// Candidates fully simulated so far.
+    pub evaluated: usize,
+    /// Candidates cut by the memory gate so far.
+    pub memory_pruned: usize,
+    /// Candidates skipped by the analytic lower bound so far.
+    pub bound_skipped: usize,
+}
+
+/// A progress callback, invoked from worker threads (keep it cheap and
+/// thread-safe — e.g. a line to stderr).
+#[derive(Clone)]
+pub struct ProgressSink(pub Arc<dyn Fn(SearchProgress) + Send + Sync>);
+
+impl ProgressSink {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(SearchProgress) + Send + Sync + 'static) -> Self {
+        ProgressSink(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressSink(..)")
+    }
+}
 
 /// Knobs of one search run.
 #[derive(Debug, Clone)]
@@ -100,6 +165,15 @@ pub struct SearchOptions {
     /// GPUs per node, for collective-topology classification in the
     /// shared lookup cost model.
     pub gpus_per_node: u32,
+    /// Retention bound: `Some(k)` keeps only the global top-k results
+    /// (and at most `k` pruned/rejected example records) in memory —
+    /// the setting for million-candidate spaces, and what arms
+    /// lower-bound skipping. `None` retains every evaluated candidate
+    /// (the pre-streaming behavior); skipping stays disabled so the
+    /// full ranking is exact.
+    pub top_k: Option<usize>,
+    /// Optional progress callback for long searches.
+    pub progress: Option<ProgressSink>,
 }
 
 impl Default for SearchOptions {
@@ -110,26 +184,31 @@ impl Default for SearchOptions {
             memory_model: MemoryModel::default(),
             threads: None,
             gpus_per_node: 8,
+            top_k: None,
+            progress: None,
         }
     }
 }
 
-/// Runs the full search pipeline: enumerate → memory-prune →
-/// parallel-evaluate → rank.
+/// Runs the full streaming search pipeline: enumerate lazily →
+/// memory-prune → lower-bound skip → parallel-evaluate → merge top-k.
 ///
 /// `trace` is the profiled base iteration and `base` the setup that
 /// produced it; `fallback` prices kernel shapes absent from the trace
 /// (shared read-only across workers, fitted once).
 ///
 /// A report with **zero results** is a valid outcome: it means every
-/// lattice-valid candidate was memory-pruned, and the report's
-/// [`SearchReport::pruned`] list says why, per candidate.
+/// lattice-valid candidate was memory-pruned (or rejected as
+/// infeasible during scoring), and the report's
+/// [`SearchReport::pruned`] / [`SearchReport::rejected`] lists say
+/// why, per candidate.
 ///
 /// # Errors
 ///
 /// Returns [`SearchError::EmptySpace`] when no candidate survives the
-/// lattice, and propagates manipulation/simulation failures from
-/// candidate evaluation.
+/// lattice, [`SearchError::Extraction`] when the base trace cannot
+/// supply reassembly blocks, and propagates manipulation/simulation
+/// failures from candidate evaluation.
 pub fn search<C>(
     trace: &ClusterTrace,
     base: &TrainingSetup,
@@ -140,38 +219,18 @@ pub fn search<C>(
 where
     C: CostModel + Send + Sync + 'static,
 {
-    let outcome = enumerate_candidates(spec, base);
-    if outcome.candidates.is_empty() {
-        return Err(SearchError::EmptySpace {
-            enumerated: outcome.stats.enumerated,
-            rejected: outcome.stats.structural_rejects
-                + outcome.stats.divisibility_rejects
-                + outcome.stats.budget_rejects,
-        });
-    }
-    let (feasible, pruned) = prune::memory_gate(
-        &outcome.candidates,
-        &opts.memory_model,
-        opts.gpu.memory_bytes(),
-    );
-    let mut stats = outcome.stats;
-    stats.memory_pruned = pruned.len();
-    stats.evaluated = feasible.len();
-
     let normalized = spec.normalized();
-    let threads = parallel::effective_threads(opts.threads, feasible.len());
-    let results =
-        evaluate::evaluate_all(trace, base, &normalized, &feasible, opts, fallback, threads)?;
-    let ranked = report::rank(results, opts.objective);
-
+    let outcome = evaluate::run_streaming(trace, base, &normalized, opts, fallback)?;
     Ok(SearchReport {
         base_label: base.label(),
         base_makespan: trace.makespan(),
         objective: opts.objective,
-        results: ranked,
-        pruned,
-        stats,
-        threads,
+        results: outcome.results,
+        pruned: outcome.pruned,
+        rejected: outcome.rejected,
+        stats: outcome.stats,
+        memo: outcome.memo,
+        threads: outcome.threads,
     })
 }
 

@@ -1,13 +1,10 @@
-//! A small deterministic fork-join pool over `std::thread::scope`.
+//! Worker-pool sizing for the streaming evaluator.
 //!
-//! The usual crate for this is `rayon`; this workspace builds offline,
-//! so the evaluator uses this ~60-line work-stealing map instead.
-//! Results land in their input slots, so the output order — and
-//! therefore everything ranked from it — is independent of thread
-//! count and scheduling.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! The engine itself lives in `evaluate::run_streaming`: workers are
+//! plain `std::thread::scope` threads claiming grid indices from one
+//! shared atomic cursor, so load imbalance between candidates
+//! self-levels without a work-stealing runtime (the usual crate for
+//! this is `rayon`; this workspace builds offline).
 
 /// Resolves the worker count: explicit override, else available
 /// parallelism, never more than `jobs` and never zero.
@@ -18,68 +15,9 @@ pub fn effective_threads(requested: Option<usize>, jobs: usize) -> usize {
     requested.unwrap_or(hw).clamp(1, jobs.max(1))
 }
 
-/// Applies `f` to every item on `threads` workers, returning results
-/// in input order. Items are claimed from a shared atomic cursor, so
-/// load imbalance between candidates self-levels.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, items.len());
-    if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<usize> = (0..257).collect();
-        for threads in [1, 2, 7] {
-            let out = parallel_map(&items, threads, |i, &x| {
-                assert_eq!(i, x);
-                x * 2
-            });
-            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn empty_and_single() {
-        let none: Vec<u32> = vec![];
-        assert!(parallel_map(&none, 4, |_, &x| x).is_empty());
-        assert_eq!(parallel_map(&[5u32], 4, |_, &x| x + 1), vec![6]);
-    }
 
     #[test]
     fn effective_threads_clamps() {

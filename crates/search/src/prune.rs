@@ -17,18 +17,36 @@ pub struct PruneStats {
     pub structural_rejects: usize,
     /// Pruned by the memory-feasibility gate (would OOM).
     pub memory_pruned: usize,
-    /// Candidates that reached (parallel) simulation.
+    /// Skipped by the analytic lower bound: provably ranked below the
+    /// running top-k, so never fully simulated.
+    pub bound_skipped: usize,
+    /// Candidates that reached (parallel) simulation and were fully
+    /// scored (including ones later rejected as infeasible).
     pub evaluated: usize,
+    /// Fully scored candidates rejected with a typed infeasibility
+    /// reason (degenerate bubble, zero makespan, non-finite objective)
+    /// instead of being ranked.
+    pub infeasible: usize,
 }
 
 impl PruneStats {
-    /// Everything that was cut before simulation.
+    /// Everything that was cut before full simulation.
     pub fn total_skipped(&self) -> usize {
         self.budget_rejects
             + self.divisibility_rejects
             + self.structural_rejects
             + self.memory_pruned
+            + self.bound_skipped
     }
+}
+
+/// Stage-cost memoization counters of one search run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lower-bound queries answered from the shared stage-cost cache.
+    pub hits: usize,
+    /// Queries that derived (and cached) fresh stage costs.
+    pub misses: usize,
 }
 
 /// A candidate cut by the memory gate, with the evidence.
@@ -38,6 +56,8 @@ pub struct PrunedCandidate {
     pub candidate: Candidate,
     /// Its (validated) target setup label.
     pub label: String,
+    /// Enumeration index of the candidate.
+    pub index: usize,
     /// Pipeline stage that binds (overflows first).
     pub stage: u32,
     /// Bytes that stage requires.
@@ -52,7 +72,9 @@ pub struct PrunedCandidate {
 /// The gate is exact with respect to the memory model: a candidate is
 /// pruned **iff** its peak-stage estimate exceeds capacity (tested by
 /// `pruning_is_exact_and_loses_no_candidate` in
-/// `tests/search_engine.rs`).
+/// `tests/search_engine.rs`). The streaming engine applies the same
+/// check per-candidate ([`gate_one`]); this batch form serves callers
+/// holding a materialized candidate list.
 pub fn memory_gate(
     candidates: &[(Candidate, TrainingSetup)],
     memory: &MemoryModel,
@@ -60,19 +82,35 @@ pub fn memory_gate(
 ) -> (Vec<(Candidate, TrainingSetup)>, Vec<PrunedCandidate>) {
     let mut feasible = Vec::with_capacity(candidates.len());
     let mut pruned = Vec::new();
-    for (cand, setup) in candidates {
-        match memory.check(setup, capacity) {
-            Ok(_) => feasible.push((*cand, setup.clone())),
-            Err(oom) => pruned.push(PrunedCandidate {
-                candidate: *cand,
-                label: setup.label(),
-                stage: oom.stage,
-                required_bytes: oom.required,
-                capacity_bytes: oom.capacity,
-            }),
+    for (index, (cand, setup)) in candidates.iter().enumerate() {
+        match gate_one(index, cand, setup, memory, capacity) {
+            None => feasible.push((*cand, setup.clone())),
+            Some(p) => pruned.push(p),
         }
     }
     (feasible, pruned)
+}
+
+/// Checks one candidate against the memory gate: `None` when it fits,
+/// the pruning evidence when it does not.
+pub(crate) fn gate_one(
+    index: usize,
+    cand: &Candidate,
+    setup: &TrainingSetup,
+    memory: &MemoryModel,
+    capacity: u64,
+) -> Option<PrunedCandidate> {
+    match memory.check(setup, capacity) {
+        Ok(_) => None,
+        Err(oom) => Some(PrunedCandidate {
+            candidate: *cand,
+            label: setup.label(),
+            index,
+            stage: oom.stage,
+            required_bytes: oom.required,
+            capacity_bytes: oom.capacity,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +138,6 @@ mod tests {
         assert_eq!(pruned.len(), 1);
         assert!(pruned[0].required_bytes > pruned[0].capacity_bytes);
         assert!(pruned[0].label.contains("175"));
+        assert_eq!(pruned[0].index, 1);
     }
 }

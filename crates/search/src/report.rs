@@ -1,7 +1,15 @@
 //! Ranking and the final search report.
+//!
+//! Ranking is **total-order safe**: objective keys are compared with
+//! [`f64::total_cmp`] under a wrapper that sorts *any* non-finite key
+//! (NaN, ±∞) strictly after every finite key, so a degenerate
+//! candidate can never panic the sort or outrank a real one. The
+//! engine additionally rejects non-finite objectives before ranking
+//! (see [`crate::CandidateResult::infeasibility`]); the comparator is
+//! the defense-in-depth layer underneath.
 
-use crate::evaluate::CandidateResult;
-use crate::prune::{PruneStats, PrunedCandidate};
+use crate::evaluate::{CandidateResult, RejectedCandidate};
+use crate::prune::{MemoStats, PruneStats, PrunedCandidate};
 use lumos_trace::Dur;
 use std::cmp::Ordering;
 use std::fmt;
@@ -23,13 +31,30 @@ pub enum Objective {
 impl Objective {
     /// Lower-is-better sort key for a result (negated for
     /// higher-is-better objectives).
-    fn key(&self, r: &CandidateResult) -> f64 {
+    pub(crate) fn key(&self, r: &CandidateResult) -> f64 {
         match self {
             Objective::Makespan => r.makespan.as_secs_f64(),
             Objective::PerGpuThroughput => -r.tokens_per_sec_per_gpu,
             Objective::Mfu => -r.utilization.mfu,
         }
     }
+}
+
+/// Total order over objective keys: finite keys ascending via
+/// [`f64::total_cmp`], every non-finite key (NaN or ±∞, either sign)
+/// strictly last. `sort_by` never panics under this comparator.
+pub(crate) fn objective_key_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_finite(), b.is_finite()) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        _ => a.total_cmp(&b),
+    }
+}
+
+/// The full ranking comparator: objective key (non-finite last), then
+/// enumeration index so rankings are fully deterministic.
+pub(crate) fn rank_cmp(a: &CandidateResult, b: &CandidateResult, objective: Objective) -> Ordering {
+    objective_key_cmp(objective.key(a), objective.key(b)).then_with(|| a.index.cmp(&b.index))
 }
 
 impl fmt::Display for Objective {
@@ -57,19 +82,13 @@ impl FromStr for Objective {
     }
 }
 
-/// Sorts results by objective, breaking exact ties by enumeration
-/// index so rankings are fully deterministic.
-pub(crate) fn rank(
-    mut results: Vec<CandidateResult>,
-    objective: Objective,
-) -> Vec<CandidateResult> {
-    results.sort_by(|a, b| {
-        objective
-            .key(a)
-            .partial_cmp(&objective.key(b))
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.index.cmp(&b.index))
-    });
+/// Sorts results by objective under the NaN-safe total order, breaking
+/// exact ties by enumeration index so rankings are fully
+/// deterministic. Non-finite objective keys sort strictly **last** —
+/// they can never outrank a finite one — and the sort cannot panic,
+/// whatever mix of NaN/±∞ the keys contain.
+pub fn rank(mut results: Vec<CandidateResult>, objective: Objective) -> Vec<CandidateResult> {
+    results.sort_by(|a, b| rank_cmp(a, b, objective));
     results
 }
 
@@ -83,12 +102,22 @@ pub struct SearchReport {
     pub base_makespan: Dur,
     /// The ranking objective.
     pub objective: Objective,
-    /// Evaluated candidates, best first.
+    /// Evaluated candidates, best first. When the search ran with a
+    /// retention bound ([`crate::SearchOptions::top_k`]) this holds at
+    /// most that many results — the exact global top-k.
     pub results: Vec<CandidateResult>,
-    /// Candidates cut by the memory gate, with evidence.
+    /// Candidates cut by the memory gate, with evidence (bounded to
+    /// the retention cap when one is set; `stats.memory_pruned` always
+    /// counts all of them).
     pub pruned: Vec<PrunedCandidate>,
-    /// Grid counters.
+    /// Fully scored candidates rejected with a typed infeasibility
+    /// reason instead of being ranked (bounded like `pruned`;
+    /// `stats.infeasible` counts all of them).
+    pub rejected: Vec<RejectedCandidate>,
+    /// Grid counters, including lower-bound skip accounting.
     pub stats: PruneStats,
+    /// Stage-cost memoization counters.
+    pub memo: MemoStats,
     /// Worker threads used.
     pub threads: usize,
 }
@@ -126,6 +155,13 @@ impl SearchReport {
             "  memory-pruned before simulation: {}   evaluated (on {} threads): {}",
             s.memory_pruned, self.threads, s.evaluated
         );
+        if s.bound_skipped > 0 || s.infeasible > 0 || self.memo.misses > 0 {
+            let _ = writeln!(
+                out,
+                "  lower-bound skips: {}   infeasible: {}   stage-cost memo: {} hits / {} misses",
+                s.bound_skipped, s.infeasible, self.memo.hits, self.memo.misses
+            );
+        }
         let _ = writeln!(out, "  objective: {}", self.objective);
         let _ = writeln!(out);
         let _ = writeln!(
@@ -165,10 +201,17 @@ impl SearchReport {
                 out,
                 "({} infeasible configs never simulated; worst wanted {:.1} GiB \
                  at stage {} vs {:.1} GiB capacity)",
-                self.pruned.len(),
+                s.memory_pruned,
                 worst.required_bytes as f64 / (1u64 << 30) as f64,
                 worst.stage,
                 worst.capacity_bytes as f64 / (1u64 << 30) as f64,
+            );
+        }
+        if !self.rejected.is_empty() {
+            let _ = writeln!(
+                out,
+                "({} candidates rejected during scoring; first: {} — {})",
+                s.infeasible, self.rejected[0].label, self.rejected[0].reason
             );
         }
         out
@@ -198,5 +241,47 @@ mod tests {
         assert_eq!("mfu".parse::<Objective>().unwrap(), Objective::Mfu);
         assert!("speed".parse::<Objective>().is_err());
         assert_eq!(Objective::Makespan.to_string(), "makespan");
+    }
+
+    #[test]
+    fn objective_key_cmp_is_a_total_order_with_non_finite_last() {
+        use std::cmp::Ordering::*;
+        let specials = [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1.5,
+            0.0,
+            -0.0,
+            2.5,
+        ];
+        // Finite before non-finite, both directions consistent.
+        for &fin in &[-1.5, 0.0, 2.5] {
+            for &bad in &[f64::NAN, -f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert_eq!(objective_key_cmp(fin, bad), Less, "{fin} vs {bad}");
+                assert_eq!(objective_key_cmp(bad, fin), Greater, "{bad} vs {fin}");
+            }
+        }
+        // Antisymmetry + transitivity over every triple.
+        for &a in &specials {
+            for &b in &specials {
+                assert_eq!(
+                    objective_key_cmp(a, b),
+                    objective_key_cmp(b, a).reverse(),
+                    "antisymmetry {a} {b}"
+                );
+                for &c in &specials {
+                    if objective_key_cmp(a, b) != Greater && objective_key_cmp(b, c) != Greater {
+                        assert_ne!(objective_key_cmp(a, c), Greater, "transitivity {a} {b} {c}");
+                    }
+                }
+            }
+        }
+        // A sort under the comparator must not panic.
+        let mut keys = specials.to_vec();
+        keys.sort_by(|a, b| objective_key_cmp(*a, *b));
+        assert!(keys[..4].iter().all(|k| k.is_finite()));
+        assert!(keys[4..].iter().all(|k| !k.is_finite()));
     }
 }

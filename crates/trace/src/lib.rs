@@ -50,5 +50,5 @@ pub use interval::IntervalSet;
 pub use queue::{queue_delays, stream_occupancy, QueueDelayStats, StreamOccupancy};
 pub use sm_util::{sm_utilization, SmUtilization};
 pub use stats::{KernelStats, TraceStats};
-pub use time::{Dur, TimeSpan, Ts};
+pub use time::{Dur, ScaleError, TimeSpan, Ts};
 pub use trace::{ClusterTrace, RankId, RankTrace, StreamId, ThreadId};

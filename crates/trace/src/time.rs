@@ -130,13 +130,27 @@ impl Dur {
     ///
     /// # Panics
     ///
-    /// Panics if `factor` is negative or NaN.
+    /// Panics if `factor` is negative or not finite. Library callers
+    /// handling untrusted factors should use [`Dur::try_scale`].
     pub fn scale(self, factor: f64) -> Dur {
-        assert!(
-            factor >= 0.0 && factor.is_finite(),
-            "duration scale factor must be finite and non-negative, got {factor}"
-        );
-        Dur((self.0 as f64 * factor).round() as u64)
+        match self.try_scale(factor) {
+            Ok(d) => d,
+            Err(e) => panic!("duration {e}"),
+        }
+    }
+
+    /// Fallible [`Dur::scale`]: rejects negative, NaN, and infinite
+    /// factors instead of panicking, for factors that come from user
+    /// input rather than library constants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScaleError`] when `factor` is negative or not finite.
+    pub fn try_scale(self, factor: f64) -> Result<Dur, ScaleError> {
+        if !(factor >= 0.0 && factor.is_finite()) {
+            return Err(ScaleError { factor });
+        }
+        Ok(Dur((self.0 as f64 * factor).round() as u64))
     }
 
     /// Returns the larger of two durations.
@@ -166,6 +180,25 @@ impl Dur {
         (self.0 as f64 - reference.0 as f64).abs() / reference.0 as f64
     }
 }
+
+/// A rejected duration-scale factor (negative, NaN, or infinite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleError {
+    /// The offending factor.
+    pub factor: f64,
+}
+
+impl fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scale factor must be finite and non-negative, got {}",
+            self.factor
+        )
+    }
+}
+
+impl std::error::Error for ScaleError {}
 
 impl Add<Dur> for Ts {
     type Output = Ts;
@@ -365,6 +398,17 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn dur_scale_rejects_negative() {
         let _ = Dur(1).scale(-1.0);
+    }
+
+    #[test]
+    fn dur_try_scale_rejects_bad_factors_without_panicking() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Dur(100).try_scale(bad).unwrap_err();
+            assert_eq!(err.factor.to_bits(), bad.to_bits());
+            assert!(err.to_string().contains("non-negative"));
+        }
+        assert_eq!(Dur(100).try_scale(1.5), Ok(Dur(150)));
+        assert_eq!(Dur(100).try_scale(0.0), Ok(Dur::ZERO));
     }
 
     #[test]

@@ -43,8 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.grid_upper_bound(&base)
     );
 
+    // `top_k: None` keeps every evaluated candidate: the per-variant
+    // analysis below walks the full ranking, not just the table.
     let opts = SearchOptions {
         objective: Objective::Makespan,
+        top_k: None,
         ..SearchOptions::default()
     };
     let report = search_space(

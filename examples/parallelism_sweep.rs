@@ -25,9 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The whole deployment lattice up to 64 GPUs, in one spec: the
-    // engine enumerates it, drops configurations that cannot divide
-    // the model or would OOM an H100, prices the rest in parallel
-    // from the single base trace, and ranks by per-GPU throughput.
+    // engine streams it (no materialized grid), drops configurations
+    // that cannot divide the model or would OOM an H100, skips ones a
+    // memoized lower bound proves dominated, prices the rest in
+    // parallel from the single base trace, and ranks by per-GPU
+    // throughput. `top_k` caps retention, so the same code handles
+    // million-point spaces with memory proportional to the report.
     let spec = SpaceSpec::deployment_grid(&[2, 4], &[2, 4, 8], &[1, 2, 4, 8])
         .with_microbatches(&[4, 8, 16])
         .with_interleave(&[1, 2])
@@ -39,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let opts = SearchOptions {
         objective: Objective::PerGpuThroughput,
+        top_k: Some(10),
         ..SearchOptions::default()
     };
     let report = search_space(
@@ -49,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AnalyticalCostModel::h100(),
     )?;
     println!("{}", report.format_top(10));
-    println!("(all predictions derived from the single base trace — no new runs)");
+    println!(
+        "(all predictions derived from the single base trace — {} fully simulated, \
+         {} skipped by the analytic bound)",
+        report.stats.evaluated, report.stats.bound_skipped
+    );
 
     // The same engine answers the fastest-iteration question too —
     // note how the winner shifts once per-GPU efficiency stops
@@ -60,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &spec,
         &SearchOptions {
             objective: Objective::Makespan,
+            top_k: Some(1),
             ..SearchOptions::default()
         },
         AnalyticalCostModel::h100(),

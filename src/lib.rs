@@ -23,8 +23,10 @@
 //!   studies);
 //! * [`dpro`] — the dPRO baseline replayer;
 //! * [`search`] — the parallel what-if configuration-search engine:
-//!   space descriptors, memory-feasibility pre-pruning, and ranked
-//!   top-k reports over thousands of candidate deployments.
+//!   space descriptors, streaming enumeration, memory-feasibility
+//!   pre-pruning, memoized stage costs with analytic lower-bound
+//!   skipping, and bounded top-k reports over million-candidate
+//!   spaces with NaN-safe ranking and typed infeasibility reasons.
 //!
 //! A command-line interface over the same workflow ships as the
 //! `lumos` binary in the `lumos-cli` crate.
