@@ -93,6 +93,37 @@ fn bench_search_streaming(c: &mut Criterion) {
     group.finish();
 }
 
+/// Two-phase search: analytic screen plus engine-simulated refinement
+/// of the finals. Measures the cost of phase two (lower + discrete-
+/// event execution per finalist, optional jitter replicas) against
+/// the screen-only baseline on the same space.
+fn bench_search_refined(c: &mut Criterion) {
+    let (cfg, trace) = base();
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2, 4], &[1, 2]).with_microbatches(&[2, 4, 8]);
+    let mut group = c.benchmark_group("search_refined");
+    group.sample_size(10);
+    for (name, refine_sim, jitter_replicas) in [
+        ("screen-only", false, 0u32),
+        ("refine-top5", true, 0),
+        ("refine-top5-jitter3", true, 3),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(refine_sim, jitter_replicas),
+            |b, &(refine_sim, jitter_replicas)| {
+                let opts = SearchOptions {
+                    top_k: Some(5),
+                    refine_sim,
+                    jitter_replicas,
+                    ..SearchOptions::default()
+                };
+                b.iter(|| search(&trace, &cfg, &spec, &opts, AnalyticalCostModel::h100()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_search_threads(c: &mut Criterion) {
     let (cfg, trace) = base();
     let spec =
@@ -119,6 +150,7 @@ criterion_group!(
     benches,
     bench_search,
     bench_search_streaming,
+    bench_search_refined,
     bench_search_threads
 );
 criterion_main!(benches);

@@ -12,11 +12,12 @@
 
 use lumos_bench::figures;
 use lumos_bench::harness::RunOptions;
+use lumos_bench::or_exit;
 
 fn main() {
     let opts = RunOptions::default();
     let mut progress = |s: &str| eprintln!("[ablation] {s}");
-    let (table, actual, actual_overlap) = figures::ablation(&opts, &mut progress);
+    let (table, actual, actual_overlap) = or_exit(figures::ablation(&opts, &mut progress));
     println!();
     println!(
         "actual: {:.2} ms (overlapped {:.2} ms)",

@@ -1,7 +1,7 @@
 //! Quick calibration harness (not a paper artifact): compares dPRO
 //! inter-stream candidate models and checks error magnitudes.
 use lumos_bench::paper;
-use lumos_bench::{profile_config, RunOptions};
+use lumos_bench::{or_exit, profile_config, RunOptions};
 use lumos_core::{BuildOptions, InterStreamMode, Lumos, RendezvousMode, SimOptions};
 use lumos_model::ModelConfig;
 use std::time::Instant;
@@ -19,7 +19,7 @@ fn main() {
         (ModelConfig::gpt3_44b(), "8x4x2"),
         (ModelConfig::gpt3_117b(), "8x4x4"),
     ] {
-        let cfg = paper::config(model, label, opts.microbatches);
+        let cfg = or_exit(paper::config(model, label, opts.microbatches));
         let t0 = Instant::now();
         let profiled = profile_config(&cfg, &opts);
         let actual = profiled.actual;

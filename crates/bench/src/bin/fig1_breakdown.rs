@@ -1,12 +1,12 @@
 //! Figure 1: execution breakdown for one training iteration of
 //! GPT-3 175B (TP=8, PP=4, DP=8): actual vs dPRO vs Lumos.
 use lumos_bench::figures::fig1;
-use lumos_bench::RunOptions;
+use lumos_bench::{or_exit, RunOptions};
 
 fn main() {
     let opts = RunOptions::default();
     let mut progress = |s: &str| eprintln!("[fig1] {s}");
-    let table = fig1(&opts, &mut progress);
+    let table = or_exit(fig1(&opts, &mut progress));
     println!("Figure 1: GPT-3 175B @ 8x4x8 execution breakdown\n");
     println!("{}", table.to_text());
 }

@@ -4,7 +4,7 @@
 //! Usage: fig5_replay [15b|44b|117b|175b]   (default: all four)
 use lumos_bench::figures::fig5;
 use lumos_bench::table::pct;
-use lumos_bench::RunOptions;
+use lumos_bench::{or_exit, RunOptions};
 use lumos_model::ModelConfig;
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
     };
     let opts = RunOptions::default();
     let mut progress = |s: &str| eprintln!("[fig5] {s}");
-    let out = fig5(&models, &opts, &mut progress);
+    let out = or_exit(fig5(&models, &opts, &mut progress));
     for (model, table) in &out.panels {
         println!("Figure 5 — {model}\n");
         println!("{}", table.to_text());

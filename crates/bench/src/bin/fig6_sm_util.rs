@@ -1,12 +1,12 @@
 //! Figure 6: SM utilization of one iteration of GPT-3 15B at
 //! TP=2, PP=2, DP=4 (1 ms bins): actual vs Lumos vs dPRO.
 use lumos_bench::figures::fig6;
-use lumos_bench::RunOptions;
+use lumos_bench::{or_exit, RunOptions};
 
 fn main() {
     let opts = RunOptions::default();
     let mut progress = |s: &str| eprintln!("[fig6] {s}");
-    let (table, spark) = fig6(&opts, &mut progress);
+    let (table, spark) = or_exit(fig6(&opts, &mut progress));
     println!("Figure 6: SM utilization, GPT-3 15B @ 2x2x4 (rank 0, 1 ms bins)\n");
     println!("{}", table.to_text());
     println!("{spark}");

@@ -3,7 +3,7 @@
 //!
 //! Usage: fig7_parallelism [--part a|b|c]   (default: all parts)
 use lumos_bench::figures::fig7;
-use lumos_bench::RunOptions;
+use lumos_bench::{or_exit, RunOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,7 +18,7 @@ fn main() {
     let opts = RunOptions::default();
     for p in parts {
         let mut progress = |s: &str| eprintln!("[fig7] {s}");
-        let table = fig7(p, &opts, &mut progress);
+        let table = or_exit(fig7(p, &opts, &mut progress));
         let what = match p {
             'a' => "scaling data parallelism",
             'b' => "scaling pipeline parallelism",

@@ -1,12 +1,12 @@
 //! Figure 8: predicting architecture variants (Table 2) from the
 //! GPT-3 15B 2x2x4 base trace.
 use lumos_bench::figures::fig8;
-use lumos_bench::RunOptions;
+use lumos_bench::{or_exit, RunOptions};
 
 fn main() {
     let opts = RunOptions::default();
     let mut progress = |s: &str| eprintln!("[fig8] {s}");
-    let table = fig8(&opts, &mut progress);
+    let table = or_exit(fig8(&opts, &mut progress));
     println!("Figure 8: architecture-variant prediction (base GPT-3 15B @ 2x2x4)\n");
     println!("{}", table.to_text());
 }

@@ -2,13 +2,13 @@
 //! Figure 5 sweep (paper: Lumos 3.3% avg; dPRO 14% avg, 21.8% max).
 use lumos_bench::figures::fig5;
 use lumos_bench::table::{pct, TextTable};
-use lumos_bench::RunOptions;
+use lumos_bench::{or_exit, RunOptions};
 use lumos_model::ModelConfig;
 
 fn main() {
     let opts = RunOptions::default();
     let mut progress = |s: &str| eprintln!("[summary] {s}");
-    let out = fig5(&ModelConfig::table1(), &opts, &mut progress);
+    let out = or_exit(fig5(&ModelConfig::table1(), &opts, &mut progress));
     let mut t = TextTable::new(&[
         "toolkit",
         "avg error",

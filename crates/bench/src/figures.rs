@@ -2,7 +2,7 @@
 //! and the `experiments` master binary.
 
 use crate::harness::{predict_from, profile_config, replay_experiment, RunOptions};
-use crate::paper;
+use crate::paper::{self, PaperError};
 use crate::table::{breakdown_cells, ms, pct, TextTable};
 use lumos_core::manipulate::Transform;
 use lumos_core::{BuildOptions, InterStreamMode, Lumos, RendezvousMode, SimOptions};
@@ -34,8 +34,12 @@ pub fn model_table(models: &[ModelConfig]) -> TextTable {
 
 /// Figure 1: execution breakdown of one GPT-3 175B iteration
 /// (TP8/PP4/DP8) — actual vs dPRO vs Lumos.
-pub fn fig1(opts: &RunOptions, progress: Progress) -> TextTable {
-    let cfg = paper::fig1_config(opts.microbatches);
+///
+/// # Errors
+///
+/// Propagates configuration-lookup failures.
+pub fn fig1(opts: &RunOptions, progress: Progress) -> Result<TextTable, PaperError> {
+    let cfg = paper::fig1_config(opts.microbatches)?;
     progress(&format!(
         "fig1: running {} ({} GPUs)",
         cfg.label(),
@@ -65,7 +69,7 @@ pub fn fig1(opts: &RunOptions, progress: Progress) -> TextTable {
             ms(total),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 5 output: per-model tables plus headline error statistics.
@@ -86,7 +90,16 @@ pub struct Fig5Output {
 
 /// Figure 5: replay accuracy across four models × six parallelism
 /// configurations. `models` defaults to all of Table 1.
-pub fn fig5(models: &[ModelConfig], opts: &RunOptions, progress: Progress) -> Fig5Output {
+///
+/// # Errors
+///
+/// Returns [`PaperError::UnknownModel`] for models outside Table 1 and
+/// propagates label failures.
+pub fn fig5(
+    models: &[ModelConfig],
+    opts: &RunOptions,
+    progress: Progress,
+) -> Result<Fig5Output, PaperError> {
     let mut panels = Vec::new();
     let mut lumos_errs = Vec::new();
     let mut dpro_errs = Vec::new();
@@ -101,8 +114,11 @@ pub fn fig5(models: &[ModelConfig], opts: &RunOptions, progress: Progress) -> Fi
             "actual cmp/ovl/comm/other",
             "lumos cmp/ovl/comm/other",
         ]);
-        for label in paper::fig5_labels(&model.name) {
-            let cfg = paper::config(model.clone(), label, opts.microbatches);
+        let labels = paper::fig5_labels(&model.name).ok_or_else(|| PaperError::UnknownModel {
+            name: model.name.clone(),
+        })?;
+        for label in labels {
+            let cfg = paper::config(model.clone(), label, opts.microbatches)?;
             progress(&format!(
                 "fig5: {} {} ({} GPUs)",
                 model.name,
@@ -127,14 +143,14 @@ pub fn fig5(models: &[ModelConfig], opts: &RunOptions, progress: Progress) -> Fi
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let max = |v: &[f64]| v.iter().copied().fold(0.0, f64::max);
-    Fig5Output {
+    Ok(Fig5Output {
         lumos_avg: avg(&lumos_errs),
         lumos_max: max(&lumos_errs),
         dpro_avg: avg(&dpro_errs),
         dpro_max: max(&dpro_errs),
         rows: lumos_errs.len(),
         panels,
-    }
+    })
 }
 
 /// Renders a utilization series as a unicode sparkline.
@@ -149,8 +165,8 @@ fn sparkline(values: &[f64]) -> String {
 /// Figure 6: SM-utilization timelines (1 ms bins) for GPT-3 15B at
 /// 2x2x4 — actual vs Lumos vs dPRO. Returns (summary table,
 /// sparkline block).
-pub fn fig6(opts: &RunOptions, progress: Progress) -> (TextTable, String) {
-    let cfg = paper::fig6_config(opts.microbatches);
+pub fn fig6(opts: &RunOptions, progress: Progress) -> Result<(TextTable, String), PaperError> {
+    let cfg = paper::fig6_config(opts.microbatches)?;
     progress(&format!("fig6: running {}", cfg.label()));
     let profiled = profile_config(&cfg, opts);
     let lumos = Lumos::new().replay(&profiled.output.trace).expect("replay");
@@ -194,20 +210,24 @@ pub fn fig6(opts: &RunOptions, progress: Progress) -> (TextTable, String) {
         sparkline(&downsample(&lumos_u.values)),
         sparkline(&downsample(&dpro_u.values)),
     );
-    (t, spark)
+    Ok((t, spark))
 }
 
 /// Figure 7: parallelism-scaling predictions from the 15B 2x2x4 base
 /// trace. `part` is 'a' (DP), 'b' (PP), or 'c' (both).
-pub fn fig7(part: char, opts: &RunOptions, progress: Progress) -> TextTable {
-    let base = paper::fig7_base(opts.microbatches);
+///
+/// # Errors
+///
+/// Returns [`PaperError::UnknownFigurePart`] for parts outside a/b/c.
+pub fn fig7(part: char, opts: &RunOptions, progress: Progress) -> Result<TextTable, PaperError> {
+    let base = paper::fig7_base(opts.microbatches)?;
     progress(&format!("fig7{part}: profiling base {}", base.label()));
     let profiled = profile_config(&base, opts);
     let targets = match part {
         'a' => paper::fig7a_targets(),
         'b' => paper::fig7b_targets(),
         'c' => paper::fig7c_targets(),
-        other => panic!("unknown figure-7 part `{other}` (use a, b, or c)"),
+        other => return Err(PaperError::UnknownFigurePart { part: other }),
     };
     let mut t = TextTable::new(&[
         "config",
@@ -229,15 +249,22 @@ pub fn fig7(part: char, opts: &RunOptions, progress: Progress) -> TextTable {
             breakdown_cells(&row.actual_breakdown).join("/"),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Dependency-mechanism ablation (DESIGN.md §7): replay one GPT-3 15B
 /// 2x2x4 iteration under every fence-coverage × rendezvous combination.
 /// Returns the table plus the actual makespan and overlapped time it
 /// is read against.
-pub fn ablation(opts: &RunOptions, progress: Progress) -> (TextTable, Dur, Dur) {
-    let config = paper::config(ModelConfig::gpt3_15b(), "2x2x4", opts.microbatches);
+///
+/// # Errors
+///
+/// Propagates configuration-lookup failures.
+pub fn ablation(
+    opts: &RunOptions,
+    progress: Progress,
+) -> Result<(TextTable, Dur, Dur), PaperError> {
+    let config = paper::config(ModelConfig::gpt3_15b(), "2x2x4", opts.microbatches)?;
     progress(&format!("ablation: profiling {}", config.label()));
     let profiled = profile_config(&config, opts);
     let actual = profiled.actual;
@@ -298,14 +325,21 @@ pub fn ablation(opts: &RunOptions, progress: Progress) -> (TextTable, Dur, Dur) 
             note.to_string(),
         ]);
     }
-    (t, actual, actual_overlap)
+    Ok((t, actual, actual_overlap))
 }
 
 /// Extension validation (DESIGN.md §7): tensor-parallel rescaling and
 /// sequence-length predictions from the 15B 2x2x4 base trace, checked
 /// against fresh ground truth exactly like Figures 7/8.
-pub fn extension_transforms(opts: &RunOptions, progress: Progress) -> TextTable {
-    let base = paper::fig7_base(opts.microbatches);
+///
+/// # Errors
+///
+/// Propagates configuration-lookup failures.
+pub fn extension_transforms(
+    opts: &RunOptions,
+    progress: Progress,
+) -> Result<TextTable, PaperError> {
+    let base = paper::fig7_base(opts.microbatches)?;
     progress(&format!("extensions: profiling base {}", base.label()));
     let profiled = profile_config(&base, opts);
     let targets: Vec<(&str, Vec<Transform>)> = vec![
@@ -347,13 +381,17 @@ pub fn extension_transforms(opts: &RunOptions, progress: Progress) -> TextTable 
             breakdown_cells(&row.actual_breakdown).join("/"),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 8: architecture-variant predictions from the 15B 2x2x4
 /// base trace (Table 2 variants).
-pub fn fig8(opts: &RunOptions, progress: Progress) -> TextTable {
-    let base = paper::fig7_base(opts.microbatches);
+///
+/// # Errors
+///
+/// Propagates configuration-lookup failures.
+pub fn fig8(opts: &RunOptions, progress: Progress) -> Result<TextTable, PaperError> {
+    let base = paper::fig7_base(opts.microbatches)?;
     progress(&format!("fig8: profiling base {}", base.label()));
     let profiled = profile_config(&base, opts);
     let mut t = TextTable::new(&[
@@ -376,5 +414,5 @@ pub fn fig8(opts: &RunOptions, progress: Progress) -> TextTable {
             breakdown_cells(&row.actual_breakdown).join("/"),
         ]);
     }
-    t
+    Ok(t)
 }

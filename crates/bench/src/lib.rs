@@ -32,3 +32,16 @@ pub use harness::{
     measure_actual, predict_from, profile_config, replay_experiment, ConfigResult,
     PredictionResult, RunOptions,
 };
+pub use paper::PaperError;
+
+/// Unwraps a bench-binary result, printing the error to stderr and
+/// exiting with status 2 instead of panicking with a backtrace.
+pub fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

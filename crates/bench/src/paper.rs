@@ -2,46 +2,123 @@
 
 use lumos_cluster::SimConfig;
 use lumos_core::manipulate::Transform;
-use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+use lumos_model::{BatchConfig, ModelConfig, ModelError, Parallelism, ScheduleKind};
+use std::fmt;
+
+/// A paper-configuration lookup that cannot be satisfied — unknown
+/// model names, malformed `TPxPPxDP` labels, or out-of-range figure
+/// parts surface as clean errors instead of aborting a bench binary.
+#[derive(Debug)]
+pub enum PaperError {
+    /// A `TPxPPxDP` parallelism label failed to parse.
+    Label {
+        /// The offending label.
+        label: String,
+        /// Why it was rejected.
+        source: ModelError,
+    },
+    /// No Figure-5 label set exists for the model name.
+    UnknownModel {
+        /// The unrecognized model name.
+        name: String,
+    },
+    /// Figure 7 has parts `a`, `b`, and `c` only.
+    UnknownFigurePart {
+        /// The unrecognized part.
+        part: char,
+    },
+}
+
+impl fmt::Display for PaperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaperError::Label { label, source } => {
+                write!(f, "invalid TPxPPxDP label `{label}`: {source}")
+            }
+            PaperError::UnknownModel { name } => {
+                write!(
+                    f,
+                    "no figure-5 labels for model `{name}` \
+                     (expected a Table-1 GPT-3 name)"
+                )
+            }
+            PaperError::UnknownFigurePart { part } => {
+                write!(f, "unknown figure-7 part `{part}` (use a, b, or c)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PaperError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PaperError::Label { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Builds a [`SimConfig`] for a model at a `TPxPPxDP` label, with the
 /// repository's default micro-batch policy (`2 × PP`, overridable).
-pub fn config(model: ModelConfig, label: &str, microbatches: Option<u32>) -> SimConfig {
-    let parallelism = Parallelism::parse_label(label).expect("valid TPxPPxDP label");
+///
+/// # Errors
+///
+/// Returns [`PaperError::Label`] on malformed labels.
+pub fn config(
+    model: ModelConfig,
+    label: &str,
+    microbatches: Option<u32>,
+) -> Result<SimConfig, PaperError> {
+    let parallelism = Parallelism::parse_label(label).map_err(|source| PaperError::Label {
+        label: label.to_string(),
+        source,
+    })?;
     let num_mb = microbatches.unwrap_or(2 * parallelism.pp);
-    SimConfig {
+    Ok(SimConfig {
         model,
         parallelism,
         batch: BatchConfig::gpt3_default(num_mb),
         schedule: ScheduleKind::OneFOneB,
-    }
+    })
 }
 
 /// Figure 5's per-model parallelism labels (x-axes of the four
-/// panels).
-pub fn fig5_labels(model_name: &str) -> &'static [&'static str] {
+/// panels); `None` for models outside Table 1.
+pub fn fig5_labels(model_name: &str) -> Option<&'static [&'static str]> {
     match model_name {
-        "GPT-3 15B" => &["2x2x4", "2x2x8", "2x4x2", "2x4x4", "4x2x2", "4x2x4"],
-        "GPT-3 44B" => &["4x4x2", "4x4x4", "4x8x1", "4x8x2", "8x4x1", "8x4x2"],
-        "GPT-3 117B" => &["4x8x2", "4x8x4", "8x4x2", "8x4x4", "8x8x1", "8x8x2"],
-        "GPT-3 175B" => &["4x8x4", "4x8x8", "4x8x16", "8x4x4", "8x4x8", "8x4x16"],
-        other => panic!("no figure-5 labels for {other}"),
+        "GPT-3 15B" => Some(&["2x2x4", "2x2x8", "2x4x2", "2x4x4", "4x2x2", "4x2x4"]),
+        "GPT-3 44B" => Some(&["4x4x2", "4x4x4", "4x8x1", "4x8x2", "8x4x1", "8x4x2"]),
+        "GPT-3 117B" => Some(&["4x8x2", "4x8x4", "8x4x2", "8x4x4", "8x8x1", "8x8x2"]),
+        "GPT-3 175B" => Some(&["4x8x4", "4x8x8", "4x8x16", "8x4x4", "8x4x8", "8x4x16"]),
+        _ => None,
     }
 }
 
 /// Figure 1 / §1: GPT-3 175B with TP=8, PP=4, DP=8.
-pub fn fig1_config(microbatches: Option<u32>) -> SimConfig {
+///
+/// # Errors
+///
+/// Propagates label-parse failures (none for the built-in label).
+pub fn fig1_config(microbatches: Option<u32>) -> Result<SimConfig, PaperError> {
     config(ModelConfig::gpt3_175b(), "8x4x8", microbatches)
 }
 
 /// Figure 6 / §4.2.3: GPT-3 15B with TP=2, PP=2, DP=4.
-pub fn fig6_config(microbatches: Option<u32>) -> SimConfig {
+///
+/// # Errors
+///
+/// Propagates label-parse failures (none for the built-in label).
+pub fn fig6_config(microbatches: Option<u32>) -> Result<SimConfig, PaperError> {
     config(ModelConfig::gpt3_15b(), "2x2x4", microbatches)
 }
 
 /// §4.3 baseline: GPT-3 15B at 2x2x4 — the trace all Figure 7/8
 /// predictions start from.
-pub fn fig7_base(microbatches: Option<u32>) -> SimConfig {
+///
+/// # Errors
+///
+/// Propagates label-parse failures (none for the built-in label).
+pub fn fig7_base(microbatches: Option<u32>) -> Result<SimConfig, PaperError> {
     config(ModelConfig::gpt3_15b(), "2x2x4", microbatches)
 }
 
@@ -140,7 +217,7 @@ mod tests {
         let mut min_ws = u32::MAX;
         let mut max_ws = 0;
         for m in ModelConfig::table1() {
-            for label in fig5_labels(&m.name) {
+            for label in fig5_labels(&m.name).expect("table-1 model has labels") {
                 let p = Parallelism::parse_label(label).unwrap();
                 p.validate_for(m.num_layers, m.num_heads).unwrap();
                 min_ws = min_ws.min(p.world_size());
@@ -152,15 +229,25 @@ mod tests {
     }
 
     #[test]
+    fn unknown_lookups_are_errors_not_panics() {
+        assert!(fig5_labels("GPT-5 9000B").is_none());
+        let err = config(ModelConfig::gpt3_15b(), "not-a-label", None).unwrap_err();
+        assert!(matches!(err, PaperError::Label { .. }), "{err}");
+        assert!(err.to_string().contains("not-a-label"));
+        let err = config(ModelConfig::gpt3_15b(), "0x4x2", None).unwrap_err();
+        assert!(matches!(err, PaperError::Label { .. }), "{err}");
+    }
+
+    #[test]
     fn fig1_is_256_gpus() {
-        let c = fig1_config(None);
+        let c = fig1_config(None).unwrap();
         assert_eq!(c.parallelism.world_size(), 256);
         assert_eq!(c.model.name, "GPT-3 175B");
     }
 
     #[test]
     fn prediction_targets_valid() {
-        let base = fig7_base(None);
+        let base = fig7_base(None).unwrap();
         for (label, transforms) in fig7a_targets()
             .into_iter()
             .chain(fig7b_targets())

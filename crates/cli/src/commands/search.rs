@@ -32,8 +32,10 @@ pub const SPEC: ArgSpec = ArgSpec {
         "top",
         "memory-gib",
         "threads",
+        "jitter-replicas",
+        "jitter-seed",
     ],
-    flags: &["progress", "keep-all"],
+    flags: &["progress", "keep-all", "refine-sim"],
 };
 
 /// Usage text.
@@ -43,6 +45,7 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
     [--interleave 1,2] [--gpus 8,16,32] [--max-gpus N]\n\
     [--objective makespan|throughput|mfu] [--top K]\n\
     [--memory-gib N] [--threads N] [--progress] [--keep-all]\n\
+    [--refine-sim] [--jitter-replicas N] [--jitter-seed N]\n\
   Searches a what-if configuration space from one profiled trace:\n\
   candidates are enumerated lazily over the axis grids\n\
   (comma-separated values, or a TOML space file; flags override the\n\
@@ -54,7 +57,16 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
   to retain every result instead, disabling bound skipping). With\n\
   --model instead of a trace file, the base iteration is profiled on\n\
   the ground-truth cluster first; --progress reports completion to\n\
-  stderr. The setup sidecar defaults to <trace>.setup.json.";
+  stderr. The setup sidecar defaults to <trace>.setup.json.\n\
+  --refine-sim adds a second phase: each finalist is lowered to a\n\
+  full multi-rank program and executed through the discrete-event\n\
+  engine (overlap, host dispatch, and collective rendezvous\n\
+  included), the finals are re-ranked by simulated makespan, and the\n\
+  report gains analytic-vs-simulated delta columns.\n\
+  --jitter-replicas N (implies --refine-sim) additionally executes N\n\
+  deterministic variance replicas per finalist and re-ranks by the\n\
+  jittered mean, adding mean/p95/stability robustness columns\n\
+  (--jitter-seed fixes the variance model's seed).";
 
 /// Comma-separated integer list (`--tp 1,2,4`).
 fn parse_axis(args: &ArgSet, name: &str) -> Result<Option<Vec<u32>>, CliError> {
@@ -194,6 +206,22 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     // lower-bound skipping) unless the user wants the full ranking.
     if !args.has("keep-all") {
         opts.top_k = Some(top);
+    }
+    // Phase two: engine-simulated refinement of the finals.
+    opts.refine_sim = args.has("refine-sim");
+    if let Some(replicas) = args.get_num_opt::<u32>("jitter-replicas")? {
+        opts.jitter_replicas = replicas;
+        if replicas > 0 {
+            opts.refine_sim = true; // robustness requires the refinement pass
+        }
+    }
+    if let Some(seed) = args.get_num_opt::<u64>("jitter-seed")? {
+        if !opts.refine_sim {
+            return Err(CliError::Usage(
+                "--jitter-seed only applies with --refine-sim / --jitter-replicas".to_string(),
+            ));
+        }
+        opts.jitter_seed = seed;
     }
     if args.has("progress") {
         opts.progress = Some(lumos_search::ProgressSink::new(|p| {

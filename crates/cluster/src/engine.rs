@@ -32,6 +32,7 @@ const SYNC_POLL_LATENCY: Dur = Dur(500);
 
 /// Errors from engine execution.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The job deadlocked: no entity could make progress but work
     /// remains. Indicates an ill-formed program (e.g. mismatched
@@ -40,12 +41,44 @@ pub enum EngineError {
         /// Human-readable stuck-entity report.
         detail: String,
     },
+    /// A program emitted an event for a rank the job does not declare
+    /// (a malformed [`LoweredJob`] built outside [`crate::lower`]).
+    UnknownRank {
+        /// The undeclared rank.
+        rank: u32,
+    },
+    /// A collective launch referenced a communicator group absent from
+    /// [`LoweredJob::groups`].
+    UnknownGroup {
+        /// The unregistered communicator id.
+        group: u64,
+    },
+    /// An instruction stream violated an engine invariant (e.g. an
+    /// `AnnotationEnd` without a matching begin, or a sync completion
+    /// with no sync in progress). Indicates a malformed program
+    /// rather than a timing question.
+    MalformedProgram {
+        /// What went wrong, and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Deadlock { detail } => write!(f, "execution deadlocked: {detail}"),
+            EngineError::UnknownRank { rank } => {
+                write!(f, "event emitted for undeclared rank {rank}")
+            }
+            EngineError::UnknownGroup { group } => {
+                write!(
+                    f,
+                    "collective references unknown communicator group {group}"
+                )
+            }
+            EngineError::MalformedProgram { detail } => {
+                write!(f, "malformed program: {detail}")
+            }
         }
     }
 }
@@ -67,7 +100,11 @@ pub struct EngineOutput {
 /// # Errors
 ///
 /// Returns [`EngineError::Deadlock`] when the program graph cannot be
-/// completed (a lowering bug rather than a user error).
+/// completed, and [`EngineError::UnknownRank`] /
+/// [`EngineError::UnknownGroup`] / [`EngineError::MalformedProgram`]
+/// when the job itself is ill-formed (a hand-built [`LoweredJob`]
+/// rather than one from [`crate::lower`]). None of these panic: a bad
+/// job yields a typed error.
 pub fn execute<C: CostModel>(
     job: &LoweredJob,
     cost: &C,
@@ -181,6 +218,10 @@ struct Engine<'a, C: CostModel> {
     queued_threads: Vec<bool>,
     queued_streams: Vec<bool>,
     next_corr: u64,
+    /// First fatal error observed while draining the wake queue. The
+    /// run loop stops at the next wake and reports it, so malformed
+    /// programs surface as typed errors instead of panics.
+    fatal: Option<EngineError>,
 }
 
 impl<'a, C: CostModel> Engine<'a, C> {
@@ -228,6 +269,15 @@ impl<'a, C: CostModel> Engine<'a, C> {
             queued_threads,
             queued_streams: Vec::new(),
             next_corr: 1,
+            fatal: None,
+        }
+    }
+
+    /// Records a fatal error (first one wins) and lets the run loop
+    /// stop at its next iteration.
+    fn fail(&mut self, e: EngineError) {
+        if self.fatal.is_none() {
+            self.fatal = Some(e);
         }
     }
 
@@ -265,10 +315,10 @@ impl<'a, C: CostModel> Engine<'a, C> {
     }
 
     fn emit(&mut self, rank: u32, event: TraceEvent) {
-        self.traces
-            .get_mut(&rank)
-            .expect("rank trace exists")
-            .push(event);
+        match self.traces.get_mut(&rank) {
+            Some(trace) => trace.push(event),
+            None => self.fail(EngineError::UnknownRank { rank }),
+        }
     }
 
     fn run(mut self) -> Result<EngineOutput, EngineError> {
@@ -276,6 +326,9 @@ impl<'a, C: CostModel> Engine<'a, C> {
             self.wake_thread(i);
         }
         while let Some(w) = self.queue.pop_front() {
+            if self.fatal.is_some() {
+                break;
+            }
             match w {
                 Wake::Thread(i) => {
                     self.queued_threads[i] = false;
@@ -287,13 +340,15 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 }
             }
         }
+        if let Some(e) = self.fatal.take() {
+            return Err(e);
+        }
         self.check_quiescent()?;
 
         let mut cluster = ClusterTrace::new(self.job.config.label());
-        let mut ranks: Vec<u32> = self.traces.keys().copied().collect();
-        ranks.sort_unstable();
-        for r in ranks {
-            let mut t = self.traces.remove(&r).expect("trace exists");
+        let mut ranks: Vec<(u32, RankTrace)> = self.traces.drain().collect();
+        ranks.sort_unstable_by_key(|&(r, _)| r);
+        for (_, mut t) in ranks {
             t.sort();
             cluster.push_rank(t);
         }
@@ -359,10 +414,12 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 {
                     return; // spurious wake; still waiting
                 }
-                let (start, kind) = self.threads[i]
-                    .sync_started
-                    .take()
-                    .expect("sync in progress");
+                let Some((start, kind)) = self.threads[i].sync_started.take() else {
+                    self.fail(EngineError::MalformedProgram {
+                        detail: format!("thread #{i} woke from a drain with no sync in progress"),
+                    });
+                    return;
+                };
                 let sync_dur = self.host_dur(i, self.oh.sync_call);
                 let t = &mut self.threads[i];
                 let end = (start + sync_dur).max(t.wake_time + SYNC_POLL_LATENCY);
@@ -536,7 +593,16 @@ impl<'a, C: CostModel> Engine<'a, C> {
                 }
                 HostOp::AnnotationEnd => {
                     let t = &mut self.threads[i];
-                    let (name, start) = t.ann_stack.pop().expect("balanced annotations");
+                    let Some((name, start)) = t.ann_stack.pop() else {
+                        let (rank, pc) = (t.rank, t.pc);
+                        self.fail(EngineError::MalformedProgram {
+                            detail: format!(
+                                "rank {rank} thread #{i}: AnnotationEnd at pc {pc} \
+                                 without a matching AnnotationBegin"
+                            ),
+                        });
+                        return;
+                    };
                     let (rank, tid, clock) = (t.rank, t.tid, t.clock);
                     self.emit(
                         rank,
@@ -703,11 +769,10 @@ impl<'a, C: CostModel> Engine<'a, C> {
             true
         };
 
-        let members = self
-            .job
-            .groups
-            .get(&key.0)
-            .unwrap_or_else(|| panic!("unknown communicator group {}", key.0));
+        let Some(members) = self.job.groups.get(&key.0) else {
+            self.fail(EngineError::UnknownGroup { group: key.0 });
+            return false;
+        };
         let expected = members.len();
 
         let inst = self.collectives.entry(key).or_insert_with(|| CollInstance {
@@ -787,7 +852,11 @@ impl<'a, C: CostModel> Engine<'a, C> {
                         self.wake_thread(thread);
                     }
                 }
-                other => panic!("drain waiter in unexpected state {other:?}"),
+                other => {
+                    let detail =
+                        format!("drain waiter thread #{thread} in unexpected state {other:?}");
+                    self.fail(EngineError::MalformedProgram { detail });
+                }
             }
         }
     }
@@ -957,6 +1026,66 @@ mod tests {
         .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("deadlocked"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_group_is_typed_error() {
+        // A collective launched on a communicator id the job never
+        // registered must fail cleanly, not panic.
+        let mut p0 = Program::new(0);
+        p0.main_mut().push(HostOp::Launch {
+            spec: KernelSpec {
+                name: "nccl".into(),
+                class: KernelClass::Collective(lumos_trace::CommMeta {
+                    kind: lumos_trace::CollectiveKind::AllReduce,
+                    group: 7,
+                    seq: 0,
+                    bytes: 64,
+                }),
+                stream: streams::TP_COMM,
+            },
+        });
+        let config = SimConfig::new(ModelConfig::tiny(), Parallelism::new(1, 1, 1).unwrap());
+        let job = LoweredJob {
+            programs: vec![p0],
+            groups: HashMap::new(),
+            config,
+        };
+        let err = execute(
+            &job,
+            &AnalyticalCostModel::h100(),
+            &HostOverheads::default(),
+            &JitterModel::none(),
+            0,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::UnknownGroup { group: 7 }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("unknown communicator group 7"));
+    }
+
+    #[test]
+    fn unbalanced_annotation_is_typed_error() {
+        let mut p0 = Program::new(0);
+        p0.main_mut().push(HostOp::AnnotationEnd);
+        let config = SimConfig::new(ModelConfig::tiny(), Parallelism::new(1, 1, 1).unwrap());
+        let job = LoweredJob {
+            programs: vec![p0],
+            groups: HashMap::new(),
+            config,
+        };
+        let err = execute(
+            &job,
+            &AnalyticalCostModel::h100(),
+            &HostOverheads::default(),
+            &JitterModel::none(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::MalformedProgram { .. }), "{err}");
+        assert!(err.to_string().contains("AnnotationEnd"));
     }
 
     #[test]

@@ -65,6 +65,25 @@ impl MeasuredStats {
         Dur((total / self.iterations.len() as u128) as u64)
     }
 
+    /// Nearest-rank `q`-quantile iteration time (`q` clamped to
+    /// `[0, 1]`; [`Dur::ZERO`] when no iterations were measured).
+    pub fn percentile(&self, q: f64) -> Dur {
+        if self.iterations.is_empty() {
+            return Dur::ZERO;
+        }
+        let mut sorted = self.iterations.clone();
+        sorted.sort_unstable();
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Nearest-rank 95th-percentile iteration time — the tail metric
+    /// the jitter-robustness search pass reports.
+    pub fn p95(&self) -> Dur {
+        self.percentile(0.95)
+    }
+
     /// Sample standard deviation (0 for fewer than 2 samples).
     pub fn std_dev(&self) -> Dur {
         let n = self.iterations.len();
@@ -261,5 +280,25 @@ mod tests {
         let s = MeasuredStats { iterations: vec![] };
         assert_eq!(s.mean(), Dur::ZERO);
         assert_eq!(s.std_dev(), Dur::ZERO);
+        assert_eq!(s.p95(), Dur::ZERO);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = MeasuredStats {
+            iterations: (1..=100).map(Dur).collect(),
+        };
+        assert_eq!(s.percentile(0.0), Dur(1));
+        assert_eq!(s.percentile(0.5), Dur(50));
+        assert_eq!(s.p95(), Dur(95));
+        assert_eq!(s.percentile(1.0), Dur(100));
+        // Out-of-range and NaN quantiles clamp instead of panicking.
+        assert_eq!(s.percentile(-1.0), Dur(1));
+        assert_eq!(s.percentile(2.0), Dur(100));
+        assert_eq!(s.percentile(f64::NAN), Dur(100));
+        let one = MeasuredStats {
+            iterations: vec![Dur(7)],
+        };
+        assert_eq!(one.p95(), Dur(7));
     }
 }

@@ -123,11 +123,10 @@ impl SimResult {
                 .or_insert_with(|| RankTrace::new(rank))
                 .push(event);
         }
-        let mut ranks: Vec<RankId> = per_rank.keys().copied().collect();
-        ranks.sort_unstable();
+        let mut ranks: Vec<(RankId, RankTrace)> = per_rank.into_iter().collect();
+        ranks.sort_unstable_by_key(|&(r, _)| r);
         let mut cluster = ClusterTrace::new(label);
-        for r in ranks {
-            let mut t = per_rank.remove(&r).expect("rank present");
+        for (_, mut t) in ranks {
             t.sort();
             cluster.push_rank(t);
         }

@@ -30,6 +30,15 @@ pub enum SearchError {
     /// Profiling the base configuration failed (trace-less entry
     /// point).
     BaseProfile(String),
+    /// Phase-two refinement of a finalist failed: its configuration
+    /// could not be lowered to per-rank programs, or the discrete-
+    /// event engine could not execute them.
+    Refinement {
+        /// The finalist's label.
+        candidate: String,
+        /// What failed.
+        detail: String,
+    },
     /// A malformed space-spec file.
     Spec(String),
 }
@@ -52,6 +61,9 @@ impl fmt::Display for SearchError {
                 write!(f, "extracting blocks from the base trace: {source}")
             }
             SearchError::BaseProfile(msg) => write!(f, "profiling base configuration: {msg}"),
+            SearchError::Refinement { candidate, detail } => {
+                write!(f, "refining finalist {candidate}: {detail}")
+            }
             SearchError::Spec(msg) => write!(f, "invalid space spec: {msg}"),
         }
     }

@@ -128,14 +128,17 @@ impl CandidateResult {
 }
 
 /// Everything the streaming engine produced, pre-merge of the final
-/// report.
-pub(crate) struct EngineOutcome {
+/// report. Carries the shared trace-fitted cost model so the
+/// refinement phase can price engine executions identically to the
+/// screen without re-fitting it.
+pub(crate) struct EngineOutcome<C> {
     pub results: Vec<CandidateResult>,
     pub pruned: Vec<PrunedCandidate>,
     pub rejected: Vec<RejectedCandidate>,
     pub stats: PruneStats,
     pub memo: MemoStats,
     pub threads: usize,
+    pub lookup: LookupCostModel<C>,
 }
 
 /// Shared per-run atomic counters.
@@ -242,7 +245,7 @@ pub(crate) fn run_streaming<C>(
     spec: &crate::SpaceSpec,
     opts: &SearchOptions,
     fallback: C,
-) -> Result<EngineOutcome, SearchError>
+) -> Result<EngineOutcome<C>, SearchError>
 where
     C: CostModel + Send + Sync + 'static,
 {
@@ -456,13 +459,16 @@ where
         rejected.truncate(k);
     }
 
+    let memo = cache.get().map(StageCostCache::stats).unwrap_or_default();
+    drop(cache);
     Ok(EngineOutcome {
         results,
         pruned,
         rejected,
         stats,
-        memo: cache.get().map(StageCostCache::stats).unwrap_or_default(),
+        memo,
         threads,
+        lookup,
     })
 }
 
@@ -500,9 +506,10 @@ fn finish_bounded<T>(list: &mut Vec<T>, cap: Option<usize>, order: fn(&T, &T) ->
 }
 
 /// Tokens one iteration trains across all data-parallel replicas —
-/// shared between the scored result and the throughput lower bound,
-/// which is only sound while both use the same formula.
-fn tokens_per_iter(setup: &TrainingSetup) -> u64 {
+/// shared between the scored result, the throughput lower bound, and
+/// the refinement phase's objective re-evaluation, which are only
+/// mutually sound while all use the same formula.
+pub(crate) fn tokens_per_iter(setup: &TrainingSetup) -> u64 {
     setup.batch.tokens_per_microbatch()
         * setup.batch.num_microbatches as u64
         * setup.parallelism.dp as u64
@@ -584,11 +591,10 @@ fn evaluate_one<C: CostModel>(
             });
             (simulated, bi)
         } else {
-            let work_secs = simulated.as_secs_f64() * (1.0 - plain_bubble);
-            let extra_comm_secs =
-                (inter.comm_amplification() - 1.0) * pipeline_comm_secs_per_rank(&replayed.trace);
-            let adjusted = work_secs / (1.0 - bi) + extra_comm_secs;
-            (Dur::from_secs_f64(adjusted.max(0.0)), bi)
+            (
+                interleave_adjust(simulated, plain_bubble, &inter, &replayed.trace),
+                bi,
+            )
         }
     } else {
         if plain_bubble >= 1.0 {
@@ -634,6 +640,23 @@ fn evaluate_one<C: CostModel>(
         tokens_per_sec_per_gpu,
         infeasibility,
     })
+}
+
+/// The interleaving adjustment applied to a simulated plain-1F1B
+/// makespan: the work share is rescaled to the interleaved bubble and
+/// charged the amplified pipeline-boundary traffic. One site, shared
+/// by the analytic screen and the simulation-refined phase, so the two
+/// estimates can never drift apart. Callers must have checked that
+/// neither bubble fraction is degenerate (`>= 1.0` or NaN).
+pub(crate) fn interleave_adjust(
+    simulated: Dur,
+    plain_bubble: f64,
+    inter: &InterleavedSchedule,
+    trace: &ClusterTrace,
+) -> Dur {
+    let work_secs = simulated.as_secs_f64() * (1.0 - plain_bubble);
+    let extra_comm_secs = (inter.comm_amplification() - 1.0) * pipeline_comm_secs_per_rank(trace);
+    Dur::from_secs_f64((work_secs / (1.0 - inter.bubble_fraction()) + extra_comm_secs).max(0.0))
 }
 
 /// Mean per-rank time spent in pipeline-boundary SendRecv kernels.

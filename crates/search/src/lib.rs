@@ -44,7 +44,18 @@
 //!    non-finite keys strictly last, enumeration index as tie-break).
 //!    With [`SearchOptions::top_k`] set, peak memory is proportional
 //!    to `top_k × threads` — not to the size of the space — and the
-//!    result is byte-identical to ranking every candidate.
+//!    result is byte-identical to ranking every candidate;
+//! 7. **Refine** (optional, [`SearchOptions::refine_sim`]): lower each
+//!    analytic finalist to a full multi-rank program and execute it
+//!    through the ground-truth discrete-event engine
+//!    ([`lumos_cluster`]) in parallel, against the same shared
+//!    trace-fitted cost model — re-ranking the finals by the search
+//!    objective re-evaluated at the simulated makespan (overlap, host
+//!    dispatch, and collective rendezvous included) and
+//!    reporting the analytic-vs-simulated delta per finalist, plus
+//!    deterministic jitter-replica robustness statistics
+//!    (mean/p95/stability) when [`SearchOptions::jitter_replicas`] is
+//!    set.
 //!
 //! Reported top-k results are bit-for-bit deterministic: the same spec
 //! produces the same ranking regardless of thread count or how workers
@@ -94,6 +105,7 @@ mod evaluate;
 mod memo;
 pub mod parallel;
 mod prune;
+mod refine;
 mod report;
 mod space;
 pub mod spec_toml;
@@ -105,6 +117,7 @@ pub use enumerate::{
 pub use error::SearchError;
 pub use evaluate::{CandidateResult, Infeasibility, RejectedCandidate};
 pub use prune::{memory_gate, MemoStats, PruneStats, PrunedCandidate};
+pub use refine::{JitterStats, RefinedResult};
 pub use report::{rank, Objective, SearchReport};
 pub use space::{ArchPoint, SpaceSpec};
 pub use spec_toml::SpecFile;
@@ -114,6 +127,12 @@ use lumos_model::{MemoryModel, TrainingSetup};
 use lumos_trace::ClusterTrace;
 use std::fmt;
 use std::sync::Arc;
+
+/// Finalists refined when no retention bound is set
+/// ([`SearchOptions::top_k`] = `None`, the `--keep-all` path): phase
+/// two lowers and engine-executes each finalist, so it must stay a
+/// short list even when the screen retained the whole space.
+const DEFAULT_REFINE_FINALISTS: usize = 16;
 
 /// A live progress snapshot of a streaming search, delivered to
 /// [`SearchOptions::progress`] roughly every 5% of the grid (at most
@@ -172,6 +191,26 @@ pub struct SearchOptions {
     /// (the pre-streaming behavior); skipping stays disabled so the
     /// full ranking is exact.
     pub top_k: Option<usize>,
+    /// Phase two: execute the analytic finals through the discrete-
+    /// event engine (full multi-rank lowering, shared trace-fitted
+    /// cost model) and re-rank them by the search objective
+    /// re-evaluated at the simulated makespan, reporting the
+    /// analytic-vs-simulated delta per finalist
+    /// ([`SearchReport::refined`]). Refines at most
+    /// [`SearchOptions::top_k`] finalists (16 when retention is
+    /// unbounded) — engine execution per candidate is orders of
+    /// magnitude costlier than the screen.
+    pub refine_sim: bool,
+    /// With [`SearchOptions::refine_sim`]: deterministic jitter
+    /// replicas to execute per finalist (0 = off). Adds mean / p95 /
+    /// stability columns and re-ranks by the jittered mean, so the
+    /// search optimizes for robustness under run-to-run variance.
+    pub jitter_replicas: u32,
+    /// Seed of the refinement jitter model (replica `r` executes as
+    /// iteration `r` of a [`lumos_cluster::JitterModel::realistic`]
+    /// model with this seed). Fixed by default so refined reports are
+    /// reproducible run to run.
+    pub jitter_seed: u64,
     /// Optional progress callback for long searches.
     pub progress: Option<ProgressSink>,
 }
@@ -185,6 +224,9 @@ impl Default for SearchOptions {
             threads: None,
             gpus_per_node: 8,
             top_k: None,
+            refine_sim: false,
+            jitter_replicas: 0,
+            jitter_seed: 2025,
             progress: None,
         }
     }
@@ -203,12 +245,21 @@ impl Default for SearchOptions {
 /// [`SearchReport::pruned`] / [`SearchReport::rejected`] lists say
 /// why, per candidate.
 ///
+/// With [`SearchOptions::refine_sim`] set, a second phase lowers each
+/// analytic finalist to a full multi-rank program, executes it through
+/// the discrete-event engine against the same shared trace-fitted cost
+/// model, and re-ranks the finals by the search objective re-evaluated
+/// at the simulated makespan — [`SearchReport::refined`] carries the
+/// per-finalist analytic-vs-simulated deltas (and jitter-robustness
+/// statistics when [`SearchOptions::jitter_replicas`] > 0).
+///
 /// # Errors
 ///
 /// Returns [`SearchError::EmptySpace`] when no candidate survives the
 /// lattice, [`SearchError::Extraction`] when the base trace cannot
-/// supply reassembly blocks, and propagates manipulation/simulation
-/// failures from candidate evaluation.
+/// supply reassembly blocks, [`SearchError::Refinement`] when a
+/// finalist cannot be lowered or executed, and propagates
+/// manipulation/simulation failures from candidate evaluation.
 pub fn search<C>(
     trace: &ClusterTrace,
     base: &TrainingSetup,
@@ -221,16 +272,47 @@ where
 {
     let normalized = spec.normalized();
     let outcome = evaluate::run_streaming(trace, base, &normalized, opts, fallback)?;
+    let mut results = outcome.results;
+    let refined = if opts.refine_sim {
+        // Phase two is per-candidate engine work, so it always runs on
+        // a short list: the retention bound when one is set, else a
+        // fixed cap — full retention must not turn refinement into an
+        // engine execution of the whole space.
+        let finalists = opts
+            .top_k
+            .unwrap_or(DEFAULT_REFINE_FINALISTS)
+            .min(results.len());
+        let refined = refine::refine_finalists(&results[..finalists], opts, &outcome.lookup)?;
+        // Phase two's verdict wins: reorder the refined prefix of the
+        // ranked results to the simulation-refined order (indices are
+        // unique per candidate); unrefined results keep their analytic
+        // order behind it.
+        let position: std::collections::HashMap<usize, usize> = refined
+            .iter()
+            .enumerate()
+            .map(|(pos, r)| (r.index, pos))
+            .collect();
+        results[..finalists].sort_by_key(|r| {
+            (
+                position.get(&r.index).copied().unwrap_or(usize::MAX),
+                r.index,
+            )
+        });
+        Some(refined)
+    } else {
+        None
+    };
     Ok(SearchReport {
         base_label: base.label(),
         base_makespan: trace.makespan(),
         objective: opts.objective,
-        results: outcome.results,
+        results,
         pruned: outcome.pruned,
         rejected: outcome.rejected,
         stats: outcome.stats,
         memo: outcome.memo,
         threads: outcome.threads,
+        refined,
     })
 }
 

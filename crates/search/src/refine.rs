@@ -1,0 +1,304 @@
+//! Phase two of the two-phase search: simulation-refined finals.
+//!
+//! The streaming screen (phase one) prices every candidate with the
+//! closed-form interleaved-1F1B schedule model over a replayed
+//! reassembly of the base trace — fast, but blind to the effects only
+//! a full multi-rank execution exposes: compute/communication overlap,
+//! host-dispatch serialization, and cross-rank collective rendezvous.
+//! This module takes the analytic top-k and *replays the paper's
+//! ground-truth methodology on each finalist*: lower the candidate's
+//! full configuration into per-rank host programs
+//! ([`lumos_cluster::lower`]), execute them through the discrete-event
+//! engine ([`lumos_cluster::execute`]) against the **same** shared
+//! trace-fitted [`LookupCostModel`] the screen used, and re-rank by
+//! the *search objective re-evaluated at the simulated makespan* —
+//! the user's ranking criterion stays in charge, informed by the
+//! engine's number instead of the screen's. Each [`RefinedResult`]
+//! reports the analytic-vs-simulated delta so a planner can see where
+//! the cheap model diverges from trace-level simulation.
+//!
+//! An optional **jitter-robustness pass** executes `jitter_replicas`
+//! deterministic, seeded variance replicas per finalist
+//! ([`JitterModel::realistic`]) and reports mean / p95 makespans plus
+//! a stability score (`mean / p95` clamped into `(0, 1]`, 1.0 =
+//! perfectly stable), so the search can prefer configurations that
+//! degrade gracefully under run-to-run noise rather than
+//! point-estimate winners; the objective is then re-evaluated at the
+//! jittered mean.
+//!
+//! Finalists are refined in parallel on the same worker-pool sizing as
+//! the screen ([`crate::parallel::effective_threads`]); every engine
+//! execution is deterministic (seeded jitter, wake-order-independent
+//! timestamps), so refined rankings are bit-identical across thread
+//! counts.
+//!
+//! Candidates with `interleave > 1` are simulated under their plain
+//! 1F1B lowering and adjusted by the same interleaving model phase one
+//! applies (bubble divided by `v`, pipeline-boundary traffic
+//! multiplied by `v`) — the engine, like graph manipulation, does not
+//! restage a schedule into virtual chunks, and using the identical
+//! adjustment keeps the analytic-vs-simulated delta a statement about
+//! *simulation fidelity*, not about schedule-model disagreement.
+
+use crate::candidate::Candidate;
+use crate::error::SearchError;
+use crate::evaluate::{interleave_adjust, tokens_per_iter, CandidateResult};
+use crate::report::{objective_key_cmp, Objective};
+use crate::SearchOptions;
+use lumos_cluster::{execute, lower, JitterModel, MeasuredStats};
+use lumos_cost::{CostModel, HostOverheads, LookupCostModel};
+use lumos_model::{utilization, InterleavedSchedule, PipelineSchedule, TrainingSetup};
+use lumos_trace::{ClusterTrace, Dur};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Robustness statistics from the jitter-replica pass of one finalist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterStats {
+    /// Deterministic variance replicas executed.
+    pub replicas: u32,
+    /// Mean simulated makespan across replicas.
+    pub mean: Dur,
+    /// Nearest-rank 95th-percentile simulated makespan.
+    pub p95: Dur,
+    /// Stability score `mean / p95`, clamped into `(0, 1]` (with
+    /// enough replicas a heavy-tailed draw can push the mean above the
+    /// nearest-rank p95): 1.0 means the tail replica is no slower than
+    /// the average — the configuration absorbs jitter instead of
+    /// amplifying it.
+    pub stability: f64,
+}
+
+/// One finalist after engine refinement: the analytic screen's
+/// estimate next to the discrete-event simulation's, with the delta
+/// between them and optional jitter-robustness statistics.
+#[derive(Debug, Clone)]
+pub struct RefinedResult {
+    /// The candidate configuration.
+    pub candidate: Candidate,
+    /// Display label (same as the phase-one result).
+    pub label: String,
+    /// Phase-one enumeration index (stable identity + tie-break).
+    pub index: usize,
+    /// Phase one's analytic makespan estimate.
+    pub analytic_makespan: Dur,
+    /// Zero-jitter engine-simulated makespan (interleave-adjusted the
+    /// same way the analytic estimate is).
+    pub simulated_makespan: Dur,
+    /// Signed relative delta `(simulated − analytic) / analytic`:
+    /// positive when the engine found the candidate *slower* than the
+    /// screen believed.
+    pub delta: f64,
+    /// Jitter-robustness statistics, when
+    /// [`SearchOptions::jitter_replicas`] > 0.
+    pub jitter: Option<JitterStats>,
+}
+
+impl RefinedResult {
+    /// The makespan the refinement objective is evaluated at: the
+    /// jittered mean when the robustness pass ran (optimize for
+    /// expected time under noise), else the zero-jitter simulated
+    /// makespan.
+    pub fn ranking_makespan(&self) -> Dur {
+        match &self.jitter {
+            Some(j) => j.mean,
+            None => self.simulated_makespan,
+        }
+    }
+}
+
+/// The search objective's ranking key re-evaluated at a simulated
+/// makespan — the same formulas [`Objective::key`] applies to
+/// phase-one results, so phase two re-ranks by the *user's* objective
+/// (makespan, per-GPU throughput, or MFU), informed by the engine's
+/// number instead of the screen's. Degenerate inputs yield a
+/// non-finite key, which the NaN-safe comparator ranks strictly last.
+fn refined_key(finalist: &CandidateResult, secs: f64, opts: &SearchOptions) -> f64 {
+    if !(secs > 0.0 && secs.is_finite()) {
+        return f64::INFINITY;
+    }
+    let setup = &finalist.setup;
+    match opts.objective {
+        Objective::Makespan => secs,
+        Objective::PerGpuThroughput => {
+            -(tokens_per_iter(setup) as f64 / secs / setup.parallelism.world_size() as f64)
+        }
+        Objective::Mfu => {
+            let peak = opts.gpu.peak_flops();
+            if !(peak > 0.0 && peak.is_finite()) {
+                return f64::INFINITY;
+            }
+            -utilization(setup, opts.memory_model.recompute, secs, peak).mfu
+        }
+    }
+}
+
+/// Executes every finalist through the discrete-event engine in
+/// parallel and returns them re-ranked by the search objective
+/// re-evaluated at the simulated makespan (jittered mean when the
+/// robustness pass is on), ties broken by the phase-one enumeration
+/// index.
+///
+/// Deterministic: per-finalist work depends only on the finalist and
+/// the options, results merge by finalist slot, and ranking uses a
+/// total order — so the output is identical for any worker count.
+pub(crate) fn refine_finalists<C>(
+    finalists: &[CandidateResult],
+    opts: &SearchOptions,
+    lookup: &LookupCostModel<C>,
+) -> Result<Vec<RefinedResult>, SearchError>
+where
+    C: CostModel + Send + Sync,
+{
+    if finalists.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = crate::parallel::effective_threads(opts.threads, finalists.len());
+    let cursor = AtomicUsize::new(0);
+
+    let worker = || {
+        let mut out: Vec<(usize, Result<RefinedResult, SearchError>)> = Vec::new();
+        loop {
+            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+            if slot >= finalists.len() {
+                break;
+            }
+            out.push((slot, refine_one(&finalists[slot], opts, lookup)));
+        }
+        out
+    };
+
+    let per_worker: Vec<Vec<(usize, Result<RefinedResult, SearchError>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("refinement worker panicked"))
+                .collect()
+        });
+
+    // Merge by slot so worker scheduling cannot reorder anything, and
+    // report the lowest-slot failure deterministically.
+    let mut slots: Vec<Option<Result<RefinedResult, SearchError>>> =
+        (0..finalists.len()).map(|_| None).collect();
+    for (slot, result) in per_worker.into_iter().flatten() {
+        slots[slot] = Some(result);
+    }
+    let mut refined = Vec::with_capacity(finalists.len());
+    for slot in slots {
+        refined.push(slot.expect("every finalist slot was claimed")?);
+    }
+    // `refined` is in finalist order here, so pairing with `finalists`
+    // recovers each result's setup for the objective re-evaluation.
+    let mut keyed: Vec<(f64, RefinedResult)> = refined
+        .into_iter()
+        .zip(finalists)
+        .map(|(r, f)| {
+            let key = refined_key(f, r.ranking_makespan().as_secs_f64(), opts);
+            (key, r)
+        })
+        .collect();
+    keyed.sort_by(|a, b| objective_key_cmp(a.0, b.0).then_with(|| a.1.index.cmp(&b.1.index)));
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Lowers and executes one finalist: zero-jitter simulation, then the
+/// optional jitter-replica pass.
+fn refine_one<C>(
+    finalist: &CandidateResult,
+    opts: &SearchOptions,
+    lookup: &LookupCostModel<C>,
+) -> Result<RefinedResult, SearchError>
+where
+    C: CostModel,
+{
+    let fail = |detail: String| SearchError::Refinement {
+        candidate: finalist.label.clone(),
+        detail,
+    };
+    let setup = &finalist.setup;
+    let job = lower(setup).map_err(|e| fail(format!("lowering: {e}")))?;
+    let overheads = HostOverheads::default();
+
+    let out = execute(&job, lookup, &overheads, &JitterModel::none(), 0)
+        .map_err(|e| fail(format!("engine: {e}")))?;
+    let simulated =
+        adjusted_makespan(&finalist.candidate, setup, out.makespan, &out.trace).map_err(fail)?;
+
+    let jitter = if opts.jitter_replicas > 0 {
+        let model = JitterModel::realistic(opts.jitter_seed);
+        let mut iterations = Vec::with_capacity(opts.jitter_replicas as usize);
+        for replica in 0..opts.jitter_replicas {
+            let jittered = execute(&job, lookup, &overheads, &model, replica as u64)
+                .map_err(|e| fail(format!("engine (jitter replica {replica}): {e}")))?;
+            iterations.push(
+                adjusted_makespan(
+                    &finalist.candidate,
+                    setup,
+                    jittered.makespan,
+                    &jittered.trace,
+                )
+                .map_err(fail)?,
+            );
+        }
+        let stats = MeasuredStats { iterations };
+        let (mean, p95) = (stats.mean(), stats.p95());
+        let stability = if p95.is_zero() {
+            1.0
+        } else {
+            (mean.as_secs_f64() / p95.as_secs_f64()).min(1.0)
+        };
+        Some(JitterStats {
+            replicas: opts.jitter_replicas,
+            mean,
+            p95,
+            stability,
+        })
+    } else {
+        None
+    };
+
+    let analytic = finalist.makespan;
+    let delta = if analytic.is_zero() {
+        0.0
+    } else {
+        (simulated.as_secs_f64() - analytic.as_secs_f64()) / analytic.as_secs_f64()
+    };
+    Ok(RefinedResult {
+        candidate: finalist.candidate,
+        label: finalist.label.clone(),
+        index: finalist.index,
+        analytic_makespan: analytic,
+        simulated_makespan: simulated,
+        delta,
+        jitter,
+    })
+}
+
+/// Applies phase one's interleaving adjustment to an engine-simulated
+/// plain-1F1B makespan, so analytic and simulated estimates stay
+/// directly comparable for `interleave > 1` candidates.
+fn adjusted_makespan(
+    cand: &Candidate,
+    setup: &TrainingSetup,
+    simulated: Dur,
+    trace: &ClusterTrace,
+) -> Result<Dur, String> {
+    if cand.interleave <= 1 {
+        return Ok(simulated);
+    }
+    let pp = setup.parallelism.pp;
+    let m = setup.batch.num_microbatches;
+    let plain = PipelineSchedule::generate(setup.schedule, pp, m)
+        .map_err(|e| format!("schedule: {e}"))?
+        .bubble_fraction();
+    let inter = InterleavedSchedule::generate(pp, cand.interleave, m)
+        .map_err(|e| format!("interleaved schedule: {e}"))?;
+    let bi = inter.bubble_fraction();
+    if bi >= 1.0 || bi.is_nan() || plain >= 1.0 {
+        // Phase one rejects such candidates before they can become
+        // finalists; fall back to the unadjusted simulation if one
+        // slips through via a hand-built result list.
+        return Ok(simulated);
+    }
+    Ok(interleave_adjust(simulated, plain, &inter, trace))
+}

@@ -10,6 +10,7 @@
 
 use crate::evaluate::{CandidateResult, RejectedCandidate};
 use crate::prune::{MemoStats, PruneStats, PrunedCandidate};
+use crate::refine::RefinedResult;
 use lumos_trace::Dur;
 use std::cmp::Ordering;
 use std::fmt;
@@ -120,6 +121,14 @@ pub struct SearchReport {
     pub memo: MemoStats,
     /// Worker threads used.
     pub threads: usize,
+    /// Simulation-refined finals ([`crate::SearchOptions::refine_sim`]):
+    /// the analytic finals re-ranked by the search objective
+    /// re-evaluated at the engine-simulated makespan, with
+    /// per-finalist analytic-vs-simulated deltas and optional
+    /// jitter-robustness statistics. `None` when refinement was off.
+    /// When present, the refined prefix of [`SearchReport::results`]
+    /// is reordered to match.
+    pub refined: Option<Vec<RefinedResult>>,
 }
 
 impl SearchReport {
@@ -213,6 +222,57 @@ impl SearchReport {
                 "({} candidates rejected during scoring; first: {} — {})",
                 s.infeasible, self.rejected[0].label, self.rejected[0].reason
             );
+        }
+        if let Some(refined) = &self.refined {
+            let _ = writeln!(out);
+            let with_jitter = refined.iter().any(|r| r.jitter.is_some());
+            let _ = writeln!(
+                out,
+                "simulation-refined finals (re-ranked by {} at the engine-simulated {}):",
+                self.objective,
+                if with_jitter {
+                    "mean makespan over jitter replicas"
+                } else {
+                    "makespan"
+                }
+            );
+            let _ = write!(
+                out,
+                "{:>4}  {:<22} {:>13} {:>13} {:>8}",
+                "rank", "candidate", "analytic (ms)", "simulated (ms)", "delta"
+            );
+            if with_jitter {
+                let _ = write!(
+                    out,
+                    " {:>11} {:>11} {:>10}",
+                    "mean (ms)", "p95 (ms)", "stability"
+                );
+            }
+            let _ = writeln!(out);
+            for (i, r) in refined.iter().take(k).enumerate() {
+                let _ = write!(
+                    out,
+                    "{:>4}  {:<22} {:>13.2} {:>13.2} {:>+7.1}%",
+                    i + 1,
+                    r.label,
+                    r.analytic_makespan.as_ms_f64(),
+                    r.simulated_makespan.as_ms_f64(),
+                    r.delta * 100.0,
+                );
+                if let Some(j) = &r.jitter {
+                    let _ = write!(
+                        out,
+                        " {:>11.2} {:>11.2} {:>10.3}",
+                        j.mean.as_ms_f64(),
+                        j.p95.as_ms_f64(),
+                        j.stability,
+                    );
+                }
+                let _ = writeln!(out);
+            }
+            if refined.is_empty() {
+                let _ = writeln!(out, "      (no finalists to refine)");
+            }
         }
         out
     }

@@ -97,10 +97,44 @@ fn event_to_chrome(rank: RankId, e: &TraceEvent, opts: &ChromeTraceOptions) -> C
     }
 }
 
-fn chrome_to_event(c: &ChromeEvent, index: usize) -> Result<(RankId, TraceEvent), TraceError> {
-    let ts = Ts((c.ts * 1_000.0).round() as u64);
-    let dur = Dur::from_us_f64(c.dur);
-    let rank = RankId(c.pid as u32);
+/// Checked microseconds → nanoseconds conversion: rejects non-finite,
+/// negative, and u64-overflowing values instead of silently saturating
+/// (`as u64` collapses negative Kineto timestamps to 0 and wraps huge
+/// ones, corrupting every downstream interval).
+fn ns_from_us(us: f64, field: &'static str, index: usize) -> Result<u64, TraceError> {
+    let ns = (us * 1_000.0).round();
+    if !ns.is_finite() || ns < 0.0 || ns >= u64::MAX as f64 {
+        return Err(TraceError::MalformedChromeEvent { field, index });
+    }
+    Ok(ns as u64)
+}
+
+/// Checked 64-bit → 32-bit id conversion for pid/tid/stream fields.
+fn id32(value: u64, field: &'static str, index: usize) -> Result<u32, TraceError> {
+    u32::try_from(value).map_err(|_| TraceError::MalformedChromeEvent { field, index })
+}
+
+/// Converts one Chrome event. `base_us` is the document's timestamp
+/// origin (the minimum `ts` when that minimum is negative, else 0):
+/// subtracting it normalizes traces whose clock starts below zero
+/// without disturbing already-normalized documents.
+fn chrome_to_event(
+    c: &ChromeEvent,
+    index: usize,
+    base_us: f64,
+) -> Result<(RankId, TraceEvent), TraceError> {
+    if !c.ts.is_finite() {
+        return Err(TraceError::MalformedChromeEvent { field: "ts", index });
+    }
+    let ts = Ts(ns_from_us(c.ts - base_us, "ts", index)?);
+    if !c.dur.is_finite() || c.dur < 0.0 {
+        return Err(TraceError::MalformedChromeEvent {
+            field: "dur",
+            index,
+        });
+    }
+    let dur = Dur(ns_from_us(c.dur, "dur", index)?);
+    let rank = RankId(id32(c.pid, "pid", index)?);
     let correlation = c
         .args
         .as_ref()
@@ -110,10 +144,10 @@ fn chrome_to_event(c: &ChromeEvent, index: usize) -> Result<(RankId, TraceEvent)
 
     let kind = match c.cat.as_str() {
         CAT_CPU_OP => EventKind::CpuOp {
-            tid: ThreadId(c.tid as u32),
+            tid: ThreadId(id32(c.tid, "tid", index)?),
         },
         CAT_ANNOTATION => EventKind::UserAnnotation {
-            tid: ThreadId(c.tid as u32),
+            tid: ThreadId(id32(c.tid, "tid", index)?),
         },
         CAT_RUNTIME => {
             let rt_kind = match c.args.as_ref().and_then(|a| a.get("lumos")) {
@@ -121,7 +155,7 @@ fn chrome_to_event(c: &ChromeEvent, index: usize) -> Result<(RankId, TraceEvent)
                 None => runtime_kind_from_name(&c.name),
             };
             EventKind::CudaRuntime {
-                tid: ThreadId(c.tid as u32),
+                tid: ThreadId(id32(c.tid, "tid", index)?),
                 kind: rt_kind,
                 correlation,
             }
@@ -132,13 +166,13 @@ fn chrome_to_event(c: &ChromeEvent, index: usize) -> Result<(RankId, TraceEvent)
                 .as_ref()
                 .and_then(|a| a.get("stream"))
                 .and_then(Value::as_u64)
-                .unwrap_or(c.tid) as u32;
+                .unwrap_or(c.tid);
             let class = match c.args.as_ref().and_then(|a| a.get("lumos")) {
                 Some(v) => serde_json::from_value(v.clone())?,
                 None => KernelClass::Other,
             };
             EventKind::Kernel {
-                stream: StreamId(stream),
+                stream: StreamId(id32(stream, "stream", index)?),
                 correlation,
                 class,
             }
@@ -214,15 +248,38 @@ pub fn to_chrome_json(trace: &ClusterTrace, opts: &ChromeTraceOptions) -> String
 ///
 /// Accepts both Lumos-written traces (lossless) and raw Kineto traces
 /// (kernel classes default to [`KernelClass::Other`], runtime kinds
-/// are inferred from API names).
+/// are inferred from API names). Documents whose minimum timestamp is
+/// negative — real Kineto clocks can start below the capture origin —
+/// are normalized by that minimum, preserving every inter-event
+/// interval; documents that already start at or above zero parse
+/// unchanged.
 ///
 /// # Errors
 ///
 /// Returns [`TraceError::Json`] on malformed JSON and
 /// [`TraceError::MalformedChromeEvent`] on events with unknown
-/// categories.
+/// categories, non-finite or overflowing `ts`/`dur`, or
+/// `pid`/`tid`/stream ids that do not fit the 32-bit rank/thread/
+/// stream id space.
 pub fn from_chrome_json(json_text: &str) -> Result<ClusterTrace, TraceError> {
     let doc: ChromeDocument = serde_json::from_str(json_text)?;
+    // Pass 1: the document's timestamp origin. Only a *negative*
+    // minimum shifts the trace (so well-formed documents round-trip
+    // bit-exactly); non-finite timestamps are reported with their
+    // event index.
+    let mut base_us = 0.0f64;
+    for (i, ce) in doc.trace_events.iter().enumerate() {
+        if ce.ph != "X" {
+            continue;
+        }
+        if !ce.ts.is_finite() {
+            return Err(TraceError::MalformedChromeEvent {
+                field: "ts",
+                index: i,
+            });
+        }
+        base_us = base_us.min(ce.ts);
+    }
     let mut cluster = ClusterTrace::new(doc.lumos_label.unwrap_or_default());
     let mut rank_order: Vec<RankId> = Vec::new();
     let mut per_rank: std::collections::HashMap<RankId, RankTrace> =
@@ -233,7 +290,7 @@ pub fn from_chrome_json(json_text: &str) -> Result<ClusterTrace, TraceError> {
         if ce.ph != "X" {
             continue;
         }
-        let (rank, event) = chrome_to_event(ce, i)?;
+        let (rank, event) = chrome_to_event(ce, i, base_us)?;
         per_rank
             .entry(rank)
             .or_insert_with(|| {
@@ -244,7 +301,9 @@ pub fn from_chrome_json(json_text: &str) -> Result<ClusterTrace, TraceError> {
     }
     rank_order.sort_unstable();
     for r in rank_order {
-        cluster.push_rank(per_rank.remove(&r).expect("rank recorded"));
+        if let Some(t) = per_rank.remove(&r) {
+            cluster.push_rank(t);
+        }
     }
     Ok(cluster)
 }
@@ -358,6 +417,90 @@ mod tests {
     }
 
     #[test]
+    fn negative_timestamps_normalize_to_document_origin() {
+        // Real Kineto clocks can start below zero; `ts as u64` used to
+        // collapse those events to 0. The document is shifted by its
+        // (negative) minimum so all intervals survive.
+        let json = r#"{"traceEvents":[
+            {"ph":"X","name":"early","cat":"cpu_op","ts":-50.0,"dur":5.0,"pid":0,"tid":1},
+            {"ph":"X","name":"late","cat":"cpu_op","ts":10.0,"dur":5.0,"pid":0,"tid":1}
+        ]}"#;
+        let parsed = from_chrome_json(json).expect("negative ts parses");
+        let t = parsed.rank(RankId(0)).unwrap();
+        let ts: Vec<Ts> = t.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![Ts(0), Ts(60_000)]); // 60 us apart, origin at 0
+        assert!(t.events().iter().all(|e| e.dur == Dur(5_000)));
+    }
+
+    #[test]
+    fn non_negative_documents_are_not_shifted() {
+        let json = r#"{"traceEvents":[
+            {"ph":"X","name":"op","cat":"cpu_op","ts":10.0,"dur":1.0,"pid":0,"tid":1}
+        ]}"#;
+        let parsed = from_chrome_json(json).unwrap();
+        assert_eq!(parsed.rank(RankId(0)).unwrap().events()[0].ts, Ts(10_000));
+    }
+
+    #[test]
+    fn overflowing_ids_are_typed_errors() {
+        // pid / tid / stream beyond u32 must not wrap via `as u32`.
+        for (json, field) in [
+            (
+                r#"{"traceEvents":[{"ph":"X","name":"x","cat":"cpu_op","ts":0,"dur":1,"pid":4294967296,"tid":0}]}"#,
+                "pid",
+            ),
+            (
+                r#"{"traceEvents":[{"ph":"X","name":"x","cat":"cpu_op","ts":0,"dur":1,"pid":0,"tid":4294967296}]}"#,
+                "tid",
+            ),
+            (
+                r#"{"traceEvents":[{"ph":"X","name":"k","cat":"kernel","ts":0,"dur":1,"pid":0,"tid":0,"args":{"stream":4294967296}}]}"#,
+                "stream",
+            ),
+            (
+                // Stream falls back to tid when args are missing; the
+                // fallback must be checked too.
+                r#"{"traceEvents":[{"ph":"X","name":"k","cat":"kernel","ts":0,"dur":1,"pid":0,"tid":4294967296}]}"#,
+                "stream",
+            ),
+        ] {
+            match from_chrome_json(json) {
+                Err(TraceError::MalformedChromeEvent { field: f, index: 0 }) => {
+                    assert_eq!(f, field, "wrong field for {json}")
+                }
+                other => panic!("expected MalformedChromeEvent({field}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn overflowing_and_negative_times_are_typed_errors() {
+        // 1e18 us = 1e21 ns overflows u64; negative dur is nonsense
+        // for a complete ("X") event.
+        for (json, field) in [
+            (
+                r#"{"traceEvents":[{"ph":"X","name":"x","cat":"cpu_op","ts":1e18,"dur":1,"pid":0,"tid":0}]}"#,
+                "ts",
+            ),
+            (
+                r#"{"traceEvents":[{"ph":"X","name":"x","cat":"cpu_op","ts":0,"dur":-3.0,"pid":0,"tid":0}]}"#,
+                "dur",
+            ),
+            (
+                r#"{"traceEvents":[{"ph":"X","name":"x","cat":"cpu_op","ts":0,"dur":1e18,"pid":0,"tid":0}]}"#,
+                "dur",
+            ),
+        ] {
+            match from_chrome_json(json) {
+                Err(TraceError::MalformedChromeEvent { field: f, .. }) => {
+                    assert_eq!(f, field, "wrong field for {json}")
+                }
+                other => panic!("expected MalformedChromeEvent({field}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn runtime_name_inference() {
         assert_eq!(
             runtime_kind_from_name("cudaLaunchKernel"),
@@ -413,6 +556,67 @@ mod proptests {
     }
 
     proptest! {
+        /// Raw Kineto-style ingestion (no lumos args) over adversarial
+        /// inputs: negative timestamps, ids beyond u32, missing args.
+        /// Parsing must never panic; in-range documents preserve every
+        /// interval relative to the (possibly negative) document
+        /// origin, out-of-range ids fail with a typed error.
+        #[test]
+        fn raw_ingestion_is_panic_free_and_interval_preserving(
+            events in proptest::collection::vec(
+                (
+                    -1_000_000i64..1_000_000,
+                    0u64..10_000,
+                    proptest::prelude::prop_oneof![0u64..16, Just(u32::MAX as u64 + 7)],
+                    0u8..3,
+                    proptest::bool::ANY,
+                ),
+                1..40,
+            )
+        ) {
+            let mut json_events = Vec::new();
+            for &(ts, dur, id, kind, with_args) in &events {
+                let (cat, name) = match kind {
+                    0 => ("cpu_op", "aten::mm"),
+                    1 => ("cuda_runtime", "cudaLaunchKernel"),
+                    _ => ("kernel", "volta_sgemm"),
+                };
+                let mut ev = json!({
+                    "ph": "X", "name": name, "cat": cat,
+                    "ts": ts as f64, "dur": dur as f64,
+                    "pid": 0, "tid": id,
+                });
+                if with_args {
+                    ev["args"] = json!({ "correlation": 1 });
+                }
+                json_events.push(ev);
+            }
+            let doc = serde_json::to_string(&json!({ "traceEvents": json_events }))
+                .expect("document serializes");
+            let any_big = events.iter().any(|&(_, _, id, _, _)| id > u32::MAX as u64);
+            match from_chrome_json(&doc) {
+                Ok(trace) => {
+                    prop_assert!(!any_big, "oversized id must not parse");
+                    let parsed = trace.rank(RankId(0)).unwrap();
+                    prop_assert_eq!(parsed.len(), events.len());
+                    let origin = events.iter().map(|e| e.0).min().unwrap().min(0);
+                    for (e, &(ts, dur, _, _, _)) in parsed.events().iter().zip(&events) {
+                        prop_assert_eq!(e.ts.as_ns(), (ts - origin) as u64 * 1_000);
+                        prop_assert_eq!(e.dur.as_ns(), dur * 1_000);
+                    }
+                }
+                Err(TraceError::MalformedChromeEvent { field, .. }) => {
+                    prop_assert!(any_big, "spurious malformed-event error on `{}`", field);
+                    prop_assert!(field == "tid" || field == "stream");
+                }
+                Err(e) => {
+                    return Err(proptest::test_runner::TestCaseError::fail(
+                        format!("unexpected error kind: {e}"),
+                    ));
+                }
+            }
+        }
+
         #[test]
         fn chrome_round_trip(events in proptest::collection::vec(arb_event(), 0..50)) {
             let mut t = RankTrace::new(0);

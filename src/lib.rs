@@ -25,8 +25,11 @@
 //! * [`search`] — the parallel what-if configuration-search engine:
 //!   space descriptors, streaming enumeration, memory-feasibility
 //!   pre-pruning, memoized stage costs with analytic lower-bound
-//!   skipping, and bounded top-k reports over million-candidate
-//!   spaces with NaN-safe ranking and typed infeasibility reasons.
+//!   skipping, bounded top-k reports over million-candidate spaces
+//!   with NaN-safe ranking and typed infeasibility reasons, and an
+//!   optional second phase that executes the finals through the
+//!   discrete-event engine (simulation-refined re-ranking with
+//!   analytic-vs-simulated deltas and jitter-robustness statistics).
 //!
 //! A command-line interface over the same workflow ships as the
 //! `lumos` binary in the `lumos-cli` crate.
