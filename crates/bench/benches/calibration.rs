@@ -1,0 +1,129 @@
+//! Calibrate-once economics: what a query pays on startup.
+//!
+//! `full_refit` is the fit-on-the-fly path every subcommand used to
+//! take per invocation — parse the Chrome-trace JSON, fit the lookup
+//! tables, extract the block library. `artifact_load` is the
+//! calibrate-once path: parse + validate a `lumos calibrate` artifact
+//! (version check, digest re-hash included). The gap between the two
+//! is the per-query saving of the artifact workflow; `search_query`
+//! then shows a whole repeated search (the sweep-example space)
+//! against a preloaded calibration versus fitting from the trace
+//! each time.
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos_calib::CalibrationArtifact;
+use lumos_cluster::{GroundTruthCluster, JitterModel, SimConfig};
+use lumos_core::manipulate::BlockLibrary;
+use lumos_cost::{AnalyticalCostModel, LookupTables};
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+use lumos_search::{search, search_calibrated, SearchCalibration, SearchOptions, SpecFile};
+use lumos_trace::{from_chrome_json, to_chrome_json, ChromeTraceOptions, ClusterTrace};
+
+fn profile(cfg: &SimConfig) -> ClusterTrace {
+    GroundTruthCluster::new(cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .with_jitter(JitterModel::realistic(2025))
+        .profile_iteration(0)
+        .unwrap()
+        .trace
+}
+
+/// The sweep example's documented base: `lumos synth --model 15b
+/// --tp 2 --pp 2 --dp 1` (examples/spaces/sweep.toml header).
+fn sweep_base() -> (SimConfig, ClusterTrace) {
+    let cfg = SimConfig {
+        model: ModelConfig::gpt3_15b(),
+        parallelism: Parallelism::new(2, 2, 1).unwrap(),
+        batch: BatchConfig {
+            seq_len: 2048,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = profile(&cfg);
+    (cfg, trace)
+}
+
+/// A small synthetic model for the end-to-end repeated-search bench
+/// (the 15B base would make each search iteration minutes long).
+fn toy_base() -> (SimConfig, ClusterTrace) {
+    let cfg = SimConfig {
+        model: ModelConfig::custom("bench-calib", 8, 1024, 4096, 8, 128),
+        parallelism: Parallelism::new(2, 2, 1).unwrap(),
+        batch: BatchConfig {
+            seq_len: 512,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = profile(&cfg);
+    (cfg, trace)
+}
+
+/// The sweep example's space (examples/spaces/sweep.toml), capped to
+/// a bench-sized GPU budget.
+fn sweep_space() -> SpecFile {
+    let text = include_str!("../../../examples/spaces/sweep.toml");
+    let mut file = SpecFile::parse(text).expect("sweep example parses");
+    file.space.max_gpus = 16;
+    file
+}
+
+fn bench_startup(c: &mut Criterion) {
+    let (cfg, trace) = sweep_base();
+    let chrome_json = to_chrome_json(&trace, &ChromeTraceOptions::default());
+    let artifact = CalibrationArtifact::calibrate(&trace, &cfg, "h100", 8).unwrap();
+    let artifact_json = artifact.to_json();
+
+    let mut group = c.benchmark_group("calibration_startup");
+    group.sample_size(10);
+    group.bench_function("full_refit", |b| {
+        b.iter(|| {
+            let trace = from_chrome_json(&chrome_json).unwrap();
+            let tables = LookupTables::fit_from_trace(&trace, 8);
+            let library = BlockLibrary::extract(&trace, cfg.parallelism).unwrap();
+            (tables.compute_entries(), library.len())
+        })
+    });
+    group.bench_function("artifact_load", |b| {
+        b.iter(|| {
+            let artifact = CalibrationArtifact::from_json(&artifact_json).unwrap();
+            (artifact.tables.compute_entries(), artifact.library.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_repeated_queries(c: &mut Criterion) {
+    let (cfg, trace) = toy_base();
+    let file = sweep_space();
+    let opts = SearchOptions {
+        top_k: Some(5),
+        ..SearchOptions::default()
+    };
+    let artifact = CalibrationArtifact::calibrate(&trace, &cfg, "h100", 8).unwrap();
+    let calib = SearchCalibration::from_artifact(&artifact, AnalyticalCostModel::h100());
+
+    let mut group = c.benchmark_group("search_query");
+    group.sample_size(10);
+    group.bench_function("fit_per_query", |b| {
+        b.iter(|| {
+            search(
+                &trace,
+                &cfg,
+                &file.space,
+                &opts,
+                AnalyticalCostModel::h100(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("shared_calibration", |b| {
+        b.iter(|| search_calibrated(&calib, &file.space, &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_startup, bench_repeated_queries);
+criterion_main!(benches);

@@ -10,11 +10,10 @@ use lumos_model::ModelConfig;
 fn main() {
     let filter = std::env::args().nth(1);
     let models: Vec<ModelConfig> = match filter.as_deref() {
-        Some("15b") => vec![ModelConfig::gpt3_15b()],
-        Some("44b") => vec![ModelConfig::gpt3_44b()],
-        Some("117b") => vec![ModelConfig::gpt3_117b()],
-        Some("175b") => vec![ModelConfig::gpt3_175b()],
-        _ => ModelConfig::table1(),
+        // Shared preset resolver — the same names `lumos synth
+        // --model` accepts.
+        Some(name) => vec![or_exit(ModelConfig::from_preset(name))],
+        None => ModelConfig::table1(),
     };
     let opts = RunOptions::default();
     let mut progress = |s: &str| eprintln!("[fig5] {s}");

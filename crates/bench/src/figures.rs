@@ -1,7 +1,9 @@
 //! One function per paper artifact, shared by the per-figure binaries
 //! and the `experiments` master binary.
 
-use crate::harness::{predict_from, profile_config, replay_experiment, RunOptions};
+use crate::harness::{
+    predict_from_calibrated, profile_calibrated, profile_config, replay_experiment, RunOptions,
+};
 use crate::paper::{self, PaperError};
 use crate::table::{breakdown_cells, ms, pct, TextTable};
 use lumos_core::manipulate::Transform;
@@ -222,7 +224,9 @@ pub fn fig6(opts: &RunOptions, progress: Progress) -> Result<(TextTable, String)
 pub fn fig7(part: char, opts: &RunOptions, progress: Progress) -> Result<TextTable, PaperError> {
     let base = paper::fig7_base(opts.microbatches)?;
     progress(&format!("fig7{part}: profiling base {}", base.label()));
-    let profiled = profile_config(&base, opts);
+    // Memoized: parts a/b/c (and Figure 8 / the extension studies)
+    // share one profiled trace and one fitted calibration artifact.
+    let calibrated = profile_calibrated(&base, opts);
     let targets = match part {
         'a' => paper::fig7a_targets(),
         'b' => paper::fig7b_targets(),
@@ -239,7 +243,7 @@ pub fn fig7(part: char, opts: &RunOptions, progress: Progress) -> Result<TextTab
     ]);
     for (label, transforms) in targets {
         progress(&format!("fig7{part}: predicting {label}"));
-        let row = predict_from(&profiled.output.trace, &base, label, &transforms, opts);
+        let row = predict_from_calibrated(&calibrated, label, &transforms, opts);
         t.row(vec![
             row.label.clone(),
             ms(row.predicted),
@@ -341,7 +345,7 @@ pub fn extension_transforms(
 ) -> Result<TextTable, PaperError> {
     let base = paper::fig7_base(opts.microbatches)?;
     progress(&format!("extensions: profiling base {}", base.label()));
-    let profiled = profile_config(&base, opts);
+    let calibrated = profile_calibrated(&base, opts);
     let targets: Vec<(&str, Vec<Transform>)> = vec![
         ("tp 2→4 (4x2x4)", vec![Transform::TensorParallel { tp: 4 }]),
         (
@@ -371,7 +375,7 @@ pub fn extension_transforms(
     ]);
     for (label, transforms) in targets {
         progress(&format!("extensions: predicting {label}"));
-        let row = predict_from(&profiled.output.trace, &base, label, &transforms, opts);
+        let row = predict_from_calibrated(&calibrated, label, &transforms, opts);
         t.row(vec![
             row.label.clone(),
             ms(row.predicted),
@@ -393,7 +397,7 @@ pub fn extension_transforms(
 pub fn fig8(opts: &RunOptions, progress: Progress) -> Result<TextTable, PaperError> {
     let base = paper::fig7_base(opts.microbatches)?;
     progress(&format!("fig8: profiling base {}", base.label()));
-    let profiled = profile_config(&base, opts);
+    let calibrated = profile_calibrated(&base, opts);
     let mut t = TextTable::new(&[
         "variant",
         "predicted (ms)",
@@ -404,7 +408,7 @@ pub fn fig8(opts: &RunOptions, progress: Progress) -> Result<TextTable, PaperErr
     ]);
     for (label, transforms) in paper::fig8_targets() {
         progress(&format!("fig8: predicting {label}"));
-        let row = predict_from(&profiled.output.trace, &base, label, &transforms, opts);
+        let row = predict_from_calibrated(&calibrated, label, &transforms, opts);
         t.row(vec![
             row.label.clone(),
             ms(row.predicted),

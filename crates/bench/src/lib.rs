@@ -29,8 +29,8 @@ pub mod paper;
 pub mod table;
 
 pub use harness::{
-    measure_actual, predict_from, profile_config, replay_experiment, ConfigResult,
-    PredictionResult, RunOptions,
+    measure_actual, predict_from, predict_from_calibrated, profile_calibrated, profile_config,
+    replay_experiment, CalibratedBase, ConfigResult, PredictionResult, RunOptions,
 };
 pub use paper::PaperError;
 

@@ -1,0 +1,128 @@
+//! Typed failures of calibration-artifact construction and loading.
+
+use std::fmt;
+
+/// Anything that can go wrong creating, persisting, or validating a
+/// calibration artifact. Every file-touching variant names the path.
+#[derive(Debug)]
+pub enum CalibError {
+    /// Filesystem failure, with the offending path.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+    /// The artifact document failed to parse or deserialize.
+    Parse {
+        /// The file it came from (`None` for in-memory documents).
+        path: Option<String>,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The artifact was written by an incompatible format version.
+    VersionMismatch {
+        /// The version found in the document.
+        found: u32,
+        /// The version this build understands.
+        expected: u32,
+    },
+    /// The stored content digest does not match the loaded payload
+    /// (corruption or hand-editing of any artifact field).
+    DigestMismatch {
+        /// Digest recorded in the artifact.
+        stored: u64,
+        /// Digest of the content actually loaded.
+        computed: u64,
+    },
+    /// The artifact was calibrated from a different trace than the
+    /// one it is being used against.
+    FingerprintMismatch {
+        /// Which fingerprint field differed first.
+        field: &'static str,
+        /// The artifact's value.
+        artifact: String,
+        /// The trace's value.
+        trace: String,
+    },
+    /// Block extraction failed while calibrating.
+    Extraction {
+        /// The underlying extraction failure.
+        source: lumos_core::CoreError,
+    },
+}
+
+impl fmt::Display for CalibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibError::Io { path, source } => write!(f, "`{path}`: {source}"),
+            CalibError::Parse {
+                path: Some(p),
+                detail,
+            } => {
+                write!(f, "`{p}`: invalid calibration artifact: {detail}")
+            }
+            CalibError::Parse { path: None, detail } => {
+                write!(f, "invalid calibration artifact: {detail}")
+            }
+            CalibError::VersionMismatch { found, expected } => write!(
+                f,
+                "calibration artifact version {found} is not supported (this build \
+                 reads version {expected}; re-run `lumos calibrate` on the source trace)"
+            ),
+            CalibError::DigestMismatch { stored, computed } => write!(
+                f,
+                "calibration artifact is corrupt: content digest \
+                 {computed:#018x} does not match stored {stored:#018x}"
+            ),
+            CalibError::FingerprintMismatch {
+                field,
+                artifact,
+                trace,
+            } => write!(
+                f,
+                "calibration artifact does not match this trace: {field} differs \
+                 (artifact: {artifact}, trace: {trace})"
+            ),
+            CalibError::Extraction { source } => write!(f, "block extraction: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibError::Io { source, .. } => Some(source),
+            CalibError::Extraction { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_paths_and_fields() {
+        let e = CalibError::Io {
+            path: "x.json".into(),
+            source: std::io::Error::other("boom"),
+        };
+        assert!(e.to_string().contains("x.json"));
+        assert!(e.to_string().contains("boom"));
+
+        let e = CalibError::VersionMismatch {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains('9'));
+
+        let e = CalibError::FingerprintMismatch {
+            field: "event count",
+            artifact: "10".into(),
+            trace: "12".into(),
+        };
+        assert!(e.to_string().contains("event count"));
+    }
+}

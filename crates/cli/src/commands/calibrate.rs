@@ -1,0 +1,88 @@
+//! `lumos calibrate` — fit the lookup cost tables and reassembly
+//! block library from a profiled trace once, and persist them as a
+//! versioned calibration artifact. Every query subcommand (`predict`,
+//! `search`, `replay`, `mfu`) accepts the artifact via `--calib` and
+//! then answers without re-ingesting the trace.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::common::{load_setup, load_trace, ms, sidecar_path};
+use crate::error::CliError;
+use lumos_calib::CalibrationArtifact;
+use std::io::Write;
+
+/// Options of `lumos calibrate`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["setup", "out", "gpus-per-node", "hardware"],
+    flags: &[],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos calibrate <trace.json> --out <artifact.json>\n\
+    [--setup setup.json] [--gpus-per-node N] [--hardware h100|a100]\n\
+  Fits the full calibration from one profiled trace — the lookup cost\n\
+  tables (every kernel observation) and the reassembly block library\n\
+  (every annotation range) — and writes a versioned artifact bundling\n\
+  them with the base setup, the hardware preset for unseen-shape\n\
+  fallback costs, and a trace fingerprint. Pass the artifact to\n\
+  predict/search/replay/mfu via --calib to answer what-if queries\n\
+  without re-parsing or re-fitting the trace; with the defaults\n\
+  (--hardware h100, --gpus-per-node 8) results are byte-identical to\n\
+  the fit-on-the-fly paths, while other values deliberately change\n\
+  the fallback pricing / collective-topology classification. The\n\
+  setup sidecar defaults to <trace>.setup.json.";
+
+/// Runs `lumos calibrate`.
+///
+/// # Errors
+///
+/// Returns usage, I/O, parse, and extraction failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.one_positional("trace file")?;
+    let out_path = args.require("out")?;
+    let setup_path = match args.get("setup") {
+        Some(p) => p.to_string(),
+        None => sidecar_path(path),
+    };
+    let hardware = match args.get("hardware").unwrap_or("h100") {
+        hw @ ("h100" | "a100") => hw,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown hardware preset `{other}` (expected h100 or a100)"
+            )))
+        }
+    };
+    let gpus_per_node = args.get_num("gpus-per-node", 8u32)?;
+    if gpus_per_node == 0 {
+        return Err(CliError::Usage(
+            "--gpus-per-node must be at least 1".to_string(),
+        ));
+    }
+
+    let setup = load_setup(&setup_path)?;
+    let trace = load_trace(path)?;
+    let artifact = CalibrationArtifact::calibrate(&trace, &setup, hardware, gpus_per_node)?;
+    artifact.save(out_path)?;
+
+    writeln!(out, "calibrated {}", setup.label())?;
+    writeln!(
+        out,
+        "trace:      {} events / {} ranks / {}",
+        artifact.fingerprint.events,
+        artifact.fingerprint.ranks,
+        ms(artifact.fingerprint.makespan)
+    )?;
+    writeln!(
+        out,
+        "tables:     {} compute shapes, {} collective keys",
+        artifact.tables.compute_entries(),
+        artifact.tables.collective_entries()
+    )?;
+    writeln!(out, "library:    {} blocks", artifact.library.len())?;
+    writeln!(
+        out,
+        "hardware:   {} (digest {:#018x})",
+        artifact.hardware, artifact.digest
+    )?;
+    writeln!(out, "artifact:   {out_path}")?;
+    Ok(())
+}

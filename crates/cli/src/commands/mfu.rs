@@ -3,7 +3,7 @@
 //! feasibility for a profiled (or hypothetical) configuration.
 
 use crate::args::{ArgSet, ArgSpec};
-use crate::common::{load_setup, load_trace, sidecar_path};
+use crate::common::{calibrated_input, load_setup, load_trace, sidecar_path};
 use crate::error::CliError;
 use lumos_cost::GpuSpec;
 use lumos_model::memory::{MemoryModel, OptimizerPlacement, Recompute};
@@ -12,17 +12,20 @@ use std::io::Write;
 
 /// Options of `lumos mfu`.
 pub const SPEC: ArgSpec = ArgSpec {
-    options: &["setup", "time-ms", "recompute", "gpu"],
+    options: &["setup", "calib", "time-ms", "recompute", "gpu"],
     flags: &["distributed-optimizer"],
 };
 
 /// Usage text.
-pub const HELP: &str = "lumos mfu <trace.json> [--setup setup.json] [--time-ms N]\n\
-    [--recompute none|selective|full] [--gpu h100|a100]\n\
+pub const HELP: &str = "lumos mfu <trace.json> [--setup setup.json] [--calib artifact.json]\n\
+    [--time-ms N] [--recompute none|selective|full] [--gpu h100|a100]\n\
     [--distributed-optimizer]\n\
   Reports MFU/HFU and the per-rank memory estimate for the traced\n\
   configuration. --time-ms overrides the trace makespan (e.g. a\n\
-  measured mean across iterations).";
+  measured mean across iterations). With --calib the trace file is\n\
+  optional: the artifact supplies the setup and recorded makespan\n\
+  without re-ingesting the trace (one given alongside is only\n\
+  fingerprint-checked).";
 
 fn parse_recompute(raw: &str) -> Result<Recompute, CliError> {
     Ok(match raw {
@@ -55,18 +58,36 @@ fn parse_gpu(raw: &str) -> Result<GpuSpec, CliError> {
 ///
 /// Returns usage, I/O, and parse failures.
 pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
-    let path = args.one_positional("trace file")?;
-    let setup_path = match args.get("setup") {
-        Some(p) => p.to_string(),
-        None => sidecar_path(path),
-    };
-    let setup = load_setup(&setup_path)?;
     let recompute = parse_recompute(args.get("recompute").unwrap_or("selective"))?;
-    let gpu = parse_gpu(args.get("gpu").unwrap_or("h100"))?;
-    let time_secs = match args.get_num_opt::<f64>("time-ms")? {
-        Some(ms) if ms > 0.0 => ms / 1e3,
+    let calibrated = calibrated_input(args, &["setup"])?;
+    // --gpu default: the calibration's recorded hardware preset when
+    // one supplies the numbers, H100 otherwise.
+    let default_gpu = calibrated
+        .as_ref()
+        .map_or("h100", |ci| ci.artifact.hardware.as_str());
+    let gpu = parse_gpu(args.get("gpu").unwrap_or(default_gpu))?;
+    let time_override = match args.get_num_opt::<f64>("time-ms")? {
+        Some(ms) if ms > 0.0 => Some(ms / 1e3),
         Some(_) => return Err(CliError::Usage("--time-ms must be positive".to_string())),
-        None => load_trace(path)?.makespan().as_secs_f64(),
+        None => None,
+    };
+    // Calibrated path: setup and makespan come from the artifact; a
+    // trace positional is only fingerprint-checked.
+    let (setup, time_secs) = if let Some(ci) = calibrated {
+        let secs = time_override.unwrap_or_else(|| ci.artifact.fingerprint.makespan.as_secs_f64());
+        (ci.artifact.setup, secs)
+    } else {
+        let path = args.one_positional("trace file")?;
+        let setup_path = match args.get("setup") {
+            Some(p) => p.to_string(),
+            None => sidecar_path(path),
+        };
+        let setup = load_setup(&setup_path)?;
+        let secs = match time_override {
+            Some(secs) => secs,
+            None => load_trace(path)?.makespan().as_secs_f64(),
+        };
+        (setup, secs)
     };
 
     let flops = iteration_flops(&setup, recompute);

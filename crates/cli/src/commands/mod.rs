@@ -1,6 +1,7 @@
 //! One module per subcommand. Each exposes an [`crate::args::ArgSpec`]
 //! and a `run(&ArgSet, &mut dyn Write)` entry point.
 
+pub mod calibrate;
 pub mod critical;
 pub mod info;
 pub mod mfu;

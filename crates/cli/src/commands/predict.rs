@@ -3,7 +3,7 @@
 //! through simulation, without touching hardware.
 
 use crate::args::{ArgSet, ArgSpec};
-use crate::common::{load_setup, load_trace, ms, save_trace, sidecar_path};
+use crate::common::{calibrated_input, load_setup, load_trace, ms, save_trace, sidecar_path};
 use crate::error::CliError;
 use lumos_core::manipulate::Transform;
 use lumos_core::Lumos;
@@ -15,6 +15,7 @@ use std::io::Write;
 pub const SPEC: ArgSpec = ArgSpec {
     options: &[
         "setup",
+        "calib",
         "dp",
         "pp",
         "tp",
@@ -33,12 +34,18 @@ pub const SPEC: ArgSpec = ArgSpec {
 
 /// Usage text.
 pub const HELP: &str = "lumos predict <trace.json> [--setup setup.json]\n\
+    [--calib artifact.json]\n\
     [--dp N] [--pp N] [--tp N] [--layers N] [--hidden N --ffn N]\n\
     [--seq N] [--microbatches N]\n\
     [--scale-gemms F] [--scale-comms F] [--scale-host F]\n\
     [--out predicted.json]\n\
   Manipulates the execution graph for the requested configuration\n\
   changes (§3.4) and predicts the new iteration time by simulation.\n\
+  With --calib (a `lumos calibrate` artifact) the trace file is\n\
+  optional and never re-ingested: the artifact supplies the fitted\n\
+  cost tables, block library, and base setup, and the prediction is\n\
+  byte-identical to the fit-on-the-fly path. If a trace file is also\n\
+  given it is only fingerprint-checked against the artifact.\n\
   The --scale-* factors run an operator-level what-if on top (0.5 =\n\
   twice as fast); factors must be finite and non-negative.\n\
   The setup sidecar defaults to <trace>.setup.json.";
@@ -123,13 +130,6 @@ pub fn transforms_from(args: &ArgSet) -> Result<Vec<Transform>, CliError> {
 ///
 /// Returns usage, I/O, parse, transform, and simulation failures.
 pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
-    let path = args.one_positional("trace file")?;
-    let setup_path = match args.get("setup") {
-        Some(p) => p.to_string(),
-        None => sidecar_path(path),
-    };
-    let setup = load_setup(&setup_path)?;
-    let trace = load_trace(path)?;
     let transforms = transforms_from(args)?;
     let scales = scales_from(args)?;
     if transforms.is_empty() && scales.is_empty() {
@@ -145,12 +145,40 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     } else {
         Lumos::new()
     };
-    let mut prediction =
-        toolkit.predict(&trace, &setup, &transforms, AnalyticalCostModel::h100())?;
+    // Calibrated path: the artifact supplies everything ingestion
+    // would have produced — a trace positional is only used for a
+    // fingerprint check. Fit-on-the-fly path: parse the trace and fit
+    // from scratch.
+    let (base_label, recorded, mut prediction) =
+        if let Some(ci) = calibrated_input(args, &["setup"])? {
+            let lookup = ci.artifact.cost_model(ci.fallback);
+            let prediction = toolkit.predict_with_library(
+                &ci.artifact.library,
+                &ci.artifact.setup,
+                &transforms,
+                &lookup,
+            )?;
+            (
+                ci.artifact.setup.label(),
+                ci.artifact.fingerprint.makespan,
+                prediction,
+            )
+        } else {
+            let path = args.one_positional("trace file")?;
+            let setup_path = match args.get("setup") {
+                Some(p) => p.to_string(),
+                None => sidecar_path(path),
+            };
+            let setup = load_setup(&setup_path)?;
+            let trace = load_trace(path)?;
+            let prediction =
+                toolkit.predict(&trace, &setup, &transforms, AnalyticalCostModel::h100())?;
+            (setup.label(), trace.makespan(), prediction)
+        };
 
-    writeln!(out, "base:      {}", setup.label())?;
+    writeln!(out, "base:      {base_label}")?;
     writeln!(out, "target:    {}", prediction.setup.label())?;
-    writeln!(out, "recorded:  {}", ms(trace.makespan()))?;
+    writeln!(out, "recorded:  {}", ms(recorded))?;
     writeln!(out, "predicted: {}", ms(prediction.makespan()))?;
     if !scales.is_empty() {
         // Operator-level what-if on the graph the prediction already

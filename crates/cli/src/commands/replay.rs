@@ -2,24 +2,31 @@
 //! report makespan, breakdown, and error against the recorded run.
 
 use crate::args::{ArgSet, ArgSpec};
-use crate::common::{load_trace, ms, pct, save_trace};
+use crate::common::{calibrated_input, load_trace, ms, pct, save_trace};
 use crate::error::CliError;
 use lumos_core::Lumos;
-use lumos_trace::BreakdownExt;
+use lumos_trace::{Breakdown, BreakdownExt};
 use std::io::Write;
 
 /// Options of `lumos replay`.
 pub const SPEC: ArgSpec = ArgSpec {
-    options: &["out"],
+    options: &["calib", "out"],
     flags: &["dpro"],
 };
 
 /// Usage text.
-pub const HELP: &str = "lumos replay <trace.json> [--dpro] [--out replayed.json]\n\
+pub const HELP: &str = "lumos replay <trace.json> [--calib artifact.json] [--dpro]\n\
+    [--out replayed.json]\n\
   Builds the execution graph (§3.3), replays it with Algorithm 1, and\n\
   compares against the recorded timeline. --dpro uses the baseline's\n\
   dependency model instead (operator-dataflow fences only, no\n\
-  collective rendezvous).";
+  collective rendezvous). With --calib and no trace file, the base\n\
+  configuration is reassembled from the artifact's block library and\n\
+  replayed without re-ingesting the trace, compared against the\n\
+  artifact's recorded makespan (the breakdown column is then labeled\n\
+  `reassembled` — it comes from the synthesized base, not the\n\
+  recorded timeline); a trace file given alongside --calib is\n\
+  fingerprint-checked and then replayed as usual.";
 
 /// Runs `lumos replay`.
 ///
@@ -27,16 +34,50 @@ pub const HELP: &str = "lumos replay <trace.json> [--dpro] [--out replayed.json]
 ///
 /// Returns usage, I/O, parse, and simulation failures.
 pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
-    let path = args.one_positional("trace file")?;
-    let trace = load_trace(path)?;
     let toolkit = if args.has("dpro") {
         Lumos::dpro_baseline()
     } else {
         Lumos::new()
     };
-    let replayed = toolkit.replay(&trace)?;
+    // (recorded makespan, reference breakdown + its column label,
+    // replay result).
+    let (recorded, reference_breakdown, reference_label, replayed) =
+        match calibrated_input(args, &[])? {
+            Some(ci) => match ci.trace {
+                // Trace given alongside --calib: fingerprint-checked
+                // (by `calibrated_input`), then replayed as usual.
+                Some(trace) => {
+                    let replayed = toolkit.replay(&trace)?;
+                    (trace.makespan(), trace.breakdown(), "recorded", replayed)
+                }
+                // Trace-free calibrated replay: identity reassembly of
+                // the base configuration from the artifact's block
+                // library. The comparison breakdown comes from the
+                // synthesized base trace, so it is labeled as such.
+                None => {
+                    let lookup = ci.artifact.cost_model(ci.fallback);
+                    let prediction = toolkit.predict_with_library(
+                        &ci.artifact.library,
+                        &ci.artifact.setup,
+                        &[],
+                        &lookup,
+                    )?;
+                    (
+                        ci.artifact.fingerprint.makespan,
+                        prediction.trace.breakdown(),
+                        "reassembled",
+                        prediction.replayed,
+                    )
+                }
+            },
+            None => {
+                let path = args.one_positional("trace file (or use --calib)")?;
+                let trace = load_trace(path)?;
+                let replayed = toolkit.replay(&trace)?;
+                (trace.makespan(), trace.breakdown(), "recorded", replayed)
+            }
+        };
 
-    let recorded = trace.makespan();
     let simulated = replayed.makespan();
     writeln!(
         out,
@@ -56,12 +97,12 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
 
     let rb = replayed.trace.breakdown();
-    let ab = trace.breakdown();
+    let ab: Breakdown = reference_breakdown;
     writeln!(out)?;
     writeln!(
         out,
         "breakdown        {:>12}  {:>12}",
-        "replayed", "recorded"
+        "replayed", reference_label
     )?;
     for (name, r, a) in [
         ("exposed compute", rb.exposed_compute, ab.exposed_compute),

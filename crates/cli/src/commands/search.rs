@@ -4,17 +4,18 @@
 //! parallel from one profiled trace, and print a ranked report.
 
 use crate::args::{ArgSet, ArgSpec};
-use crate::common::{load_setup, load_trace, parse_model, sidecar_path};
+use crate::common::{calibrated_input, load_setup, load_trace, parse_model, sidecar_path};
 use crate::error::CliError;
 use lumos_cost::{AnalyticalCostModel, GpuSpec};
 use lumos_model::{Parallelism, TrainingSetup};
-use lumos_search::{search, SearchOptions, SpaceSpec, SpecFile};
+use lumos_search::{search_calibrated, SearchCalibration, SearchOptions, SpaceSpec, SpecFile};
 use std::io::Write;
 
 /// Options of `lumos search`.
 pub const SPEC: ArgSpec = ArgSpec {
     options: &[
         "setup",
+        "calib",
         "space",
         "model",
         "base-tp",
@@ -40,6 +41,7 @@ pub const SPEC: ArgSpec = ArgSpec {
 
 /// Usage text.
 pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--space spec.toml]\n\
+    [--calib artifact.json]\n\
     [--model NAME --base-tp N --base-pp N --base-dp N [--seed N]]\n\
     [--tp 1,2,4] [--pp 1,2] [--dp 1,2,4,8] [--microbatches 4,8]\n\
     [--interleave 1,2] [--gpus 8,16,32] [--max-gpus N]\n\
@@ -58,6 +60,11 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
   --model instead of a trace file, the base iteration is profiled on\n\
   the ground-truth cluster first; --progress reports completion to\n\
   stderr. The setup sidecar defaults to <trace>.setup.json.\n\
+  With --calib (a `lumos calibrate` artifact) the trace file is\n\
+  optional and never re-ingested: the artifact's fitted tables and\n\
+  block library are shared across the whole search, byte-identically\n\
+  to the fit-on-the-fly path (a trace file given alongside is only\n\
+  fingerprint-checked).\n\
   --refine-sim adds a second phase: each finalist is lowered to a\n\
   full multi-rank program and executed through the discrete-event\n\
   engine (overlap, host dispatch, and collective rendezvous\n\
@@ -88,8 +95,9 @@ fn parse_axis(args: &ArgSet, name: &str) -> Result<Option<Vec<u32>>, CliError> {
 fn space_from(args: &ArgSet) -> Result<SpecFile, CliError> {
     let mut file = match args.get("space") {
         Some(path) => {
-            let text = std::fs::read_to_string(path)?;
-            SpecFile::parse(&text).map_err(|e| CliError::Usage(e.to_string()))?
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::file(path, e))?;
+            SpecFile::parse(&text)
+                .map_err(|e| CliError::Usage(format!("space file `{path}`: {e}")))?
         }
         None => SpecFile {
             space: SpaceSpec::empty(),
@@ -118,6 +126,30 @@ fn space_from(args: &ArgSet) -> Result<SpecFile, CliError> {
         file.space.max_gpus = v;
     }
     Ok(file)
+}
+
+/// The shared calibration the search runs against: cloned out of a
+/// `--calib` artifact (no trace ingestion), or fitted on the fly from
+/// the base trace/`--model` profile.
+fn calibration_from(
+    args: &ArgSet,
+    out: &mut dyn Write,
+    gpus_per_node: u32,
+) -> Result<SearchCalibration<AnalyticalCostModel>, CliError> {
+    if let Some(ci) = calibrated_input(
+        args,
+        &["model", "setup", "base-tp", "base-pp", "base-dp", "seed"],
+    )? {
+        Ok(SearchCalibration::from_artifact(&ci.artifact, ci.fallback))
+    } else {
+        let (trace, setup) = base_from(args, out)?;
+        Ok(SearchCalibration::fit(
+            &trace,
+            &setup,
+            AnalyticalCostModel::h100(),
+            gpus_per_node,
+        )?)
+    }
 }
 
 /// The base (trace, setup) pair: loaded from disk, or synthesized via
@@ -169,8 +201,6 @@ fn base_from(
 /// Returns usage, I/O, parse, and search failures.
 pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     let file = space_from(args)?;
-    let (trace, setup) = base_from(args, out)?;
-
     let mut opts = SearchOptions::default();
     if let Some(objective) = args.get("objective") {
         opts.objective = objective.parse().map_err(|e: String| CliError::Usage(e))?;
@@ -232,13 +262,8 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
         }));
     }
 
-    let report = search(
-        &trace,
-        &setup,
-        &file.space,
-        &opts,
-        AnalyticalCostModel::h100(),
-    )?;
+    let calib = calibration_from(args, out, opts.gpus_per_node)?;
+    let report = search_calibrated(&calib, &file.space, &opts)?;
     write!(out, "{}", report.format_top(top))?;
     Ok(())
 }

@@ -2,74 +2,135 @@
 //! and duration formatting.
 
 use crate::error::CliError;
+use lumos_calib::CalibrationArtifact;
 use lumos_model::{ModelConfig, TrainingSetup};
 use lumos_trace::{from_chrome_json, to_chrome_json, ChromeTraceOptions, ClusterTrace, Dur};
 use std::fs;
 use std::path::Path;
 
-/// Resolves a model preset name (Table 1 / Table 2 / `tiny`).
+/// Resolves a model preset name (Table 1 / Table 2 / `tiny`) via the
+/// shared [`ModelConfig::from_preset`] resolver.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Usage`] for unknown names.
 pub fn parse_model(name: &str) -> Result<ModelConfig, CliError> {
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "tiny" => ModelConfig::tiny(),
-        "15b" => ModelConfig::gpt3_15b(),
-        "44b" => ModelConfig::gpt3_44b(),
-        "117b" => ModelConfig::gpt3_117b(),
-        "175b" => ModelConfig::gpt3_175b(),
-        "v1" => ModelConfig::gpt3_v1(),
-        "v2" => ModelConfig::gpt3_v2(),
-        "v3" => ModelConfig::gpt3_v3(),
-        "v4" => ModelConfig::gpt3_v4(),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown model `{other}` (expected tiny, 15b, 44b, 117b, 175b, or v1–v4)"
-            )))
-        }
-    })
+    ModelConfig::from_preset(name).map_err(|e| CliError::Usage(e.to_string()))
 }
 
 /// Reads a Chrome-Trace-Format (Kineto-style) trace file.
 ///
 /// # Errors
 ///
-/// Returns I/O and parse failures.
+/// Returns I/O and parse failures, always naming `path`.
 pub fn load_trace(path: &str) -> Result<ClusterTrace, CliError> {
-    let text = fs::read_to_string(path)?;
-    Ok(from_chrome_json(&text)?)
+    let text = fs::read_to_string(path).map_err(|e| CliError::file(path, e))?;
+    from_chrome_json(&text).map_err(|e| CliError::file(path, format!("trace error: {e}")))
 }
 
 /// Writes a trace as Chrome-Trace-Format JSON.
 ///
 /// # Errors
 ///
-/// Returns I/O failures.
+/// Returns I/O failures, always naming `path`.
 pub fn save_trace(trace: &ClusterTrace, path: &str) -> Result<(), CliError> {
     let json = to_chrome_json(trace, &ChromeTraceOptions::default());
-    fs::write(path, json)?;
-    Ok(())
+    fs::write(path, json).map_err(|e| CliError::file(path, e))
 }
 
 /// Reads a [`TrainingSetup`] sidecar JSON (written by `lumos synth`).
 ///
 /// # Errors
 ///
-/// Returns I/O and parse failures.
+/// Returns I/O and parse failures, always naming `path`.
 pub fn load_setup(path: &str) -> Result<TrainingSetup, CliError> {
-    let text = fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&text)?)
+    let text = fs::read_to_string(path).map_err(|e| CliError::file(path, e))?;
+    serde_json::from_str(&text).map_err(|e| CliError::file(path, format!("setup error: {e}")))
 }
 
 /// Writes a [`TrainingSetup`] sidecar JSON.
 ///
 /// # Errors
 ///
-/// Returns I/O failures.
+/// Returns I/O failures, always naming `path`.
 pub fn save_setup(setup: &TrainingSetup, path: &str) -> Result<(), CliError> {
-    fs::write(path, serde_json::to_string_pretty(setup)?)?;
-    Ok(())
+    let json = serde_json::to_string_pretty(setup)?;
+    fs::write(path, json).map_err(|e| CliError::file(path, e))
+}
+
+/// Loads and validates a calibration artifact (`lumos calibrate`
+/// output); the version and content-digest checks happen inside
+/// [`CalibrationArtifact::load`].
+///
+/// # Errors
+///
+/// Returns load/validation failures, always naming `path`.
+pub fn load_artifact(path: &str) -> Result<CalibrationArtifact, CliError> {
+    CalibrationArtifact::load(path).map_err(CliError::from)
+}
+
+/// Everything a `--calib` invocation supplies up front: the validated
+/// artifact, the fallback cost model its `hardware` preset names, and
+/// the fingerprint-checked trace when one was also given.
+pub struct CalibratedInput {
+    /// The loaded artifact.
+    pub artifact: lumos_calib::CalibrationArtifact,
+    /// The fallback the calibration assumed for unseen shapes.
+    pub fallback: lumos_cost::AnalyticalCostModel,
+    /// The trace positional, loaded and verified, when present.
+    pub trace: Option<ClusterTrace>,
+}
+
+/// The shared `--calib` prologue: rejects options the artifact
+/// already carries (`conflicting`), rejects surplus positionals,
+/// loads + validates the artifact, resolves its hardware preset, and
+/// fingerprint-checks the optional trace positional. `Ok(None)` when
+/// `--calib` was not given.
+///
+/// # Errors
+///
+/// Returns usage, load/validation, and fingerprint failures.
+pub fn calibrated_input(
+    args: &crate::args::ArgSet,
+    conflicting: &[&str],
+) -> Result<Option<CalibratedInput>, CliError> {
+    let Some(calib_path) = args.get("calib") else {
+        return Ok(None);
+    };
+    for opt in conflicting {
+        if args.get(opt).is_some() {
+            return Err(CliError::Usage(format!(
+                "--{opt} does not apply with --calib (the artifact already carries it)"
+            )));
+        }
+    }
+    if args.positionals().len() > 1 {
+        return Err(CliError::Usage(
+            "--calib takes at most one trace file (used only for a fingerprint check)".to_string(),
+        ));
+    }
+    let artifact = load_artifact(calib_path)?;
+    let fallback =
+        lumos_cost::AnalyticalCostModel::from_preset(&artifact.hardware).ok_or_else(|| {
+            CliError::Tool(format!(
+                "calibration artifact names unknown hardware preset `{}` \
+                 (this build knows h100 and a100)",
+                artifact.hardware
+            ))
+        })?;
+    let trace = match args.positionals().first() {
+        Some(path) => {
+            let trace = load_trace(path)?;
+            artifact.verify_trace(&trace)?;
+            Some(trace)
+        }
+        None => None,
+    };
+    Ok(Some(CalibratedInput {
+        artifact,
+        fallback,
+        trace,
+    }))
 }
 
 /// Derives the conventional sidecar path `<trace>.setup.json`.
@@ -103,6 +164,28 @@ mod tests {
         assert_eq!(parse_model("tiny").unwrap().name, "tiny");
         assert_eq!(parse_model("175B").unwrap().num_layers, 96);
         assert!(parse_model("9000b").is_err());
+    }
+
+    #[test]
+    fn io_errors_name_the_file() {
+        for err in [
+            load_trace("no-such-trace.json").unwrap_err(),
+            load_setup("no-such-setup.json").unwrap_err(),
+            load_artifact("no-such-artifact.json").unwrap_err(),
+            save_trace(&lumos_trace::ClusterTrace::new("x"), "/no/such/dir/t.json").unwrap_err(),
+        ] {
+            assert!(err.to_string().contains("no-such") || err.to_string().contains("/no/such"));
+        }
+        // Parse failures name the file too, not just I/O ones.
+        let dir = std::env::temp_dir().join(format!("lumos-cli-common-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ not json").unwrap();
+        let err = load_setup(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("bad.json"), "{err}");
+        let err = load_trace(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("bad.json"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -10,8 +10,26 @@ pub enum CliError {
     Usage(String),
     /// Filesystem failure.
     Io(std::io::Error),
+    /// A failure reading, parsing, or writing a specific file — the
+    /// message always names the offending path.
+    File {
+        /// The file involved.
+        path: String,
+        /// What went wrong with it.
+        detail: String,
+    },
     /// Failure inside the toolkit (trace parse, simulation, …).
     Tool(String),
+}
+
+impl CliError {
+    /// Wraps any displayable failure with the file it concerns.
+    pub fn file(path: impl Into<String>, detail: impl fmt::Display) -> Self {
+        CliError::File {
+            path: path.into(),
+            detail: detail.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -19,6 +37,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::File { path, detail } => write!(f, "`{path}`: {detail}"),
             CliError::Tool(msg) => write!(f, "{msg}"),
         }
     }
@@ -75,6 +94,14 @@ impl From<serde_json::Error> for CliError {
     }
 }
 
+impl From<lumos_calib::CalibError> for CliError {
+    fn from(e: lumos_calib::CalibError) -> Self {
+        // CalibError messages already name the offending file where
+        // one is involved.
+        CliError::Tool(format!("calibration error: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +112,8 @@ mod tests {
         let io: CliError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
         assert!(CliError::Tool("t".into()).to_string().contains('t'));
+        let file = CliError::file("a/b.json", "no such file");
+        assert!(file.to_string().contains("a/b.json"));
+        assert!(file.to_string().contains("no such file"));
     }
 }

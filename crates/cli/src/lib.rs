@@ -7,12 +7,17 @@
 //! | `synth` | profile a training iteration on the ground-truth cluster |
 //! | `synth-infer` | profile an inference request batch |
 //! | `info` | trace dimensions, breakdown, heaviest kernels |
+//! | `calibrate` | fit a reusable calibration artifact from a trace |
 //! | `replay` | replay through Algorithm 1 (`--dpro` for the baseline) |
 //! | `predict` | graph manipulation + simulation for what-if configs |
 //! | `search` | parallel what-if search over a configuration space |
 //! | `sm-util` | §4.2.3 SM-utilization timeline |
 //! | `critical-path` | longest dependency chain + bottleneck kernels |
 //! | `mfu` | MFU/HFU and memory feasibility (§5 future-work metrics) |
+//!
+//! `replay`, `predict`, `search`, and `mfu` accept `--calib
+//! <artifact>` (the output of `lumos calibrate`) to skip trace
+//! ingestion entirely — the calibrate-once, query-many workflow.
 //!
 //! The binary is a thin wrapper over [`run`], which writes to any
 //! `Write` so tests can drive it in-process.
@@ -37,6 +42,7 @@ commands:\n\
   synth          generate a ground-truth training trace\n\
   synth-infer    generate a ground-truth inference trace\n\
   info           summarize a trace\n\
+  calibrate      fit a reusable calibration artifact from a trace\n\
   replay         replay a trace through the simulator\n\
   predict        estimate performance for a modified configuration\n\
   search         rank a whole configuration space from one trace\n\
@@ -61,6 +67,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             commands::synth::run_infer(&ArgSet::parse(rest, &commands::synth::INFER_SPEC)?, out)
         }
         "info" => commands::info::run(&ArgSet::parse(rest, &commands::info::SPEC)?, out),
+        "calibrate" => {
+            commands::calibrate::run(&ArgSet::parse(rest, &commands::calibrate::SPEC)?, out)
+        }
         "replay" => commands::replay::run(&ArgSet::parse(rest, &commands::replay::SPEC)?, out),
         "predict" => commands::predict::run(&ArgSet::parse(rest, &commands::predict::SPEC)?, out),
         "search" => commands::search::run(&ArgSet::parse(rest, &commands::search::SPEC)?, out),
@@ -74,6 +83,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some("synth") => writeln!(out, "{}", commands::synth::HELP)?,
                 Some("synth-infer") => writeln!(out, "{}", commands::synth::INFER_HELP)?,
                 Some("info") => writeln!(out, "{}", commands::info::HELP)?,
+                Some("calibrate") => writeln!(out, "{}", commands::calibrate::HELP)?,
                 Some("replay") => writeln!(out, "{}", commands::replay::HELP)?,
                 Some("predict") => writeln!(out, "{}", commands::predict::HELP)?,
                 Some("search") => writeln!(out, "{}", commands::search::HELP)?,
@@ -271,6 +281,102 @@ mod tests {
         assert!(run_to_string(&["help", "search"])
             .unwrap()
             .contains("--space"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn calibrate_once_query_many_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("lumos-cli-calib-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("c.json");
+        let trace = trace.to_str().unwrap();
+        let art = dir.join("c.calib.json");
+        let art = art.to_str().unwrap();
+
+        run_to_string(&[
+            "synth", "--model", "tiny", "--tp", "1", "--pp", "2", "--dp", "1", "--out", trace,
+        ])
+        .unwrap();
+        let out = run_to_string(&["calibrate", trace, "--out", art]).unwrap();
+        assert!(out.contains("calibrated tiny @ 1x2x1"), "{out}");
+        assert!(out.contains("compute shapes"), "{out}");
+
+        // predict: the calibrated path must reproduce the
+        // fit-on-the-fly output byte for byte.
+        let fresh = run_to_string(&["predict", trace, "--dp", "2", "--microbatches", "4"]).unwrap();
+        let calibrated = run_to_string(&[
+            "predict",
+            "--calib",
+            art,
+            "--dp",
+            "2",
+            "--microbatches",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(fresh, calibrated);
+
+        // search: same byte-identity, including the refinement phase.
+        let search_args = [
+            "--dp",
+            "1,2,4",
+            "--microbatches",
+            "2,4",
+            "--top",
+            "3",
+            "--refine-sim",
+        ];
+        let mut fresh_args = vec!["search", trace];
+        fresh_args.extend_from_slice(&search_args);
+        let mut calib_args = vec!["search", "--calib", art];
+        calib_args.extend_from_slice(&search_args);
+        let fresh = run_to_string(&fresh_args).unwrap();
+        let calibrated = run_to_string(&calib_args).unwrap();
+        assert_eq!(fresh, calibrated);
+
+        // mfu from the artifact alone.
+        let out = run_to_string(&["mfu", "--calib", art]).unwrap();
+        assert!(out.contains("MFU"), "{out}");
+        assert!(out.contains("tiny @ 1x2x1"), "{out}");
+
+        // replay from the artifact alone (identity reassembly).
+        let out = run_to_string(&["replay", "--calib", art]).unwrap();
+        assert!(out.contains("replayed:"), "{out}");
+        assert!(out.contains("recorded:"), "{out}");
+
+        // Passing the matching trace alongside --calib is allowed
+        // (fingerprint check passes)...
+        let out = run_to_string(&["predict", trace, "--calib", art, "--dp", "2"]).unwrap();
+        assert!(out.contains("predicted:"), "{out}");
+
+        // ...but a different trace is rejected with a fingerprint
+        // error.
+        let other = dir.join("other.json");
+        let other = other.to_str().unwrap();
+        run_to_string(&[
+            "synth", "--model", "tiny", "--tp", "1", "--pp", "2", "--dp", "1", "--seed", "7",
+            "--out", other,
+        ])
+        .unwrap();
+        let err = run_to_string(&["predict", other, "--calib", art, "--dp", "2"]).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+
+        // Tampered artifacts are rejected on load (digest check), and
+        // wrong versions are rejected by name.
+        let mut doc = std::fs::read_to_string(art).unwrap();
+        doc = doc.replace("\"hardware\":\"h100\"", "\"hardware\":\"h999\"");
+        let tampered = dir.join("tampered.json");
+        std::fs::write(&tampered, doc.replace("\"version\":1", "\"version\":99")).unwrap();
+        let err = run_to_string(&[
+            "predict",
+            "--calib",
+            tampered.to_str().unwrap(),
+            "--dp",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

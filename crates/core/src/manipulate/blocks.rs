@@ -14,10 +14,11 @@ use crate::segment::parse_annotation;
 use crate::task::Phase;
 use lumos_model::Parallelism;
 use lumos_trace::{ClusterTrace, CudaRuntimeKind, Dur, EventKind, TraceEvent, Ts};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// What a block contains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BlockKind {
     /// One transformer layer.
     Layer(u32),
@@ -28,7 +29,7 @@ pub enum BlockKind {
 }
 
 /// Identity of a block within the library.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BlockKey {
     /// Tensor-parallel rank of the source.
     pub tp: u32,
@@ -44,7 +45,7 @@ pub struct BlockKey {
 
 /// A movable group of trace events, in block-local time (the source
 /// annotation's start is time zero).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Block {
     /// Host events and their launched kernels, times block-local.
     pub events: Vec<TraceEvent>,
@@ -94,7 +95,7 @@ impl Block {
 /// Mean host-side call durations fitted from the source trace, used
 /// when reassembly synthesizes glue (transfers, gradient buckets,
 /// optimizer scaffolding).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostProfile {
     /// Mean CPU operator duration.
     pub cpu_op: Dur,
@@ -115,7 +116,13 @@ impl Default for HostProfile {
 }
 
 /// All blocks extracted from a profiled trace.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a calibration artifact can persist the extraction
+/// result and later consumers can reassemble what-if configurations
+/// without re-walking the source trace. Serialization is deterministic
+/// (map entries are emitted in sorted key order), so
+/// [`BlockLibrary::digest`] is stable across save/load cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BlockLibrary {
     blocks: HashMap<BlockKey, Block>,
     /// Fitted host-call durations.
@@ -168,6 +175,17 @@ impl BlockLibrary {
         self.blocks.is_empty()
     }
 
+    /// A stable 64-bit FNV-1a digest of the library's serialized
+    /// content. Deterministic across processes and save/load cycles
+    /// (serialization emits map entries in sorted key order), so a
+    /// calibration artifact can store the digest and verify integrity
+    /// on reload. Equals [`value_digest`] of the library's serialized
+    /// value tree — validators holding a freshly parsed tree can hash
+    /// it directly instead of re-serializing.
+    pub fn digest(&self) -> u64 {
+        value_digest(&self.serialize_value())
+    }
+
     /// The distinct source micro-batch indices available for layer
     /// blocks.
     pub fn microbatches(&self) -> Vec<u32> {
@@ -182,6 +200,15 @@ impl BlockLibrary {
         v
     }
 }
+
+/// A stable 64-bit FNV-1a digest of any serialized value tree — the
+/// hash behind [`BlockLibrary::digest`], re-exported from the serde
+/// value layer (where the deterministic map ordering it relies on is
+/// implemented). Artifact loaders can verify a parsed document
+/// without re-serializing it: integers and strings round-trip the
+/// JSON layer exactly, so hashing the parsed tree equals hashing the
+/// written one.
+pub use serde::value_digest;
 
 #[derive(Default)]
 struct ProfileAcc {
@@ -398,6 +425,23 @@ mod tests {
         assert_eq!(lib.host.launch, Dur::from_us(4));
         // No record/wait events in the trace: default used.
         assert_eq!(lib.host.event_call, HostProfile::default().event_call);
+    }
+
+    #[test]
+    fn library_round_trips_and_digest_is_stable() {
+        let lib =
+            BlockLibrary::extract(&annotated_trace(), Parallelism::new(1, 1, 1).unwrap()).unwrap();
+        let json = serde_json::to_string(&lib).expect("library serializes");
+        let back: BlockLibrary = serde_json::from_str(&json).expect("library parses");
+        assert_eq!(back, lib);
+        assert_eq!(back.digest(), lib.digest());
+        // Deterministic encoding: re-serializing reproduces the bytes.
+        assert_eq!(serde_json::to_string(&back).expect("reserialize"), json);
+
+        // The digest reacts to content changes.
+        let mut other = back.clone();
+        other.host.launch = Dur::from_us(999);
+        assert_ne!(other.digest(), lib.digest());
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod blocks;
 mod reassemble;
 pub mod whatif;
 
-pub use blocks::{Block, BlockKey, BlockKind, BlockLibrary, HostProfile};
+pub use blocks::{value_digest, Block, BlockKey, BlockKind, BlockLibrary, HostProfile};
 pub use reassemble::{
     kernel_class_of_op, reassemble, reassemble_with_library, regenerated_block_ops, ReassembleSpec,
 };
@@ -225,6 +225,36 @@ impl Lumos {
         let gpus_per_node = 8;
         let lookup = LookupCostModel::fit_from_trace(trace, fallback, gpus_per_node);
         let predicted_trace = reassemble(trace, &spec, &lookup)?;
+        let label = predicted_trace.label.clone();
+        let graph = self.build_graph(&predicted_trace)?;
+        let replayed = self.replay_graph(graph, &label)?;
+        Ok(Prediction {
+            setup: new_setup,
+            trace: predicted_trace,
+            replayed,
+        })
+    }
+
+    /// [`Lumos::predict`] against a pre-extracted [`BlockLibrary`] and
+    /// a prebuilt cost model — the calibrate-once path: when the
+    /// library and cost model were fitted from a trace (e.g. loaded
+    /// from a calibration artifact), the prediction is bit-identical
+    /// to [`Lumos::predict`] on that trace, without re-ingesting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns transform-validation, reassembly, and simulation
+    /// failures.
+    pub fn predict_with_library<C: CostModel>(
+        &self,
+        library: &BlockLibrary,
+        setup: &TrainingSetup,
+        transforms: &[Transform],
+        cost: &C,
+    ) -> Result<Prediction, CoreError> {
+        let new_setup = apply_transforms(setup, transforms)?;
+        let spec = plan(setup, &new_setup);
+        let predicted_trace = reassemble_with_library(library, &spec, cost)?;
         let label = predicted_trace.label.clone();
         let graph = self.build_graph(&predicted_trace)?;
         let replayed = self.replay_graph(graph, &label)?;

@@ -89,6 +89,14 @@ impl NodeSpec {
             gpus_per_node: 8,
         }
     }
+
+    /// An 8×A100 SXM server (DGX-A100-like).
+    pub fn dgx_a100() -> Self {
+        NodeSpec {
+            gpu: GpuSpec::a100_sxm(),
+            gpus_per_node: 8,
+        }
+    }
 }
 
 /// A multi-node training cluster.
@@ -114,6 +122,17 @@ impl ClusterSpec {
             nic_gbps_per_gpu: 50.0,
             intra_node_latency_us: 1.5,
             inter_node_latency_us: 6.0,
+        }
+    }
+
+    /// A100 generation of the same topology: 8×A100 nodes with
+    /// 8×200 Gbps RoCE per host (DGX-A100 networking).
+    pub fn a100_roce() -> Self {
+        ClusterSpec {
+            node: NodeSpec::dgx_a100(),
+            nic_gbps_per_gpu: 25.0,
+            intra_node_latency_us: 1.8,
+            inter_node_latency_us: 6.5,
         }
     }
 

@@ -43,6 +43,23 @@ impl AnalyticalCostModel {
         AnalyticalCostModel::new(ClusterSpec::h100_roce())
     }
 
+    /// The A100 generation of the same platform.
+    pub fn a100() -> Self {
+        AnalyticalCostModel::new(ClusterSpec::a100_roce())
+    }
+
+    /// Resolves a hardware-preset name (`"h100"` / `"a100"`) — the
+    /// names `lumos calibrate --hardware` records in artifacts, so
+    /// query paths can rebuild the exact fallback a calibration
+    /// assumed. `None` for unknown names.
+    pub fn from_preset(name: &str) -> Option<Self> {
+        match name {
+            "h100" => Some(AnalyticalCostModel::h100()),
+            "a100" => Some(AnalyticalCostModel::a100()),
+            _ => None,
+        }
+    }
+
     /// The GEMM sub-model.
     pub fn gemm(&self) -> &GemmModel {
         &self.gemm

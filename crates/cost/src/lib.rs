@@ -16,7 +16,9 @@
 //!   NVLink + RoCE;
 //! * [`LookupCostModel`] — a table fitted from previously collected
 //!   traces (the "fleet model" substitute), falling back to the
-//!   analytical model for unseen shapes.
+//!   analytical model for unseen shapes. Its fitted state is a
+//!   concrete, serializable [`LookupTables`] so that a calibration
+//!   can be persisted once and shared across many queries.
 //!
 //! Host-side timing constants (operator overheads, launch costs,
 //! synchronization polling) live in [`HostOverheads`].
@@ -34,7 +36,7 @@ pub use collective::{CollectiveAlgorithm, CollectiveModel};
 pub use gemm::GemmModel;
 pub use hardware::{ClusterSpec, GpuSpec, NodeSpec};
 pub use kernels::AnalyticalCostModel;
-pub use lookup::LookupCostModel;
+pub use lookup::{LookupCostModel, LookupTables};
 pub use overhead::HostOverheads;
 
 use lumos_trace::{CollectiveKind, Dur, KernelClass};

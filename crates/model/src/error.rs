@@ -34,6 +34,12 @@ pub enum ModelError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A preset name did not resolve to any built-in model (see
+    /// [`crate::ModelConfig::from_preset`]).
+    UnknownPreset {
+        /// The unrecognized name.
+        name: String,
+    },
     /// A model dimension was zero.
     ZeroDimension {
         /// Which dimension.
@@ -60,6 +66,12 @@ impl fmt::Display for ModelError {
                 write!(f, "schedule needs at least 1 stage and 1 micro-batch")
             }
             ModelError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            ModelError::UnknownPreset { name } => {
+                write!(
+                    f,
+                    "unknown model `{name}` (expected tiny, 15b, 44b, 117b, 175b, or v1–v4)"
+                )
+            }
             ModelError::ZeroDimension { dim } => {
                 write!(f, "model dimension `{dim}` must be at least 1")
             }

@@ -97,6 +97,35 @@ impl ModelConfig {
         ]
     }
 
+    /// Resolves a short preset name to a built-in configuration —
+    /// the single source of truth for every CLI / bench surface that
+    /// accepts a model name. Accepts the Table 1 sizes (`15b`, `44b`,
+    /// `117b`, `175b`), the Table 2 variants (`v1`–`v4`), and `tiny`,
+    /// case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownPreset`] (listing the accepted
+    /// names) for anything else.
+    pub fn from_preset(name: &str) -> Result<Self, ModelError> {
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "tiny" => ModelConfig::tiny(),
+            "15b" => ModelConfig::gpt3_15b(),
+            "44b" => ModelConfig::gpt3_44b(),
+            "117b" => ModelConfig::gpt3_117b(),
+            "175b" => ModelConfig::gpt3_175b(),
+            "v1" => ModelConfig::gpt3_v1(),
+            "v2" => ModelConfig::gpt3_v2(),
+            "v3" => ModelConfig::gpt3_v3(),
+            "v4" => ModelConfig::gpt3_v4(),
+            _ => {
+                return Err(ModelError::UnknownPreset {
+                    name: name.to_string(),
+                })
+            }
+        })
+    }
+
     /// A tiny model for tests and examples (2 layers, d_model 256).
     pub fn tiny() -> Self {
         ModelConfig {
@@ -307,5 +336,19 @@ mod tests {
     #[test]
     fn display_contains_name() {
         assert!(ModelConfig::gpt3_15b().to_string().contains("GPT-3 15B"));
+    }
+
+    #[test]
+    fn preset_resolution() {
+        assert_eq!(ModelConfig::from_preset("tiny").unwrap().name, "tiny");
+        assert_eq!(ModelConfig::from_preset("175B").unwrap().num_layers, 96);
+        assert_eq!(
+            ModelConfig::from_preset("v3").unwrap(),
+            ModelConfig::gpt3_v3()
+        );
+        let err = ModelConfig::from_preset("9000b").unwrap_err();
+        assert!(matches!(err, ModelError::UnknownPreset { .. }));
+        assert!(err.to_string().contains("9000b"));
+        assert!(err.to_string().contains("tiny"));
     }
 }

@@ -128,17 +128,17 @@ impl CandidateResult {
 }
 
 /// Everything the streaming engine produced, pre-merge of the final
-/// report. Carries the shared trace-fitted cost model so the
-/// refinement phase can price engine executions identically to the
-/// screen without re-fitting it.
-pub(crate) struct EngineOutcome<C> {
+/// report. The shared trace-fitted cost model lives in the
+/// [`crate::SearchCalibration`] the run was given, so the refinement
+/// phase prices engine executions identically to the screen without
+/// re-fitting it.
+pub(crate) struct EngineOutcome {
     pub results: Vec<CandidateResult>,
     pub pruned: Vec<PrunedCandidate>,
     pub rejected: Vec<RejectedCandidate>,
     pub stats: PruneStats,
     pub memo: MemoStats,
     pub threads: usize,
-    pub lookup: LookupCostModel<C>,
 }
 
 /// Shared per-run atomic counters.
@@ -239,27 +239,28 @@ struct WorkerOut {
 /// Runs the full streaming pipeline over the grid of `spec` (already
 /// normalized): claim → decode → lattice → memory gate → lower-bound
 /// skip → evaluate → per-worker top-k, merged deterministically.
+/// The calibration (lookup tables + block library) is prebuilt and
+/// shared — repeated queries against one [`crate::SearchCalibration`]
+/// never re-walk the source trace.
 pub(crate) fn run_streaming<C>(
-    trace: &ClusterTrace,
-    base: &TrainingSetup,
+    calib: &crate::SearchCalibration<C>,
     spec: &crate::SpaceSpec,
     opts: &SearchOptions,
-    fallback: C,
-) -> Result<EngineOutcome<C>, SearchError>
+) -> Result<EngineOutcome, SearchError>
 where
-    C: CostModel + Send + Sync + 'static,
+    C: CostModel + Send + Sync,
 {
+    let base = &calib.base;
+    let lookup = &calib.lookup;
+    let library = &calib.library;
     let grid = Grid::new(spec, base);
     let total = grid.total();
-    let lookup = LookupCostModel::fit_from_trace(trace, fallback, opts.gpus_per_node);
-    let library = BlockLibrary::extract(trace, base.parallelism)
-        .map_err(|source| SearchError::Extraction { source })?;
     // The stage-cost memo's construction walks the whole library
     // (dominant-stream scan + completeness probe); build it only when
     // a worker actually queries a bound — never in full-retention
     // mode, where heaps never fill.
     let cache: std::sync::OnceLock<StageCostCache<'_, C>> = std::sync::OnceLock::new();
-    let bound_cache = || cache.get_or_init(|| StageCostCache::new(base, &library, &lookup));
+    let bound_cache = || cache.get_or_init(|| StageCostCache::new(base, library, lookup));
     let lumos = Lumos::new();
     let threads = crate::parallel::effective_threads(opts.threads, total);
     let capacity = opts.gpu.memory_bytes();
@@ -345,7 +346,7 @@ where
             }
             counters.evaluated.fetch_add(1, AtomicOrdering::Relaxed);
             let mut result = match evaluate_one(
-                &library,
+                library,
                 base,
                 grid.spec(),
                 &cand,
@@ -353,7 +354,7 @@ where
                 index,
                 opts,
                 &lumos,
-                &lookup,
+                lookup,
             ) {
                 Ok(r) => r,
                 Err(source) => {
@@ -468,7 +469,6 @@ where
         stats,
         memo,
         threads,
-        lookup,
     })
 }
 

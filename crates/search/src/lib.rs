@@ -122,9 +122,11 @@ pub use report::{rank, Objective, SearchReport};
 pub use space::{ArchPoint, SpaceSpec};
 pub use spec_toml::SpecFile;
 
-use lumos_cost::{CostModel, GpuSpec};
+use lumos_calib::CalibrationArtifact;
+use lumos_core::manipulate::BlockLibrary;
+use lumos_cost::{CostModel, GpuSpec, LookupCostModel};
 use lumos_model::{MemoryModel, TrainingSetup};
-use lumos_trace::ClusterTrace;
+use lumos_trace::{ClusterTrace, Dur};
 use std::fmt;
 use std::sync::Arc;
 
@@ -232,12 +234,90 @@ impl Default for SearchOptions {
     }
 }
 
+/// The reusable, query-independent half of a search: the trace-fitted
+/// lookup cost model and the reassembly block library, bundled with
+/// the base setup and recorded makespan. Fit it once — from a trace
+/// ([`SearchCalibration::fit`]) or from a persisted calibration
+/// artifact ([`SearchCalibration::from_artifact`]) — then run any
+/// number of [`search_calibrated`] queries against it without ever
+/// re-walking the source trace.
+#[derive(Debug)]
+pub struct SearchCalibration<C> {
+    pub(crate) lookup: LookupCostModel<C>,
+    pub(crate) library: BlockLibrary,
+    pub(crate) base: TrainingSetup,
+    pub(crate) base_makespan: Dur,
+}
+
+impl<C: CostModel> SearchCalibration<C> {
+    /// Fits a calibration from a profiled trace: lookup tables from
+    /// every kernel observation, the block library from every
+    /// annotation range. `gpus_per_node` classifies collective
+    /// placements (pass [`SearchOptions::gpus_per_node`] to match what
+    /// plain [`search`] would do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError::Extraction`] when the trace has no
+    /// annotation ranges to carve blocks from.
+    pub fn fit(
+        trace: &ClusterTrace,
+        base: &TrainingSetup,
+        fallback: C,
+        gpus_per_node: u32,
+    ) -> Result<Self, SearchError> {
+        let lookup = LookupCostModel::fit_from_trace(trace, fallback, gpus_per_node);
+        let library = BlockLibrary::extract(trace, base.parallelism)
+            .map_err(|source| SearchError::Extraction { source })?;
+        Ok(SearchCalibration {
+            lookup,
+            library,
+            base: base.clone(),
+            base_makespan: trace.makespan(),
+        })
+    }
+
+    /// Builds a calibration from a persisted artifact (tables and
+    /// library are cloned out of it). Searches run this way are
+    /// byte-identical to [`search`] on the artifact's source trace.
+    pub fn from_artifact(artifact: &CalibrationArtifact, fallback: C) -> Self {
+        SearchCalibration {
+            lookup: artifact.cost_model(fallback),
+            library: artifact.library.clone(),
+            base: artifact.setup.clone(),
+            base_makespan: artifact.fingerprint.makespan,
+        }
+    }
+
+    /// The base setup queries start from.
+    pub fn base(&self) -> &TrainingSetup {
+        &self.base
+    }
+
+    /// Recorded makespan of the base trace.
+    pub fn base_makespan(&self) -> Dur {
+        self.base_makespan
+    }
+
+    /// The shared trace-fitted cost model.
+    pub fn lookup(&self) -> &LookupCostModel<C> {
+        &self.lookup
+    }
+
+    /// The shared reassembly block library.
+    pub fn library(&self) -> &BlockLibrary {
+        &self.library
+    }
+}
+
 /// Runs the full streaming search pipeline: enumerate lazily →
 /// memory-prune → lower-bound skip → parallel-evaluate → merge top-k.
 ///
 /// `trace` is the profiled base iteration and `base` the setup that
 /// produced it; `fallback` prices kernel shapes absent from the trace
-/// (shared read-only across workers, fitted once).
+/// (shared read-only across workers, fitted once). Equivalent to
+/// [`SearchCalibration::fit`] followed by [`search_calibrated`]; use
+/// that pair directly when several queries share one trace.
 ///
 /// A report with **zero results** is a valid outcome: it means every
 /// lattice-valid candidate was memory-pruned (or rejected as
@@ -270,8 +350,33 @@ pub fn search<C>(
 where
     C: CostModel + Send + Sync + 'static,
 {
+    let calib = SearchCalibration::fit(trace, base, fallback, opts.gpus_per_node)?;
+    search_calibrated(&calib, spec, opts)
+}
+
+/// [`search`] against a prebuilt [`SearchCalibration`] — the
+/// calibrate-once path. Repeated queries (different spaces,
+/// objectives, retention bounds, refinement settings) share one
+/// fitted cost model and block library; nothing re-reads or re-walks
+/// the source trace. [`SearchOptions::gpus_per_node`] is ignored here:
+/// collective-topology classification was fixed when the calibration
+/// was fitted.
+///
+/// # Errors
+///
+/// As [`search`], minus [`SearchError::Extraction`] (extraction
+/// already happened when the calibration was built).
+pub fn search_calibrated<C>(
+    calib: &SearchCalibration<C>,
+    spec: &SpaceSpec,
+    opts: &SearchOptions,
+) -> Result<SearchReport, SearchError>
+where
+    C: CostModel + Send + Sync,
+{
+    let base = &calib.base;
     let normalized = spec.normalized();
-    let outcome = evaluate::run_streaming(trace, base, &normalized, opts, fallback)?;
+    let outcome = evaluate::run_streaming(calib, &normalized, opts)?;
     let mut results = outcome.results;
     let refined = if opts.refine_sim {
         // Phase two is per-candidate engine work, so it always runs on
@@ -282,7 +387,7 @@ where
             .top_k
             .unwrap_or(DEFAULT_REFINE_FINALISTS)
             .min(results.len());
-        let refined = refine::refine_finalists(&results[..finalists], opts, &outcome.lookup)?;
+        let refined = refine::refine_finalists(&results[..finalists], opts, &calib.lookup)?;
         // Phase two's verdict wins: reorder the refined prefix of the
         // ranked results to the simulation-refined order (indices are
         // unique per candidate); unrefined results keep their analytic
@@ -304,7 +409,7 @@ where
     };
     Ok(SearchReport {
         base_label: base.label(),
-        base_makespan: trace.makespan(),
+        base_makespan: calib.base_makespan,
         objective: opts.objective,
         results,
         pruned: outcome.pruned,

@@ -1,0 +1,128 @@
+//! Calibrate-once guarantees of the search engine:
+//!
+//! * a search against a [`SearchCalibration`] rebuilt from a
+//!   serialized → deserialized [`CalibrationArtifact`] produces a
+//!   [`SearchReport`] byte-identical (formatted output included) to a
+//!   fit-on-the-fly [`search`] of the source trace — through the
+//!   simulation-refined phase too;
+//! * repeated queries against one calibration are self-consistent
+//!   (same report every time, different spaces answered from the same
+//!   fit).
+
+use lumos_calib::CalibrationArtifact;
+use lumos_cluster::{GroundTruthCluster, JitterModel};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind, TrainingSetup};
+use lumos_search::{
+    search, search_calibrated, Objective, SearchCalibration, SearchOptions, SearchReport, SpaceSpec,
+};
+use lumos_trace::ClusterTrace;
+use std::sync::OnceLock;
+
+fn base_setup() -> TrainingSetup {
+    TrainingSetup {
+        model: ModelConfig::custom("calib-e2e", 8, 256, 1024, 4, 64),
+        parallelism: Parallelism::new(1, 2, 2).unwrap(),
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    }
+}
+
+fn shared() -> &'static (TrainingSetup, ClusterTrace, CalibrationArtifact) {
+    static CELL: OnceLock<(TrainingSetup, ClusterTrace, CalibrationArtifact)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let base = base_setup();
+        let trace = GroundTruthCluster::new(&base, AnalyticalCostModel::h100())
+            .unwrap()
+            .with_jitter(JitterModel::realistic(42))
+            .profile_iteration(0)
+            .unwrap()
+            .trace;
+        let artifact = CalibrationArtifact::calibrate(&trace, &base, "h100", 8).unwrap();
+        // Round-trip through the on-disk representation before use:
+        // the whole point is that the reloaded artifact answers
+        // identically.
+        let artifact = CalibrationArtifact::from_json(&artifact.to_json()).unwrap();
+        (base, trace, artifact)
+    })
+}
+
+/// Everything observable about a report, as comparable text.
+fn render(report: &SearchReport) -> String {
+    let mut s = report.format_top(32);
+    for r in &report.results {
+        s.push_str(&format!(
+            "|{} idx={} mk={} sim={} tok={:.9} mfu={:.9}",
+            r.label,
+            r.index,
+            r.makespan.as_ns(),
+            r.simulated_makespan.as_ns(),
+            r.tokens_per_sec_per_gpu,
+            r.utilization.mfu,
+        ));
+    }
+    if let Some(refined) = &report.refined {
+        for r in refined {
+            s.push_str(&format!(
+                "|R {} idx={} an={} sim={} d={:.12}",
+                r.label,
+                r.index,
+                r.analytic_makespan.as_ns(),
+                r.simulated_makespan.as_ns(),
+                r.delta,
+            ));
+        }
+    }
+    s
+}
+
+#[test]
+fn artifact_round_trip_search_is_byte_identical() {
+    let (base, trace, artifact) = shared();
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2, 4], &[1, 2, 4]).with_microbatches(&[2, 4]);
+    for objective in [
+        Objective::PerGpuThroughput,
+        Objective::Makespan,
+        Objective::Mfu,
+    ] {
+        let opts = SearchOptions {
+            objective,
+            top_k: Some(5),
+            refine_sim: true,
+            jitter_replicas: 2,
+            ..SearchOptions::default()
+        };
+        let fresh = search(trace, base, &spec, &opts, AnalyticalCostModel::h100()).unwrap();
+        let calib = SearchCalibration::from_artifact(artifact, AnalyticalCostModel::h100());
+        let reloaded = search_calibrated(&calib, &spec, &opts).unwrap();
+        assert_eq!(render(&fresh), render(&reloaded), "objective {objective:?}");
+        assert_eq!(fresh.base_makespan, reloaded.base_makespan);
+        assert_eq!(fresh.base_label, reloaded.base_label);
+    }
+}
+
+#[test]
+fn one_calibration_answers_many_queries() {
+    let (_, _, artifact) = shared();
+    let calib = SearchCalibration::from_artifact(artifact, AnalyticalCostModel::h100());
+    let opts = SearchOptions {
+        top_k: Some(3),
+        ..SearchOptions::default()
+    };
+
+    // Different spaces, one fit.
+    let narrow = SpaceSpec::deployment_grid(&[1], &[2], &[1, 2]).with_microbatches(&[4]);
+    let wide = SpaceSpec::deployment_grid(&[1], &[1, 2, 4], &[1, 2, 4]).with_microbatches(&[2, 4]);
+    let narrow_report = search_calibrated(&calib, &narrow, &opts).unwrap();
+    let wide_report = search_calibrated(&calib, &wide, &opts).unwrap();
+    assert!(!narrow_report.results.is_empty());
+    assert!(wide_report.stats.evaluated >= narrow_report.stats.evaluated);
+
+    // Determinism across repeated identical queries.
+    let again = search_calibrated(&calib, &wide, &opts).unwrap();
+    assert_eq!(render(&wide_report), render(&again));
+}

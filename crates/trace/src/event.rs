@@ -35,7 +35,10 @@ pub type CorrelationId = u64;
 pub type CommGroupId = u64;
 
 /// The collective communication algorithm a kernel implements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as a small integer (see the compact-encoding note on
+/// [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveKind {
     /// Ring/tree all-reduce (sum).
     AllReduce,
@@ -106,7 +109,10 @@ pub struct CommMeta {
 ///
 /// Kineto exposes the same information through kernel names plus
 /// recorded operator input shapes; we keep it structured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as a compact tagged array (see the note on
+/// [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelClass {
     /// Dense matmul `C[m,n] += A[m,k] B[k,n]`.
     Gemm {
@@ -211,7 +217,10 @@ impl KernelClass {
 }
 
 /// Host-side CUDA runtime API calls captured by the profiler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as a compact tagged array (see the note on
+/// [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CudaRuntimeKind {
     /// `cudaLaunchKernel` — enqueues the kernel with the same
     /// correlation id.
@@ -293,7 +302,10 @@ impl CudaRuntimeKind {
 }
 
 /// Where an event executed and what it represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as a compact tagged array (see the note on
+/// [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// A framework operator on a host thread.
     CpuOp {
@@ -361,7 +373,17 @@ impl EventKind {
 }
 
 /// One profiled event: a name, a kind, and a `[ts, ts+dur)` interval.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// # Compact serialization
+///
+/// Events serialize as flat tagged arrays (`[name, ts, dur,
+/// [kind...]]`), not as keyed objects: calibration artifacts persist
+/// hundreds of thousands of events, and dropping the per-event field
+/// keys roughly halves artifact size and parse time. The encoding
+/// round-trips bit-exactly; it is private to this serde layer (Chrome
+/// Trace Format I/O in [`crate::from_chrome_json`] is a separate,
+/// Kineto-compatible schema).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Display name (operator, API, or kernel name).
     pub name: Arc<str>,
@@ -479,6 +501,311 @@ impl TraceEvent {
             &self.kind,
             EventKind::Kernel { class, .. } if !class.is_comm()
         )
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Compact serde encoding
+//
+// Hand-written (instead of derived) so the millions of events a
+// calibration artifact persists encode as flat tagged arrays rather
+// than keyed objects — roughly half the bytes and parse work. The
+// encoding is bit-exact under round-trip and deterministic, which the
+// artifact's digest/fingerprint checks rely on.
+// ---------------------------------------------------------------- //
+
+use serde::{de, Value};
+
+fn tagged(tag: u64, mut fields: Vec<Value>) -> Value {
+    let mut items = vec![tag.serialize_value()];
+    items.append(&mut fields);
+    Value::Array(items)
+}
+
+/// Splits a tagged array into its tag and field slice.
+fn untag<'v>(v: &'v Value, what: &'static str) -> Result<(u64, &'v [Value]), de::Error> {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            let tag = items[0]
+                .as_u64()
+                .ok_or_else(|| de::Error::expected(what, v))?;
+            Ok((tag, &items[1..]))
+        }
+        other => Err(de::Error::expected(what, other)),
+    }
+}
+
+fn field(fields: &[Value], idx: usize, what: &'static str) -> Result<u64, de::Error> {
+    fields
+        .get(idx)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| de::Error::new(format!("{what}: missing field {idx}")))
+}
+
+impl Serialize for CollectiveKind {
+    fn serialize_value(&self) -> Value {
+        let tag: u64 = match self {
+            CollectiveKind::AllReduce => 0,
+            CollectiveKind::AllGather => 1,
+            CollectiveKind::ReduceScatter => 2,
+            CollectiveKind::Broadcast => 3,
+            CollectiveKind::SendRecv => 4,
+            CollectiveKind::Barrier => 5,
+        };
+        tag.serialize_value()
+    }
+}
+
+impl Deserialize for CollectiveKind {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(match v.as_u64() {
+            Some(0) => CollectiveKind::AllReduce,
+            Some(1) => CollectiveKind::AllGather,
+            Some(2) => CollectiveKind::ReduceScatter,
+            Some(3) => CollectiveKind::Broadcast,
+            Some(4) => CollectiveKind::SendRecv,
+            Some(5) => CollectiveKind::Barrier,
+            _ => return Err(de::Error::expected("collective kind tag", v)),
+        })
+    }
+}
+
+impl Serialize for KernelClass {
+    fn serialize_value(&self) -> Value {
+        let ser = |x: u64| x.serialize_value();
+        match *self {
+            KernelClass::Gemm { m, n, k } => tagged(0, vec![ser(m), ser(n), ser(k)]),
+            KernelClass::AttentionFwd {
+                batch_heads,
+                seq,
+                head_dim,
+            } => tagged(1, vec![ser(batch_heads), ser(seq), ser(head_dim)]),
+            KernelClass::AttentionBwd {
+                batch_heads,
+                seq,
+                head_dim,
+            } => tagged(2, vec![ser(batch_heads), ser(seq), ser(head_dim)]),
+            KernelClass::AttentionDecode {
+                batch_heads,
+                kv_len,
+                head_dim,
+            } => tagged(3, vec![ser(batch_heads), ser(kv_len), ser(head_dim)]),
+            KernelClass::Elementwise { elems } => tagged(4, vec![ser(elems)]),
+            KernelClass::Norm { elems } => tagged(5, vec![ser(elems)]),
+            KernelClass::Softmax { elems } => tagged(6, vec![ser(elems)]),
+            KernelClass::Embedding { elems } => tagged(7, vec![ser(elems)]),
+            KernelClass::Optimizer { params } => tagged(8, vec![ser(params)]),
+            KernelClass::Memcpy { bytes } => tagged(9, vec![ser(bytes)]),
+            KernelClass::Memset { bytes } => tagged(10, vec![ser(bytes)]),
+            KernelClass::Collective(meta) => tagged(
+                11,
+                vec![
+                    meta.kind.serialize_value(),
+                    ser(meta.group),
+                    ser(meta.seq as u64),
+                    ser(meta.bytes),
+                ],
+            ),
+            KernelClass::Other => tagged(12, vec![]),
+        }
+    }
+}
+
+impl Deserialize for KernelClass {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let (tag, f) = untag(v, "kernel class")?;
+        let g = |i| field(f, i, "kernel class");
+        Ok(match tag {
+            0 => KernelClass::Gemm {
+                m: g(0)?,
+                n: g(1)?,
+                k: g(2)?,
+            },
+            1 => KernelClass::AttentionFwd {
+                batch_heads: g(0)?,
+                seq: g(1)?,
+                head_dim: g(2)?,
+            },
+            2 => KernelClass::AttentionBwd {
+                batch_heads: g(0)?,
+                seq: g(1)?,
+                head_dim: g(2)?,
+            },
+            3 => KernelClass::AttentionDecode {
+                batch_heads: g(0)?,
+                kv_len: g(1)?,
+                head_dim: g(2)?,
+            },
+            4 => KernelClass::Elementwise { elems: g(0)? },
+            5 => KernelClass::Norm { elems: g(0)? },
+            6 => KernelClass::Softmax { elems: g(0)? },
+            7 => KernelClass::Embedding { elems: g(0)? },
+            8 => KernelClass::Optimizer { params: g(0)? },
+            9 => KernelClass::Memcpy { bytes: g(0)? },
+            10 => KernelClass::Memset { bytes: g(0)? },
+            11 => KernelClass::Collective(CommMeta {
+                kind: CollectiveKind::deserialize_value(
+                    f.first()
+                        .ok_or_else(|| de::Error::new("collective: missing kind"))?,
+                )?,
+                group: g(1)?,
+                seq: u32::try_from(g(2)?)
+                    .map_err(|_| de::Error::new("collective seq out of range"))?,
+                bytes: g(3)?,
+            }),
+            12 => KernelClass::Other,
+            other => return Err(de::Error::new(format!("unknown kernel class tag {other}"))),
+        })
+    }
+}
+
+impl Serialize for CudaRuntimeKind {
+    fn serialize_value(&self) -> Value {
+        let ser = |x: u64| x.serialize_value();
+        match *self {
+            CudaRuntimeKind::LaunchKernel => tagged(0, vec![]),
+            CudaRuntimeKind::MemcpyAsync => tagged(1, vec![]),
+            CudaRuntimeKind::MemsetAsync => tagged(2, vec![]),
+            CudaRuntimeKind::EventRecord { event, stream } => {
+                tagged(3, vec![ser(event), ser(stream.0 as u64)])
+            }
+            CudaRuntimeKind::StreamWaitEvent { stream, event } => {
+                tagged(4, vec![ser(stream.0 as u64), ser(event)])
+            }
+            CudaRuntimeKind::EventSynchronize { event } => tagged(5, vec![ser(event)]),
+            CudaRuntimeKind::StreamSynchronize { stream } => tagged(6, vec![ser(stream.0 as u64)]),
+            CudaRuntimeKind::DeviceSynchronize => tagged(7, vec![]),
+            CudaRuntimeKind::Other => tagged(8, vec![]),
+        }
+    }
+}
+
+impl Deserialize for CudaRuntimeKind {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let (tag, f) = untag(v, "cuda runtime kind")?;
+        let g = |i| field(f, i, "cuda runtime kind");
+        let sid = |x: u64| {
+            u32::try_from(x)
+                .map(StreamId)
+                .map_err(|_| de::Error::new("stream id out of range"))
+        };
+        Ok(match tag {
+            0 => CudaRuntimeKind::LaunchKernel,
+            1 => CudaRuntimeKind::MemcpyAsync,
+            2 => CudaRuntimeKind::MemsetAsync,
+            3 => CudaRuntimeKind::EventRecord {
+                event: g(0)?,
+                stream: sid(g(1)?)?,
+            },
+            4 => CudaRuntimeKind::StreamWaitEvent {
+                stream: sid(g(0)?)?,
+                event: g(1)?,
+            },
+            5 => CudaRuntimeKind::EventSynchronize { event: g(0)? },
+            6 => CudaRuntimeKind::StreamSynchronize {
+                stream: sid(g(0)?)?,
+            },
+            7 => CudaRuntimeKind::DeviceSynchronize,
+            8 => CudaRuntimeKind::Other,
+            other => {
+                return Err(de::Error::new(format!(
+                    "unknown cuda runtime kind tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl Serialize for EventKind {
+    fn serialize_value(&self) -> Value {
+        let ser = |x: u64| x.serialize_value();
+        match *self {
+            EventKind::CpuOp { tid } => tagged(0, vec![ser(tid.0 as u64)]),
+            EventKind::CudaRuntime {
+                tid,
+                kind,
+                correlation,
+            } => tagged(
+                1,
+                vec![ser(tid.0 as u64), ser(correlation), kind.serialize_value()],
+            ),
+            EventKind::Kernel {
+                stream,
+                correlation,
+                class,
+            } => tagged(
+                2,
+                vec![
+                    ser(stream.0 as u64),
+                    ser(correlation),
+                    class.serialize_value(),
+                ],
+            ),
+            EventKind::UserAnnotation { tid } => tagged(3, vec![ser(tid.0 as u64)]),
+        }
+    }
+}
+
+impl Deserialize for EventKind {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let (tag, f) = untag(v, "event kind")?;
+        let g = |i| field(f, i, "event kind");
+        let tid = |x: u64| {
+            u32::try_from(x)
+                .map(ThreadId)
+                .map_err(|_| de::Error::new("thread id out of range"))
+        };
+        Ok(match tag {
+            0 => EventKind::CpuOp { tid: tid(g(0)?)? },
+            1 => EventKind::CudaRuntime {
+                tid: tid(g(0)?)?,
+                correlation: g(1)?,
+                kind: CudaRuntimeKind::deserialize_value(
+                    f.get(2)
+                        .ok_or_else(|| de::Error::new("cuda runtime: missing kind"))?,
+                )?,
+            },
+            2 => EventKind::Kernel {
+                stream: u32::try_from(g(0)?)
+                    .map(StreamId)
+                    .map_err(|_| de::Error::new("stream id out of range"))?,
+                correlation: g(1)?,
+                class: KernelClass::deserialize_value(
+                    f.get(2)
+                        .ok_or_else(|| de::Error::new("kernel: missing class"))?,
+                )?,
+            },
+            3 => EventKind::UserAnnotation { tid: tid(g(0)?)? },
+            other => return Err(de::Error::new(format!("unknown event kind tag {other}"))),
+        })
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            Value::String(self.name.to_string()),
+            self.ts.serialize_value(),
+            self.dur.serialize_value(),
+            self.kind.serialize_value(),
+        ])
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) if items.len() == 4 => Ok(TraceEvent {
+                name: match &items[0] {
+                    Value::String(s) => Arc::from(s.as_str()),
+                    other => return Err(de::Error::expected("event name", other)),
+                },
+                ts: Ts::deserialize_value(&items[1])?,
+                dur: Dur::deserialize_value(&items[2])?,
+                kind: EventKind::deserialize_value(&items[3])?,
+            }),
+            other => Err(de::Error::expected("event array", other)),
+        }
     }
 }
 

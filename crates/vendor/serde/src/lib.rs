@@ -23,7 +23,7 @@ pub mod value;
 
 pub use de::Error as DeError;
 pub use serde_derive::{Deserialize, Serialize};
-pub use value::{Map, Number, Value};
+pub use value::{value_digest, Map, Number, Value};
 
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;

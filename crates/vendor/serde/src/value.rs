@@ -328,6 +328,87 @@ pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
             }
             x.len().cmp(&y.len())
         }
+        // Objects compare entry-wise in stored order (struct/enum
+        // serialization emits fields in a fixed order, so same-typed
+        // keys get a total order — required for deterministic
+        // serialization of maps with struct keys, and hence for
+        // [`value_digest`] stability).
+        (Value::Object(x), Value::Object(y)) => {
+            for ((xk, xv), (yk, yv)) in x.iter().zip(y.iter()) {
+                let c = xk.cmp(yk);
+                if c != Ordering::Equal {
+                    return c;
+                }
+                let c = cmp_values(xv, yv);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
         _ => rank(a).cmp(&rank(b)),
     }
+}
+
+/// A stable 64-bit FNV-1a digest of a value tree, identical across
+/// processes and platforms. Each node is tagged with a discriminant
+/// byte so differently shaped trees with the same leaves hash
+/// differently; objects hash entries in stored (serialization) order,
+/// which [`cmp_values`]-sorted map encoding makes deterministic.
+///
+/// Nonstandard extension of this vendored stand-in (like
+/// [`cmp_values`]): persistent-artifact consumers digest serialized
+/// trees for integrity checks, and the hash must live beside the
+/// ordering guarantees it depends on.
+pub fn value_digest(v: &Value) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn bytes(bytes: &[u8], h: &mut u64) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn node(v: &Value, h: &mut u64) {
+        match v {
+            Value::Null => bytes(&[0], h),
+            Value::Bool(b) => bytes(&[1, *b as u8], h),
+            Value::Number(n) => {
+                let (tag, bits) = match n {
+                    Number::PosInt(u) => (2u8, *u),
+                    Number::NegInt(i) => (3u8, *i as u64),
+                    Number::Float(f) => (4u8, f.to_bits()),
+                };
+                bytes(&[tag], h);
+                bytes(&bits.to_le_bytes(), h);
+            }
+            Value::String(s) => {
+                bytes(&[5], h);
+                bytes(&(s.len() as u64).to_le_bytes(), h);
+                bytes(s.as_bytes(), h);
+            }
+            Value::Array(items) => {
+                bytes(&[6], h);
+                bytes(&(items.len() as u64).to_le_bytes(), h);
+                for item in items {
+                    node(item, h);
+                }
+            }
+            Value::Object(map) => {
+                bytes(&[7], h);
+                bytes(&(map.len() as u64).to_le_bytes(), h);
+                for (k, val) in map.iter() {
+                    bytes(&(k.len() as u64).to_le_bytes(), h);
+                    bytes(k.as_bytes(), h);
+                    node(val, h);
+                }
+            }
+        }
+    }
+
+    let mut h = FNV_OFFSET;
+    node(v, &mut h);
+    h
 }

@@ -21,6 +21,10 @@
 //!   construction, Algorithm 1 replay, and graph manipulation
 //!   (DP/PP/TP/layers/width/sequence-length transforms and what-if
 //!   studies);
+//! * [`calib`] — versioned, serializable calibration artifacts: fit
+//!   the lookup tables and block library from a trace once
+//!   (`lumos calibrate`), then answer predict/search/replay/mfu
+//!   queries from the artifact without re-ingesting the trace;
 //! * [`dpro`] — the dPRO baseline replayer;
 //! * [`search`] — the parallel what-if configuration-search engine:
 //!   space descriptors, streaming enumeration, memory-feasibility
@@ -67,6 +71,7 @@
 
 #![warn(missing_docs)]
 
+pub use lumos_calib as calib;
 pub use lumos_cluster as cluster;
 pub use lumos_core as core;
 pub use lumos_cost as cost;
@@ -77,6 +82,7 @@ pub use lumos_trace as trace;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
+    pub use lumos_calib::{CalibrationArtifact, TraceFingerprint};
     pub use lumos_cluster::{GroundTruthCluster, JitterModel, SimConfig};
     pub use lumos_core::manipulate::Transform;
     pub use lumos_core::{analysis, manipulate, Lumos, Replayed, SimOptions};
@@ -86,7 +92,8 @@ pub mod prelude {
         BatchConfig, ModelConfig, Parallelism, PipelineSchedule, ScheduleKind, TrainingSetup,
     };
     pub use lumos_search::{
-        search as search_space, Objective, SearchOptions, SearchReport, SpaceSpec,
+        search as search_space, search_calibrated, Objective, SearchCalibration, SearchOptions,
+        SearchReport, SpaceSpec,
     };
     pub use lumos_trace::{Breakdown, BreakdownExt, ClusterTrace, Dur, RankTrace, TraceEvent, Ts};
 }
