@@ -1,0 +1,303 @@
+//! Engine execution-mode benchmarks: metrics-only vs full-trace
+//! simulation, and the refined-search end-to-end path that motivated
+//! the metrics-only mode (PR 5).
+//!
+//! Besides the usual criterion output, this bench snapshots its
+//! medians to `BENCH_PR5.json` at the repository root (override with
+//! `BENCH_PR5_OUT`) and **fails** (exit 2) when the metrics-only
+//! engine path is not faster than the full-trace path — CI runs it in
+//! smoke mode (`ENGINE_BENCH_SMOKE=1`, fewer samples) to guard the
+//! perf claim on every push.
+//!
+//! The fixture is the refined-search test fixture: an 8-layer research
+//! model on tp=1 × pp=2 × dp=2 with 4 micro-batches, executed against
+//! a trace-fitted lookup cost model exactly as `lumos search
+//! --refine-sim --jitter-replicas 8` executes finalists.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use lumos_cluster::{GroundTruthCluster, JitterModel, PreparedJob, SimConfig};
+use lumos_cost::{AnalyticalCostModel, HostOverheads, LookupCostModel};
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+use lumos_search::{search, Objective, SearchOptions, SpaceSpec};
+use lumos_trace::ClusterTrace;
+use std::time::Instant;
+
+/// The refined-search fixture (mirrors `crates/search/tests/refine.rs`).
+fn fixture() -> (SimConfig, ClusterTrace) {
+    let cfg = SimConfig {
+        model: ModelConfig::custom("refine-e2e", 8, 256, 1024, 4, 64),
+        parallelism: Parallelism::new(1, 2, 2).unwrap(),
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .profile_iteration(0)
+        .unwrap()
+        .trace;
+    (cfg, trace)
+}
+
+fn smoke() -> bool {
+    std::env::var_os("ENGINE_BENCH_SMOKE").is_some()
+}
+
+/// Median wall-clock seconds of `samples` runs of `f` (after one
+/// warm-up run).
+fn median_secs<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples.max(2))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Interleaved A/B medians: samples alternate between the two
+/// workloads so clock-frequency drift hits both sides equally instead
+/// of biasing whichever ran second.
+fn median_pair_secs<FA: FnMut(), FB: FnMut()>(samples: usize, mut a: FA, mut b: FB) -> (f64, f64) {
+    a();
+    b();
+    let mut ta = Vec::with_capacity(samples);
+    let mut tb = Vec::with_capacity(samples);
+    for _ in 0..samples.max(2) {
+        let start = Instant::now();
+        a();
+        ta.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        b();
+        tb.push(start.elapsed().as_secs_f64());
+    }
+    ta.sort_by(f64::total_cmp);
+    tb.sort_by(f64::total_cmp);
+    (ta[ta.len() / 2], tb[tb.len() / 2])
+}
+
+fn search_opts(jitter_replicas: u32) -> SearchOptions {
+    SearchOptions {
+        objective: Objective::Makespan,
+        top_k: Some(5),
+        refine_sim: true,
+        jitter_replicas,
+        ..SearchOptions::default()
+    }
+}
+
+fn refine_space() -> SpaceSpec {
+    SpaceSpec::deployment_grid(&[1], &[1, 2, 4], &[1, 2]).with_microbatches(&[4, 8])
+}
+
+/// Criterion view: one engine iteration of the fixture job, full-trace
+/// vs metrics-only, priced by the trace-fitted lookup model.
+fn bench_engine_modes(c: &mut Criterion) {
+    let (cfg, trace) = fixture();
+    let lookup = LookupCostModel::fit_from_trace(&trace, AnalyticalCostModel::h100(), 8);
+    let job = lumos_cluster::lower(&cfg).unwrap();
+    let prep = PreparedJob::new(&job).unwrap();
+    let oh = HostOverheads::default();
+    let jitter = JitterModel::none();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    group.bench_with_input(BenchmarkId::from_parameter("full-trace"), &prep, |b, p| {
+        b.iter(|| p.execute(&lookup, &oh, &jitter, 0).unwrap())
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("metrics-only"),
+        &prep,
+        |b, p| b.iter(|| p.execute_metrics(&lookup, &oh, &jitter, 0).unwrap()),
+    );
+    group.finish();
+}
+
+/// Criterion view: the two-phase search end to end with 8 jitter
+/// replicas per finalist (the workload the metrics-only mode exists
+/// for).
+fn bench_refined_search(c: &mut Criterion) {
+    let (cfg, trace) = fixture();
+    let spec = refine_space();
+    let mut group = c.benchmark_group("search_refined_jitter8");
+    group.sample_size(if smoke() { 2 } else { 5 });
+    group.bench_function("refine-sim", |b| {
+        b.iter(|| {
+            search(
+                &trace,
+                &cfg,
+                &spec,
+                &search_opts(8),
+                AnalyticalCostModel::h100(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Criterion view: one finalist's whole refinement workload — the
+/// zero-jitter base run plus 8 deterministic jitter replicas — the
+/// way the pre-metrics refine path ran it (full-trace `execute`,
+/// re-preparing per run) vs the way it runs now (prepare once,
+/// metrics-only).
+fn bench_refine_finalist(c: &mut Criterion) {
+    let (cfg, trace) = fixture();
+    let lookup = LookupCostModel::fit_from_trace(&trace, AnalyticalCostModel::h100(), 8);
+    let job = lumos_cluster::lower(&cfg).unwrap();
+    let oh = HostOverheads::default();
+    let none = JitterModel::none();
+    let realistic = JitterModel::realistic(0);
+    let mut group = c.benchmark_group("refine_finalist_jitter8");
+    group.sample_size(if smoke() { 2 } else { 5 });
+    group.bench_function("full-trace-per-run", |b| {
+        b.iter(|| {
+            lumos_cluster::execute(&job, &lookup, &oh, &none, 0).unwrap();
+            for replica in 0..8 {
+                lumos_cluster::execute(&job, &lookup, &oh, &realistic, replica).unwrap();
+            }
+        })
+    });
+    group.bench_function("metrics-prepared-once", |b| {
+        b.iter(|| {
+            let prep = PreparedJob::new(&job).unwrap();
+            prep.execute_metrics(&lookup, &oh, &none, 0).unwrap();
+            for replica in 0..8 {
+                prep.execute_metrics(&lookup, &oh, &realistic, replica)
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    engine_benches,
+    bench_engine_modes,
+    bench_refine_finalist,
+    bench_refined_search
+);
+
+/// Machine-readable snapshot: medians of the same three workloads,
+/// written to `BENCH_PR5.json`, plus the metrics-vs-full speedup gate.
+fn emit_snapshot() {
+    let smoke = smoke();
+    let samples = if smoke { 5 } else { 25 };
+    let search_samples = if smoke { 2 } else { 7 };
+
+    let (cfg, trace) = fixture();
+    let lookup = LookupCostModel::fit_from_trace(&trace, AnalyticalCostModel::h100(), 8);
+    let job = lumos_cluster::lower(&cfg).unwrap();
+    let prep = PreparedJob::new(&job).unwrap();
+    let oh = HostOverheads::default();
+    let jitter = JitterModel::none();
+
+    // Headline comparison — one zero-jitter simulation of the refine
+    // fixture, as the refine path runs it: before, a full-trace
+    // `execute()` paying per-run setup and trace materialization
+    // every time; now, a metrics-only run of the shared prepared job.
+    let (full, metrics) = median_pair_secs(
+        samples,
+        || {
+            std::hint::black_box(lumos_cluster::execute(&job, &lookup, &oh, &jitter, 0).unwrap());
+        },
+        || {
+            std::hint::black_box(prep.execute_metrics(&lookup, &oh, &jitter, 0).unwrap());
+        },
+    );
+    // Conservative variant: both sides share the prepared job, so the
+    // delta is purely the sink (trace materialization vs aggregates).
+    let (full_prepared, metrics_prepared) = median_pair_secs(
+        samples,
+        || {
+            std::hint::black_box(prep.execute(&lookup, &oh, &jitter, 0).unwrap());
+        },
+        || {
+            std::hint::black_box(prep.execute_metrics(&lookup, &oh, &jitter, 0).unwrap());
+        },
+    );
+    let realistic = JitterModel::realistic(0);
+    let (finalist_full, finalist_metrics) = median_pair_secs(
+        samples / 3 + 2,
+        || {
+            lumos_cluster::execute(&job, &lookup, &oh, &jitter, 0).unwrap();
+            for replica in 0..8 {
+                std::hint::black_box(
+                    lumos_cluster::execute(&job, &lookup, &oh, &realistic, replica).unwrap(),
+                );
+            }
+        },
+        || {
+            let p = PreparedJob::new(&job).unwrap();
+            p.execute_metrics(&lookup, &oh, &jitter, 0).unwrap();
+            for replica in 0..8 {
+                std::hint::black_box(
+                    p.execute_metrics(&lookup, &oh, &realistic, replica)
+                        .unwrap(),
+                );
+            }
+        },
+    );
+    let spec = refine_space();
+    let refined = median_secs(search_samples, || {
+        std::hint::black_box(
+            search(
+                &trace,
+                &cfg,
+                &spec,
+                &search_opts(8),
+                AnalyticalCostModel::h100(),
+            )
+            .unwrap(),
+        );
+    });
+    let speedup = full / metrics;
+    let prepared_speedup = full_prepared / metrics_prepared;
+    let finalist_speedup = finalist_full / finalist_metrics;
+
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"generated_by\": \"crates/bench/benches/engine.rs\",\n  \
+         \"fixture\": {{\n    \"model\": \"refine-e2e\",\n    \"layers\": 8,\n    \
+         \"tp\": 1,\n    \"pp\": 2,\n    \"dp\": 2,\n    \"microbatches\": 4,\n    \
+         \"seq_len\": 128,\n    \"world_size\": 4\n  }},\n  \
+         \"samples\": {samples},\n  \"smoke\": {smoke},\n  \
+         \"engine_full_trace_per_run_median_secs\": {full:.9},\n  \
+         \"engine_metrics_only_median_secs\": {metrics:.9},\n  \
+         \"engine_speedup_metrics_vs_full\": {speedup:.3},\n  \
+         \"engine_full_trace_prepared_median_secs\": {full_prepared:.9},\n  \
+         \"engine_metrics_only_prepared_median_secs\": {metrics_prepared:.9},\n  \
+         \"engine_prepared_speedup_metrics_vs_full\": {prepared_speedup:.3},\n  \
+         \"refine_finalist_jitter8_full_trace_median_secs\": {finalist_full:.9},\n  \
+         \"refine_finalist_jitter8_metrics_median_secs\": {finalist_metrics:.9},\n  \
+         \"refine_finalist_jitter8_speedup\": {finalist_speedup:.3},\n  \
+         \"refined_search_jitter8_median_secs\": {refined:.9}\n}}\n"
+    );
+
+    let out = std::env::var("BENCH_PR5_OUT").unwrap_or_else(|_| {
+        // Benches run with cwd = crates/bench; snapshot lives at the
+        // repository root.
+        format!("{}/../../BENCH_PR5.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    println!("\n== BENCH_PR5 snapshot ({out}) ==");
+    print!("{json}");
+
+    if metrics >= full {
+        eprintln!(
+            "FAIL: metrics-only engine path ({metrics:.6}s) is not faster than \
+             full-trace ({full:.6}s)"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn main() {
+    engine_benches();
+    emit_snapshot();
+}

@@ -69,7 +69,11 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
   full multi-rank program and executed through the discrete-event\n\
   engine (overlap, host dispatch, and collective rendezvous\n\
   included), the finals are re-ranked by simulated makespan, and the\n\
-  report gains analytic-vs-simulated delta columns.\n\
+  report gains analytic-vs-simulated delta columns. Refinement runs\n\
+  the engine in its metrics-only mode (each finalist is lowered and\n\
+  prepared once, shared across jitter replicas; no trace events are\n\
+  materialized) — output is byte-identical to full-trace execution,\n\
+  several times faster. `lumos replay`/`synth` keep full traces.\n\
   --jitter-replicas N (implies --refine-sim) additionally executes N\n\
   deterministic variance replicas per finalist and re-ranks by the\n\
   jittered mean, adding mean/p95/stability robustness columns\n\

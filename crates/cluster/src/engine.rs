@@ -1,7 +1,8 @@
 //! The ground-truth execution engine: a multi-rank discrete-event
 //! simulator with CUDA semantics.
 //!
-//! Each rank contributes host threads (executing [`HostOp`] streams)
+//! Each rank contributes host threads (executing
+//! [`crate::program::HostOp`] streams)
 //! and CUDA streams (FIFO queues of kernels, event records, and event
 //! waits). Cross-rank coupling happens exclusively through collective
 //! rendezvous: a collective kernel instance starts when *every*
@@ -13,18 +14,28 @@
 //! resolve, entities are advanced from a wake queue until quiescence.
 //! Execution is deterministic — wake order never affects computed
 //! timestamps, only the order in which they are discovered.
+//!
+//! # Execution modes
+//!
+//! The engine is generic over an event sink (see [`crate::sink`]).
+//! [`execute`] / [`PreparedJob::execute`] materialize full per-rank
+//! traces; [`execute_metrics`] / [`PreparedJob::execute_metrics`] run
+//! the identical simulation while accumulating only aggregates —
+//! the hot loop then performs no allocation per event. All runtime
+//! state (threads, streams, CUDA events, tokens, collective
+//! instances) is indexed by dense ids resolved once in
+//! [`PreparedJob::new`]; no hash map is touched per step.
 
-use crate::jitter::JitterModel;
+use crate::exec::{ExecOp, PreparedJob};
+use crate::jitter::{JitterModel, RunJitter};
 use crate::lower::LoweredJob;
-use crate::program::HostOp;
+use crate::program::NameId;
+use crate::sink::{EngineMetrics, EventSink, FullTraceSink, MetricsSink};
 use lumos_cost::{CostModel, HostOverheads};
-use lumos_trace::{
-    ClusterTrace, CudaRuntimeKind, Dur, KernelClass, RankTrace, StreamId, TraceEvent, Ts,
-};
-use std::collections::{HashMap, VecDeque};
+use lumos_trace::{ClusterTrace, CudaRuntimeKind, Dur, KernelClass, Ts};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
 
 /// Detection latency between a GPU completion and the host observing
 /// it through a blocking synchronize.
@@ -40,12 +51,6 @@ pub enum EngineError {
     Deadlock {
         /// Human-readable stuck-entity report.
         detail: String,
-    },
-    /// A program emitted an event for a rank the job does not declare
-    /// (a malformed [`LoweredJob`] built outside [`crate::lower`]).
-    UnknownRank {
-        /// The undeclared rank.
-        rank: u32,
     },
     /// A collective launch referenced a communicator group absent from
     /// [`LoweredJob::groups`].
@@ -67,9 +72,6 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Deadlock { detail } => write!(f, "execution deadlocked: {detail}"),
-            EngineError::UnknownRank { rank } => {
-                write!(f, "event emitted for undeclared rank {rank}")
-            }
             EngineError::UnknownGroup { group } => {
                 write!(
                     f,
@@ -85,7 +87,7 @@ impl fmt::Display for EngineError {
 
 impl Error for EngineError {}
 
-/// The result of executing a lowered job.
+/// The result of executing a lowered job with full trace collection.
 #[derive(Debug, Clone)]
 pub struct EngineOutput {
     /// Per-rank Kineto-style traces (sorted by timestamp).
@@ -95,16 +97,19 @@ pub struct EngineOutput {
 }
 
 /// Executes `job` with the given cost model, host overheads, and
-/// jitter for iteration index `iteration`.
+/// jitter for iteration index `iteration`, materializing a full
+/// trace. Prepares the job first; executing many iterations of one
+/// job is cheaper through [`PreparedJob`].
 ///
 /// # Errors
 ///
 /// Returns [`EngineError::Deadlock`] when the program graph cannot be
-/// completed, and [`EngineError::UnknownRank`] /
-/// [`EngineError::UnknownGroup`] / [`EngineError::MalformedProgram`]
-/// when the job itself is ill-formed (a hand-built [`LoweredJob`]
-/// rather than one from [`crate::lower`]). None of these panic: a bad
-/// job yields a typed error.
+/// completed, and [`EngineError::UnknownGroup`] /
+/// [`EngineError::MalformedProgram`] when the job itself is
+/// ill-formed (a hand-built [`LoweredJob`] rather than one from
+/// [`crate::lower`] — duplicate ranks, dangling name ids,
+/// unregistered communicators). None of these panic: a bad job
+/// yields a typed error.
 pub fn execute<C: CostModel>(
     job: &LoweredJob,
     cost: &C,
@@ -112,7 +117,78 @@ pub fn execute<C: CostModel>(
     jitter: &JitterModel,
     iteration: u64,
 ) -> Result<EngineOutput, EngineError> {
-    Engine::new(job, cost, overheads, jitter, iteration).run()
+    PreparedJob::new(job)?.execute(cost, overheads, jitter, iteration)
+}
+
+/// Executes `job` in metrics-only mode: the identical simulation,
+/// with no [`lumos_trace::TraceEvent`] constructed — only the
+/// aggregates in [`EngineMetrics`].
+///
+/// # Errors
+///
+/// Same failure modes as [`execute`].
+pub fn execute_metrics<C: CostModel>(
+    job: &LoweredJob,
+    cost: &C,
+    overheads: &HostOverheads,
+    jitter: &JitterModel,
+    iteration: u64,
+) -> Result<EngineMetrics, EngineError> {
+    PreparedJob::new(job)?.execute_metrics(cost, overheads, jitter, iteration)
+}
+
+impl<'a> PreparedJob<'a> {
+    /// Executes one iteration with full trace collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Deadlock`] /
+    /// [`EngineError::MalformedProgram`] for runtime violations
+    /// (structural problems were already rejected by
+    /// [`PreparedJob::new`]).
+    pub fn execute<C: CostModel>(
+        &self,
+        cost: &C,
+        overheads: &HostOverheads,
+        jitter: &JitterModel,
+        iteration: u64,
+    ) -> Result<EngineOutput, EngineError> {
+        let sink = Engine::new(
+            self,
+            cost,
+            overheads,
+            jitter,
+            iteration,
+            FullTraceSink::new(self),
+        )
+        .run()?;
+        let (trace, makespan) = sink.finish(self.job.config.label());
+        Ok(EngineOutput { trace, makespan })
+    }
+
+    /// Executes one iteration in metrics-only (allocation-free) mode.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PreparedJob::execute`].
+    pub fn execute_metrics<C: CostModel>(
+        &self,
+        cost: &C,
+        overheads: &HostOverheads,
+        jitter: &JitterModel,
+        iteration: u64,
+    ) -> Result<EngineMetrics, EngineError> {
+        let sink = Engine::new(
+            self,
+            cost,
+            overheads,
+            jitter,
+            iteration,
+            MetricsSink::new(self),
+        )
+        .run()?;
+        Ok(sink.finish(self))
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,9 +211,6 @@ enum Blocked {
 }
 
 struct ThreadState {
-    rank: u32,
-    tid: lumos_trace::ThreadId,
-    ops: Vec<HostOp>,
     pc: usize,
     clock: Ts,
     blocked: Blocked,
@@ -145,36 +218,40 @@ struct ThreadState {
     sync_started: Option<(Ts, CudaRuntimeKind)>,
     /// Latest GPU completion observed by the pending wake(s).
     wake_time: Ts,
-    ann_stack: Vec<(Arc<str>, Ts)>,
+    ann_stack: Vec<(NameId, Ts)>,
     host_site: u64,
 }
 
+/// A stream FIFO entry. `Copy`: operands are dense ids, so the
+/// dispatch loop reads entries by value.
+#[derive(Clone, Copy)]
 enum Entry {
     Kernel {
-        name: Arc<str>,
+        name: NameId,
         class: KernelClass,
+        /// Base (unjittered) duration, resolved from the per-run
+        /// kernel-cost table at launch.
+        base: Dur,
         earliest: Ts,
         corr: u64,
     },
     Collective {
-        name: Arc<str>,
+        name: NameId,
         class: KernelClass,
-        key: (u64, u32),
+        coll: u32,
         earliest: Ts,
         corr: u64,
         arrived: bool,
     },
     Record {
-        event: (u32, u32),
+        event: u32,
     },
     WaitEv {
-        event: (u32, u32),
+        event: u32,
     },
 }
 
 struct StreamState {
-    rank: u32,
-    sid: StreamId,
     entries: Vec<Entry>,
     head: usize,
     clock: Ts,
@@ -195,81 +272,100 @@ struct TokenState {
     waiters: Vec<usize>,
 }
 
-struct CollInstance {
-    expected: usize,
+struct CollState {
     arrivals: Vec<(usize, Ts)>,
     resolved: Option<(Ts, Dur)>,
 }
 
-struct Engine<'a, C: CostModel> {
-    job: &'a LoweredJob,
-    cost: &'a C,
-    oh: &'a HostOverheads,
-    jitter: &'a JitterModel,
-    iteration: u64,
+struct Engine<'p, C: CostModel, S: EventSink> {
+    prep: &'p PreparedJob<'p>,
+    cost: &'p C,
+    oh: &'p HostOverheads,
+    /// Compiled for this run's iteration: per-component distribution
+    /// parameters and the correlated drift resolved once.
+    jitter: RunJitter,
     threads: Vec<ThreadState>,
     streams: Vec<StreamState>,
-    stream_index: HashMap<(u32, StreamId), usize>,
-    events: HashMap<(u32, u32), EventState>,
-    tokens: HashMap<(u32, u32), TokenState>,
-    collectives: HashMap<(u64, u32), CollInstance>,
-    traces: HashMap<u32, RankTrace>,
+    events: Vec<EventState>,
+    tokens: Vec<TokenState>,
+    collectives: Vec<CollState>,
     queue: VecDeque<Wake>,
     queued_threads: Vec<bool>,
     queued_streams: Vec<bool>,
     next_corr: u64,
+    /// Base duration per distinct kernel class
+    /// ([`PreparedJob::kernel_classes`]), priced once per run.
+    kernel_costs: Vec<Dur>,
     /// First fatal error observed while draining the wake queue. The
     /// run loop stops at the next wake and reports it, so malformed
     /// programs surface as typed errors instead of panics.
     fatal: Option<EngineError>,
+    sink: S,
 }
 
-impl<'a, C: CostModel> Engine<'a, C> {
+impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
     fn new(
-        job: &'a LoweredJob,
-        cost: &'a C,
-        oh: &'a HostOverheads,
-        jitter: &'a JitterModel,
+        prep: &'p PreparedJob<'p>,
+        cost: &'p C,
+        oh: &'p HostOverheads,
+        jitter: &'p JitterModel,
         iteration: u64,
+        sink: S,
     ) -> Self {
-        let mut threads = Vec::new();
-        let mut traces = HashMap::new();
-        for program in &job.programs {
-            traces.insert(program.rank, RankTrace::new(program.rank));
-            for tp in &program.threads {
-                threads.push(ThreadState {
-                    rank: program.rank,
-                    tid: tp.tid,
-                    ops: tp.ops.clone(),
-                    pc: 0,
-                    clock: Ts::ZERO,
-                    blocked: Blocked::Ready,
-                    sync_started: None,
-                    wake_time: Ts::ZERO,
-                    ann_stack: Vec::new(),
-                    host_site: 0,
-                });
-            }
-        }
+        let threads: Vec<ThreadState> = prep
+            .threads
+            .iter()
+            .map(|_| ThreadState {
+                pc: 0,
+                clock: Ts::ZERO,
+                blocked: Blocked::Ready,
+                sync_started: None,
+                wake_time: Ts::ZERO,
+                ann_stack: Vec::new(),
+                host_site: 0,
+            })
+            .collect();
+        let streams: Vec<StreamState> = prep
+            .streams
+            .iter()
+            .map(|s| StreamState {
+                entries: Vec::with_capacity(s.entries_hint),
+                head: 0,
+                clock: Ts::ZERO,
+                drain_waiters: Vec::new(),
+                last_enqueue_host: Ts::ZERO,
+            })
+            .collect();
         let queued_threads = vec![false; threads.len()];
+        let queued_streams = vec![false; streams.len()];
         Engine {
-            job,
+            prep,
             cost,
             oh,
-            jitter,
-            iteration,
+            jitter: jitter.compile(iteration),
             threads,
-            streams: Vec::new(),
-            stream_index: HashMap::new(),
-            events: HashMap::new(),
-            tokens: HashMap::new(),
-            collectives: HashMap::new(),
-            traces,
+            streams,
+            events: (0..prep.n_events).map(|_| EventState::default()).collect(),
+            tokens: (0..prep.n_tokens).map(|_| TokenState::default()).collect(),
+            collectives: prep
+                .collectives
+                .iter()
+                .map(|c| CollState {
+                    arrivals: Vec::with_capacity(c.expected),
+                    resolved: None,
+                })
+                .collect(),
             queue: VecDeque::new(),
             queued_threads,
-            queued_streams: Vec::new(),
+            queued_streams,
             next_corr: 1,
+            kernel_costs: prep
+                .kernel_classes
+                .iter()
+                .map(|c| cost.compute_cost(c))
+                .collect(),
             fatal: None,
+            sink,
         }
     }
 
@@ -279,25 +375,6 @@ impl<'a, C: CostModel> Engine<'a, C> {
         if self.fatal.is_none() {
             self.fatal = Some(e);
         }
-    }
-
-    fn stream_idx(&mut self, rank: u32, sid: StreamId) -> usize {
-        if let Some(&i) = self.stream_index.get(&(rank, sid)) {
-            return i;
-        }
-        let i = self.streams.len();
-        self.streams.push(StreamState {
-            rank,
-            sid,
-            entries: Vec::new(),
-            head: 0,
-            clock: Ts::ZERO,
-            drain_waiters: Vec::new(),
-            last_enqueue_host: Ts::ZERO,
-        });
-        self.queued_streams.push(false);
-        self.stream_index.insert((rank, sid), i);
-        i
     }
 
     fn wake_thread(&mut self, i: usize) {
@@ -314,14 +391,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
         }
     }
 
-    fn emit(&mut self, rank: u32, event: TraceEvent) {
-        match self.traces.get_mut(&rank) {
-            Some(trace) => trace.push(event),
-            None => self.fail(EngineError::UnknownRank { rank }),
-        }
-    }
-
-    fn run(mut self) -> Result<EngineOutput, EngineError> {
+    fn run(mut self) -> Result<S, EngineError> {
         for i in 0..self.threads.len() {
             self.wake_thread(i);
         }
@@ -344,41 +414,31 @@ impl<'a, C: CostModel> Engine<'a, C> {
             return Err(e);
         }
         self.check_quiescent()?;
-
-        let mut cluster = ClusterTrace::new(self.job.config.label());
-        let mut ranks: Vec<(u32, RankTrace)> = self.traces.drain().collect();
-        ranks.sort_unstable_by_key(|&(r, _)| r);
-        for (_, mut t) in ranks {
-            t.sort();
-            cluster.push_rank(t);
-        }
-        let makespan = cluster.makespan();
-        Ok(EngineOutput {
-            trace: cluster,
-            makespan,
-        })
+        Ok(self.sink)
     }
 
     fn check_quiescent(&self) -> Result<(), EngineError> {
         let mut stuck = Vec::new();
         for (i, t) in self.threads.iter().enumerate() {
             if !matches!(t.blocked, Blocked::Done) {
+                let meta = &self.prep.threads[i];
                 stuck.push(format!(
                     "thread #{i} (rank {} {:?}) at pc {}/{} blocked {:?}",
-                    t.rank,
-                    t.tid,
+                    meta.rank,
+                    meta.tid,
                     t.pc,
-                    t.ops.len(),
+                    meta.ops.len(),
                     t.blocked
                 ));
             }
         }
-        for s in &self.streams {
+        for (si, s) in self.streams.iter().enumerate() {
             if s.head < s.entries.len() {
+                let meta = self.prep.streams[si];
                 stuck.push(format!(
                     "stream rank {} {} drained {}/{}",
-                    s.rank,
-                    s.sid,
+                    meta.rank,
+                    meta.sid,
                     s.head,
                     s.entries.len()
                 ));
@@ -394,16 +454,21 @@ impl<'a, C: CostModel> Engine<'a, C> {
         }
     }
 
-    fn host_dur(&mut self, thread: usize, base: Dur) -> Dur {
+    fn host_dur(&mut self, thread: usize, rank: u32, base: Dur) -> Dur {
         let t = &mut self.threads[thread];
         t.host_site += 1;
-        base.scale(
-            self.jitter
-                .host_multiplier(self.iteration, t.rank, t.host_site),
-        )
+        if self.jitter.is_identity() {
+            return base;
+        }
+        base.scale(self.jitter.host_multiplier(rank, t.host_site))
     }
 
     fn run_thread(&mut self, i: usize) {
+        let prep = self.prep;
+        let meta = &prep.threads[i];
+        let (prog, rank, tid) = (meta.prog, meta.rank, meta.tid);
+        let ops = meta.ops.as_slice();
+
         // Resolve an in-progress block first.
         match self.threads[i].blocked {
             Blocked::Done => return,
@@ -420,16 +485,12 @@ impl<'a, C: CostModel> Engine<'a, C> {
                     });
                     return;
                 };
-                let sync_dur = self.host_dur(i, self.oh.sync_call);
+                let sync_dur = self.host_dur(i, rank, self.oh.sync_call);
                 let t = &mut self.threads[i];
                 let end = (start + sync_dur).max(t.wake_time + SYNC_POLL_LATENCY);
-                let rank = t.rank;
-                let tid = t.tid;
                 t.clock = end;
                 t.blocked = Blocked::Ready;
-                let mut ev = TraceEvent::cuda_runtime(kind, start, end - start, tid);
-                ev.name = Arc::from(kind.api_name());
-                self.emit(rank, ev);
+                self.sink.runtime(prog, tid, kind, 0, start, end - start);
             }
             Blocked::Token => {
                 // Token time folded into clock by the waker.
@@ -437,132 +498,130 @@ impl<'a, C: CostModel> Engine<'a, C> {
             }
         }
 
-        while self.threads[i].pc < self.threads[i].ops.len() {
-            let op = self.threads[i].ops[self.threads[i].pc].clone();
+        while self.threads[i].pc < ops.len() {
+            let op = ops[self.threads[i].pc];
             match op {
-                HostOp::CpuOp { name } => {
-                    let dur = self.host_dur(i, self.oh.cpu_op);
+                ExecOp::CpuOp { name } => {
+                    let dur = self.host_dur(i, rank, self.oh.cpu_op);
                     let t = &mut self.threads[i];
-                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    let clock = t.clock;
                     t.clock += dur;
-                    self.emit(rank, TraceEvent::cpu_op(name, clock, dur, tid));
+                    self.sink.cpu_op(prog, tid, name, clock, dur);
                 }
-                HostOp::Launch { spec } => {
-                    let dur = self.host_dur(i, self.oh.launch_call);
+                ExecOp::Launch {
+                    name,
+                    class,
+                    stream,
+                    ..
+                }
+                | ExecOp::LaunchColl {
+                    name,
+                    class,
+                    stream,
+                    ..
+                } => {
+                    let dur = self.host_dur(i, rank, self.oh.launch_call);
                     let corr = self.next_corr;
                     self.next_corr += 1;
                     let t = &mut self.threads[i];
-                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    let clock = t.clock;
                     t.clock += dur;
-                    self.emit(
-                        rank,
-                        TraceEvent::cuda_runtime(CudaRuntimeKind::LaunchKernel, clock, dur, tid)
-                            .with_correlation(corr),
-                    );
+                    self.sink
+                        .runtime(prog, tid, CudaRuntimeKind::LaunchKernel, corr, clock, dur);
                     let earliest = clock + dur + self.oh.launch_gap;
-                    let si = self.stream_idx(rank, spec.stream);
-                    let entry = match spec.class {
-                        KernelClass::Collective(meta) => Entry::Collective {
-                            name: spec.name,
-                            class: spec.class,
-                            key: (meta.group, meta.seq),
+                    let entry = match op {
+                        ExecOp::LaunchColl { coll, .. } => Entry::Collective {
+                            name,
+                            class,
+                            coll,
                             earliest,
                             corr,
                             arrived: false,
                         },
-                        class => Entry::Kernel {
-                            name: spec.name,
+                        ExecOp::Launch { cost, .. } => Entry::Kernel {
+                            name,
                             class,
+                            base: self.kernel_costs[cost as usize],
                             earliest,
                             corr,
                         },
+                        _ => unreachable!("launch arms matched above"),
                     };
-                    self.enqueue(si, entry, clock);
+                    self.enqueue(stream as usize, entry, clock);
                 }
-                HostOp::EventRecord { event, stream } => {
-                    let dur = self.host_dur(i, self.oh.event_call);
+                ExecOp::EventRecord {
+                    event,
+                    raw_event,
+                    stream,
+                    raw_stream,
+                } => {
+                    let dur = self.host_dur(i, rank, self.oh.event_call);
                     let t = &mut self.threads[i];
-                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    let clock = t.clock;
                     t.clock += dur;
-                    self.emit(
-                        rank,
-                        TraceEvent::cuda_runtime(
-                            CudaRuntimeKind::EventRecord {
-                                event: event as u64,
-                                stream,
-                            },
-                            clock,
-                            dur,
-                            tid,
-                        ),
-                    );
-                    let si = self.stream_idx(rank, stream);
-                    self.enqueue(
-                        si,
-                        Entry::Record {
-                            event: (rank, event),
+                    self.sink.runtime(
+                        prog,
+                        tid,
+                        CudaRuntimeKind::EventRecord {
+                            event: raw_event as u64,
+                            stream: raw_stream,
                         },
+                        0,
                         clock,
+                        dur,
                     );
+                    self.enqueue(stream as usize, Entry::Record { event }, clock);
                 }
-                HostOp::StreamWait { stream, event } => {
-                    let dur = self.host_dur(i, self.oh.event_call);
+                ExecOp::StreamWait {
+                    event,
+                    raw_event,
+                    stream,
+                    raw_stream,
+                } => {
+                    let dur = self.host_dur(i, rank, self.oh.event_call);
                     let t = &mut self.threads[i];
-                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
+                    let clock = t.clock;
                     t.clock += dur;
-                    self.emit(
-                        rank,
-                        TraceEvent::cuda_runtime(
-                            CudaRuntimeKind::StreamWaitEvent {
-                                stream,
-                                event: event as u64,
-                            },
-                            clock,
-                            dur,
-                            tid,
-                        ),
-                    );
-                    let si = self.stream_idx(rank, stream);
-                    self.enqueue(
-                        si,
-                        Entry::WaitEv {
-                            event: (rank, event),
+                    self.sink.runtime(
+                        prog,
+                        tid,
+                        CudaRuntimeKind::StreamWaitEvent {
+                            stream: raw_stream,
+                            event: raw_event as u64,
                         },
+                        0,
                         clock,
+                        dur,
                     );
+                    self.enqueue(stream as usize, Entry::WaitEv { event }, clock);
                 }
-                HostOp::StreamSync { stream } => {
-                    let rank = self.threads[i].rank;
-                    let si = self.stream_idx(rank, stream);
+                ExecOp::StreamSync { stream, raw_stream } => {
+                    let si = stream as usize;
                     let upto = self.streams[si].entries.len();
-                    let kind = CudaRuntimeKind::StreamSynchronize { stream };
-                    if self.begin_sync(i, kind, &[(si, upto)]) {
+                    let kind = CudaRuntimeKind::StreamSynchronize { stream: raw_stream };
+                    if self.begin_sync(i, prog, rank, kind, &[(si, upto)]) {
                         self.threads[i].pc += 1;
                         continue;
                     }
                     self.threads[i].pc += 1;
                     return;
                 }
-                HostOp::DeviceSync => {
-                    let rank = self.threads[i].rank;
-                    let targets: Vec<(usize, usize)> = self
-                        .streams
+                ExecOp::DeviceSync => {
+                    let targets: Vec<(usize, usize)> = prep.rank_streams[prog as usize]
                         .iter()
-                        .enumerate()
-                        .filter(|(_, s)| s.rank == rank)
-                        .map(|(si, s)| (si, s.entries.len()))
+                        .map(|&si| (si as usize, self.streams[si as usize].entries.len()))
                         .collect();
-                    if self.begin_sync(i, CudaRuntimeKind::DeviceSynchronize, &targets) {
+                    if self.begin_sync(i, prog, rank, CudaRuntimeKind::DeviceSynchronize, &targets)
+                    {
                         self.threads[i].pc += 1;
                         continue;
                     }
                     self.threads[i].pc += 1;
                     return;
                 }
-                HostOp::SignalPeer { token } => {
-                    let t = &self.threads[i];
-                    let (rank, clock) = (t.rank, t.clock);
-                    let state = self.tokens.entry((rank, token)).or_default();
+                ExecOp::SignalPeer { token } => {
+                    let clock = self.threads[i].clock;
+                    let state = &mut self.tokens[token as usize];
                     state.time = Some(clock);
                     let waiters = std::mem::take(&mut state.waiters);
                     for w in waiters {
@@ -570,9 +629,8 @@ impl<'a, C: CostModel> Engine<'a, C> {
                         self.wake_thread(w);
                     }
                 }
-                HostOp::WaitPeer { token } => {
-                    let rank = self.threads[i].rank;
-                    let state = self.tokens.entry((rank, token)).or_default();
+                ExecOp::WaitPeer { token } => {
+                    let state = &mut self.tokens[token as usize];
                     match state.time {
                         Some(ts) => {
                             let t = &mut self.threads[i];
@@ -586,15 +644,15 @@ impl<'a, C: CostModel> Engine<'a, C> {
                         }
                     }
                 }
-                HostOp::AnnotationBegin { name } => {
+                ExecOp::AnnotationBegin { name } => {
                     let t = &mut self.threads[i];
                     let clock = t.clock;
                     t.ann_stack.push((name, clock));
                 }
-                HostOp::AnnotationEnd => {
+                ExecOp::AnnotationEnd => {
                     let t = &mut self.threads[i];
                     let Some((name, start)) = t.ann_stack.pop() else {
-                        let (rank, pc) = (t.rank, t.pc);
+                        let pc = t.pc;
                         self.fail(EngineError::MalformedProgram {
                             detail: format!(
                                 "rank {rank} thread #{i}: AnnotationEnd at pc {pc} \
@@ -603,11 +661,8 @@ impl<'a, C: CostModel> Engine<'a, C> {
                         });
                         return;
                     };
-                    let (rank, tid, clock) = (t.rank, t.tid, t.clock);
-                    self.emit(
-                        rank,
-                        TraceEvent::annotation(name, start, clock - start, tid),
-                    );
+                    let clock = t.clock;
+                    self.sink.annotation(prog, tid, name, start, clock - start);
                 }
             }
             self.threads[i].pc += 1;
@@ -621,6 +676,8 @@ impl<'a, C: CostModel> Engine<'a, C> {
     fn begin_sync(
         &mut self,
         thread: usize,
+        prog: u32,
+        rank: u32,
         kind: CudaRuntimeKind,
         targets: &[(usize, usize)],
     ) -> bool {
@@ -636,15 +693,14 @@ impl<'a, C: CostModel> Engine<'a, C> {
             }
         }
         if pending == 0 {
-            let sync_dur = self.host_dur(thread, self.oh.sync_call);
+            let sync_dur = self.host_dur(thread, rank, self.oh.sync_call);
             let t = &mut self.threads[thread];
             let end = (start + sync_dur)
                 .max(latest + SYNC_POLL_LATENCY)
                 .max(start);
-            let (rank, tid) = (t.rank, t.tid);
-            let ev = TraceEvent::cuda_runtime(kind, start, end - start, tid);
+            let tid = self.prep.threads[thread].tid;
             t.clock = end;
-            self.emit(rank, ev);
+            self.sink.runtime(prog, tid, kind, 0, start, end - start);
             true
         } else {
             let t = &mut self.threads[thread];
@@ -664,8 +720,8 @@ impl<'a, C: CostModel> Engine<'a, C> {
         debug_assert!(
             host_time >= s.last_enqueue_host,
             "stream enqueue order violated on rank {} {}",
-            s.rank,
-            s.sid
+            self.prep.streams[si].rank,
+            self.prep.streams[si].sid
         );
         s.last_enqueue_host = host_time;
         s.entries.push(entry);
@@ -673,41 +729,37 @@ impl<'a, C: CostModel> Engine<'a, C> {
     }
 
     fn run_stream(&mut self, si: usize) {
+        let prep = self.prep;
         loop {
             let s = &self.streams[si];
             if s.head >= s.entries.len() {
                 return;
             }
             let head = s.head;
-            match &s.entries[head] {
-                Entry::Kernel { .. } => {
-                    let (rank, sid) = (s.rank, s.sid);
-                    let Entry::Kernel {
-                        name,
-                        class,
-                        earliest,
-                        corr,
-                    } = &self.streams[si].entries[head]
-                    else {
-                        unreachable!()
+            match s.entries[head] {
+                Entry::Kernel {
+                    name,
+                    class,
+                    base,
+                    earliest,
+                    corr,
+                } => {
+                    let meta = prep.streams[si];
+                    let dur = if self.jitter.is_identity() {
+                        base
+                    } else {
+                        base.scale(self.jitter.kernel_multiplier(meta.rank, corr))
                     };
-                    let (name, class, earliest, corr) = (name.clone(), *class, *earliest, *corr);
-                    let base = self.cost.compute_cost(&class);
-                    let dur = base.scale(self.jitter.kernel_multiplier(self.iteration, rank, corr));
                     let start = self.streams[si].clock.max(earliest);
-                    self.emit(
-                        rank,
-                        TraceEvent::kernel(name, start, dur, sid)
-                            .with_correlation(corr)
-                            .with_class(class),
+                    self.sink.kernel(
+                        meta.prog, si as u32, meta.sid, name, class, corr, start, dur,
                     );
                     self.streams[si].clock = start + dur;
                     self.advance_head(si);
                 }
                 Entry::Record { event } => {
-                    let event = *event;
                     let completed = self.streams[si].clock;
-                    let state = self.events.entry(event).or_default();
+                    let state = &mut self.events[event as usize];
                     state.completed = Some(completed);
                     let waiters = std::mem::take(&mut state.waiting_streams);
                     for w in waiters {
@@ -716,8 +768,7 @@ impl<'a, C: CostModel> Engine<'a, C> {
                     self.advance_head(si);
                 }
                 Entry::WaitEv { event } => {
-                    let event = *event;
-                    let state = self.events.entry(event).or_default();
+                    let state = &mut self.events[event as usize];
                     match state.completed {
                         Some(ts) => {
                             let s = &mut self.streams[si];
@@ -744,47 +795,34 @@ impl<'a, C: CostModel> Engine<'a, C> {
     /// Processes a collective entry at a stream head. Returns `true`
     /// if the stream advanced.
     fn process_collective(&mut self, si: usize, head: usize) -> bool {
-        let (rank, sid, stream_clock) = {
-            let s = &self.streams[si];
-            (s.rank, s.sid, s.clock)
-        };
+        let prep = self.prep;
         let Entry::Collective {
             name,
             class,
-            key,
+            coll,
             earliest,
             corr,
             arrived,
-        } = &mut self.streams[si].entries[head]
+        } = self.streams[si].entries[head]
         else {
-            unreachable!()
+            unreachable!("process_collective sees collective entries")
         };
-        let key = *key;
-        let (name, class, corr) = (name.clone(), *class, *corr);
-        let ready = stream_clock.max(*earliest);
-        let newly_arrived = if *arrived {
-            false
-        } else {
-            *arrived = true;
-            true
-        };
+        let stream_clock = self.streams[si].clock;
+        let ready = stream_clock.max(earliest);
+        let newly_arrived = !arrived;
+        if newly_arrived {
+            if let Entry::Collective { arrived, .. } = &mut self.streams[si].entries[head] {
+                *arrived = true;
+            }
+        }
 
-        let Some(members) = self.job.groups.get(&key.0) else {
-            self.fail(EngineError::UnknownGroup { group: key.0 });
-            return false;
-        };
-        let expected = members.len();
-
-        let inst = self.collectives.entry(key).or_insert_with(|| CollInstance {
-            expected,
-            arrivals: Vec::new(),
-            resolved: None,
-        });
+        let info = prep.collectives[coll as usize];
+        let inst = &mut self.collectives[coll as usize];
         if newly_arrived {
             inst.arrivals.push((si, ready));
         }
 
-        if inst.resolved.is_none() && inst.arrivals.len() == inst.expected {
+        if inst.resolved.is_none() && inst.arrivals.len() == info.expected {
             let start = inst
                 .arrivals
                 .iter()
@@ -793,32 +831,41 @@ impl<'a, C: CostModel> Engine<'a, C> {
             let KernelClass::Collective(meta) = class else {
                 unreachable!("collective entries carry collective classes")
             };
-            let base = self.cost.collective_cost(meta.kind, meta.bytes, members);
-            let dur = base.scale(
-                self.jitter
-                    .comm_multiplier(self.iteration, key.0, key.1 as u64),
-            );
+            let base = self
+                .cost
+                .collective_cost(meta.kind, meta.bytes, info.members);
+            let dur = if self.jitter.is_identity() {
+                base
+            } else {
+                base.scale(self.jitter.comm_multiplier(info.group, info.seq as u64))
+            };
             inst.resolved = Some((start, dur));
-            // Wake the other member streams so they emit and advance.
-            let others: Vec<usize> = inst
-                .arrivals
-                .iter()
-                .map(|&(s, _)| s)
-                .filter(|&s| s != si)
-                .collect();
-            for o in others {
-                self.wake_stream(o);
+            // Wake the other member streams so they emit and advance
+            // (index loop: no temporary allocation on the hot path).
+            for k in 0..self.collectives[coll as usize].arrivals.len() {
+                let o = self.collectives[coll as usize].arrivals[k].0;
+                if o != si {
+                    self.wake_stream(o);
+                }
             }
         }
 
-        match self.collectives[&key].resolved {
+        match self.collectives[coll as usize].resolved {
             Some((start, dur)) => {
-                self.emit(
-                    rank,
-                    TraceEvent::kernel(name, start, dur, sid)
-                        .with_correlation(corr)
-                        .with_class(class),
+                let meta = prep.streams[si];
+                self.sink.kernel(
+                    meta.prog, si as u32, meta.sid, name, class, corr, start, dur,
                 );
+                // A member that arrives after the instance resolved
+                // (possible only in malformed hand-built jobs that
+                // over-issue an instance) exposes no wait; clamp
+                // instead of underflowing Ts subtraction.
+                let wait = if start >= ready {
+                    start - ready
+                } else {
+                    Dur::ZERO
+                };
+                self.sink.collective_wait(meta.prog, wait);
                 self.streams[si].clock = start + dur;
                 self.advance_head(si);
                 true
@@ -866,10 +913,11 @@ impl<'a, C: CostModel> Engine<'a, C> {
 mod tests {
     use super::*;
     use crate::lower::{lower, SimConfig};
-    use crate::program::{streams, KernelSpec, Program};
+    use crate::program::{streams, HostOp, KernelSpec, Program};
     use lumos_cost::AnalyticalCostModel;
     use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
-    use lumos_trace::EventKind;
+    use lumos_trace::{EventKind, StreamId};
+    use std::collections::HashMap;
 
     fn run_tiny(tp: u32, pp: u32, dp: u32) -> EngineOutput {
         let config = SimConfig {
@@ -994,9 +1042,10 @@ mod tests {
         // Build a malformed 2-rank job where only rank 0 launches a
         // collective on a 2-member group.
         let mut p0 = Program::new(0);
+        let nccl = p0.intern("nccl");
         p0.main_mut().push(HostOp::Launch {
             spec: KernelSpec {
-                name: "nccl".into(),
+                name: nccl,
                 class: KernelClass::Collective(lumos_trace::CommMeta {
                     kind: lumos_trace::CollectiveKind::AllReduce,
                     group: 99,
@@ -1033,9 +1082,10 @@ mod tests {
         // A collective launched on a communicator id the job never
         // registered must fail cleanly, not panic.
         let mut p0 = Program::new(0);
+        let nccl = p0.intern("nccl");
         p0.main_mut().push(HostOp::Launch {
             spec: KernelSpec {
-                name: "nccl".into(),
+                name: nccl,
                 class: KernelClass::Collective(lumos_trace::CommMeta {
                     kind: lumos_trace::CollectiveKind::AllReduce,
                     group: 7,
@@ -1089,6 +1139,121 @@ mod tests {
     }
 
     #[test]
+    fn dangling_name_id_is_typed_error() {
+        let mut p0 = Program::new(0);
+        p0.main_mut().push(HostOp::CpuOp { name: NameId(1234) });
+        let config = SimConfig::new(ModelConfig::tiny(), Parallelism::new(1, 1, 1).unwrap());
+        let job = LoweredJob {
+            programs: vec![p0],
+            groups: HashMap::new(),
+            config,
+        };
+        let err = execute(
+            &job,
+            &AnalyticalCostModel::h100(),
+            &HostOverheads::default(),
+            &JitterModel::none(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::MalformedProgram { .. }), "{err}");
+        assert!(err.to_string().contains("unknown name id"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_rank_is_typed_error() {
+        let config = SimConfig::new(ModelConfig::tiny(), Parallelism::new(1, 1, 1).unwrap());
+        let job = LoweredJob {
+            programs: vec![Program::new(3), Program::new(3)],
+            groups: HashMap::new(),
+            config,
+        };
+        let err = execute(
+            &job,
+            &AnalyticalCostModel::h100(),
+            &HostOverheads::default(),
+            &JitterModel::none(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::MalformedProgram { .. }), "{err}");
+        assert!(err.to_string().contains("more than one program"), "{err}");
+    }
+
+    #[test]
+    fn prepared_job_reuses_across_iterations() {
+        let config = SimConfig {
+            model: ModelConfig::tiny(),
+            parallelism: Parallelism::new(1, 2, 1).unwrap(),
+            batch: BatchConfig {
+                seq_len: 128,
+                microbatch_size: 1,
+                num_microbatches: 4,
+            },
+            schedule: ScheduleKind::OneFOneB,
+        };
+        let job = lower(&config).unwrap();
+        let prep = PreparedJob::new(&job).unwrap();
+        let cost = AnalyticalCostModel::h100();
+        let oh = HostOverheads::default();
+        let jitter = JitterModel::realistic(11);
+        for iteration in 0..3 {
+            let full = prep.execute(&cost, &oh, &jitter, iteration).unwrap();
+            let fresh = execute(&job, &cost, &oh, &jitter, iteration).unwrap();
+            assert_eq!(full.makespan, fresh.makespan, "iteration {iteration}");
+            let metrics = prep
+                .execute_metrics(&cost, &oh, &jitter, iteration)
+                .unwrap();
+            assert_eq!(metrics.makespan, full.makespan, "iteration {iteration}");
+            assert_eq!(metrics.total_events, full.trace.total_events());
+        }
+    }
+
+    #[test]
+    fn metrics_mode_matches_full_trace_aggregates() {
+        let out = run_tiny(2, 2, 1);
+        let config = SimConfig {
+            model: ModelConfig::tiny(),
+            parallelism: Parallelism::new(2, 2, 1).unwrap(),
+            batch: BatchConfig {
+                seq_len: 128,
+                microbatch_size: 1,
+                num_microbatches: 4,
+            },
+            schedule: ScheduleKind::OneFOneB,
+        };
+        let job = lower(&config).unwrap();
+        let metrics = execute_metrics(
+            &job,
+            &AnalyticalCostModel::h100(),
+            &HostOverheads::default(),
+            &JitterModel::none(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(metrics.makespan, out.makespan);
+        assert_eq!(metrics.total_events, out.trace.total_events());
+        // Per-rank spans agree with the trace.
+        for rm in &metrics.ranks {
+            let rt = out.trace.rank(lumos_trace::RankId(rm.rank)).unwrap();
+            let span = rt.span().unwrap();
+            assert_eq!(rm.start, span.start, "rank {} start", rm.rank);
+            assert_eq!(rm.end, span.end, "rank {} end", rm.rank);
+            assert_eq!(rm.events, rt.len(), "rank {} events", rm.rank);
+        }
+        // Per-stream busy time agrees with summed kernel durations.
+        for sb in &metrics.streams {
+            let rt = out.trace.rank(lumos_trace::RankId(sb.rank)).unwrap();
+            let busy: u64 = rt
+                .kernels()
+                .filter(|e| e.kind.stream() == Some(sb.stream))
+                .map(|e| e.dur.as_ns())
+                .sum();
+            assert_eq!(sb.busy, Dur(busy), "rank {} {}", sb.rank, sb.stream);
+        }
+    }
+
+    #[test]
     fn jitter_changes_timing_but_not_structure() {
         let config = SimConfig {
             model: ModelConfig::tiny(),
@@ -1117,5 +1282,30 @@ mod tests {
         // Means stay close: within 10%.
         let rel = jit.makespan.relative_error(base.makespan);
         assert!(rel < 0.1, "jittered makespan drifted {rel}");
+    }
+
+    #[test]
+    fn stream_sync_on_unused_stream_completes_inline() {
+        // A StreamSync on a stream no op ever enqueues to still
+        // prepares (the stream exists, empty) and completes inline.
+        let mut p0 = Program::new(0);
+        p0.main_mut().push(HostOp::StreamSync {
+            stream: StreamId(42),
+        });
+        let config = SimConfig::new(ModelConfig::tiny(), Parallelism::new(1, 1, 1).unwrap());
+        let job = LoweredJob {
+            programs: vec![p0],
+            groups: HashMap::new(),
+            config,
+        };
+        let out = execute(
+            &job,
+            &AnalyticalCostModel::h100(),
+            &HostOverheads::default(),
+            &JitterModel::none(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(out.trace.total_events(), 1);
     }
 }

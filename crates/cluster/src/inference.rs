@@ -11,7 +11,7 @@
 //! identically.
 
 use crate::lower::{kernel_of, LoweredJob, NameCache, SimConfig};
-use crate::program::{streams, HostOp, KernelSpec, Program};
+use crate::program::{streams, HostOp, KernelSpec, NameId, Program};
 use lumos_model::inference::{layer_decode_ops, layer_prefill_ops, sampling_ops, InferenceSetup};
 use lumos_model::ops::{CollOp, OpBody, OpDesc};
 use lumos_model::{BatchConfig, CommScope, GroupRegistry, ModelError, ScheduleKind};
@@ -86,12 +86,16 @@ struct InferenceLowerer<'a> {
 }
 
 impl InferenceLowerer<'_> {
+    fn intern(&mut self, s: String) -> NameId {
+        self.names.intern(&mut self.program, s)
+    }
+
     fn push(&mut self, op: HostOp) {
         self.program.main_mut().push(op);
     }
 
     fn annotate(&mut self, name: String) {
-        let name = self.names.intern(name);
+        let name = self.intern(name);
         self.push(HostOp::AnnotationBegin { name });
     }
 
@@ -108,7 +112,7 @@ impl InferenceLowerer<'_> {
     /// Emits one operator: CPU dispatch plus either a compute-stream
     /// launch or a fully fenced TP collective.
     fn emit_op(&mut self, op: &OpDesc) {
-        let name = self.names.intern(op.name.to_string());
+        let name = self.intern(op.name.to_string());
         self.push(HostOp::CpuOp { name });
         match op.body {
             OpBody::Collective {
@@ -125,9 +129,7 @@ impl InferenceLowerer<'_> {
                     stream: streams::TP_COMM,
                     event: produce,
                 });
-                let name = self
-                    .names
-                    .intern(CollectiveKind::AllReduce.kernel_name().to_string());
+                let name = self.intern(CollectiveKind::AllReduce.kernel_name().to_string());
                 let seq = self.tp_seq;
                 self.tp_seq += 1;
                 self.push(HostOp::Launch {
@@ -157,7 +159,7 @@ impl InferenceLowerer<'_> {
             }
             ref body => {
                 let (kname, class) = kernel_of(body);
-                let name = self.names.intern(kname);
+                let name = self.intern(kname);
                 self.push(HostOp::Launch {
                     spec: KernelSpec {
                         name,
@@ -201,7 +203,7 @@ impl InferenceLowerer<'_> {
             };
             self.emit_op(&op);
         }
-        let name = self.names.intern("read_sampled_token".to_string());
+        let name = self.intern("read_sampled_token".to_string());
         self.push(HostOp::CpuOp { name });
         self.push(HostOp::StreamSync {
             stream: streams::COMPUTE,

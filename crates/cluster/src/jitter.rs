@@ -95,22 +95,112 @@ impl JitterModel {
     }
 
     fn multiplier(&self, cv: f64, tag: u64, a: u64, b: u64, c: u64) -> f64 {
-        if cv <= 0.0 {
-            return 1.0;
+        match lognormal_params(cv) {
+            Some(params) => sample_site(self.seed, params, tag, a, b, c),
+            None => 1.0,
         }
-        let key = mix(mix(mix(mix(self.seed, tag), a), b), c);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(key);
-        // Log-normal with mean exactly 1: sigma^2 = ln(1+cv^2),
-        // mu = -sigma^2/2.
-        let sigma2 = (1.0 + cv * cv).ln();
-        let dist = LogNormal::new(-sigma2 / 2.0, sigma2.sqrt()).expect("valid lognormal");
-        dist.sample(&mut rng)
     }
+}
+
+/// Log-normal parameters `(mu, sigma)` with mean exactly 1 for a
+/// coefficient of variation: `sigma^2 = ln(1 + cv^2)`, `mu =
+/// -sigma^2/2`. `None` disables the component (multiplier 1). One
+/// site, shared by the per-call path and [`JitterModel::compile`], so
+/// the two can never drift apart.
+fn lognormal_params(cv: f64) -> Option<(f64, f64)> {
+    (cv > 0.0).then(|| {
+        let sigma2 = (1.0 + cv * cv).ln();
+        (-sigma2 / 2.0, sigma2.sqrt())
+    })
+}
+
+/// Draws one site's multiplier: hash the `(seed, tag, a, b, c)` key,
+/// seed a fresh deterministic RNG, sample the parameterized
+/// log-normal. Shared by [`JitterModel::multiplier`] and
+/// [`RunJitter::sample`].
+fn sample_site(seed: u64, (mu, sigma): (f64, f64), tag: u64, a: u64, b: u64, c: u64) -> f64 {
+    let key = mix(mix(mix(mix(seed, tag), a), b), c);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(key);
+    let dist = LogNormal::new(mu, sigma).expect("valid lognormal");
+    dist.sample(&mut rng)
 }
 
 impl Default for JitterModel {
     fn default() -> Self {
         JitterModel::none()
+    }
+}
+
+/// The per-run compiled form of a [`JitterModel`]: distribution
+/// parameters (`mu`, `sigma`) are derived once per component instead
+/// of per multiplier call, and the correlated per-iteration drift —
+/// which depends only on the iteration index — is sampled **once**
+/// instead of once per GPU duration. Every multiplier it returns is
+/// bit-identical to the uncompiled path (same hash keys, same
+/// Box–Muller draws, same `f64` expressions), so compiled execution
+/// produces byte-identical timelines; the engine compiles the model
+/// at construction and the hot loop pays one hash + one sample per
+/// jittered duration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RunJitter {
+    seed: u64,
+    iteration: u64,
+    /// `(mu, sigma)` per component; `None` disables it (multiplier 1).
+    kernel: Option<(f64, f64)>,
+    host: Option<(f64, f64)>,
+    comm: Option<(f64, f64)>,
+    /// This iteration's correlated drift (1.0 when disabled).
+    drift: f64,
+    /// `true` when every multiplier is exactly 1.0 — the engine skips
+    /// sampling and scaling entirely.
+    identity: bool,
+}
+
+impl JitterModel {
+    /// Compiles the model for one iteration (see [`RunJitter`]).
+    pub(crate) fn compile(&self, iteration: u64) -> RunJitter {
+        let kernel = lognormal_params(self.kernel_cv);
+        let host = lognormal_params(self.host_cv);
+        let comm = lognormal_params(self.comm_cv);
+        let drift = self.iteration_drift(iteration);
+        RunJitter {
+            seed: self.seed,
+            iteration,
+            kernel,
+            host,
+            comm,
+            identity: kernel.is_none() && host.is_none() && comm.is_none() && drift == 1.0,
+            drift,
+        }
+    }
+}
+
+impl RunJitter {
+    /// `true` when every multiplier is exactly 1.0.
+    pub(crate) fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    fn sample(&self, params: Option<(f64, f64)>, tag: u64, b: u64, c: u64) -> f64 {
+        match params {
+            Some(p) => sample_site(self.seed, p, tag, self.iteration, b, c),
+            None => 1.0,
+        }
+    }
+
+    /// See [`JitterModel::kernel_multiplier`].
+    pub(crate) fn kernel_multiplier(&self, rank: u32, site: u64) -> f64 {
+        self.sample(self.kernel, 0x4b65, rank as u64, site) * self.drift
+    }
+
+    /// See [`JitterModel::host_multiplier`].
+    pub(crate) fn host_multiplier(&self, rank: u32, site: u64) -> f64 {
+        self.sample(self.host, 0x686f, rank as u64, site)
+    }
+
+    /// See [`JitterModel::comm_multiplier`].
+    pub(crate) fn comm_multiplier(&self, group: u64, seq: u64) -> f64 {
+        self.sample(self.comm, 0x636f, group, seq) * self.drift
     }
 }
 
@@ -173,6 +263,45 @@ mod tests {
         // members necessarily agree.
         let j = JitterModel::realistic(9);
         assert_eq!(j.comm_multiplier(1, 10, 3), j.comm_multiplier(1, 10, 3));
+    }
+
+    #[test]
+    fn compiled_form_is_bit_identical() {
+        // The engine's per-run compiled jitter must reproduce the
+        // uncompiled multipliers exactly — same hash keys, same
+        // Box–Muller draws.
+        for seed in [0u64, 7, 42] {
+            let j = JitterModel::realistic(seed);
+            for iteration in 0..3u64 {
+                let c = j.compile(iteration);
+                assert!(!c.is_identity());
+                for site in 0..50u64 {
+                    assert_eq!(
+                        j.kernel_multiplier(iteration, 3, site).to_bits(),
+                        c.kernel_multiplier(3, site).to_bits()
+                    );
+                    assert_eq!(
+                        j.host_multiplier(iteration, 3, site).to_bits(),
+                        c.host_multiplier(3, site).to_bits()
+                    );
+                    assert_eq!(
+                        j.comm_multiplier(iteration, 9, site).to_bits(),
+                        c.comm_multiplier(9, site).to_bits()
+                    );
+                }
+            }
+        }
+        assert!(JitterModel::none().compile(5).is_identity());
+        // A partial model (only drift) is not an identity.
+        let drift_only = JitterModel {
+            drift_cv: 0.02,
+            ..JitterModel::none()
+        };
+        assert!(!drift_only.compile(0).is_identity());
+        assert_eq!(
+            drift_only.compile(1).kernel_multiplier(0, 0).to_bits(),
+            drift_only.kernel_multiplier(1, 0, 0).to_bits()
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! autograd thread, coordinated by token signal/wait pairs, matching
 //! the PyTorch behavior Lumos's inter-thread gap detection targets.
 
-use crate::program::{streams, HostOp, KernelSpec, Program};
+use crate::program::{streams, HostOp, KernelSpec, NameId, Program};
 use lumos_model::ops::{self, CollOp, OpBody, OpDesc};
 use lumos_model::{
     CommScope, GroupRegistry, ModelError, Parallelism, PipelineSchedule, RankCoords, ScheduleItem,
@@ -123,17 +123,22 @@ pub fn lower(config: &SimConfig) -> Result<LoweredJob, ModelError> {
     })
 }
 
-/// Interns kernel-name strings so repeated launches share one
-/// allocation.
+/// Hash-indexed interning cache layered over a program's
+/// [`crate::program::NameTable`]: repeated launches share one table
+/// entry, and the lookup is O(1) instead of the table's linear scan.
 #[derive(Default)]
-pub(crate) struct NameCache(HashMap<String, Arc<str>>);
+pub(crate) struct NameCache(HashMap<String, NameId>);
 
 impl NameCache {
-    pub(crate) fn intern(&mut self, s: String) -> Arc<str> {
-        self.0
-            .entry(s)
-            .or_insert_with_key(|k| Arc::from(k.as_str()))
-            .clone()
+    pub(crate) fn intern(&mut self, program: &mut Program, s: String) -> NameId {
+        match self.0.entry(s) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = program.names.push_new(Arc::from(e.key().as_str()));
+                e.insert(id);
+                id
+            }
+        }
     }
 }
 
@@ -163,6 +168,10 @@ enum Th {
 }
 
 impl RankLowerer<'_> {
+    fn intern(&mut self, s: String) -> NameId {
+        self.names.intern(&mut self.program, s)
+    }
+
     fn push(&mut self, th: Th, op: HostOp) {
         match th {
             Th::Main => self.program.main_mut().push(op),
@@ -177,7 +186,7 @@ impl RankLowerer<'_> {
     }
 
     fn annotate(&mut self, th: Th, name: String) {
-        let name = self.names.intern(name);
+        let name = self.intern(name);
         self.push(th, HostOp::AnnotationBegin { name });
     }
 
@@ -188,7 +197,7 @@ impl RankLowerer<'_> {
     /// Emits one logical operator: CPU dispatch + compute-stream
     /// launch, or the full event-fenced collective pattern.
     fn emit_op(&mut self, th: Th, op: &OpDesc, fence_back: bool) {
-        let name = self.names.intern(op.name.to_string());
+        let name = self.intern(op.name.to_string());
         self.push(th, HostOp::CpuOp { name });
         match op.body {
             OpBody::Collective {
@@ -221,7 +230,7 @@ impl RankLowerer<'_> {
             }
             body => {
                 let (kname, class) = kernel_of(&body);
-                let name = self.names.intern(kname);
+                let name = self.intern(kname);
                 self.push(
                     th,
                     HostOp::Launch {
@@ -266,7 +275,7 @@ impl RankLowerer<'_> {
                 event: produce,
             },
         );
-        let name = self.names.intern(kind.kernel_name().to_string());
+        let name = self.intern(kind.kernel_name().to_string());
         self.push(
             th,
             HostOp::Launch {
@@ -306,7 +315,7 @@ impl RankLowerer<'_> {
     /// the transfer stream is fenced behind compute.
     fn emit_pp_transfer(&mut self, group: u64, seq: u32, stream: StreamId, is_recv: bool) {
         let bytes = ops::pp_activation_bytes(&self.config.model, &self.config.batch);
-        let cpu_name = self.names.intern(
+        let cpu_name = self.intern(
             match (is_recv, stream == streams::PP_FWD) {
                 (true, true) => "recv_forward",
                 (false, true) => "send_forward",
@@ -333,9 +342,7 @@ impl RankLowerer<'_> {
                 },
             );
         }
-        let name = self
-            .names
-            .intern(CollectiveKind::SendRecv.kernel_name().to_string());
+        let name = self.intern(CollectiveKind::SendRecv.kernel_name().to_string());
         self.push(
             Th::Main,
             HostOp::Launch {
@@ -495,7 +502,7 @@ impl RankLowerer<'_> {
         let par = self.par;
         self.annotate(Th::Main, "optimizer".to_string());
         if par.dp > 1 {
-            let name = self.names.intern("wait_all_grads".to_string());
+            let name = self.intern("wait_all_grads".to_string());
             self.push(Th::Main, HostOp::CpuOp { name });
             self.push(
                 Th::Main,
@@ -508,7 +515,7 @@ impl RankLowerer<'_> {
         // stage.
         if let Some(group) = self.emb_group {
             let bytes = model.params_embedding() / par.tp as u64 * ops::GRAD_BYTES;
-            let name = self.names.intern("all_reduce_embedding_grads".to_string());
+            let name = self.intern("all_reduce_embedding_grads".to_string());
             self.push(Th::Main, HostOp::CpuOp { name });
             self.emit_collective(
                 Th::Main,

@@ -7,6 +7,27 @@
 //! actually does: dispatch framework ops, call into the CUDA runtime
 //! to launch kernels and record/wait events, synchronize streams, and
 //! coordinate between the main thread and the autograd thread.
+//!
+//! # String interning
+//!
+//! Host ops never carry strings. Every display name (operator, kernel,
+//! annotation) is interned into the program's [`NameTable`] at
+//! lowering time and referenced by a dense [`NameId`], which keeps
+//! [`HostOp`] a small `Copy` value: the execution engine's inner loop
+//! moves ops by value without touching an allocator or an atomic
+//! refcount, and the metrics-only execution mode never resolves a name
+//! at all. Names are resolved back to `Arc<str>` only when a full
+//! trace is materialized (the `FullTrace` event sink).
+//!
+//! Invariants of the table:
+//!
+//! * a [`NameId`] is an index into [`NameTable::names`] — ids are
+//!   allocated densely in interning order and never reused;
+//! * interning the same string twice returns the same id (the table
+//!   stores each distinct name once);
+//! * ids are only meaningful relative to the [`Program`] that interned
+//!   them — the engine validates every referenced id when a job is
+//!   prepared and rejects out-of-range ids as malformed programs.
 
 use lumos_trace::{KernelClass, StreamId, ThreadId};
 use serde::{Deserialize, Serialize};
@@ -41,11 +62,62 @@ pub mod threads {
     pub const BACKWARD: ThreadId = ThreadId(2);
 }
 
+/// Index of an interned name in a program's [`NameTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NameId(pub u32);
+
+/// A program's interned display names (see the module docs for the
+/// interning invariants).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NameTable {
+    /// Distinct names, indexed by [`NameId`].
+    pub names: Vec<Arc<str>>,
+}
+
+impl NameTable {
+    /// Interns `name`, returning the id of the existing entry when the
+    /// string was seen before.
+    ///
+    /// The scan is linear — fine for hand-built test programs. The
+    /// lowering passes keep their own hash-indexed cache on top
+    /// (`NameCache`) so production-sized programs intern in O(1).
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(i) = self.names.iter().position(|n| &**n == name) {
+            return NameId(i as u32);
+        }
+        self.push_new(Arc::from(name))
+    }
+
+    /// Appends a name known to be absent (the lowering caches use this
+    /// after their own hash lookup missed).
+    pub(crate) fn push_new(&mut self, name: Arc<str>) -> NameId {
+        let id = NameId(self.names.len() as u32);
+        self.names.push(name);
+        id
+    }
+
+    /// Resolves an id, if in range.
+    pub fn get(&self, id: NameId) -> Option<&Arc<str>> {
+        self.names.get(id.0 as usize)
+    }
+
+    /// Number of distinct names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
 /// A device kernel to enqueue.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelSpec {
-    /// Kernel name as it should appear in the trace.
-    pub name: Arc<str>,
+    /// Kernel name as it should appear in the trace (interned in the
+    /// owning program's [`NameTable`]).
+    pub name: NameId,
     /// Shape-carrying classification (drives the cost model; for
     /// collectives, carries the communicator and sequence).
     pub class: KernelClass,
@@ -54,13 +126,16 @@ pub struct KernelSpec {
 }
 
 /// One host instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Copy`: every operand is a dense id or a small scalar, so the
+/// engine's dispatch loop reads ops by value out of a shared slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HostOp {
     /// Framework operator dispatch (emits a `CpuOp` trace event; any
     /// launches it performs follow as separate ops).
     CpuOp {
-        /// Operator name.
-        name: Arc<str>,
+        /// Operator name (interned).
+        name: NameId,
     },
     /// `cudaLaunchKernel`: enqueue `spec` on its stream.
     Launch {
@@ -104,8 +179,8 @@ pub enum HostOp {
     },
     /// Open a user-annotation range on this thread.
     AnnotationBegin {
-        /// Range label, e.g. `layer=7 fwd mb=3`.
-        name: Arc<str>,
+        /// Range label (interned), e.g. `layer=7 fwd mb=3`.
+        name: NameId,
     },
     /// Close the innermost annotation range.
     AnnotationEnd,
@@ -142,6 +217,8 @@ pub struct Program {
     pub rank: u32,
     /// Host threads (main + backward).
     pub threads: Vec<ThreadProgram>,
+    /// Interned display names referenced by this program's ops.
+    pub names: NameTable,
 }
 
 impl Program {
@@ -153,7 +230,18 @@ impl Program {
                 ThreadProgram::new(threads::MAIN),
                 ThreadProgram::new(threads::BACKWARD),
             ],
+            names: NameTable::default(),
         }
+    }
+
+    /// Interns `name` into this program's table.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        self.names.intern(name)
+    }
+
+    /// Resolves an interned name, if the id belongs to this program.
+    pub fn name(&self, id: NameId) -> Option<&Arc<str>> {
+        self.names.get(id)
     }
 
     /// The main thread's program.
@@ -176,8 +264,9 @@ impl Program {
         self.len() == 0
     }
 
-    /// Checks structural sanity: annotations balance per thread, and
-    /// every `WaitPeer` token is signaled somewhere in the program.
+    /// Checks structural sanity: annotations balance per thread, every
+    /// `WaitPeer` token is signaled somewhere in the program, and every
+    /// referenced name id resolves in the program's table.
     ///
     /// # Panics
     ///
@@ -186,11 +275,20 @@ impl Program {
     pub fn assert_well_formed(&self) {
         let mut signaled = std::collections::HashSet::new();
         let mut waited = Vec::new();
+        let name_ok = |id: NameId| self.names.get(id).is_some();
         for t in &self.threads {
             let mut depth: i64 = 0;
             for op in &t.ops {
                 match op {
-                    HostOp::AnnotationBegin { .. } => depth += 1,
+                    HostOp::AnnotationBegin { name } => {
+                        assert!(
+                            name_ok(*name),
+                            "rank {}: annotation references unknown name id {}",
+                            self.rank,
+                            name.0
+                        );
+                        depth += 1;
+                    }
                     HostOp::AnnotationEnd => {
                         depth -= 1;
                         assert!(
@@ -198,6 +296,17 @@ impl Program {
                             "rank {} {:?}: unmatched AnnotationEnd",
                             self.rank,
                             t.tid
+                        );
+                    }
+                    HostOp::CpuOp { name }
+                    | HostOp::Launch {
+                        spec: KernelSpec { name, .. },
+                    } => {
+                        assert!(
+                            name_ok(*name),
+                            "rank {}: op references unknown name id {}",
+                            self.rank,
+                            name.0
                         );
                     }
                     HostOp::SignalPeer { token } => {
@@ -234,12 +343,11 @@ mod tests {
     #[test]
     fn well_formed_program_passes() {
         let mut p = Program::new(0);
-        p.main_mut().push(HostOp::AnnotationBegin {
-            name: "iteration".into(),
-        });
-        p.main_mut().push(HostOp::CpuOp {
-            name: "aten::mm".into(),
-        });
+        let iteration = p.intern("iteration");
+        let mm = p.intern("aten::mm");
+        p.main_mut()
+            .push(HostOp::AnnotationBegin { name: iteration });
+        p.main_mut().push(HostOp::CpuOp { name: mm });
         p.main_mut().push(HostOp::SignalPeer { token: 1 });
         p.main_mut().push(HostOp::AnnotationEnd);
         p.backward_mut().push(HostOp::WaitPeer { token: 1 });
@@ -248,11 +356,32 @@ mod tests {
     }
 
     #[test]
+    fn interning_deduplicates() {
+        let mut p = Program::new(0);
+        let a = p.intern("aten::mm");
+        let b = p.intern("aten::add");
+        let c = p.intern("aten::mm");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(p.names.len(), 2);
+        assert_eq!(&**p.name(a).unwrap(), "aten::mm");
+        assert_eq!(p.name(NameId(99)), None);
+    }
+
+    #[test]
     #[should_panic(expected = "unclosed")]
     fn unbalanced_annotation_caught() {
         let mut p = Program::new(0);
-        p.main_mut()
-            .push(HostOp::AnnotationBegin { name: "x".into() });
+        let x = p.intern("x");
+        p.main_mut().push(HostOp::AnnotationBegin { name: x });
+        p.assert_well_formed();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown name id")]
+    fn dangling_name_id_caught() {
+        let mut p = Program::new(0);
+        p.main_mut().push(HostOp::CpuOp { name: NameId(7) });
         p.assert_well_formed();
     }
 

@@ -1,8 +1,10 @@
 //! High-level ground-truth runs: profile an iteration, measure many.
 
 use crate::engine::{execute, EngineError, EngineOutput};
+use crate::exec::PreparedJob;
 use crate::jitter::JitterModel;
 use crate::lower::{lower, LoweredJob, SimConfig};
+use crate::sink::EngineMetrics;
 use lumos_cost::{CostModel, HostOverheads};
 use lumos_model::ModelError;
 use lumos_trace::{ClusterTrace, Dur};
@@ -167,16 +169,35 @@ impl<C: CostModel> GroundTruthCluster<C> {
         )?)
     }
 
+    /// Executes iteration `iteration` in metrics-only mode: the same
+    /// deterministic simulation as [`Self::profile_iteration`], but
+    /// only aggregates are accumulated — no trace events exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine deadlock errors (lowering bugs).
+    pub fn metrics_iteration(&self, iteration: u64) -> Result<EngineMetrics, ClusterError> {
+        let prep = PreparedJob::new(&self.job)?;
+        Ok(prep.execute_metrics(&self.cost, &self.overheads, &self.jitter, iteration)?)
+    }
+
     /// Runs `n` iterations and collects only makespans — "measuring
-    /// real training time" without trace collection.
+    /// real training time" without trace collection. Uses the
+    /// metrics-only engine mode: the job is prepared once and no
+    /// trace events are materialized, so measurement is bounded by
+    /// model math, not bookkeeping.
     ///
     /// # Errors
     ///
     /// Returns engine deadlock errors.
     pub fn measure(&self, n: usize) -> Result<MeasuredStats, ClusterError> {
+        let prep = PreparedJob::new(&self.job)?;
         let mut iterations = Vec::with_capacity(n);
         for i in 0..n {
-            iterations.push(self.profile_iteration(i as u64)?.makespan);
+            iterations.push(
+                prep.execute_metrics(&self.cost, &self.overheads, &self.jitter, i as u64)?
+                    .makespan,
+            );
         }
         Ok(MeasuredStats { iterations })
     }

@@ -1,0 +1,382 @@
+//! Event sinks: what the engine does with the events it computes.
+//!
+//! The discrete-event engine produces the same timeline either way;
+//! the sink decides how much of it is materialized:
+//!
+//! * [`FullTraceSink`] builds complete per-rank Kineto-style
+//!   [`TraceEvent`] streams — what `profile`/replay/trace-export
+//!   consumers need;
+//! * [`MetricsSink`] accumulates only the aggregates search consumes —
+//!   makespan, per-rank spans, per-stream busy time, collective
+//!   rendezvous waits, and pipeline-boundary SendRecv time — without
+//!   constructing a single [`TraceEvent`]. The simulated inner loop is
+//!   allocation-free: every callback is a handful of integer
+//!   min/max/add updates on pre-sized vectors.
+//!
+//! Both sinks observe exactly the same callbacks in exactly the same
+//! order, so a [`MetricsSink`] run is bit-identical in every shared
+//! statistic to deriving the same numbers from a [`FullTraceSink`]
+//! trace (asserted by the `sink` equivalence test suite).
+
+use crate::exec::PreparedJob;
+use crate::program::NameId;
+use lumos_trace::{
+    ClusterTrace, CollectiveKind, CudaRuntimeKind, Dur, KernelClass, RankTrace, StreamId, ThreadId,
+    TraceEvent, Ts,
+};
+
+/// Receiver of the engine's computed events (see module docs).
+///
+/// `prog` is the dense program index (the rank slot), letting sinks
+/// index pre-sized vectors instead of hashing rank ids. Names arrive
+/// as interned [`NameId`]s: the metrics sink never resolves them, so
+/// the hot loop pays for string handling only when a trace is
+/// actually materialized.
+pub(crate) trait EventSink {
+    /// A framework-operator dispatch on a host thread.
+    fn cpu_op(&mut self, prog: u32, tid: ThreadId, name: NameId, ts: Ts, dur: Dur);
+    /// A CUDA runtime call on a host thread (`corr` 0 = none).
+    fn runtime(
+        &mut self,
+        prog: u32,
+        tid: ThreadId,
+        kind: CudaRuntimeKind,
+        corr: u64,
+        ts: Ts,
+        dur: Dur,
+    );
+    /// A user-annotation range on a host thread.
+    fn annotation(&mut self, prog: u32, tid: ThreadId, name: NameId, ts: Ts, dur: Dur);
+    /// A kernel execution on a stream (`stream` is the dense index,
+    /// `sid` the original id).
+    #[allow(clippy::too_many_arguments)]
+    fn kernel(
+        &mut self,
+        prog: u32,
+        stream: u32,
+        sid: StreamId,
+        name: NameId,
+        class: KernelClass,
+        corr: u64,
+        ts: Ts,
+        dur: Dur,
+    );
+    /// Exposed rendezvous wait of one collective member (instance
+    /// start minus this member's ready time).
+    fn collective_wait(&mut self, prog: u32, wait: Dur);
+}
+
+// ---------------------------------------------------------------- //
+// Full-trace sink
+// ---------------------------------------------------------------- //
+
+/// Materializes complete per-rank traces (the pre-existing engine
+/// behavior). Holds the prepared job to resolve interned names.
+pub(crate) struct FullTraceSink<'p> {
+    prep: &'p PreparedJob<'p>,
+    ranks: Vec<RankTrace>,
+}
+
+impl<'p> FullTraceSink<'p> {
+    pub(crate) fn new(prep: &'p PreparedJob<'p>) -> Self {
+        FullTraceSink {
+            prep,
+            ranks: prep.ranks.iter().map(|&r| RankTrace::new(r)).collect(),
+        }
+    }
+
+    /// Sorts and assembles the cluster trace.
+    pub(crate) fn finish(self, label: String) -> (ClusterTrace, Dur) {
+        let mut ranks: Vec<RankTrace> = self.ranks;
+        ranks.sort_unstable_by_key(|r| r.rank());
+        let mut cluster = ClusterTrace::new(label);
+        for mut t in ranks {
+            t.sort();
+            cluster.push_rank(t);
+        }
+        let makespan = cluster.makespan();
+        (cluster, makespan)
+    }
+
+    fn push(&mut self, prog: u32, event: TraceEvent) {
+        self.ranks[prog as usize].push(event);
+    }
+}
+
+impl EventSink for FullTraceSink<'_> {
+    fn cpu_op(&mut self, prog: u32, tid: ThreadId, name: NameId, ts: Ts, dur: Dur) {
+        let name = self.prep.name(prog, name).clone();
+        self.push(prog, TraceEvent::cpu_op(name, ts, dur, tid));
+    }
+
+    fn runtime(
+        &mut self,
+        prog: u32,
+        tid: ThreadId,
+        kind: CudaRuntimeKind,
+        corr: u64,
+        ts: Ts,
+        dur: Dur,
+    ) {
+        let mut ev = TraceEvent::cuda_runtime(kind, ts, dur, tid);
+        if corr != 0 {
+            ev = ev.with_correlation(corr);
+        }
+        self.push(prog, ev);
+    }
+
+    fn annotation(&mut self, prog: u32, tid: ThreadId, name: NameId, ts: Ts, dur: Dur) {
+        let name = self.prep.name(prog, name).clone();
+        self.push(prog, TraceEvent::annotation(name, ts, dur, tid));
+    }
+
+    fn kernel(
+        &mut self,
+        prog: u32,
+        _stream: u32,
+        sid: StreamId,
+        name: NameId,
+        class: KernelClass,
+        corr: u64,
+        ts: Ts,
+        dur: Dur,
+    ) {
+        let name = self.prep.name(prog, name).clone();
+        self.push(
+            prog,
+            TraceEvent::kernel(name, ts, dur, sid)
+                .with_correlation(corr)
+                .with_class(class),
+        );
+    }
+
+    fn collective_wait(&mut self, _prog: u32, _wait: Dur) {}
+}
+
+// ---------------------------------------------------------------- //
+// Metrics-only sink
+// ---------------------------------------------------------------- //
+
+#[derive(Debug, Clone, Copy)]
+struct RankAgg {
+    min_ts: Ts,
+    max_end: Ts,
+    events: usize,
+    coll_wait_ns: u128,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamAgg {
+    busy_ns: u64,
+    kernels: usize,
+}
+
+/// Accumulates aggregates only; never constructs a [`TraceEvent`].
+pub(crate) struct MetricsSink {
+    ranks: Vec<RankAgg>,
+    streams: Vec<StreamAgg>,
+    sendrecv_ns: u128,
+    total_events: usize,
+}
+
+impl MetricsSink {
+    pub(crate) fn new(prep: &PreparedJob<'_>) -> Self {
+        MetricsSink {
+            ranks: vec![
+                RankAgg {
+                    min_ts: Ts(u64::MAX),
+                    max_end: Ts::ZERO,
+                    events: 0,
+                    coll_wait_ns: 0,
+                };
+                prep.ranks.len()
+            ],
+            streams: vec![StreamAgg::default(); prep.streams.len()],
+            sendrecv_ns: 0,
+            total_events: 0,
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, prog: u32, ts: Ts, dur: Dur) {
+        let r = &mut self.ranks[prog as usize];
+        r.min_ts = r.min_ts.min(ts);
+        r.max_end = r.max_end.max(ts + dur);
+        r.events += 1;
+        self.total_events += 1;
+    }
+
+    pub(crate) fn finish(self, prep: &PreparedJob<'_>) -> EngineMetrics {
+        // Makespan = hull of per-rank spans, exactly as
+        // `ClusterTrace::makespan` computes it over a full trace
+        // (ranks without events contribute nothing).
+        let mut span: Option<(Ts, Ts)> = None;
+        let ranks: Vec<RankMetrics> = self
+            .ranks
+            .iter()
+            .zip(&prep.ranks)
+            .map(|(agg, &rank)| {
+                let (start, end) = if agg.events == 0 {
+                    (Ts::ZERO, Ts::ZERO)
+                } else {
+                    span = Some(match span {
+                        None => (agg.min_ts, agg.max_end),
+                        Some((lo, hi)) => (lo.min(agg.min_ts), hi.max(agg.max_end)),
+                    });
+                    (agg.min_ts, agg.max_end)
+                };
+                RankMetrics {
+                    rank,
+                    start,
+                    end,
+                    events: agg.events,
+                    collective_wait: dur_from_ns(agg.coll_wait_ns),
+                }
+            })
+            .collect();
+        let streams: Vec<StreamBusy> = self
+            .streams
+            .iter()
+            .zip(&prep.streams)
+            .map(|(agg, meta)| StreamBusy {
+                rank: meta.rank,
+                stream: meta.sid,
+                busy: Dur(agg.busy_ns),
+                kernels: agg.kernels,
+            })
+            .collect();
+        let collective_wait = dur_from_ns(self.ranks.iter().map(|r| r.coll_wait_ns).sum::<u128>());
+        EngineMetrics {
+            makespan: span.map_or(Dur::ZERO, |(lo, hi)| hi - lo),
+            ranks,
+            streams,
+            collective_wait,
+            total_events: self.total_events,
+            sendrecv_ns: self.sendrecv_ns,
+        }
+    }
+}
+
+fn dur_from_ns(ns: u128) -> Dur {
+    Dur(u64::try_from(ns).unwrap_or(u64::MAX))
+}
+
+impl EventSink for MetricsSink {
+    fn cpu_op(&mut self, prog: u32, _tid: ThreadId, _name: NameId, ts: Ts, dur: Dur) {
+        self.observe(prog, ts, dur);
+    }
+
+    fn runtime(
+        &mut self,
+        prog: u32,
+        _tid: ThreadId,
+        _kind: CudaRuntimeKind,
+        _corr: u64,
+        ts: Ts,
+        dur: Dur,
+    ) {
+        self.observe(prog, ts, dur);
+    }
+
+    fn annotation(&mut self, prog: u32, _tid: ThreadId, _name: NameId, ts: Ts, dur: Dur) {
+        self.observe(prog, ts, dur);
+    }
+
+    fn kernel(
+        &mut self,
+        prog: u32,
+        stream: u32,
+        _sid: StreamId,
+        _name: NameId,
+        class: KernelClass,
+        _corr: u64,
+        ts: Ts,
+        dur: Dur,
+    ) {
+        self.observe(prog, ts, dur);
+        let s = &mut self.streams[stream as usize];
+        s.busy_ns += dur.as_ns();
+        s.kernels += 1;
+        if let KernelClass::Collective(meta) = class {
+            if meta.kind == CollectiveKind::SendRecv {
+                self.sendrecv_ns += dur.as_ns() as u128;
+            }
+        }
+    }
+
+    fn collective_wait(&mut self, prog: u32, wait: Dur) {
+        self.ranks[prog as usize].coll_wait_ns += wait.as_ns() as u128;
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Public metrics types
+// ---------------------------------------------------------------- //
+
+/// Aggregates of one rank's simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankMetrics {
+    /// Global rank.
+    pub rank: u32,
+    /// Earliest event start (`Ts::ZERO` when the rank emitted
+    /// nothing).
+    pub start: Ts,
+    /// Latest event end.
+    pub end: Ts,
+    /// Events the rank would have emitted under a full trace.
+    pub events: usize,
+    /// Total exposed collective rendezvous wait (instance start minus
+    /// member-ready, summed over this rank's collective kernels).
+    pub collective_wait: Dur,
+}
+
+/// Aggregates of one CUDA stream's simulated kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamBusy {
+    /// Owning global rank.
+    pub rank: u32,
+    /// Stream id.
+    pub stream: StreamId,
+    /// Summed kernel duration.
+    pub busy: Dur,
+    /// Kernel count.
+    pub kernels: usize,
+}
+
+/// The result of a metrics-only engine execution: everything the
+/// simulation-refined search consumes, with zero [`TraceEvent`]
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    /// End-to-end iteration time (bit-identical to
+    /// [`ClusterTrace::makespan`] of the equivalent full trace).
+    pub makespan: Dur,
+    /// Per-rank spans and event counts, in program order.
+    pub ranks: Vec<RankMetrics>,
+    /// Per-stream busy time, in stream-discovery order.
+    pub streams: Vec<StreamBusy>,
+    /// Total exposed collective rendezvous wait across all ranks.
+    pub collective_wait: Dur,
+    /// Events a full trace of this execution would contain.
+    pub total_events: usize,
+    /// Total SendRecv kernel nanoseconds across all ranks (pipeline-
+    /// boundary traffic; each member's kernel counts once, as in a
+    /// trace).
+    sendrecv_ns: u128,
+}
+
+impl EngineMetrics {
+    /// Mean per-rank time spent in pipeline-boundary SendRecv kernels
+    /// — the same number the trace-walking
+    /// `pipeline_comm_secs_per_rank` derives from a full trace, used
+    /// by the search's interleaving adjustment.
+    pub fn pipeline_comm_secs_per_rank(&self) -> f64 {
+        let world = self.ranks.len().max(1) as f64;
+        self.sendrecv_ns as f64 / 1e9 / world
+    }
+
+    /// Total SendRecv kernel nanoseconds across all ranks.
+    pub fn sendrecv_ns(&self) -> u128 {
+        self.sendrecv_ns
+    }
+}

@@ -93,6 +93,13 @@ impl SimResult {
     /// Materializes the simulated schedule as a trace (the paper:
     /// "the simulation generates a trace similar to the input trace"),
     /// enabling breakdown / SM-utilization analysis of the replay.
+    ///
+    /// This is the replay simulator's full-trace product; call it only
+    /// when the trace itself is consumed. Estimation paths that need
+    /// just the makespan should stop at [`SimResult::makespan`] —
+    /// the ground-truth engine's metrics-only mode
+    /// (`lumos_cluster::PreparedJob::execute_metrics`) is the
+    /// equivalent trace-free fast path on the cluster side.
     pub fn to_trace(&self, graph: &ExecutionGraph, label: &str) -> ClusterTrace {
         let mut per_rank: HashMap<RankId, RankTrace> = HashMap::new();
         for (i, task) in graph.tasks().iter().enumerate() {

@@ -654,8 +654,27 @@ pub(crate) fn interleave_adjust(
     inter: &InterleavedSchedule,
     trace: &ClusterTrace,
 ) -> Dur {
+    interleave_adjust_comm(
+        simulated,
+        plain_bubble,
+        inter,
+        pipeline_comm_secs_per_rank(trace),
+    )
+}
+
+/// The trace-free core of [`interleave_adjust`]: takes the mean
+/// per-rank pipeline-boundary SendRecv seconds directly, so the
+/// metrics-only refinement path (which never materializes a trace)
+/// applies the *identical* arithmetic from
+/// [`lumos_cluster::EngineMetrics::pipeline_comm_secs_per_rank`].
+pub(crate) fn interleave_adjust_comm(
+    simulated: Dur,
+    plain_bubble: f64,
+    inter: &InterleavedSchedule,
+    pp_comm_secs_per_rank: f64,
+) -> Dur {
     let work_secs = simulated.as_secs_f64() * (1.0 - plain_bubble);
-    let extra_comm_secs = (inter.comm_amplification() - 1.0) * pipeline_comm_secs_per_rank(trace);
+    let extra_comm_secs = (inter.comm_amplification() - 1.0) * pp_comm_secs_per_rank;
     Dur::from_secs_f64((work_secs / (1.0 - inter.bubble_fraction()) + extra_comm_secs).max(0.0))
 }
 

@@ -65,6 +65,11 @@ pub(crate) struct StageCostCache<'a, C> {
     /// scheduling-dependent — so no bound is ever issued.
     complete: bool,
     map: Mutex<HashMap<StageCostKey, Arc<CachedCosts>>>,
+    /// Resolved per-candidate stage work, keyed by `(stage-cost key,
+    /// target layer count)` — the only inputs the layer mapping
+    /// depends on. Entries are `Arc`-shared so a cache hit is a
+    /// refcount bump, not a rebuild of the per-layer cost vector.
+    work: Mutex<HashMap<(StageCostKey, u32), Arc<StageWork>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -82,6 +87,7 @@ impl<'a, C: CostModel> StageCostCache<'a, C> {
             stream: dominant_compute_stream(library),
             complete: library_is_complete(library, base),
             map: Mutex::new(HashMap::new()),
+            work: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -101,22 +107,7 @@ impl<'a, C: CostModel> StageCostCache<'a, C> {
         if !self.complete {
             return None;
         }
-        let costs = self.costs_for(setup)?;
-        if costs.unusable {
-            return None;
-        }
-        // Candidate layers map onto source layers via the same helper
-        // reassembly's plan uses — not a re-derivation of its formula
-        // (and no setup clones on this per-candidate path).
-        let layer_map = proportional_layer_map(self.base.model.num_layers, setup.model.num_layers);
-        let work = StageWork {
-            layer_secs: layer_map
-                .iter()
-                .map(|&src| costs.source_layer_secs[src as usize])
-                .collect(),
-            embed_secs: costs.embed_secs,
-            head_secs: costs.head_secs,
-        };
+        let work = self.work_for(setup)?;
         let pp = setup.parallelism.pp;
         let m = setup.batch.num_microbatches;
         let mut bound = work.pipeline_lower_bound_secs(pp, m);
@@ -142,6 +133,46 @@ impl<'a, C: CostModel> StageCostCache<'a, C> {
         // result the full ranking would admit by index tie-break.
         let bound = bound * (1.0 - 1e-9) - 1e-9;
         (bound > 0.0 && bound.is_finite()).then_some(bound)
+    }
+
+    /// The candidate's resolved stage work, `Arc`-shared per
+    /// `(stage-cost key, layer count)`: candidates that differ only in
+    /// pipeline depth / data parallelism / micro-batch count /
+    /// interleaving reuse one allocation — a hit costs a hash probe
+    /// and a refcount bump, not a `Vec<f64>` rebuild.
+    fn work_for(&self, setup: &TrainingSetup) -> Option<Arc<StageWork>> {
+        let key = (StageCostKey::of(setup), setup.model.num_layers);
+        if let Some(work) = self.work.lock().expect("work memo poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(work.clone());
+        }
+        let costs = self.costs_for(setup)?;
+        if costs.unusable {
+            return None;
+        }
+        // Candidate layers map onto source layers via the same helper
+        // reassembly's plan uses — not a re-derivation of its formula
+        // (and no setup clones on this per-candidate path).
+        let layer_map = proportional_layer_map(self.base.model.num_layers, setup.model.num_layers);
+        let work = Arc::new(StageWork {
+            layer_secs: layer_map
+                .iter()
+                .map(|&src| costs.source_layer_secs[src as usize])
+                .collect(),
+            embed_secs: costs.embed_secs,
+            head_secs: costs.head_secs,
+        });
+        // First insert wins on a race (the loser drops its copy and
+        // adopts the existing entry); the derivation is deterministic
+        // in the key, so both values are identical either way.
+        Some(
+            self.work
+                .lock()
+                .expect("work memo poisoned")
+                .entry(key)
+                .or_insert(work)
+                .clone(),
+        )
     }
 
     /// Cached costs for the setup's stage-cost key, deriving on miss.

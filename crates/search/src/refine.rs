@@ -32,6 +32,17 @@
 //! timestamps), so refined rankings are bit-identical across thread
 //! counts.
 //!
+//! Refinement runs the engine in **metrics-only mode**
+//! ([`lumos_cluster::PreparedJob::execute_metrics`]): search consumes
+//! only the makespan and the pipeline-boundary communication total,
+//! so no per-rank `TraceEvent` stream is ever materialized, and each
+//! finalist's program is lowered and prepared **once** and shared
+//! across the zero-jitter base run and all jitter replicas (jitter is
+//! applied at execution time via iteration-indexed multipliers). The
+//! numbers are bit-identical to full-trace execution — the engine
+//! computes the same timeline either way; only the bookkeeping
+//! differs.
+//!
 //! Candidates with `interleave > 1` are simulated under their plain
 //! 1F1B lowering and adjusted by the same interleaving model phase one
 //! applies (bubble divided by `v`, pipeline-boundary traffic
@@ -42,13 +53,13 @@
 
 use crate::candidate::Candidate;
 use crate::error::SearchError;
-use crate::evaluate::{interleave_adjust, tokens_per_iter, CandidateResult};
+use crate::evaluate::{interleave_adjust_comm, tokens_per_iter, CandidateResult};
 use crate::report::{objective_key_cmp, Objective};
 use crate::SearchOptions;
-use lumos_cluster::{execute, lower, JitterModel, MeasuredStats};
+use lumos_cluster::{lower, JitterModel, MeasuredStats, PreparedJob};
 use lumos_cost::{CostModel, HostOverheads, LookupCostModel};
 use lumos_model::{utilization, InterleavedSchedule, PipelineSchedule, TrainingSetup};
-use lumos_trace::{ClusterTrace, Dur};
+use lumos_trace::Dur;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Robustness statistics from the jitter-replica pass of one finalist.
@@ -217,25 +228,36 @@ where
     };
     let setup = &finalist.setup;
     let job = lower(setup).map_err(|e| fail(format!("lowering: {e}")))?;
+    // One prepared (dense, interned) form shared by the base run and
+    // every jitter replica: the engine executes in metrics-only mode,
+    // so no trace event is ever materialized on this path.
+    let prep = PreparedJob::new(&job).map_err(|e| fail(format!("prepare: {e}")))?;
     let overheads = HostOverheads::default();
 
-    let out = execute(&job, lookup, &overheads, &JitterModel::none(), 0)
+    let out = prep
+        .execute_metrics(lookup, &overheads, &JitterModel::none(), 0)
         .map_err(|e| fail(format!("engine: {e}")))?;
-    let simulated =
-        adjusted_makespan(&finalist.candidate, setup, out.makespan, &out.trace).map_err(fail)?;
+    let simulated = adjusted_makespan(
+        &finalist.candidate,
+        setup,
+        out.makespan,
+        out.pipeline_comm_secs_per_rank(),
+    )
+    .map_err(fail)?;
 
     let jitter = if opts.jitter_replicas > 0 {
         let model = JitterModel::realistic(opts.jitter_seed);
         let mut iterations = Vec::with_capacity(opts.jitter_replicas as usize);
         for replica in 0..opts.jitter_replicas {
-            let jittered = execute(&job, lookup, &overheads, &model, replica as u64)
+            let jittered = prep
+                .execute_metrics(lookup, &overheads, &model, replica as u64)
                 .map_err(|e| fail(format!("engine (jitter replica {replica}): {e}")))?;
             iterations.push(
                 adjusted_makespan(
                     &finalist.candidate,
                     setup,
                     jittered.makespan,
-                    &jittered.trace,
+                    jittered.pipeline_comm_secs_per_rank(),
                 )
                 .map_err(fail)?,
             );
@@ -277,11 +299,14 @@ where
 /// Applies phase one's interleaving adjustment to an engine-simulated
 /// plain-1F1B makespan, so analytic and simulated estimates stay
 /// directly comparable for `interleave > 1` candidates.
+/// `pp_comm_secs_per_rank` is the engine metrics' mean per-rank
+/// pipeline-boundary SendRecv time — the same quantity phase one
+/// derives by walking a full trace.
 fn adjusted_makespan(
     cand: &Candidate,
     setup: &TrainingSetup,
     simulated: Dur,
-    trace: &ClusterTrace,
+    pp_comm_secs_per_rank: f64,
 ) -> Result<Dur, String> {
     if cand.interleave <= 1 {
         return Ok(simulated);
@@ -300,5 +325,10 @@ fn adjusted_makespan(
         // slips through via a hand-built result list.
         return Ok(simulated);
     }
-    Ok(interleave_adjust(simulated, plain, &inter, trace))
+    Ok(interleave_adjust_comm(
+        simulated,
+        plain,
+        &inter,
+        pp_comm_secs_per_rank,
+    ))
 }

@@ -127,7 +127,9 @@ pub struct SearchReport {
     /// per-finalist analytic-vs-simulated deltas and optional
     /// jitter-robustness statistics. `None` when refinement was off.
     /// When present, the refined prefix of [`SearchReport::results`]
-    /// is reordered to match.
+    /// is reordered to match. The simulated numbers come from
+    /// metrics-only engine runs (no trace is materialized), which are
+    /// bit-identical to full-trace execution.
     pub refined: Option<Vec<RefinedResult>>,
 }
 

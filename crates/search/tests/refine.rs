@@ -9,8 +9,8 @@
 //! * jitter replicas are deterministic, and their statistics are
 //!   internally consistent (`mean ≤ p95`, stability in `(0, 1]`).
 
-use lumos_cluster::GroundTruthCluster;
-use lumos_cost::AnalyticalCostModel;
+use lumos_cluster::{execute, lower, GroundTruthCluster, JitterModel, MeasuredStats};
+use lumos_cost::{AnalyticalCostModel, HostOverheads, LookupCostModel};
 use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind, TrainingSetup};
 use lumos_search::{search, Objective, RefinedResult, SearchOptions, SearchReport, SpaceSpec};
 use lumos_trace::ClusterTrace;
@@ -272,4 +272,50 @@ fn jitter_replicas_are_deterministic_and_consistent() {
     let text = a.format_top(10);
     assert!(text.contains("p95 (ms)"), "{text}");
     assert!(text.contains("stability"), "{text}");
+}
+
+#[test]
+fn metrics_only_refinement_matches_full_trace_engine_execution() {
+    // The refinement phase runs the engine in metrics-only mode (no
+    // TraceEvent is ever constructed). Re-execute every finalist with
+    // *full* trace collection against an identically fitted cost
+    // model: the makespans the report ranked by must be bit-identical
+    // — the sink changes bookkeeping, never the timeline.
+    let (_base, trace) = shared_trace();
+    let opts = refined_opts(None, 3);
+    let report = run(&opts);
+    let refined = report.refined.as_ref().expect("refinement ran");
+    assert!(!refined.is_empty());
+    // The same fit `search` performs internally (same trace, same
+    // fallback, same gpus-per-node classification).
+    let lookup =
+        LookupCostModel::fit_from_trace(trace, AnalyticalCostModel::h100(), opts.gpus_per_node);
+    let oh = HostOverheads::default();
+    for (res, refd) in report.results.iter().zip(refined) {
+        assert_eq!(res.index, refd.index);
+        // plain_spec() enumerates no interleaving, so the simulated
+        // makespan is the raw engine number (no adjustment applied).
+        assert!(refd.candidate.interleave <= 1);
+        let job = lower(&res.setup).unwrap();
+        let full = execute(&job, &lookup, &oh, &JitterModel::none(), 0).unwrap();
+        assert_eq!(
+            refd.simulated_makespan, full.makespan,
+            "{}: metrics-only refinement diverged from full-trace execution",
+            refd.label
+        );
+        // Jitter replicas reproduce too: same seeds, same iteration
+        // indices, full-trace engine.
+        let model = JitterModel::realistic(opts.jitter_seed);
+        let iterations: Vec<_> = (0..opts.jitter_replicas)
+            .map(|r| {
+                execute(&job, &lookup, &oh, &model, r as u64)
+                    .unwrap()
+                    .makespan
+            })
+            .collect();
+        let stats = MeasuredStats { iterations };
+        let j = refd.jitter.as_ref().expect("jitter stats present");
+        assert_eq!(j.mean, stats.mean(), "{}: jittered mean", refd.label);
+        assert_eq!(j.p95, stats.p95(), "{}: jittered p95", refd.label);
+    }
 }
