@@ -1,0 +1,256 @@
+//! `lumos serve` throughput bench: sustained req/s against an
+//! in-process daemon serving the 15B sweep artifact (PR 6).
+//!
+//! Calibrates the sweep example's base (`lumos synth --model 15b
+//! --tp 2 --pp 2 --dp 1`) into a temp registry, starts the daemon on
+//! an ephemeral port, then drives it with persistent-connection client
+//! threads: a predict phase (rotating what-if transforms) and a search
+//! phase (a small dp × microbatch grid). Latency quantiles come from
+//! the daemon's own `stats` endpoint — the same numbers an operator
+//! would scrape — so the snapshot exercises the observability path
+//! too.
+//!
+//! Writes `BENCH_PR6.json` at the repository root (override with
+//! `BENCH_PR6_OUT`) and **fails** (exit 2) when any response is an
+//! error or the daemon shed load mid-bench — CI runs it in smoke mode
+//! (`SERVE_BENCH_SMOKE=1`, fewer requests) to guard the serve path on
+//! every push.
+
+use lumos_calib::CalibrationArtifact;
+use lumos_cluster::{GroundTruthCluster, JitterModel, SimConfig};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+use lumos_serve::{ServeConfig, Server};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("SERVE_BENCH_SMOKE").is_some()
+}
+
+/// The sweep example's documented base (examples/spaces/sweep.toml
+/// header), same fixture as the calibration bench.
+fn sweep_artifact() -> CalibrationArtifact {
+    let cfg = SimConfig {
+        model: ModelConfig::gpt3_15b(),
+        parallelism: Parallelism::new(2, 2, 1).unwrap(),
+        batch: BatchConfig {
+            seq_len: 2048,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .with_jitter(JitterModel::realistic(2025))
+        .profile_iteration(0)
+        .unwrap()
+        .trace;
+    CalibrationArtifact::calibrate(&trace, &cfg, "h100", 8).unwrap()
+}
+
+/// One persistent line-delimited JSON connection to the daemon.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to bench daemon");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn ask(&mut self, request: &str) -> String {
+        writeln!(self.writer, "{request}").expect("send request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        line
+    }
+}
+
+/// Sends `count` requests from `clients` persistent connections, each
+/// request drawn round-robin from `requests`. Returns the wall-clock
+/// seconds for the whole phase and the number of non-`expected`
+/// responses observed.
+fn drive(
+    addr: SocketAddr,
+    clients: usize,
+    count: usize,
+    requests: &[String],
+    expected: &str,
+) -> (f64, usize) {
+    let needle = format!("\"kind\":\"{expected}\"");
+    let start = Instant::now();
+    let errors: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let needle = &needle;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut errors = 0usize;
+                    for i in 0..count {
+                        let request = &requests[(c + i * clients) % requests.len()];
+                        if !client.ask(request).contains(needle) {
+                            errors += 1;
+                        }
+                    }
+                    errors
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    (start.elapsed().as_secs_f64(), errors)
+}
+
+/// Pulls a quantile field for one request kind out of the daemon's
+/// `stats` response.
+fn kind_stat(stats: &Value, kind: &str, field: &str) -> u64 {
+    stats["request_kinds"]
+        .as_array()
+        .expect("request_kinds array")
+        .iter()
+        .find(|k| k["kind"].as_str() == Some(kind))
+        .unwrap_or_else(|| panic!("kind {kind} missing from stats"))[field]
+        .as_u64()
+        .unwrap_or_else(|| panic!("{kind}.{field} missing from stats"))
+}
+
+fn main() {
+    let smoke = smoke();
+    let (predict_clients, predict_each) = if smoke { (4, 10) } else { (4, 50) };
+    let (search_clients, search_each) = if smoke { (2, 2) } else { (2, 10) };
+
+    let dir = std::env::temp_dir().join(format!("lumos-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench registry dir");
+    let artifact = sweep_artifact();
+    artifact
+        .save(dir.join("sweep.calib.json").to_str().unwrap())
+        .expect("save sweep artifact");
+
+    let mut config = ServeConfig::new("127.0.0.1:0", &dir);
+    config.workers = 4;
+    config.queue_capacity = 64;
+    let (server, outcome) = Server::bind(&config).expect("bind bench daemon");
+    assert_eq!(outcome.loaded.len(), 1, "one artifact in bench registry");
+    let digest = outcome.loaded[0].clone();
+    let addr = server.local_addr().expect("daemon local addr");
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Predict phase: rotating what-if transforms against the 15B base,
+    // the daemon's bread-and-butter request.
+    let predicts: Vec<String> = [
+        r#""dp":2"#,
+        r#""microbatches":8"#,
+        r#""dp":2,"microbatches":8"#,
+        r#""microbatches":2"#,
+    ]
+    .iter()
+    .map(|t| format!(r#"{{"kind":"predict","artifact":"{digest}",{t}}}"#))
+    .collect();
+    let (predict_secs, predict_errors) =
+        drive(addr, predict_clients, predict_each, &predicts, "predict");
+    let predict_total = predict_clients * predict_each;
+    let predict_rps = predict_total as f64 / predict_secs;
+
+    // Search phase: a small dp × microbatch grid. Repeats share the
+    // cross-request stage memo, so the phase also populates the cache
+    // hit-rate the stats check below reads back.
+    let searches = vec![
+        format!(
+            r#"{{"kind":"search","artifact":"{digest}","dp":[1,2],"microbatches":[4,8],"top":3}}"#
+        ),
+        format!(
+            r#"{{"kind":"search","artifact":"{digest}","dp":[1,2,4],"microbatches":[4],"top":3}}"#
+        ),
+    ];
+    let (search_secs, search_errors) =
+        drive(addr, search_clients, search_each, &searches, "search");
+    let search_total = search_clients * search_each;
+    let search_rps = search_total as f64 / search_secs;
+
+    // Quantiles and cache hit-rate from the daemon's own stats
+    // endpoint — the observability path is part of the bench surface.
+    let mut admin = Client::connect(addr);
+    let stats: Value =
+        serde_json::from_str(&admin.ask(r#"{"kind":"stats"}"#)).expect("stats parses");
+    let served = stats["served"].as_u64().expect("served");
+    let rejected = stats["rejected_overloaded"].as_u64().expect("rejected");
+    let predict_p50 = kind_stat(&stats, "predict", "p50_us");
+    let predict_p95 = kind_stat(&stats, "predict", "p95_us");
+    let predict_p99 = kind_stat(&stats, "predict", "p99_us");
+    let search_p50 = kind_stat(&stats, "search", "p50_us");
+    let search_p95 = kind_stat(&stats, "search", "p95_us");
+    let search_p99 = kind_stat(&stats, "search", "p99_us");
+    let memo_hit_rate = stats["artifacts"][0]["memo_hit_rate"]
+        .as_f64()
+        .expect("memo_hit_rate");
+
+    admin.ask(r#"{"kind":"shutdown"}"#);
+    daemon.join().expect("daemon thread").expect("daemon run");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let json = format!(
+        "{{\n  \"pr\": 6,\n  \"generated_by\": \"crates/bench/benches/serve.rs\",\n  \
+         \"fixture\": {{\n    \"model\": \"gpt3-15b\",\n    \"tp\": 2,\n    \"pp\": 2,\n    \
+         \"dp\": 1,\n    \"microbatches\": 4,\n    \"seq_len\": 2048\n  }},\n  \
+         \"smoke\": {smoke},\n  \"workers\": {workers},\n  \
+         \"queue_capacity\": {queue},\n  \
+         \"predict_clients\": {predict_clients},\n  \
+         \"predict_requests\": {predict_total},\n  \
+         \"predict_wall_secs\": {predict_secs:.6},\n  \
+         \"predict_reqs_per_sec\": {predict_rps:.1},\n  \
+         \"predict_p50_us\": {predict_p50},\n  \
+         \"predict_p95_us\": {predict_p95},\n  \
+         \"predict_p99_us\": {predict_p99},\n  \
+         \"search_clients\": {search_clients},\n  \
+         \"search_requests\": {search_total},\n  \
+         \"search_wall_secs\": {search_secs:.6},\n  \
+         \"search_reqs_per_sec\": {search_rps:.1},\n  \
+         \"search_p50_us\": {search_p50},\n  \
+         \"search_p95_us\": {search_p95},\n  \
+         \"search_p99_us\": {search_p99},\n  \
+         \"memo_hit_rate\": {memo_hit_rate:.3},\n  \
+         \"served\": {served},\n  \
+         \"rejected_overloaded\": {rejected}\n}}\n",
+        workers = config.workers,
+        queue = config.queue_capacity,
+    );
+
+    let out = std::env::var("BENCH_PR6_OUT").unwrap_or_else(|_| {
+        // Benches run with cwd = crates/bench; snapshot lives at the
+        // repository root.
+        format!("{}/../../BENCH_PR6.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    println!("\n== BENCH_PR6 snapshot ({out}) ==");
+    print!("{json}");
+
+    if predict_errors + search_errors > 0 {
+        eprintln!(
+            "FAIL: {predict_errors} predict / {search_errors} search responses \
+             were not successes"
+        );
+        std::process::exit(2);
+    }
+    if rejected > 0 {
+        eprintln!("FAIL: daemon shed {rejected} requests during the bench");
+        std::process::exit(2);
+    }
+    if served != (predict_total + search_total) as u64 {
+        eprintln!(
+            "FAIL: daemon served {served} requests, expected {}",
+            predict_total + search_total
+        );
+        std::process::exit(2);
+    }
+}

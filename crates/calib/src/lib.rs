@@ -48,7 +48,9 @@
 mod artifact;
 mod error;
 mod fingerprint;
+mod registry;
 
 pub use artifact::{CalibrationArtifact, ARTIFACT_VERSION};
 pub use error::CalibError;
 pub use fingerprint::TraceFingerprint;
+pub use registry::{digest_hex, scan_registry_dir, ScanReport, ScannedArtifact};

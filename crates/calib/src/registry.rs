@@ -1,0 +1,81 @@
+//! Registry-directory loading: scan a directory of persisted
+//! artifacts, keeping the good ones and reporting the bad ones.
+//!
+//! A long-lived consumer (the `lumos serve` daemon) points at a
+//! directory of `*.json` calibration artifacts and (re)scans it to
+//! pick up new calibrations without restarting. The failure contract
+//! matters more than the happy path: one corrupt, hand-edited, or
+//! version-mismatched file must never take down the scan — it is
+//! reported per-path in [`ScanReport::rejected`] while every loadable
+//! artifact still loads. Callers decide what rejection means (the
+//! daemon keeps serving its live artifacts and logs the rejects).
+
+use crate::artifact::CalibrationArtifact;
+use crate::error::CalibError;
+use std::path::{Path, PathBuf};
+
+/// One artifact successfully loaded (and digest/version-verified) from
+/// a registry directory.
+#[derive(Debug)]
+pub struct ScannedArtifact {
+    /// Where it was loaded from.
+    pub path: PathBuf,
+    /// The verified artifact.
+    pub artifact: CalibrationArtifact,
+}
+
+/// Everything one registry-directory scan found, good and bad.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Artifacts that loaded and verified, in filename order.
+    pub loaded: Vec<ScannedArtifact>,
+    /// Files that looked like artifacts (`*.json`) but failed to load
+    /// — parse errors, version mismatches, digest mismatches, I/O —
+    /// with the per-file reason. Never fatal to the scan.
+    pub rejected: Vec<(PathBuf, CalibError)>,
+}
+
+/// The display form registry consumers key artifacts by: the content
+/// digest as a zero-padded hex literal (e.g. `0x00ab12…`), matching
+/// how `lumos calibrate` and `lumos info` print it.
+pub fn digest_hex(digest: u64) -> String {
+    format!("{digest:#018x}")
+}
+
+/// Scans `dir` for `*.json` calibration artifacts, loading and
+/// verifying each (version check, whole-content digest check). Files
+/// without a `.json` extension and subdirectories are ignored. Entries
+/// are visited in filename order so scan reports are deterministic.
+///
+/// # Errors
+///
+/// Returns [`CalibError::Io`] only when the directory itself cannot be
+/// read; per-file failures land in [`ScanReport::rejected`] instead.
+pub fn scan_registry_dir(dir: impl AsRef<Path>) -> Result<ScanReport, CalibError> {
+    let dir = dir.as_ref();
+    let entries = std::fs::read_dir(dir).map_err(|source| CalibError::Io {
+        path: dir.display().to_string(),
+        source,
+    })?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| CalibError::Io {
+            path: dir.display().to_string(),
+            source,
+        })?;
+        let path = entry.path();
+        if path.is_file() && path.extension().is_some_and(|ext| ext == "json") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+
+    let mut report = ScanReport::default();
+    for path in paths {
+        match CalibrationArtifact::load(&path) {
+            Ok(artifact) => report.loaded.push(ScannedArtifact { path, artifact }),
+            Err(err) => report.rejected.push((path, err)),
+        }
+    }
+    Ok(report)
+}

@@ -2,7 +2,7 @@
 //! execution breakdown, and the heaviest kernels.
 
 use crate::args::{ArgSet, ArgSpec};
-use crate::common::{load_trace, ms, pct};
+use crate::common::{load_artifact, load_trace, ms, pct};
 use crate::error::CliError;
 use lumos_bench::table::TextTable;
 use lumos_trace::{queue_delays, stream_occupancy, BreakdownExt, TraceStats};
@@ -15,9 +15,61 @@ pub const SPEC: ArgSpec = ArgSpec {
 };
 
 /// Usage text.
-pub const HELP: &str = "lumos info <trace.json> [--top N]\n\
-  Prints trace dimensions, the execution-time breakdown (§4.2.2), and\n\
-  the N heaviest kernels (default 5).";
+pub const HELP: &str = "lumos info <trace.json | artifact.json> [--top N]\n\
+  For a trace: prints its dimensions, the execution-time breakdown\n\
+  (§4.2.2), and the N heaviest kernels (default 5).\n\
+  For a `lumos calibrate` artifact (detected by its content): prints\n\
+  its digest (the `lumos serve` registry key), format version,\n\
+  hardware preset, base setup, source-trace fingerprint, and fitted\n\
+  table sizes.";
+
+/// Whether `path` looks like a calibration artifact rather than a
+/// Chrome trace: a JSON object carrying the artifact's identity
+/// fields. The full digest/version validation happens on load.
+fn sniff_artifact(path: &str) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Ok(value) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return false;
+    };
+    match value {
+        serde_json::Value::Object(map) => ["version", "digest", "fingerprint"]
+            .iter()
+            .all(|k| map.contains_key(k)),
+        _ => false,
+    }
+}
+
+/// Prints the artifact summary.
+fn artifact_info(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let artifact = load_artifact(path)?;
+    writeln!(out, "calibration artifact")?;
+    writeln!(
+        out,
+        "digest:    {}",
+        lumos_calib::digest_hex(artifact.digest)
+    )?;
+    writeln!(out, "version:   {}", artifact.version)?;
+    writeln!(out, "hardware:  {}", artifact.hardware)?;
+    writeln!(out, "base:      {}", artifact.setup.label())?;
+    writeln!(out)?;
+    writeln!(out, "source-trace fingerprint:")?;
+    let fp = &artifact.fingerprint;
+    writeln!(out, "  events:        {}", fp.events)?;
+    writeln!(out, "  ranks:         {}", fp.ranks)?;
+    writeln!(out, "  makespan:      {}", ms(fp.makespan))?;
+    writeln!(out, "  content hash:  {:#018x}", fp.content_hash)?;
+    writeln!(out)?;
+    writeln!(
+        out,
+        "fitted tables: {} compute shapes, {} collective shapes, {} blocks",
+        artifact.tables.compute_entries(),
+        artifact.tables.collective_entries(),
+        artifact.library.len()
+    )?;
+    Ok(())
+}
 
 /// Runs `lumos info`.
 ///
@@ -25,8 +77,11 @@ pub const HELP: &str = "lumos info <trace.json> [--top N]\n\
 ///
 /// Returns usage, I/O, and parse failures.
 pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
-    let path = args.one_positional("trace file")?;
+    let path = args.one_positional("trace or artifact file")?;
     let top = args.get_num("top", 5usize)?;
+    if sniff_artifact(path) {
+        return artifact_info(path, out);
+    }
     let trace = load_trace(path)?;
     trace.validate()?;
 

@@ -6,7 +6,9 @@ pub mod critical;
 pub mod info;
 pub mod mfu;
 pub mod predict;
+pub mod query;
 pub mod replay;
 pub mod search;
+pub mod serve;
 pub mod smutil;
 pub mod synth;

@@ -29,7 +29,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "scale-host",
         "out",
     ],
-    flags: &["dpro"],
+    flags: &["dpro", "json"],
 };
 
 /// Usage text.
@@ -38,7 +38,7 @@ pub const HELP: &str = "lumos predict <trace.json> [--setup setup.json]\n\
     [--dp N] [--pp N] [--tp N] [--layers N] [--hidden N --ffn N]\n\
     [--seq N] [--microbatches N]\n\
     [--scale-gemms F] [--scale-comms F] [--scale-host F]\n\
-    [--out predicted.json]\n\
+    [--out predicted.json] [--json]\n\
   Manipulates the execution graph for the requested configuration\n\
   changes (§3.4) and predicts the new iteration time by simulation.\n\
   With --calib (a `lumos calibrate` artifact) the trace file is\n\
@@ -48,6 +48,9 @@ pub const HELP: &str = "lumos predict <trace.json> [--setup setup.json]\n\
   given it is only fingerprint-checked against the artifact.\n\
   The --scale-* factors run an operator-level what-if on top (0.5 =\n\
   twice as fast); factors must be finite and non-negative.\n\
+  --json emits the prediction as one JSON object on stdout — the\n\
+  exact response a `lumos serve` daemon returns for the same request\n\
+  against the same artifact (it excludes --scale-*/--out).\n\
   The setup sidecar defaults to <trace>.setup.json.";
 
 /// One operator-level scale request: (report label, factor, apply).
@@ -132,6 +135,23 @@ pub fn transforms_from(args: &ArgSet) -> Result<Vec<Transform>, CliError> {
 pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     let transforms = transforms_from(args)?;
     let scales = scales_from(args)?;
+    let json = args.has("json");
+    if json {
+        // The JSON schema is the serve protocol's predict response;
+        // operator-level scaling and trace export have no place in it.
+        if !scales.is_empty() {
+            return Err(CliError::Usage(
+                "--scale-* does not apply with --json (the serve protocol has no \
+                 operator-scaling fields)"
+                    .to_string(),
+            ));
+        }
+        if args.get("out").is_some() {
+            return Err(CliError::Usage(
+                "--out does not apply with --json".to_string(),
+            ));
+        }
+    }
     if transforms.is_empty() && scales.is_empty() {
         return Err(CliError::Usage(
             "no transform requested (pass --dp/--pp/--tp/--layers/--hidden+--ffn/--seq/\
@@ -175,6 +195,15 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
                 toolkit.predict(&trace, &setup, &transforms, AnalyticalCostModel::h100())?;
             (setup.label(), trace.makespan(), prediction)
         };
+
+    if json {
+        // One shared schema with the daemon: both sides encode through
+        // `response_line` on the same response struct, which is what
+        // keeps the two byte-identical.
+        let response = lumos_serve::protocol::predict_response(&base_label, recorded, &prediction);
+        writeln!(out, "{}", lumos_serve::protocol::response_line(&response))?;
+        return Ok(());
+    }
 
     writeln!(out, "base:      {base_label}")?;
     writeln!(out, "target:    {}", prediction.setup.label())?;

@@ -1,0 +1,56 @@
+//! `lumos query` — thin client for a running `lumos serve` daemon:
+//! send one JSON request line over TCP, print the one-line response.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::error::CliError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Options of `lumos query`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["addr"],
+    flags: &[],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos query --addr HOST:PORT '<request json>'\n\
+  Sends one request line to a running `lumos serve` daemon and prints\n\
+  its one-line JSON response. The request is passed through verbatim,\n\
+  e.g.:\n\
+    lumos query --addr 127.0.0.1:7700 \\\n\
+      '{\"kind\":\"predict\",\"artifact\":\"0x…\",\"dp\":2}'\n\
+    lumos query --addr 127.0.0.1:7700 '{\"kind\":\"stats\"}'";
+
+/// Runs `lumos query`.
+///
+/// # Errors
+///
+/// Returns usage and connection failures; protocol-level errors come
+/// back as the daemon's own JSON error response, printed normally.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.require("addr")?;
+    let request = args.one_positional("request (one JSON object)")?;
+    if request.contains('\n') {
+        return Err(CliError::Usage(
+            "the request must be a single line (the protocol is one object per line)".to_string(),
+        ));
+    }
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| CliError::Tool(format!("connecting to {addr}: {e}")))?;
+    writeln!(stream, "{request}")
+        .map_err(|e| CliError::Tool(format!("sending request to {addr}: {e}")))?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| CliError::Tool(format!("reading response from {addr}: {e}")))?;
+    if response.is_empty() {
+        return Err(CliError::Tool(format!(
+            "daemon at {addr} closed the connection without responding"
+        )));
+    }
+    write!(out, "{response}")?;
+    if !response.ends_with('\n') {
+        writeln!(out)?;
+    }
+    Ok(())
+}

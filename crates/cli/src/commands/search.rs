@@ -36,7 +36,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "jitter-replicas",
         "jitter-seed",
     ],
-    flags: &["progress", "keep-all", "refine-sim"],
+    flags: &["progress", "keep-all", "refine-sim", "json"],
 };
 
 /// Usage text.
@@ -47,7 +47,7 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
     [--interleave 1,2] [--gpus 8,16,32] [--max-gpus N]\n\
     [--objective makespan|throughput|mfu] [--top K]\n\
     [--memory-gib N] [--threads N] [--progress] [--keep-all]\n\
-    [--refine-sim] [--jitter-replicas N] [--jitter-seed N]\n\
+    [--refine-sim] [--jitter-replicas N] [--jitter-seed N] [--json]\n\
   Searches a what-if configuration space from one profiled trace:\n\
   candidates are enumerated lazily over the axis grids\n\
   (comma-separated values, or a TOML space file; flags override the\n\
@@ -77,7 +77,11 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
   --jitter-replicas N (implies --refine-sim) additionally executes N\n\
   deterministic variance replicas per finalist and re-ranks by the\n\
   jittered mean, adding mean/p95/stability robustness columns\n\
-  (--jitter-seed fixes the variance model's seed).";
+  (--jitter-seed fixes the variance model's seed).\n\
+  --json emits the ranked report as one JSON object on stdout — the\n\
+  exact response a `lumos serve` daemon returns for the same request\n\
+  against the same artifact (only deterministic report fields are\n\
+  included; --progress still goes to stderr).";
 
 /// Comma-separated integer list (`--tp 1,2,4`).
 fn parse_axis(args: &ArgSet, name: &str) -> Result<Option<Vec<u32>>, CliError> {
@@ -268,6 +272,14 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
 
     let calib = calibration_from(args, out, opts.gpus_per_node)?;
     let report = search_calibrated(&calib, &file.space, &opts)?;
-    write!(out, "{}", report.format_top(top))?;
+    if args.has("json") {
+        // One shared schema with the daemon: both sides encode through
+        // `response_line` on the same response struct, which is what
+        // keeps the two byte-identical.
+        let response = lumos_serve::protocol::search_response(&report, top);
+        writeln!(out, "{}", lumos_serve::protocol::response_line(&response))?;
+    } else {
+        write!(out, "{}", report.format_top(top))?;
+    }
     Ok(())
 }

@@ -1,0 +1,85 @@
+//! `lumos serve` — run the persistent what-if estimation daemon: load
+//! every calibration artifact in a registry directory and answer
+//! `predict` / `search` / `refine` requests over line-delimited JSON
+//! on TCP.
+
+use crate::args::{ArgSet, ArgSpec};
+use crate::error::CliError;
+use lumos_serve::{ServeConfig, Server};
+use std::io::Write;
+
+/// Options of `lumos serve`.
+pub const SPEC: ArgSpec = ArgSpec {
+    options: &["registry", "addr", "workers", "queue", "search-threads"],
+    flags: &[],
+};
+
+/// Usage text.
+pub const HELP: &str = "lumos serve --registry DIR [--addr HOST:PORT]\n\
+    [--workers N] [--queue N] [--search-threads N]\n\
+  Starts the estimation daemon: every `*.json` calibration artifact in\n\
+  the registry directory is loaded at startup (keyed by its content\n\
+  digest), then the daemon answers one JSON request object per line\n\
+  with one JSON response object per line, in request order per\n\
+  connection. Compute requests (`predict`, `search`, `refine`) run on\n\
+  a bounded worker pool (--workers, default 2) behind a bounded queue\n\
+  (--queue, default 32); a full queue sheds load with a typed\n\
+  `overloaded` error, and a request's `deadline_ms` covers queue wait\n\
+  plus service, cancelling running searches cooperatively. Admin\n\
+  requests are answered inline: `stats` (uptime, queue depth, memo\n\
+  hit rates, latency quantiles), `reload` (atomically rescans the\n\
+  registry without disturbing in-flight work), `shutdown`.\n\
+  --addr defaults to 127.0.0.1:7700; port 0 picks a free port (the\n\
+  bound address is printed as `listening on HOST:PORT`).\n\
+  Responses are byte-identical to `lumos predict --json` /\n\
+  `lumos search --json` against the same artifact.";
+
+/// Runs `lumos serve` (blocks until a `shutdown` request).
+///
+/// # Errors
+///
+/// Returns usage errors, bind failures, and registry-scan failures.
+pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
+    if !args.positionals().is_empty() {
+        return Err(CliError::Usage(
+            "serve takes no positional arguments (artifacts come from --registry)".to_string(),
+        ));
+    }
+    let mut config = ServeConfig::new(
+        args.get("addr").unwrap_or("127.0.0.1:7700"),
+        args.require("registry")?,
+    );
+    config.workers = args.get_num("workers", config.workers)?;
+    config.queue_capacity = args.get_num("queue", config.queue_capacity)?;
+    config.search_threads = args.get_num_opt::<usize>("search-threads")?;
+    if config.workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".to_string()));
+    }
+    if config.queue_capacity == 0 {
+        return Err(CliError::Usage("--queue must be at least 1".to_string()));
+    }
+
+    let (server, outcome) = Server::bind(&config).map_err(|e| CliError::Tool(e.to_string()))?;
+    for digest in &outcome.loaded {
+        writeln!(out, "loaded {digest}")?;
+    }
+    for (path, detail) in &outcome.rejected {
+        writeln!(out, "rejected {path}: {detail}")?;
+    }
+    if outcome.loaded.is_empty() {
+        writeln!(
+            out,
+            "warning: no artifacts loaded from {} (serve answers admin requests only \
+             until `reload` finds some)",
+            config.registry_dir.display()
+        )?;
+    }
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::Tool(e.to_string()))?;
+    writeln!(out, "listening on {local}")?;
+    // The daemon blocks from here on; make sure the address line is
+    // visible to whoever is waiting to connect (CI greps for it).
+    out.flush()?;
+    server.run().map_err(|e| CliError::Tool(e.to_string()))
+}

@@ -14,6 +14,8 @@
 //! | `sm-util` | §4.2.3 SM-utilization timeline |
 //! | `critical-path` | longest dependency chain + bottleneck kernels |
 //! | `mfu` | MFU/HFU and memory feasibility (§5 future-work metrics) |
+//! | `serve` | persistent estimation daemon over calibration artifacts |
+//! | `query` | one-shot client for a running `serve` daemon |
 //!
 //! `replay`, `predict`, `search`, and `mfu` accept `--calib
 //! <artifact>` (the output of `lumos calibrate`) to skip trace
@@ -49,6 +51,8 @@ commands:\n\
   sm-util        SM-utilization timeline\n\
   critical-path  critical path and bottleneck kernels\n\
   mfu            FLOPS utilization and memory feasibility\n\
+  serve          run the persistent estimation daemon\n\
+  query          send one request to a running daemon\n\
   help           this message (or `lumos help <command>`)\n";
 
 /// Dispatches one CLI invocation (`args` excludes the binary name).
@@ -78,6 +82,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             commands::critical::run(&ArgSet::parse(rest, &commands::critical::SPEC)?, out)
         }
         "mfu" => commands::mfu::run(&ArgSet::parse(rest, &commands::mfu::SPEC)?, out),
+        "serve" => commands::serve::run(&ArgSet::parse(rest, &commands::serve::SPEC)?, out),
+        "query" => commands::query::run(&ArgSet::parse(rest, &commands::query::SPEC)?, out),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("synth") => writeln!(out, "{}", commands::synth::HELP)?,
@@ -90,6 +96,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some("sm-util") => writeln!(out, "{}", commands::smutil::HELP)?,
                 Some("critical-path") => writeln!(out, "{}", commands::critical::HELP)?,
                 Some("mfu") => writeln!(out, "{}", commands::mfu::HELP)?,
+                Some("serve") => writeln!(out, "{}", commands::serve::HELP)?,
+                Some("query") => writeln!(out, "{}", commands::query::HELP)?,
                 Some(other) => return Err(CliError::Usage(format!("unknown command `{other}`"))),
                 None => writeln!(out, "{GENERAL_HELP}")?,
             }

@@ -1,0 +1,148 @@
+//! The byte-identity anchor between the daemon and the CLI: a running
+//! `lumos serve` daemon must answer `predict` and `search` requests
+//! with the exact bytes `lumos predict --json` / `lumos search --json`
+//! print for the same artifact — one shared response schema, two
+//! transports. Also covers the `lumos query` client and the artifact
+//! branch of `lumos info`.
+
+use lumos_serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn run_cli(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    lumos_cli::run(&args, &mut buf).unwrap_or_else(|e| panic!("lumos {args:?} failed: {e}"));
+    String::from_utf8(buf).expect("utf8 output")
+}
+
+fn ask(addr: SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    writeln!(stream, "{request}").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    line
+}
+
+#[test]
+fn daemon_responses_are_byte_identical_to_cli_json() {
+    let dir = std::env::temp_dir().join(format!("lumos-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = dir.join("registry");
+    std::fs::create_dir_all(&registry).unwrap();
+    let trace = dir.join("t.json");
+    let trace = trace.to_str().unwrap();
+    let artifact = registry.join("t.calib.json");
+    let artifact = artifact.to_str().unwrap();
+
+    run_cli(&[
+        "synth", "--model", "tiny", "--tp", "1", "--pp", "2", "--dp", "1", "--out", trace,
+    ]);
+    run_cli(&["calibrate", trace, "--out", artifact]);
+
+    // The artifact branch of `lumos info` names the registry key.
+    let info = run_cli(&["info", artifact]);
+    assert!(info.contains("calibration artifact"), "{info}");
+    assert!(info.contains("digest:    0x"), "{info}");
+    assert!(info.contains("fingerprint"), "{info}");
+    let digest = info
+        .lines()
+        .find_map(|l| l.strip_prefix("digest:"))
+        .unwrap()
+        .trim()
+        .to_string();
+
+    let config = ServeConfig::new("127.0.0.1:0", &registry);
+    let (server, outcome) = Server::bind(&config).unwrap();
+    assert_eq!(outcome.loaded, vec![digest.clone()]);
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run().unwrap());
+
+    // predict: daemon line == CLI --json line, byte for byte.
+    let from_daemon = ask(
+        addr,
+        &format!(r#"{{"kind":"predict","artifact":"{digest}","dp":2,"microbatches":8}}"#),
+    );
+    let from_cli = run_cli(&[
+        "predict",
+        "--calib",
+        artifact,
+        "--dp",
+        "2",
+        "--microbatches",
+        "8",
+        "--json",
+    ]);
+    assert_eq!(from_daemon, from_cli);
+
+    // search (refined phase included): same identity.
+    let from_daemon = ask(
+        addr,
+        &format!(
+            r#"{{"kind":"search","artifact":"{digest}","dp":[1,2,4],"microbatches":[2,4],"top":3,"refine_sim":true}}"#
+        ),
+    );
+    let from_cli = run_cli(&[
+        "search",
+        "--calib",
+        artifact,
+        "--dp",
+        "1,2,4",
+        "--microbatches",
+        "2,4",
+        "--top",
+        "3",
+        "--refine-sim",
+        "--json",
+    ]);
+    assert_eq!(from_daemon, from_cli);
+
+    // `lumos query` is a faithful transport: its stdout is the daemon
+    // line unmodified.
+    let addr_str = addr.to_string();
+    let request = format!(r#"{{"kind":"predict","artifact":"{digest}","dp":2}}"#);
+    let via_query = run_cli(&["query", "--addr", &addr_str, &request]);
+    assert_eq!(via_query, ask(addr, &request));
+
+    // The JSON flag composes badly with text-only options — loudly.
+    let args: Vec<String> = [
+        "predict", "--calib", artifact, "--dp", "2", "--json", "--out", "x.json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let err = lumos_cli::run(&args, &mut Vec::new()).unwrap_err();
+    assert!(err.to_string().contains("--out"), "{err}");
+    let args: Vec<String> = [
+        "predict",
+        "--calib",
+        artifact,
+        "--scale-gemms",
+        "0.5",
+        "--json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let err = lumos_cli::run(&args, &mut Vec::new()).unwrap_err();
+    assert!(err.to_string().contains("--scale"), "{err}");
+
+    ask(addr, r#"{"kind":"shutdown"}"#);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn info_still_handles_plain_traces() {
+    let dir = std::env::temp_dir().join(format!("lumos-cli-info-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.json");
+    let trace = trace.to_str().unwrap();
+    run_cli(&[
+        "synth", "--model", "tiny", "--tp", "1", "--pp", "1", "--dp", "1", "--out", trace,
+    ]);
+    let info = run_cli(&["info", trace]);
+    assert!(info.contains("breakdown"), "{info}");
+    assert!(!info.contains("calibration artifact"), "{info}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -41,6 +41,12 @@ pub enum SearchError {
     },
     /// A malformed space-spec file.
     Spec(String),
+    /// The run was cancelled cooperatively before completing: its
+    /// wall-clock deadline ([`crate::SearchOptions::deadline`])
+    /// expired, or its cancel flag ([`crate::SearchOptions::cancel`])
+    /// was raised. Partial results are discarded — a truncated grid
+    /// walk cannot claim to contain the true top-k.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SearchError {
@@ -65,6 +71,10 @@ impl fmt::Display for SearchError {
                 write!(f, "refining finalist {candidate}: {detail}")
             }
             SearchError::Spec(msg) => write!(f, "invalid space spec: {msg}"),
+            SearchError::DeadlineExceeded => write!(
+                f,
+                "search cancelled: deadline exceeded before the run completed"
+            ),
         }
     }
 }

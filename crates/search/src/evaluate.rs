@@ -246,6 +246,7 @@ pub(crate) fn run_streaming<C>(
     calib: &crate::SearchCalibration<C>,
     spec: &crate::SpaceSpec,
     opts: &SearchOptions,
+    deadline: Option<std::time::Instant>,
 ) -> Result<EngineOutcome, SearchError>
 where
     C: CostModel + Send + Sync,
@@ -260,7 +261,9 @@ where
     // a worker actually queries a bound — never in full-retention
     // mode, where heaps never fill.
     let cache: std::sync::OnceLock<StageCostCache<'_, C>> = std::sync::OnceLock::new();
-    let bound_cache = || cache.get_or_init(|| StageCostCache::new(base, library, lookup));
+    let shared_memo = opts.shared_memo.as_deref();
+    let bound_cache =
+        || cache.get_or_init(|| StageCostCache::new(base, library, lookup, shared_memo));
     let lumos = Lumos::new();
     let threads = crate::parallel::effective_threads(opts.threads, total);
     let capacity = opts.gpu.memory_bytes();
@@ -268,6 +271,7 @@ where
     let counters = Counters::default();
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
+    let expired = AtomicBool::new(false);
     let progress_stride = (total / 20).clamp(1, 65_536);
 
     let worker = |_worker_idx: usize| -> WorkerOut {
@@ -280,6 +284,11 @@ where
         };
         loop {
             if abort.load(AtomicOrdering::Relaxed) {
+                break;
+            }
+            if crate::cancel_requested(opts, deadline) {
+                expired.store(true, AtomicOrdering::Relaxed);
+                abort.store(true, AtomicOrdering::Relaxed);
                 break;
             }
             let index = cursor.fetch_add(1, AtomicOrdering::Relaxed);
@@ -427,6 +436,11 @@ where
     }
     if let Some((_, e)) = error {
         return Err(e);
+    }
+    // Cancellation beats the empty-space diagnosis: an interrupted run
+    // may not have claimed enough of the grid to say anything about it.
+    if expired.load(AtomicOrdering::Relaxed) {
+        return Err(SearchError::DeadlineExceeded);
     }
 
     let stats = PruneStats {

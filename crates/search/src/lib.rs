@@ -116,6 +116,7 @@ pub use enumerate::{
 };
 pub use error::SearchError;
 pub use evaluate::{CandidateResult, Infeasibility, RejectedCandidate};
+pub use memo::SharedStageMemo;
 pub use prune::{memory_gate, MemoStats, PruneStats, PrunedCandidate};
 pub use refine::{JitterStats, RefinedResult};
 pub use report::{rank, Objective, SearchReport};
@@ -215,6 +216,22 @@ pub struct SearchOptions {
     pub jitter_seed: u64,
     /// Optional progress callback for long searches.
     pub progress: Option<ProgressSink>,
+    /// Cooperative cancel flag: workers observe it between candidates
+    /// (and between refinement finalists) and, once raised, the run
+    /// aborts with [`SearchError::DeadlineExceeded`]. Raise it from
+    /// another thread to interrupt a long search cleanly.
+    pub cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// Wall-clock budget for the whole run (screen *and* refinement),
+    /// measured from entry into [`search_calibrated`]. Expiry aborts
+    /// with [`SearchError::DeadlineExceeded`] — partial results are
+    /// discarded, because a truncated grid walk cannot claim to
+    /// contain the true top-k.
+    pub deadline: Option<std::time::Duration>,
+    /// Cross-run stage-work memo shared between searches against the
+    /// **same** calibration (a long-lived service keeps one per
+    /// artifact). A warm memo never changes reported results — see
+    /// [`SharedStageMemo`].
+    pub shared_memo: Option<Arc<SharedStageMemo>>,
 }
 
 impl Default for SearchOptions {
@@ -230,8 +247,22 @@ impl Default for SearchOptions {
             jitter_replicas: 0,
             jitter_seed: 2025,
             progress: None,
+            cancel: None,
+            deadline: None,
+            shared_memo: None,
         }
     }
+}
+
+/// `true` when the run should abort cooperatively: its cancel flag is
+/// raised or its wall-clock deadline instant has passed. Checked by
+/// the streaming evaluator between candidates and by refinement
+/// between finalists.
+pub(crate) fn cancel_requested(opts: &SearchOptions, deadline: Option<std::time::Instant>) -> bool {
+    opts.cancel
+        .as_ref()
+        .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        || deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }
 
 /// The reusable, query-independent half of a search: the trace-fitted
@@ -376,7 +407,10 @@ where
 {
     let base = &calib.base;
     let normalized = spec.normalized();
-    let outcome = evaluate::run_streaming(calib, &normalized, opts)?;
+    // One deadline instant for the whole run: screen and refinement
+    // share the budget instead of each getting a fresh one.
+    let deadline = opts.deadline.map(|d| std::time::Instant::now() + d);
+    let outcome = evaluate::run_streaming(calib, &normalized, opts, deadline)?;
     let mut results = outcome.results;
     let refined = if opts.refine_sim {
         // Phase two is per-candidate engine work, so it always runs on
@@ -387,7 +421,8 @@ where
             .top_k
             .unwrap_or(DEFAULT_REFINE_FINALISTS)
             .min(results.len());
-        let refined = refine::refine_finalists(&results[..finalists], opts, &calib.lookup)?;
+        let refined =
+            refine::refine_finalists(&results[..finalists], opts, &calib.lookup, deadline)?;
         // Phase two's verdict wins: reorder the refined prefix of the
         // ranked results to the simulation-refined order (indices are
         // unique per candidate); unrefined results keep their analytic

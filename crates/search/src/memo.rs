@@ -51,6 +51,60 @@ struct CachedCosts {
     unusable: bool,
 }
 
+/// A stage-work memo shared **across** search runs against one
+/// calibration — the cross-request warm cache behind a long-lived
+/// service (`lumos serve` keeps one per registry artifact).
+///
+/// The per-run [`StageCostCache`] derives per-candidate
+/// [`StageWork`] from `(base, library, lookup)` plus the candidate's
+/// `(stage-cost key, layer count)` alone, so work derived by one run
+/// is valid for every later run against the *same* calibration.
+/// Sharing a memo across different calibrations is unsound — callers
+/// must key memos by artifact. A warm memo never changes reported
+/// top-k results (the derivation is deterministic in the key); it
+/// only converts derivations into refcount bumps.
+pub struct SharedStageMemo {
+    work: Mutex<HashMap<(StageCostKey, u32), Arc<StageWork>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SharedStageMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SharedStageMemo {
+            work: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Lifetime hit/miss counts across every run that attached this
+    /// memo (`misses` == distinct stage-work entries derived).
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for SharedStageMemo {
+    fn default() -> Self {
+        SharedStageMemo::new()
+    }
+}
+
+impl std::fmt::Debug for SharedStageMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SharedStageMemo")
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
 /// The shared stage-cost memo: one per search run, read-mostly.
 pub(crate) struct StageCostCache<'a, C> {
     base: &'a TrainingSetup,
@@ -70,6 +124,11 @@ pub(crate) struct StageCostCache<'a, C> {
     /// depends on. Entries are `Arc`-shared so a cache hit is a
     /// refcount bump, not a rebuild of the per-layer cost vector.
     work: Mutex<HashMap<(StageCostKey, u32), Arc<StageWork>>>,
+    /// Optional cross-run memo ([`crate::SearchOptions::shared_memo`]):
+    /// probed after a local-map miss, fed on every derivation. Sound
+    /// only because callers key it by calibration — see
+    /// [`SharedStageMemo`].
+    shared: Option<&'a SharedStageMemo>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -79,6 +138,7 @@ impl<'a, C: CostModel> StageCostCache<'a, C> {
         base: &'a TrainingSetup,
         library: &'a BlockLibrary,
         lookup: &'a LookupCostModel<C>,
+        shared: Option<&'a SharedStageMemo>,
     ) -> Self {
         StageCostCache {
             base,
@@ -88,6 +148,7 @@ impl<'a, C: CostModel> StageCostCache<'a, C> {
             complete: library_is_complete(library, base),
             map: Mutex::new(HashMap::new()),
             work: Mutex::new(HashMap::new()),
+            shared,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -146,6 +207,27 @@ impl<'a, C: CostModel> StageCostCache<'a, C> {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(work.clone());
         }
+        // Warm path: a previous run against the same calibration may
+        // have derived this entry already. Adopt it into the local map
+        // so later probes in this run stay on the fast path.
+        if let Some(shared) = self.shared {
+            let adopted = shared
+                .work
+                .lock()
+                .expect("shared memo poisoned")
+                .get(&key)
+                .cloned();
+            if let Some(work) = adopted {
+                shared.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.work
+                    .lock()
+                    .expect("work memo poisoned")
+                    .entry(key)
+                    .or_insert_with(|| work.clone());
+                return Some(work);
+            }
+        }
         let costs = self.costs_for(setup)?;
         if costs.unusable {
             return None;
@@ -162,6 +244,25 @@ impl<'a, C: CostModel> StageCostCache<'a, C> {
             embed_secs: costs.embed_secs,
             head_secs: costs.head_secs,
         });
+        // Publish the derivation to the cross-run memo (first insert
+        // wins there too; the loser adopts the existing entry so both
+        // memos share one allocation).
+        let work = match self.shared {
+            Some(shared) => {
+                let mut map = shared.work.lock().expect("shared memo poisoned");
+                match map.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        shared.hits.fetch_add(1, Ordering::Relaxed);
+                        e.get().clone()
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        shared.misses.fetch_add(1, Ordering::Relaxed);
+                        v.insert(work).clone()
+                    }
+                }
+            }
+            None => work,
+        };
         // First insert wins on a race (the loser drops its copy and
         // adopts the existing entry); the derivation is deterministic
         // in the key, so both values are identical either way.

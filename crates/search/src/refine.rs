@@ -156,6 +156,7 @@ pub(crate) fn refine_finalists<C>(
     finalists: &[CandidateResult],
     opts: &SearchOptions,
     lookup: &LookupCostModel<C>,
+    deadline: Option<std::time::Instant>,
 ) -> Result<Vec<RefinedResult>, SearchError>
 where
     C: CostModel + Send + Sync,
@@ -165,10 +166,18 @@ where
     }
     let threads = crate::parallel::effective_threads(opts.threads, finalists.len());
     let cursor = AtomicUsize::new(0);
+    let expired = std::sync::atomic::AtomicBool::new(false);
 
     let worker = || {
         let mut out: Vec<(usize, Result<RefinedResult, SearchError>)> = Vec::new();
         loop {
+            if expired.load(Ordering::Relaxed) {
+                break;
+            }
+            if crate::cancel_requested(opts, deadline) {
+                expired.store(true, Ordering::Relaxed);
+                break;
+            }
             let slot = cursor.fetch_add(1, Ordering::Relaxed);
             if slot >= finalists.len() {
                 break;
@@ -186,6 +195,12 @@ where
                 .map(|h| h.join().expect("refinement worker panicked"))
                 .collect()
         });
+
+    // A cancelled run leaves unclaimed slots behind — bail before the
+    // merge below, which (correctly) insists every slot was claimed.
+    if expired.load(Ordering::Relaxed) {
+        return Err(SearchError::DeadlineExceeded);
+    }
 
     // Merge by slot so worker scheduling cannot reorder anything, and
     // report the lowest-slot failure deterministically.

@@ -364,6 +364,116 @@ fn hundred_thousand_candidate_space_completes_with_bounded_retention() {
 }
 
 #[test]
+fn deadline_and_cancel_interrupt_search_with_typed_error() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    let (base, trace) = shared_trace();
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2], &[1, 2]).with_microbatches(&[2, 4]);
+
+    // An already-expired deadline cancels before any candidate is
+    // claimed: the typed error, not a partial report.
+    let opts = SearchOptions {
+        deadline: Some(std::time::Duration::ZERO),
+        ..SearchOptions::default()
+    };
+    let err = search(trace, base, &spec, &opts, AnalyticalCostModel::h100()).unwrap_err();
+    assert!(
+        matches!(err, lumos_search::SearchError::DeadlineExceeded),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("deadline"), "{err}");
+
+    // A pre-set cancel flag takes the same cooperative path (this is
+    // what makes `--keep-all` searches interruptible).
+    let opts = SearchOptions {
+        cancel: Some(Arc::new(AtomicBool::new(true))),
+        ..SearchOptions::default()
+    };
+    let err = search(trace, base, &spec, &opts, AnalyticalCostModel::h100()).unwrap_err();
+    assert!(
+        matches!(err, lumos_search::SearchError::DeadlineExceeded),
+        "{err:?}"
+    );
+
+    // An armed-but-unset flag must not perturb the run: results are
+    // byte-identical to a plain search.
+    let plain = run(&spec, Objective::PerGpuThroughput, None);
+    let opts = SearchOptions {
+        objective: Objective::PerGpuThroughput,
+        cancel: Some(Arc::new(AtomicBool::new(false))),
+        deadline: Some(std::time::Duration::from_secs(3600)),
+        ..SearchOptions::default()
+    };
+    let flagged = search(trace, base, &spec, &opts, AnalyticalCostModel::h100()).unwrap();
+    let want: Vec<_> = plain.results.iter().map(fingerprint).collect();
+    let got: Vec<_> = flagged.results.iter().map(fingerprint).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn deadline_interrupts_refinement_phase_too() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    let (base, trace) = shared_trace();
+    let spec = SpaceSpec::deployment_grid(&[1], &[2], &[1]).with_microbatches(&[2]);
+    // The cancel flag flips during the screen, so the run reaches the
+    // refinement phase already cancelled — its workers must bail with
+    // the typed error instead of panicking on unclaimed slots.
+    let cancel = Arc::new(AtomicBool::new(true));
+    let opts = SearchOptions {
+        refine_sim: true,
+        cancel: Some(cancel),
+        ..SearchOptions::default()
+    };
+    let err = search(trace, base, &spec, &opts, AnalyticalCostModel::h100()).unwrap_err();
+    assert!(
+        matches!(err, lumos_search::SearchError::DeadlineExceeded),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn shared_memo_warms_across_runs_without_changing_results() {
+    use std::sync::Arc;
+    let (base, trace) = shared_trace();
+    let spec = SpaceSpec::deployment_grid(&[1], &[1, 2, 4], &[1, 2])
+        .with_microbatches(&[2, 4])
+        .with_interleave(&[1, 2]);
+    let plain = run(&spec, Objective::PerGpuThroughput, Some(5));
+
+    let memo = Arc::new(lumos_search::SharedStageMemo::new());
+    let opts = || SearchOptions {
+        objective: Objective::PerGpuThroughput,
+        top_k: Some(5),
+        shared_memo: Some(Arc::clone(&memo)),
+        ..SearchOptions::default()
+    };
+    let first = search(trace, base, &spec, &opts(), AnalyticalCostModel::h100()).unwrap();
+    let after_first = memo.stats();
+    assert!(
+        after_first.misses > 0,
+        "first run must populate the shared memo, got {after_first:?}"
+    );
+    let second = search(trace, base, &spec, &opts(), AnalyticalCostModel::h100()).unwrap();
+    let after_second = memo.stats();
+    // The second run derives nothing new — every stage-work lookup is
+    // answered from the shared memo.
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "warm run must not re-derive stage work"
+    );
+    assert!(after_second.hits > after_first.hits);
+
+    // Warmth is an accounting matter only: all three runs rank
+    // byte-identically.
+    let want: Vec<_> = plain.results.iter().map(fingerprint).collect();
+    for report in [&first, &second] {
+        let got: Vec<_> = report.results.iter().map(fingerprint).collect();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
 fn progress_sink_fires_on_large_grids() {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;

@@ -1,0 +1,99 @@
+//! Serve-protocol walkthrough: start an in-process `lumos serve`
+//! daemon on a throwaway artifact registry, then drive every request
+//! kind over its line-delimited JSON protocol — one request object
+//! per line, one response object per line.
+//!
+//! In production the daemon runs standalone (`lumos serve --registry
+//! calib/ --addr 127.0.0.1:7700`) and any language with a TCP socket
+//! is a client; `lumos query` is the one-shot CLI client. The
+//! `predict`/`search` response lines below are byte-identical to
+//! `lumos predict --json` / `lumos search --json` against the same
+//! artifact.
+//!
+//! Run with: `cargo run --release --example serve_client`
+
+use lumos::prelude::*;
+use lumos::serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn ask(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &str,
+) -> std::io::Result<String> {
+    println!("-> {request}");
+    writeln!(writer, "{request}")?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    println!("<- {line}");
+    Ok(line)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Calibrate a small base into a throwaway registry directory.
+    //    A real deployment points --registry at a directory of
+    //    `lumos calibrate` artifacts, one per profiled workload.
+    let cfg = SimConfig {
+        model: ModelConfig::custom("serve-example", 8, 256, 1024, 4, 64),
+        parallelism: Parallelism::new(1, 2, 1)?,
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())?
+        .profile_iteration(0)?
+        .trace;
+    let artifact = CalibrationArtifact::calibrate(&trace, &cfg, "h100", 8)?;
+    let registry = std::env::temp_dir().join(format!("lumos-serve-example-{}", std::process::id()));
+    std::fs::create_dir_all(&registry)?;
+    artifact.save(registry.join("example.calib.json").to_str().unwrap())?;
+
+    // 2. Start the daemon on an ephemeral port. `Server::bind` scans
+    //    the registry before accepting traffic and reports what it
+    //    loaded.
+    let (server, outcome) = Server::bind(&ServeConfig::new("127.0.0.1:0", &registry))?;
+    let digest = outcome.loaded[0].clone();
+    let addr = server.local_addr()?;
+    let daemon = std::thread::spawn(move || server.run());
+    println!("daemon on {addr}, serving artifact {digest}\n");
+
+    // 3. One persistent connection; requests pipeline down it in
+    //    order.
+    let mut writer = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(writer.try_clone()?);
+    let mut ask = |request: &str| ask(&mut writer, &mut reader, request);
+
+    // What-if prediction: price 2x data parallelism against the base.
+    ask(&format!(
+        r#"{{"kind":"predict","artifact":"{digest}","dp":2}}"#
+    ))?;
+
+    // Configuration search over a small grid, analytic phase only.
+    ask(&format!(
+        r#"{{"kind":"search","artifact":"{digest}","dp":[1,2],"microbatches":[2,4],"top":3}}"#
+    ))?;
+
+    // Engine-refine one pinned candidate with jitter replicas.
+    ask(&format!(
+        r#"{{"kind":"refine","artifact":"{digest}","dp":2,"jitter_replicas":8}}"#
+    ))?;
+
+    // A deadline the request cannot meet comes back as a typed
+    // `deadline_exceeded` error instead of blocking the queue.
+    ask(&format!(
+        r#"{{"kind":"search","artifact":"{digest}","dp":[1,2],"microbatches":[2,4],"deadline_ms":0}}"#
+    ))?;
+
+    // Admin plane: observability, registry rescan, shutdown.
+    ask(r#"{"kind":"stats"}"#)?;
+    ask(r#"{"kind":"reload"}"#)?;
+    ask(r#"{"kind":"shutdown"}"#)?;
+
+    daemon.join().expect("daemon thread panicked")?;
+    std::fs::remove_dir_all(&registry).ok();
+    Ok(())
+}

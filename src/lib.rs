@@ -26,6 +26,12 @@
 //!   (`lumos calibrate`), then answer predict/search/replay/mfu
 //!   queries from the artifact without re-ingesting the trace;
 //! * [`dpro`] — the dPRO baseline replayer;
+//! * [`serve`] — the persistent estimation daemon behind
+//!   `lumos serve`: a calibration-artifact registry with atomic hot
+//!   reload, a bounded worker pool with load shedding and per-request
+//!   deadlines, and a line-delimited JSON protocol over TCP whose
+//!   `predict`/`search` responses are byte-identical to the CLI's
+//!   `--json` output (see `examples/serve_client.rs`);
 //! * [`search`] — the parallel what-if configuration-search engine:
 //!   space descriptors, streaming enumeration, memory-feasibility
 //!   pre-pruning, memoized stage costs with analytic lower-bound
@@ -78,6 +84,7 @@ pub use lumos_cost as cost;
 pub use lumos_dpro as dpro;
 pub use lumos_model as model;
 pub use lumos_search as search;
+pub use lumos_serve as serve;
 pub use lumos_trace as trace;
 
 /// The most commonly used items, importable in one line.
