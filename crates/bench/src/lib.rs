@@ -21,6 +21,7 @@
 //! the profiled trace with Lumos and with the dPRO baseline and
 //! compares.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;

@@ -43,6 +43,7 @@
 //! artifact is identical — output bytes included — to one priced from
 //! a fresh fit of the same trace.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod artifact;

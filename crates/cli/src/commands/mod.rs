@@ -4,6 +4,7 @@
 pub mod calibrate;
 pub mod critical;
 pub mod info;
+pub mod lint;
 pub mod mfu;
 pub mod predict;
 pub mod query;

@@ -36,7 +36,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "jitter-replicas",
         "jitter-seed",
     ],
-    flags: &["progress", "keep-all", "refine-sim", "json"],
+    flags: &["progress", "keep-all", "refine-sim", "verify", "json"],
 };
 
 /// Usage text.
@@ -47,7 +47,8 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
     [--interleave 1,2] [--gpus 8,16,32] [--max-gpus N]\n\
     [--objective makespan|throughput|mfu] [--top K]\n\
     [--memory-gib N] [--threads N] [--progress] [--keep-all]\n\
-    [--refine-sim] [--jitter-replicas N] [--jitter-seed N] [--json]\n\
+    [--refine-sim [--verify]] [--jitter-replicas N] [--jitter-seed N]\n\
+    [--json]\n\
   Searches a what-if configuration space from one profiled trace:\n\
   candidates are enumerated lazily over the axis grids\n\
   (comma-separated values, or a TOML space file; flags override the\n\
@@ -74,6 +75,11 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
   prepared once, shared across jitter replicas; no trace events are\n\
   materialized) — output is byte-identical to full-trace execution,\n\
   several times faster. `lumos replay`/`synth` keep full traces.\n\
+  --verify statically checks each finalist's lowered program\n\
+  (collective consistency, send/recv matching, deadlock freedom —\n\
+  see `lumos help lint`) before the engine runs it; a violation\n\
+  aborts the search with the named cycle. Clean programs are\n\
+  unaffected: results are byte-identical with and without it.\n\
   --jitter-replicas N (implies --refine-sim) additionally executes N\n\
   deterministic variance replicas per finalist and re-ranks by the\n\
   jittered mean, adding mean/p95/stability robustness columns\n\
@@ -260,6 +266,14 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
             ));
         }
         opts.jitter_seed = seed;
+    }
+    if args.has("verify") {
+        if !opts.refine_sim {
+            return Err(CliError::Usage(
+                "--verify only applies with --refine-sim / --jitter-replicas".to_string(),
+            ));
+        }
+        opts.verify = true;
     }
     if args.has("progress") {
         opts.progress = Some(lumos_search::ProgressSink::new(|p| {

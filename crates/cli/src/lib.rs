@@ -11,6 +11,7 @@
 //! | `replay` | replay through Algorithm 1 (`--dpro` for the baseline) |
 //! | `predict` | graph manipulation + simulation for what-if configs |
 //! | `search` | parallel what-if search over a configuration space |
+//! | `lint` | statically verify lowered programs deadlock-free |
 //! | `sm-util` | §4.2.3 SM-utilization timeline |
 //! | `critical-path` | longest dependency chain + bottleneck kernels |
 //! | `mfu` | MFU/HFU and memory feasibility (§5 future-work metrics) |
@@ -24,6 +25,7 @@
 //! The binary is a thin wrapper over [`run`], which writes to any
 //! `Write` so tests can drive it in-process.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod args;
@@ -48,6 +50,7 @@ commands:\n\
   replay         replay a trace through the simulator\n\
   predict        estimate performance for a modified configuration\n\
   search         rank a whole configuration space from one trace\n\
+  lint           statically verify lowered programs deadlock-free\n\
   sm-util        SM-utilization timeline\n\
   critical-path  critical path and bottleneck kernels\n\
   mfu            FLOPS utilization and memory feasibility\n\
@@ -77,6 +80,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "replay" => commands::replay::run(&ArgSet::parse(rest, &commands::replay::SPEC)?, out),
         "predict" => commands::predict::run(&ArgSet::parse(rest, &commands::predict::SPEC)?, out),
         "search" => commands::search::run(&ArgSet::parse(rest, &commands::search::SPEC)?, out),
+        "lint" => commands::lint::run(&ArgSet::parse(rest, &commands::lint::SPEC)?, out),
         "sm-util" => commands::smutil::run(&ArgSet::parse(rest, &commands::smutil::SPEC)?, out),
         "critical-path" => {
             commands::critical::run(&ArgSet::parse(rest, &commands::critical::SPEC)?, out)
@@ -93,6 +97,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some("replay") => writeln!(out, "{}", commands::replay::HELP)?,
                 Some("predict") => writeln!(out, "{}", commands::predict::HELP)?,
                 Some("search") => writeln!(out, "{}", commands::search::HELP)?,
+                Some("lint") => writeln!(out, "{}", commands::lint::HELP)?,
                 Some("sm-util") => writeln!(out, "{}", commands::smutil::HELP)?,
                 Some("critical-path") => writeln!(out, "{}", commands::critical::HELP)?,
                 Some("mfu") => writeln!(out, "{}", commands::mfu::HELP)?,
@@ -386,6 +391,86 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_verifies_setups_spaces_and_jobs() {
+        // Single-setup mode.
+        let out = run_to_string(&[
+            "lint", "--model", "tiny", "--tp", "2", "--pp", "2", "--dp", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("deadlock-free"), "{out}");
+
+        // Space-file mode walks the whole grid.
+        let dir = std::env::temp_dir().join(format!("lumos-cli-lint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("space.toml");
+        std::fs::write(
+            &spec,
+            "tp = [1, 2]\npp = [1, 2]\ndp = [1]\nmicrobatches = [2, 4]\n",
+        )
+        .unwrap();
+        let out = run_to_string(&["lint", spec.to_str().unwrap(), "--model", "tiny"]).unwrap();
+        assert!(out.contains("all deadlock-free"), "{out}");
+        assert!(out.contains("candidate(s)"), "{out}");
+
+        // Job mode rejects the committed deadlock fixture with a
+        // named cycle.
+        let fixture = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/fixtures/deadlock.json"
+        );
+        let err = run_to_string(&["lint", "--job", fixture]).unwrap_err();
+        assert!(err.to_string().contains("static deadlock"), "{err}");
+        assert!(err.to_string().contains("cycle repeats"), "{err}");
+
+        // Usage errors: no input at all, job + space file together.
+        assert!(run_to_string(&["lint"]).is_err());
+        assert!(run_to_string(&["lint", spec.to_str().unwrap(), "--job", fixture]).is_err());
+        assert!(run_to_string(&["help", "lint"]).unwrap().contains("--job"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn search_verify_gate_and_byte_identity() {
+        // --verify requires the refinement phase.
+        let err = run_to_string(&["search", "--verify"]).unwrap_err();
+        assert!(err.to_string().contains("--verify only applies"), "{err}");
+
+        // Verification never changes results for clean programs.
+        let dir = std::env::temp_dir().join(format!("lumos-cli-sverify-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("v.json");
+        let trace = trace.to_str().unwrap();
+        run_to_string(&[
+            "synth", "--model", "tiny", "--tp", "1", "--pp", "2", "--dp", "1", "--out", trace,
+        ])
+        .unwrap();
+        let base = run_to_string(&[
+            "search",
+            trace,
+            "--dp",
+            "1,2",
+            "--microbatches",
+            "2",
+            "--refine-sim",
+        ])
+        .unwrap();
+        let verified = run_to_string(&[
+            "search",
+            trace,
+            "--dp",
+            "1,2",
+            "--microbatches",
+            "2",
+            "--refine-sim",
+            "--verify",
+        ])
+        .unwrap();
+        assert_eq!(base, verified);
         std::fs::remove_dir_all(&dir).ok();
     }
 

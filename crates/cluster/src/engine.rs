@@ -423,12 +423,12 @@ impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
             if !matches!(t.blocked, Blocked::Done) {
                 let meta = &self.prep.threads[i];
                 stuck.push(format!(
-                    "thread #{i} (rank {} {:?}) at pc {}/{} blocked {:?}",
+                    "thread #{i} (rank {} {:?}) at pc {}/{} blocked {}",
                     meta.rank,
                     meta.tid,
                     t.pc,
                     meta.ops.len(),
-                    t.blocked
+                    self.describe_thread_block(i)
                 ));
             }
         }
@@ -436,11 +436,12 @@ impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
             if s.head < s.entries.len() {
                 let meta = self.prep.streams[si];
                 stuck.push(format!(
-                    "stream rank {} {} drained {}/{}",
+                    "stream rank {} {} drained {}/{}, head: {}",
                     meta.rank,
                     meta.sid,
                     s.head,
-                    s.entries.len()
+                    s.entries.len(),
+                    self.describe_stream_head(si)
                 ));
             }
         }
@@ -451,6 +452,75 @@ impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
             Err(EngineError::Deadlock {
                 detail: stuck.join("; "),
             })
+        }
+    }
+
+    /// Names the resource a non-done thread is blocked on, for the
+    /// deadlock report.
+    fn describe_thread_block(&self, i: usize) -> String {
+        match self.threads[i].blocked {
+            Blocked::StreamDrain | Blocked::DeviceDrain { .. } => {
+                let targets: Vec<String> = self
+                    .streams
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.drain_waiters.iter().any(|&(t, _)| t == i))
+                    .map(|(si, _)| self.prep.streams[si].sid.to_string())
+                    .collect();
+                format!("draining stream(s) {}", targets.join(", "))
+            }
+            Blocked::Token => {
+                let t = &self.threads[i];
+                let token =
+                    t.pc.checked_sub(1)
+                        .and_then(|pc| match self.prep.threads[i].ops.get(pc) {
+                            Some(ExecOp::WaitPeer { token }) => Some(*token),
+                            _ => None,
+                        });
+                match token {
+                    Some(tk) => format!("waiting for cross-thread token #{tk}"),
+                    None => "waiting for a cross-thread token".to_string(),
+                }
+            }
+            ref other => format!("{other:?}"),
+        }
+    }
+
+    /// Names the entry a stuck stream is parked on: the collective
+    /// rendezvous (with its group, seq, and missing member ranks) or
+    /// the event it waits for.
+    fn describe_stream_head(&self, si: usize) -> String {
+        let s = &self.streams[si];
+        match s.entries[s.head] {
+            Entry::Collective { class, coll, .. } => {
+                let info = self.prep.collectives[coll as usize];
+                let arrivals = &self.collectives[coll as usize].arrivals;
+                let arrived: std::collections::BTreeSet<u32> = arrivals
+                    .iter()
+                    .map(|&(o, _)| self.prep.streams[o].rank)
+                    .collect();
+                let missing: Vec<String> = info
+                    .members
+                    .iter()
+                    .filter(|r| !arrived.contains(r))
+                    .map(|r| r.to_string())
+                    .collect();
+                let kind = match class {
+                    KernelClass::Collective(m) => format!("{:?}", m.kind),
+                    _ => "collective".to_string(),
+                };
+                format!(
+                    "collective {kind} group {} seq {} ({}/{} arrived; missing rank(s) {})",
+                    info.group,
+                    info.seq,
+                    arrivals.len(),
+                    info.expected,
+                    missing.join(", ")
+                )
+            }
+            Entry::WaitEv { event } => format!("waiting on event #{event}"),
+            Entry::Record { .. } => "event record (runnable)".to_string(),
+            Entry::Kernel { .. } => "kernel (runnable)".to_string(),
         }
     }
 
@@ -1075,6 +1145,11 @@ mod tests {
         .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("deadlocked"), "{msg}");
+        // The diagnostic names the rendezvous and who is missing.
+        assert!(msg.contains("AllReduce"), "{msg}");
+        assert!(msg.contains("group 99"), "{msg}");
+        assert!(msg.contains("seq 0"), "{msg}");
+        assert!(msg.contains("missing rank(s) 1"), "{msg}");
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub fn lower_inference(setup: &InferenceSetup) -> Result<LoweredJob, ModelError>
         };
         lowerer.emit_request();
         let program = lowerer.program;
-        program.assert_well_formed();
+        program
+            .well_formed()
+            .expect("inference lowering must produce well-formed programs");
         programs.push(program);
     }
 

@@ -42,6 +42,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
@@ -52,6 +53,7 @@ mod lower;
 mod program;
 mod run;
 mod sink;
+mod verify;
 
 pub use engine::{execute, execute_metrics, EngineError, EngineOutput};
 pub use exec::PreparedJob;
@@ -63,3 +65,4 @@ pub use program::{
 };
 pub use run::{profile, profile_inference, ClusterError, GroundTruthCluster, MeasuredStats};
 pub use sink::{EngineMetrics, RankMetrics, StreamBusy};
+pub use verify::{verify, CycleStep, GroupEntry, PortableJob, VerifyError, VerifyReport};

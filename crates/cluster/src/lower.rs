@@ -112,7 +112,9 @@ pub fn lower(config: &SimConfig) -> Result<LoweredJob, ModelError> {
         };
         lowerer.emit_iteration(&schedule);
         let program = lowerer.program;
-        program.assert_well_formed();
+        program
+            .well_formed()
+            .expect("lowering must produce well-formed programs");
         programs.push(program);
     }
 

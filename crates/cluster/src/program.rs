@@ -268,11 +268,13 @@ impl Program {
     /// `WaitPeer` token is signaled somewhere in the program, and every
     /// referenced name id resolves in the program's table.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a description of the first violation; used by
-    /// lowering tests.
-    pub fn assert_well_formed(&self) {
+    /// Returns the first violation as a typed
+    /// [`crate::verify::VerifyError`]. The whole-job analysis
+    /// ([`crate::verify::verify`]) runs this as its first phase.
+    pub fn well_formed(&self) -> Result<(), crate::verify::VerifyError> {
+        use crate::verify::VerifyError;
         let mut signaled = std::collections::HashSet::new();
         let mut waited = Vec::new();
         let name_ok = |id: NameId| self.names.get(id).is_some();
@@ -281,57 +283,71 @@ impl Program {
             for op in &t.ops {
                 match op {
                     HostOp::AnnotationBegin { name } => {
-                        assert!(
-                            name_ok(*name),
-                            "rank {}: annotation references unknown name id {}",
-                            self.rank,
-                            name.0
-                        );
+                        if !name_ok(*name) {
+                            return Err(VerifyError::UnknownName {
+                                rank: self.rank,
+                                id: name.0,
+                            });
+                        }
                         depth += 1;
                     }
                     HostOp::AnnotationEnd => {
                         depth -= 1;
-                        assert!(
-                            depth >= 0,
-                            "rank {} {:?}: unmatched AnnotationEnd",
-                            self.rank,
-                            t.tid
-                        );
+                        if depth < 0 {
+                            return Err(VerifyError::UnmatchedAnnotationEnd {
+                                rank: self.rank,
+                                tid: t.tid,
+                            });
+                        }
                     }
                     HostOp::CpuOp { name }
                     | HostOp::Launch {
                         spec: KernelSpec { name, .. },
-                    } => {
-                        assert!(
-                            name_ok(*name),
-                            "rank {}: op references unknown name id {}",
-                            self.rank,
-                            name.0
-                        );
+                    } if !name_ok(*name) => {
+                        return Err(VerifyError::UnknownName {
+                            rank: self.rank,
+                            id: name.0,
+                        });
                     }
-                    HostOp::SignalPeer { token } => {
-                        assert!(
-                            signaled.insert(*token),
-                            "rank {}: token {token} signaled twice",
-                            self.rank
-                        );
+                    HostOp::SignalPeer { token } if !signaled.insert(*token) => {
+                        return Err(VerifyError::TokenSignaledTwice {
+                            rank: self.rank,
+                            token: *token,
+                        });
                     }
                     HostOp::WaitPeer { token } => waited.push(*token),
                     _ => {}
                 }
             }
-            assert_eq!(
-                depth, 0,
-                "rank {} {:?}: {depth} unclosed annotations",
-                self.rank, t.tid
-            );
+            if depth != 0 {
+                return Err(VerifyError::UnclosedAnnotations {
+                    rank: self.rank,
+                    tid: t.tid,
+                    open: depth,
+                });
+            }
         }
         for token in waited {
-            assert!(
-                signaled.contains(&token),
-                "rank {}: token {token} waited but never signaled",
-                self.rank
-            );
+            if !signaled.contains(&token) {
+                return Err(VerifyError::TokenNeverSignaled {
+                    rank: self.rank,
+                    token,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`Program::well_formed`] for call sites
+    /// that treat a violation as an internal bug (lowering output,
+    /// hand-built test programs).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violation's display text.
+    pub fn assert_well_formed(&self) {
+        if let Err(err) = self.well_formed() {
+            panic!("{err}");
         }
     }
 }

@@ -277,7 +277,7 @@ fn program_from_codes(codes: &[u8]) -> LoweredJob {
         p.main_mut().push(HostOp::AnnotationEnd);
     }
     p.main_mut().push(HostOp::DeviceSync);
-    p.assert_well_formed();
+    p.well_formed().expect("generated program is well-formed");
     let config = SimConfig::new(ModelConfig::tiny(), Parallelism::new(1, 1, 1).unwrap());
     LoweredJob {
         programs: vec![p],

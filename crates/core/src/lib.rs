@@ -41,6 +41,7 @@
 //! # Ok::<(), lumos_core::CoreError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

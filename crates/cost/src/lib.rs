@@ -23,6 +23,7 @@
 //! Host-side timing constants (operator overheads, launch costs,
 //! synchronization polling) live in [`HostOverheads`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod collective;

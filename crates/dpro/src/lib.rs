@@ -37,6 +37,7 @@
 //! # Ok::<(), lumos_core::CoreError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use lumos_core::{CoreError, Lumos, Replayed};

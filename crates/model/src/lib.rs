@@ -32,6 +32,7 @@
 //! # Ok::<(), lumos_model::ModelError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;

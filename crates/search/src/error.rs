@@ -39,6 +39,15 @@ pub enum SearchError {
         /// What failed.
         detail: String,
     },
+    /// Static verification ([`lumos_cluster::verify`]) rejected a
+    /// finalist's lowered program before simulation
+    /// ([`crate::SearchOptions::verify`]).
+    InvalidProgram {
+        /// The finalist's label.
+        candidate: String,
+        /// The violation found.
+        source: lumos_cluster::VerifyError,
+    },
     /// A malformed space-spec file.
     Spec(String),
     /// The run was cancelled cooperatively before completing: its
@@ -70,6 +79,9 @@ impl fmt::Display for SearchError {
             SearchError::Refinement { candidate, detail } => {
                 write!(f, "refining finalist {candidate}: {detail}")
             }
+            SearchError::InvalidProgram { candidate, source } => {
+                write!(f, "verifying finalist {candidate}: {source}")
+            }
             SearchError::Spec(msg) => write!(f, "invalid space spec: {msg}"),
             SearchError::DeadlineExceeded => write!(
                 f,
@@ -85,6 +97,7 @@ impl std::error::Error for SearchError {
             SearchError::Evaluation { source, .. } | SearchError::Extraction { source } => {
                 Some(source)
             }
+            SearchError::InvalidProgram { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -96,6 +96,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod candidate;
@@ -214,6 +215,14 @@ pub struct SearchOptions {
     /// model with this seed). Fixed by default so refined reports are
     /// reproducible run to run.
     pub jitter_seed: u64,
+    /// With [`SearchOptions::refine_sim`]: statically verify each
+    /// finalist's lowered program ([`lumos_cluster::verify`] —
+    /// referential integrity, collective consistency, point-to-point
+    /// matching, deadlock freedom) before handing it to the engine.
+    /// A violation aborts the run with
+    /// [`SearchError::InvalidProgram`] instead of surfacing as a
+    /// simulated deadlock. Never changes results for clean programs.
+    pub verify: bool,
     /// Optional progress callback for long searches.
     pub progress: Option<ProgressSink>,
     /// Cooperative cancel flag: workers observe it between candidates
@@ -246,6 +255,7 @@ impl Default for SearchOptions {
             refine_sim: false,
             jitter_replicas: 0,
             jitter_seed: 2025,
+            verify: false,
             progress: None,
             cancel: None,
             deadline: None,

@@ -243,6 +243,12 @@ where
     };
     let setup = &finalist.setup;
     let job = lower(setup).map_err(|e| fail(format!("lowering: {e}")))?;
+    if opts.verify {
+        lumos_cluster::verify(&job).map_err(|e| SearchError::InvalidProgram {
+            candidate: finalist.label.clone(),
+            source: e,
+        })?;
+    }
     // One prepared (dense, interned) form shared by the base run and
     // every jitter replica: the engine executes in metrics-only mode,
     // so no trace event is ever materialized on this path.

@@ -25,6 +25,7 @@
 //! `lumos search --json` against the same artifact: both sides encode
 //! through [`protocol::response_line`] on the same response structs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod pool;

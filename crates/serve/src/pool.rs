@@ -182,6 +182,9 @@ fn search_error(err: &SearchError) -> ErrorResponse {
     match err {
         SearchError::DeadlineExceeded => ErrorResponse::new("deadline_exceeded", err.to_string()),
         SearchError::EmptySpace { .. } => ErrorResponse::new("infeasible", err.to_string()),
+        SearchError::InvalidProgram { .. } => {
+            ErrorResponse::new("invalid_program", err.to_string())
+        }
         _ => ErrorResponse::new("internal", err.to_string()),
     }
 }
@@ -281,6 +284,11 @@ fn search_options(
         }
         opts.jitter_seed = seed;
     }
+    // Admission-time safety: anything the daemon simulates on behalf
+    // of a remote caller is statically verified first. Free for clean
+    // programs (results stay byte-identical with the CLI, which only
+    // verifies under --verify).
+    opts.verify = true;
     opts.threads = search_threads;
     opts.deadline = remaining;
     opts.shared_memo = Some(Arc::clone(&la.shared_memo));

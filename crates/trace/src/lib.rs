@@ -29,6 +29,7 @@
 //! assert_eq!(trace.span().unwrap().duration(), Dur::from_us(110));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod breakdown;
