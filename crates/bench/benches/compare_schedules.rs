@@ -1,0 +1,247 @@
+//! Schedule-comparison harness: run every registered pipeline
+//! schedule through the native pipeline (lower → verify →
+//! engine-simulate) on the sweep-style fixture and snapshot the
+//! deterministic numbers to `BENCH_PR7.json` at the repository root
+//! (override with `BENCH_PR7_OUT`).
+//!
+//! The snapshot is a regression trajectory: when a committed
+//! `BENCH_PR7.json` exists, the deterministic fields (zero-jitter
+//! simulated makespans, simulated bubble shares, analytic bubbles —
+//! including the interleaved 1F1B adjustment) are diffed against it
+//! and any drift **fails** (exit 2). Wall-clock medians are recorded
+//! but never diffed. The harness also gates the zero-bubble claim:
+//! zb-h1 must finish the fixture sooner than 1F1B.
+//!
+//! CI runs it in smoke mode (`SCHEDULE_BENCH_SMOKE=1`, fewer
+//! criterion samples); smoke mode changes timings only, never the
+//! diffed fields.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use lumos_cluster::{lower, verify, GroundTruthCluster, SimConfig};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{registry, BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+use lumos_trace::BreakdownExt;
+
+/// Pipeline depth of the fixture.
+const PP: u32 = 4;
+/// Micro-batch count of the fixture.
+const MICROBATCHES: u32 = 8;
+
+/// The sweep-style fixture (mirrors `tests/schedule_registry.rs`):
+/// four stages, eight micro-batches — enough pipeline depth for the
+/// schedules to separate.
+fn fixture(schedule: ScheduleKind) -> SimConfig {
+    SimConfig {
+        model: ModelConfig::custom("sched-bench", 8, 256, 1024, 4, 64),
+        parallelism: Parallelism::new(1, PP, 1).unwrap(),
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: MICROBATCHES,
+        },
+        schedule,
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var_os("SCHEDULE_BENCH_SMOKE").is_some()
+}
+
+/// One schedule's deterministic outcomes on the fixture.
+struct Row {
+    name: &'static str,
+    wire: &'static str,
+    /// Zero-jitter engine-simulated iteration makespan.
+    makespan_ns: u64,
+    /// Non-compute/non-comm share of the simulated iteration (host
+    /// gaps + pipeline bubbles).
+    bubble_share: f64,
+    /// The schedule's own analytic bubble model at (PP, MICROBATCHES).
+    analytic_bubble: f64,
+}
+
+/// Lowers, statically verifies, and engine-simulates every registered
+/// schedule; deterministic per construction (zero jitter).
+fn rows() -> Vec<Row> {
+    registry::all()
+        .into_iter()
+        .map(|schedule| {
+            let setup = fixture(schedule);
+            verify(&lower(&setup).unwrap()).unwrap_or_else(|e| {
+                panic!(
+                    "schedule {} failed static verification: {e}",
+                    schedule.name()
+                )
+            });
+            let out = GroundTruthCluster::new(&setup, AnalyticalCostModel::h100())
+                .unwrap()
+                .profile_iteration(0)
+                .unwrap();
+            let b = out.trace.breakdown();
+            Row {
+                name: schedule.name(),
+                wire: schedule.wire_name(),
+                makespan_ns: out.makespan.as_ns(),
+                bubble_share: b.other.as_secs_f64() / b.total().as_secs_f64(),
+                analytic_bubble: schedule.analytic_bubble(PP, MICROBATCHES),
+            }
+        })
+        .collect()
+}
+
+/// Criterion view: the full native pipeline (lower + prepare +
+/// simulate) per registered schedule.
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare_schedules");
+    group.sample_size(if smoke() { 10 } else { 20 });
+    for schedule in registry::all() {
+        let setup = fixture(schedule);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schedule.name()),
+            &setup,
+            |b, setup| {
+                b.iter(|| {
+                    GroundTruthCluster::new(setup, AnalyticalCostModel::h100())
+                        .unwrap()
+                        .profile_iteration(0)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(schedule_benches, bench_schedules);
+
+/// Renders one row's deterministic JSON body (floats pinned to six
+/// decimals so the committed trajectory diffs bytewise).
+fn row_json(r: &Row) -> String {
+    format!(
+        "{{ \"name\": \"{}\", \"wire\": \"{}\", \"makespan_ns\": {}, \
+         \"bubble_share\": {:.6}, \"analytic_bubble\": {:.6} }}",
+        r.name, r.wire, r.makespan_ns, r.bubble_share, r.analytic_bubble
+    )
+}
+
+/// Diffs the freshly computed rows against the committed snapshot's
+/// `schedules` array; returns human-readable drift lines.
+fn diff_against(committed: &str, rows: &[Row], interleaved: f64) -> Vec<String> {
+    let doc: serde_json::Value = match serde_json::from_str(committed) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("committed snapshot is not valid JSON: {e}")],
+    };
+    let mut drift = Vec::new();
+    let empty = Vec::new();
+    let old_rows = doc
+        .get("schedules")
+        .and_then(|v| v.as_array())
+        .unwrap_or(&empty);
+    for r in rows {
+        let Some(old) = old_rows
+            .iter()
+            .find(|o| o.get("name").and_then(|n| n.as_str()) == Some(r.name))
+        else {
+            drift.push(format!(
+                "schedule `{}` missing from committed snapshot",
+                r.name
+            ));
+            continue;
+        };
+        let old_makespan = old.get("makespan_ns").and_then(|v| v.as_u64());
+        if old_makespan != Some(r.makespan_ns) {
+            drift.push(format!(
+                "schedule `{}`: makespan_ns {} != committed {:?}",
+                r.name, r.makespan_ns, old_makespan
+            ));
+        }
+        for (field, new) in [
+            ("bubble_share", r.bubble_share),
+            ("analytic_bubble", r.analytic_bubble),
+        ] {
+            let old_val = old.get(field).and_then(|v| v.as_f64());
+            if old_val.map(|v| format!("{v:.6}")) != Some(format!("{new:.6}")) {
+                drift.push(format!(
+                    "schedule `{}`: {field} {new:.6} != committed {old_val:?}",
+                    r.name
+                ));
+            }
+        }
+    }
+    let old_interleaved = doc
+        .get("interleaved_1f1b_v2_analytic_bubble")
+        .and_then(|v| v.as_f64());
+    if old_interleaved.map(|v| format!("{v:.6}")) != Some(format!("{interleaved:.6}")) {
+        drift.push(format!(
+            "interleaved_1f1b_v2_analytic_bubble {interleaved:.6} != committed {old_interleaved:?}"
+        ));
+    }
+    drift
+}
+
+/// Machine-readable snapshot plus the drift and zero-bubble gates.
+fn emit_snapshot() {
+    let rows = rows();
+    // The interleaved trajectory: the registry still prices v=2
+    // through the 1F1B object's virtual-stage adjustment hook.
+    let interleaved = ScheduleKind::OneFOneB
+        .engine_adjustment(PP, MICROBATCHES, 2)
+        .map(|a| a.target_bubble)
+        .expect("1f1b must carry the interleaved adjustment at v=2");
+
+    let f1b = rows.iter().find(|r| r.name == "1f1b").expect("1f1b row");
+    let zb = rows.iter().find(|r| r.name == "zb-h1").expect("zb-h1 row");
+    let speedup = f1b.makespan_ns as f64 / zb.makespan_ns as f64;
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| format!("    {}", row_json(r)))
+        .collect();
+    let json = format!(
+        "{{\n  \"pr\": 7,\n  \"generated_by\": \"crates/bench/benches/compare_schedules.rs\",\n  \
+         \"fixture\": {{\n    \"model\": \"sched-bench\",\n    \"layers\": 8,\n    \
+         \"tp\": 1,\n    \"pp\": {PP},\n    \"dp\": 1,\n    \"microbatches\": {MICROBATCHES},\n    \
+         \"seq_len\": 128,\n    \"world_size\": {PP}\n  }},\n  \
+         \"smoke\": {},\n  \"schedules\": [\n{}\n  ],\n  \
+         \"interleaved_1f1b_v2_analytic_bubble\": {interleaved:.6},\n  \
+         \"zb_h1_speedup_vs_1f1b\": {speedup:.3}\n}}\n",
+        smoke(),
+        body.join(",\n")
+    );
+
+    let default_path = format!("{}/../../BENCH_PR7.json", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&default_path).ok();
+    let out = std::env::var("BENCH_PR7_OUT").unwrap_or(default_path);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    println!("\n== BENCH_PR7 snapshot ({out}) ==");
+    print!("{json}");
+
+    if zb.makespan_ns >= f1b.makespan_ns {
+        eprintln!(
+            "FAIL: zb-h1 simulated makespan ({} ns) is not below 1f1b ({} ns)",
+            zb.makespan_ns, f1b.makespan_ns
+        );
+        std::process::exit(2);
+    }
+    match committed {
+        None => println!("no committed BENCH_PR7.json — skipping trajectory diff"),
+        Some(text) => {
+            let drift = diff_against(&text, &rows, interleaved);
+            if drift.is_empty() {
+                println!("trajectory diff clean: schedule numbers match the committed snapshot");
+            } else {
+                eprintln!("FAIL: schedule trajectory drifted from the committed BENCH_PR7.json:");
+                for line in &drift {
+                    eprintln!("  {line}");
+                }
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn main() {
+    schedule_benches();
+    emit_snapshot();
+}

@@ -58,6 +58,23 @@ fn round_trip_is_exact() {
 }
 
 #[test]
+fn schedule_keeps_its_pre_registry_wire_name() {
+    // The schedule registry refactor must not move serialized
+    // artifacts: the wire encoding stays the old enum variant string,
+    // so artifacts written before the registry load unchanged (and
+    // re-encode byte-identically, per `round_trip_is_exact`).
+    let (_, _, artifact) = shared();
+    let json = artifact.to_json();
+    assert!(
+        json.contains("\"OneFOneB\""),
+        "schedule lost its legacy wire name"
+    );
+    let back = CalibrationArtifact::from_json(&json).unwrap();
+    assert_eq!(back.setup.schedule, ScheduleKind::OneFOneB);
+    assert_eq!(back.setup.schedule.name(), "1f1b");
+}
+
+#[test]
 fn version_mismatch_rejected_before_payload() {
     let (_, _, artifact) = shared();
     let json = artifact.to_json();

@@ -53,6 +53,7 @@ fn artifact_info(path: &str, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "version:   {}", artifact.version)?;
     writeln!(out, "hardware:  {}", artifact.hardware)?;
     writeln!(out, "base:      {}", artifact.setup.label())?;
+    writeln!(out, "schedule:  {}", artifact.setup.schedule.name())?;
     writeln!(out)?;
     writeln!(out, "source-trace fingerprint:")?;
     let fp = &artifact.fingerprint;
@@ -89,6 +90,12 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "ranks:     {}", trace.world_size())?;
     writeln!(out, "events:    {}", trace.total_events())?;
     writeln!(out, "makespan:  {}", ms(trace.makespan()))?;
+    // The sidecar (when present) tells us which pipeline schedule the
+    // trace was recorded under.
+    let sidecar = crate::common::sidecar_path(path);
+    if let Ok(setup) = crate::common::load_setup(&sidecar) {
+        writeln!(out, "schedule:  {}", setup.schedule.name())?;
+    }
 
     let b = trace.breakdown();
     let total = b.total().as_secs_f64().max(f64::MIN_POSITIVE);

@@ -21,6 +21,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "pp",
         "dp",
         "microbatches",
+        "schedules",
         "max-gpus",
         "threads",
         "job",
@@ -40,8 +41,9 @@ pub const HELP: &str = "lumos lint [<space.toml>] [--model NAME] [--max-gpus N] 
   named cycles (`rank 0 stream 13 waits on ... -> cycle repeats`) and\n\
   exit nonzero; see docs/verify-checks.md for the full catalogue.\n\
   With a space file, every candidate in the grid (tp x pp x dp x\n\
-  microbatches x arch; the interleave axis is ignored — lowering is\n\
-  plain 1F1B) that passes shape validation and the GPU budget is\n\
+  microbatches x schedules x arch; the interleave axis is ignored —\n\
+  chunk lowering replays as 1F1B) that passes shape validation and\n\
+  the GPU budget is\n\
   lowered and verified in parallel (--threads caps workers); the\n\
   architecture defaults to --model (default 15b). With --tp/--pp/--dp\n\
   a single setup is checked. With --job, a JSON-serialized portable\n\
@@ -49,9 +51,14 @@ pub const HELP: &str = "lumos lint [<space.toml>] [--model NAME] [--max-gpus N] 
   `lumos_cluster::PortableJob` uses, handy for regression fixtures.";
 
 /// One candidate's display label: setup label plus the micro-batch
-/// count (which the setup label omits).
+/// count (which the setup label omits) and, when it departs from the
+/// 1F1B default, the schedule name.
 fn label(setup: &TrainingSetup) -> String {
-    format!("{} mb{}", setup.label(), setup.batch.num_microbatches)
+    let mut s = format!("{} mb{}", setup.label(), setup.batch.num_microbatches);
+    if setup.schedule != lumos_model::ScheduleKind::OneFOneB {
+        s.push_str(&format!(" s={}", setup.schedule.name()));
+    }
+    s
 }
 
 /// Enumerates the space file's grid into concrete setups, skipping
@@ -81,6 +88,16 @@ fn space_candidates(args: &ArgSet, file: &SpecFile) -> Result<Vec<TrainingSetup>
             })
             .collect()
     };
+    // The schedule axis: CLI flag overrides the file; neither means
+    // the 1F1B default.
+    let schedules: Vec<lumos_model::ScheduleKind> = match args.get("schedules") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| crate::common::parse_schedule(s.trim()))
+            .collect::<Result<Vec<_>, CliError>>()?,
+        None if space.schedules.is_empty() => vec![lumos_model::ScheduleKind::OneFOneB],
+        None => space.schedules.clone(),
+    };
     let mut out = Vec::new();
     for model in &models {
         for &tp in &axis(&space.tp) {
@@ -104,10 +121,13 @@ fn space_candidates(args: &ArgSet, file: &SpecFile) -> Result<Vec<TrainingSetup>
                         space.microbatches.clone()
                     };
                     for &mb in &microbatches {
-                        let mut setup = TrainingSetup::new(model.clone(), par);
-                        setup.batch.num_microbatches = mb;
-                        if setup.validate().is_ok() {
-                            out.push(setup);
+                        for &schedule in &schedules {
+                            let mut setup = TrainingSetup::new(model.clone(), par);
+                            setup.batch.num_microbatches = mb;
+                            setup.schedule = schedule;
+                            if setup.validate().is_ok() {
+                                out.push(setup);
+                            }
                         }
                     }
                 }
@@ -241,6 +261,9 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
     let mut setup = TrainingSetup::new(model, par);
     if let Some(mb) = args.get_num_opt::<u32>("microbatches")? {
         setup.batch.num_microbatches = mb;
+    }
+    if let Some(name) = args.get("schedules") {
+        setup.schedule = crate::common::parse_schedule(name.trim())?;
     }
     setup
         .validate()

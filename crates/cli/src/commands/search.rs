@@ -27,6 +27,7 @@ pub const SPEC: ArgSpec = ArgSpec {
         "dp",
         "microbatches",
         "interleave",
+        "schedules",
         "gpus",
         "max-gpus",
         "objective",
@@ -44,7 +45,8 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
     [--calib artifact.json]\n\
     [--model NAME --base-tp N --base-pp N --base-dp N [--seed N]]\n\
     [--tp 1,2,4] [--pp 1,2] [--dp 1,2,4,8] [--microbatches 4,8]\n\
-    [--interleave 1,2] [--gpus 8,16,32] [--max-gpus N]\n\
+    [--interleave 1,2] [--schedules 1f1b,gpipe,zb-h1]\n\
+    [--gpus 8,16,32] [--max-gpus N]\n\
     [--objective makespan|throughput|mfu] [--top K]\n\
     [--memory-gib N] [--threads N] [--progress] [--keep-all]\n\
     [--refine-sim [--verify]] [--jitter-replicas N] [--jitter-seed N]\n\
@@ -132,6 +134,12 @@ fn space_from(args: &ArgSet) -> Result<SpecFile, CliError> {
     }
     if let Some(v) = parse_axis(args, "interleave")? {
         file.space.interleave = v;
+    }
+    if let Some(raw) = args.get("schedules") {
+        file.space.schedules = raw
+            .split(',')
+            .map(|s| crate::common::parse_schedule(s.trim()))
+            .collect::<Result<Vec<_>, CliError>>()?;
     }
     if let Some(v) = parse_axis(args, "gpus")? {
         file.space.gpus = Some(v);

@@ -7,7 +7,7 @@ use crate::args::{ArgSet, ArgSpec};
 use crate::common::{parse_model, save_setup, save_trace, sidecar_path};
 use crate::error::CliError;
 use lumos_cluster::{profile, profile_inference};
-use lumos_model::{BatchConfig, InferenceSetup, Parallelism, ScheduleKind, TrainingSetup};
+use lumos_model::{BatchConfig, InferenceSetup, Parallelism, TrainingSetup};
 use std::io::Write;
 
 /// Options of `lumos synth`.
@@ -30,7 +30,7 @@ pub const SPEC: ArgSpec = ArgSpec {
 /// Usage text for `lumos synth`.
 pub const HELP: &str = "lumos synth --model <tiny|15b|44b|117b|175b|v1..v4> --out <trace.json>\n\
     [--tp N] [--pp N] [--dp N] [--seq N] [--microbatch-size N]\n\
-    [--microbatches N] [--schedule 1f1b|gpipe] [--seed N]\n\
+    [--microbatches N] [--schedule <name>] [--seed N]\n\
   Profiles one training iteration on the ground-truth cluster and\n\
   writes a Kineto-style JSON trace plus a <trace>.setup.json sidecar.";
 
@@ -51,15 +51,7 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
         microbatch_size: args.get_num("microbatch-size", setup.batch.microbatch_size)?,
         num_microbatches: args.get_num("microbatches", setup.batch.num_microbatches)?,
     };
-    setup.schedule = match args.get("schedule").unwrap_or("1f1b") {
-        "1f1b" => ScheduleKind::OneFOneB,
-        "gpipe" => ScheduleKind::GPipe,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown schedule `{other}` (expected 1f1b or gpipe)"
-            )))
-        }
-    };
+    setup.schedule = crate::common::parse_schedule(args.get("schedule").unwrap_or("1f1b"))?;
     let seed = args.get_num("seed", 0u64)?;
     let out_path = args.require("out")?;
 

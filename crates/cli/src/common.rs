@@ -18,6 +18,18 @@ pub fn parse_model(name: &str) -> Result<ModelConfig, CliError> {
     ModelConfig::from_preset(name).map_err(|e| CliError::Usage(e.to_string()))
 }
 
+/// Resolves a pipeline-schedule name against the schedule registry
+/// (`1f1b`, `gpipe`, `zb-h1`, plus anything registered at runtime).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] listing the registry's known set.
+pub fn parse_schedule(name: &str) -> Result<lumos_model::ScheduleKind, CliError> {
+    lumos_model::ScheduleBuilder::from_name(name)
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))
+}
+
 /// Reads a Chrome-Trace-Format (Kineto-style) trace file.
 ///
 /// # Errors
@@ -164,6 +176,16 @@ mod tests {
         assert_eq!(parse_model("tiny").unwrap().name, "tiny");
         assert_eq!(parse_model("175B").unwrap().num_layers, 96);
         assert!(parse_model("9000b").is_err());
+    }
+
+    #[test]
+    fn schedule_names_resolve_via_registry() {
+        assert_eq!(
+            parse_schedule("zb-h1").unwrap(),
+            lumos_model::ScheduleKind::ZbH1
+        );
+        let err = parse_schedule("dualpipe").unwrap_err().to_string();
+        assert!(err.contains("dualpipe") && err.contains("1f1b"), "{err}");
     }
 
     #[test]

@@ -389,6 +389,7 @@ impl RankLowerer<'_> {
             match item {
                 ScheduleItem::Forward { mb } => self.emit_forward(mb),
                 ScheduleItem::Backward { mb } => self.emit_backward(mb, mb == last_mb),
+                ScheduleItem::WeightGrad { mb } => self.emit_weight_grad(mb, mb == last_mb),
             }
         }
         self.emit_optimizer();
@@ -452,12 +453,19 @@ impl RankLowerer<'_> {
             self.emit_pp_transfer(group, 2 * mb + 1, streams::PP_BWD, false);
         }
 
-        // Backward thread: the actual backward pass.
+        // Backward thread: the actual backward pass. Split-backward
+        // schedules emit only the input-grad partition here (wgrad
+        // GEMMs and the gradient reductions they feed move to the
+        // micro-batch's WeightGrad item).
+        let split = self.config.schedule.split_backward();
         self.push(Th::Bwd, HostOp::WaitPeer { token: start_token });
         self.annotate(Th::Bwd, format!("bwd mb={mb}"));
         if stage == par.pp - 1 {
             self.annotate(Th::Bwd, format!("head bwd mb={mb}"));
             for op in ops::head_backward_ops(&model, par.tp, &batch) {
+                if split && is_wgrad(&op) {
+                    continue;
+                }
                 self.emit_op(Th::Bwd, &op, true);
             }
             self.end_annotation(Th::Bwd);
@@ -467,10 +475,13 @@ impl RankLowerer<'_> {
         for layer in par.stage_layers(model.num_layers, stage).rev() {
             self.annotate(Th::Bwd, format!("layer={layer} bwd mb={mb}"));
             for op in &bwd_ops {
+                if split && is_wgrad(op) {
+                    continue;
+                }
                 self.emit_op(Th::Bwd, op, true);
             }
             self.end_annotation(Th::Bwd);
-            if is_last_mb && par.dp > 1 {
+            if is_last_mb && par.dp > 1 && !split {
                 // Overlapped gradient bucket: fenced producer-side
                 // only, so it runs concurrently with earlier layers'
                 // backward compute. Kept in its own annotation so
@@ -487,13 +498,76 @@ impl RankLowerer<'_> {
                 self.emit_op(Th::Bwd, &op, true);
             }
             self.end_annotation(Th::Bwd);
-            if is_last_mb && par.dp > 1 {
+            if is_last_mb && par.dp > 1 && !split {
                 self.annotate(Th::Bwd, format!("dp_grads embed mb={mb}"));
                 let emb_params = model.params_embedding() / par.tp as u64;
                 let op = OpDesc_dp_allreduce(emb_params);
                 self.emit_op(Th::Bwd, &op, false);
                 self.end_annotation(Th::Bwd);
             }
+        }
+        self.end_annotation(Th::Bwd);
+        self.push(Th::Bwd, HostOp::SignalPeer { token: done_token });
+    }
+
+    /// Weight-grad item of split-backward schedules: pure compute on
+    /// the backward thread — no pipeline transfers — scheduled into
+    /// the slots where the stage would otherwise idle waiting for the
+    /// next output gradient to arrive. Each item is bracketed in the
+    /// same main↔backward token handshake the backward items use
+    /// (tokens offset by `2·M` to stay disjoint from theirs): both
+    /// host threads feed the shared compute stream, and the handshake
+    /// is what keeps their enqueue order — and the single GPU's
+    /// execution — serial, exactly as in a real single-device stage.
+    /// All data-parallel gradient reductions ride on the last
+    /// micro-batch's item (every weight gradient is complete by then,
+    /// and all members of a DP group share the same stage, so the
+    /// collective order stays consistent across ranks).
+    fn emit_weight_grad(&mut self, mb: u32, is_last_mb: bool) {
+        let model = self.config.model.clone();
+        let batch = self.config.batch;
+        let par = self.par;
+        let stage = self.coords.pp;
+        let start_token = 2 * batch.num_microbatches + 2 * mb;
+        let done_token = start_token + 1;
+        self.push(Th::Main, HostOp::SignalPeer { token: start_token });
+        self.push(Th::Main, HostOp::WaitPeer { token: done_token });
+        self.push(Th::Bwd, HostOp::WaitPeer { token: start_token });
+        self.annotate(Th::Bwd, format!("wgrad mb={mb}"));
+        if stage == par.pp - 1 {
+            self.annotate(Th::Bwd, format!("head wgrad mb={mb}"));
+            for op in ops::head_backward_ops(&model, par.tp, &batch) {
+                if is_wgrad(&op) {
+                    self.emit_op(Th::Bwd, &op, true);
+                }
+            }
+            self.end_annotation(Th::Bwd);
+        }
+        let bwd_ops = ops::layer_backward_ops(&model, par.tp, &batch);
+        let layer_grad_params = model.params_per_layer() / par.tp as u64;
+        for layer in par.stage_layers(model.num_layers, stage).rev() {
+            self.annotate(Th::Bwd, format!("layer={layer} wgrad mb={mb}"));
+            for op in &bwd_ops {
+                if is_wgrad(op) {
+                    self.emit_op(Th::Bwd, op, true);
+                }
+            }
+            self.end_annotation(Th::Bwd);
+            if is_last_mb && par.dp > 1 {
+                self.annotate(Th::Bwd, format!("dp_grads layer={layer} mb={mb}"));
+                let op = OpDesc_dp_allreduce(layer_grad_params);
+                self.emit_op(Th::Bwd, &op, false);
+                self.end_annotation(Th::Bwd);
+            }
+        }
+        if stage == 0 && is_last_mb && par.dp > 1 {
+            // Embedding gradients complete in the backward item, but
+            // their reduction waits here with the other buckets.
+            self.annotate(Th::Bwd, format!("dp_grads embed mb={mb}"));
+            let emb_params = model.params_embedding() / par.tp as u64;
+            let op = OpDesc_dp_allreduce(emb_params);
+            self.emit_op(Th::Bwd, &op, false);
+            self.end_annotation(Th::Bwd);
         }
         self.end_annotation(Th::Bwd);
         self.push(Th::Bwd, HostOp::SignalPeer { token: done_token });
@@ -542,6 +616,14 @@ impl RankLowerer<'_> {
         self.push(Th::Main, HostOp::DeviceSync);
         self.end_annotation(Th::Main);
     }
+}
+
+/// Whether an op belongs to the weight-grad partition of a split
+/// backward (the `*_wgrad` GEMMs; everything else — dgrad GEMMs,
+/// activation-function backwards, TP collectives — stays in the
+/// input-grad partition).
+fn is_wgrad(op: &OpDesc) -> bool {
+    op.name.ends_with("_wgrad")
 }
 
 /// Builds the DP gradient-bucket all-reduce op for `params`

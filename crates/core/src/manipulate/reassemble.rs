@@ -232,6 +232,11 @@ impl<C: CostModel> RankEmitter<'_, C> {
             match item {
                 ScheduleItem::Forward { mb } => self.emit_forward(mb)?,
                 ScheduleItem::Backward { mb } => self.emit_backward(mb, mb == last_mb)?,
+                // Recorded backward blocks already contain the
+                // weight-grad work, so split-backward skeletons paste
+                // nothing here; the schedule's replay adjustment
+                // re-shapes the resulting 1F1B-like makespan.
+                ScheduleItem::WeightGrad { .. } => {}
             }
         }
         self.emit_optimizer();

@@ -45,6 +45,14 @@ pub enum ModelError {
         /// Which dimension.
         dim: &'static str,
     },
+    /// A schedule name did not resolve against the registry (see
+    /// [`crate::registry::resolve`]).
+    UnknownSchedule {
+        /// The unrecognized name.
+        name: String,
+        /// Comma-separated names the registry does know.
+        known: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -74,6 +82,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::ZeroDimension { dim } => {
                 write!(f, "model dimension `{dim}` must be at least 1")
+            }
+            ModelError::UnknownSchedule { name, known } => {
+                write!(f, "unknown schedule `{name}` (known: {known})")
             }
         }
     }

@@ -140,11 +140,17 @@ impl InterleavedSchedule {
     /// Extra pipeline-communication factor vs plain 1F1B: every
     /// micro-batch now crosses `p·v − 1` boundaries instead of `p − 1`.
     pub fn comm_amplification(&self) -> f64 {
-        let p = self.num_ranks as f64;
+        InterleavedSchedule::analytic_comm_amplification(self.num_ranks, self.chunks)
+    }
+
+    /// [`InterleavedSchedule::comm_amplification`] without generating
+    /// the schedule — for adjustment hooks that only need the number.
+    pub fn analytic_comm_amplification(p: u32, v: u32) -> f64 {
+        let p = p as f64;
         if p <= 1.0 {
             return 1.0;
         }
-        (p * self.chunks as f64 - 1.0) / (p - 1.0)
+        (p * v as f64 - 1.0) / (p - 1.0)
     }
 
     /// Compact rendering of one rank's order (e.g. `F0.0 F1.0 …`).

@@ -12,8 +12,10 @@
 //! * [`ops`] — the logical operator IR for one transformer layer under
 //!   tensor parallelism (forward and backward), embedding/head ops,
 //!   and the optimizer step;
-//! * [`PipelineSchedule`] — 1F1B (Narayanan et al., 2021) and GPipe
-//!   schedule generation with validation and bubble analytics;
+//! * [`PipelineSchedule`] — pipeline-schedule generation with
+//!   validation and bubble analytics, driven by the pluggable
+//!   [`registry`] of [`Schedule`] policies (1F1B per Narayanan et
+//!   al., 2021, GPipe, and the zero-bubble ZB-H1 variant built in);
 //! * [`memory`] — per-rank GPU memory estimation (weights, gradients,
 //!   optimizer state, in-flight activations) with OOM checking, the
 //!   feasibility gate the paper's §5 limitations call for.
@@ -44,6 +46,7 @@ pub mod interleaved;
 pub mod memory;
 pub mod ops;
 mod parallel;
+pub mod registry;
 mod schedule;
 mod setup;
 pub mod stagecost;
@@ -56,6 +59,7 @@ pub use inference::InferenceSetup;
 pub use interleaved::{InterleavedItem, InterleavedSchedule};
 pub use memory::{MemoryEstimate, MemoryModel, OomError, OptimizerPlacement, Recompute};
 pub use parallel::{CommScope, GroupRegistry, Parallelism, RankCoords};
+pub use registry::{Schedule, ScheduleAdjustment, ScheduleBuilder};
 pub use schedule::{PipelineSchedule, ScheduleItem, ScheduleKind};
 pub use setup::TrainingSetup;
 pub use stagecost::{StageCostKey, StageWork};

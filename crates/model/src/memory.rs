@@ -194,12 +194,10 @@ impl MemoryModel {
         }
     }
 
-    /// Peak number of in-flight micro-batch activation sets at `stage`.
+    /// Peak number of in-flight micro-batch activation sets at
+    /// `stage`, as accounted by the schedule policy itself.
     pub fn in_flight(&self, schedule: ScheduleKind, pp: u32, stage: u32, microbatches: u32) -> u32 {
-        match schedule {
-            ScheduleKind::OneFOneB => microbatches.min(pp - stage),
-            ScheduleKind::GPipe => microbatches,
-        }
+        schedule.in_flight(pp, stage, microbatches)
     }
 
     /// Estimates the footprint of the rank at pipeline `stage`.

@@ -1,0 +1,490 @@
+//! Pluggable pipeline-schedule registry.
+//!
+//! A [`Schedule`] object owns everything the toolkit needs to know
+//! about one pipeline policy: per-stage item generation, in-flight
+//! activation accounting (the memory model's bound), analytic bubble
+//! fractions, and the adjustment applied when a simulated makespan for
+//! one schedule shape stands in for another (replayed traces are
+//! always 1F1B/GPipe-shaped; see [`ScheduleAdjustment`]).
+//!
+//! The built-in policies — 1F1B, GPipe, interleaved-aware 1F1B, and
+//! the zero-bubble ZB-H1 variant — are registered at start-up.
+//! Downstream crates register additional policies with [`register`]
+//! and look them up by name with [`resolve`]; search spaces, the CLI,
+//! and the serve daemon all go through the same names.
+
+use crate::error::ModelError;
+use crate::interleaved::InterleavedSchedule;
+use crate::schedule::{PipelineSchedule, ScheduleItem, ScheduleKind};
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// Rescales a makespan simulated under one schedule shape (the
+/// *skeleton*) into an estimate for the schedule actually being
+/// scored (the *target*).
+///
+/// Replay-based estimation pastes recorded blocks into a plain
+/// 1F1B/GPipe skeleton, so schedules that reshape the pipeline —
+/// interleaved 1F1B, zero-bubble — are scored by stripping the
+/// skeleton's analytic bubble out of the simulated time and
+/// re-applying their own, plus any extra pipeline-communication cost:
+///
+/// ```text
+/// work  = simulated · (1 − skeleton_bubble)
+/// extra = (comm_amplification − 1) · pp_comm_secs_per_rank
+/// time  = work / (1 − target_bubble) + extra
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleAdjustment {
+    /// Analytic bubble fraction of the schedule shape that was
+    /// simulated.
+    pub skeleton_bubble: f64,
+    /// Analytic bubble fraction of the schedule being scored.
+    pub target_bubble: f64,
+    /// Pipeline-communication multiplier vs the skeleton (1.0 when
+    /// the target sends the same activation traffic).
+    pub comm_amplification: f64,
+}
+
+impl ScheduleAdjustment {
+    /// Returns `true` when the bubble fractions make the rescale
+    /// meaningless (degenerate pipelines where a bubble reaches 1).
+    pub fn is_degenerate(&self) -> bool {
+        self.target_bubble >= 1.0 || self.target_bubble.is_nan() || self.skeleton_bubble >= 1.0
+    }
+
+    /// Applies the adjustment to a simulated makespan, both in
+    /// seconds. `pp_comm_secs_per_rank` is the average per-rank time
+    /// spent in pipeline send/recv kernels during the simulation.
+    pub fn apply_secs(&self, simulated_secs: f64, pp_comm_secs_per_rank: f64) -> f64 {
+        let work_secs = simulated_secs * (1.0 - self.skeleton_bubble);
+        let extra_comm_secs = (self.comm_amplification - 1.0) * pp_comm_secs_per_rank;
+        (work_secs / (1.0 - self.target_bubble) + extra_comm_secs).max(0.0)
+    }
+
+    /// The factor a lower bound on the skeleton's makespan must be
+    /// scaled by to remain a lower bound on the adjusted makespan
+    /// (communication extras are dropped — they only add time).
+    pub fn bound_scale(&self) -> f64 {
+        (1.0 - self.skeleton_bubble) / (1.0 - self.target_bubble)
+    }
+}
+
+/// One pipeline-scheduling policy.
+///
+/// Implementations are registered as `&'static` objects (see
+/// [`register`]) and handled through the copyable
+/// [`ScheduleKind`] wrapper everywhere else.
+pub trait Schedule: Sync {
+    /// Registry name (`"1f1b"`, `"gpipe"`, `"zb-h1"`), used in space
+    /// files, CLI flags, and reports.
+    fn name(&self) -> &'static str;
+
+    /// Stable serialization tag. The built-in policies keep their
+    /// pre-registry enum variant names (`"OneFOneB"`, `"GPipe"`) so
+    /// existing setups and calibration artifacts load byte-identically.
+    fn wire_name(&self) -> &'static str {
+        self.name()
+    }
+
+    /// One-line description for catalogues and `lumos info`.
+    fn description(&self) -> &'static str;
+
+    /// The execution order of one stage: which micro-batch
+    /// forward/backward/weight-grad items it runs, in order.
+    fn stage_order(&self, stage: u32, num_stages: u32, num_microbatches: u32) -> Vec<ScheduleItem>;
+
+    /// Peak number of in-flight micro-batches (live activation sets)
+    /// on `stage`; the memory model charges activations for this many
+    /// micro-batches and the validator enforces it as a bound.
+    fn in_flight(&self, num_stages: u32, stage: u32, microbatches: u32) -> u32;
+
+    /// Analytic pipeline bubble fraction under equal stage times.
+    fn analytic_bubble(&self, num_stages: u32, num_microbatches: u32) -> f64;
+
+    /// Whether backward is split into input-grad (`B`) and
+    /// weight-grad (`W`) items. Split schedules lower `W` as separate
+    /// compute on the backward thread and relocate data-parallel
+    /// gradient reductions to the last `W`.
+    fn split_backward(&self) -> bool {
+        false
+    }
+
+    /// Adjustment for phase-1 estimates, where the simulated trace is
+    /// a replayed 1F1B/GPipe-shaped skeleton. `None` means the replay
+    /// already has the right shape.
+    fn replay_adjustment(&self, pp: u32, m: u32, interleave: u32) -> Option<ScheduleAdjustment>;
+
+    /// Adjustment for phase-2 estimates, where the engine simulates a
+    /// natively lowered program. `None` means the lowering already
+    /// realizes this schedule (no analytic correction needed).
+    fn engine_adjustment(&self, pp: u32, m: u32, interleave: u32) -> Option<ScheduleAdjustment>;
+}
+
+/// Megatron-LM's one-forward-one-backward policy (Narayanan et al.,
+/// 2021): bounded activation memory, `(P−1)/(M+P−1)` bubble. Carries
+/// the interleaved virtual-stage adjustment when `interleave > 1`.
+pub struct OneFOneB;
+
+impl Schedule for OneFOneB {
+    fn name(&self) -> &'static str {
+        "1f1b"
+    }
+
+    fn wire_name(&self) -> &'static str {
+        "OneFOneB"
+    }
+
+    fn description(&self) -> &'static str {
+        "one-forward-one-backward (Megatron default; bounded activation memory)"
+    }
+
+    fn stage_order(&self, stage: u32, num_stages: u32, m: u32) -> Vec<ScheduleItem> {
+        one_f_one_b_order(stage, num_stages, m)
+    }
+
+    fn in_flight(&self, num_stages: u32, stage: u32, microbatches: u32) -> u32 {
+        microbatches.min(num_stages - stage)
+    }
+
+    fn analytic_bubble(&self, num_stages: u32, num_microbatches: u32) -> f64 {
+        PipelineSchedule::analytic_bubble(num_stages, num_microbatches)
+    }
+
+    fn replay_adjustment(&self, pp: u32, m: u32, interleave: u32) -> Option<ScheduleAdjustment> {
+        if interleave <= 1 {
+            return None;
+        }
+        Some(ScheduleAdjustment {
+            skeleton_bubble: PipelineSchedule::analytic_bubble(pp, m),
+            target_bubble: InterleavedSchedule::analytic_bubble(pp, interleave, m),
+            comm_amplification: InterleavedSchedule::analytic_comm_amplification(pp, interleave),
+        })
+    }
+
+    fn engine_adjustment(&self, pp: u32, m: u32, interleave: u32) -> Option<ScheduleAdjustment> {
+        // The engine lowers plain 1F1B programs; interleaved
+        // candidates still need the virtual-stage correction.
+        self.replay_adjustment(pp, m, interleave)
+    }
+}
+
+/// GPipe: all forwards, then all backwards. Same analytic bubble as
+/// 1F1B but unbounded in-flight activations.
+pub struct GPipe;
+
+impl Schedule for GPipe {
+    fn name(&self) -> &'static str {
+        "gpipe"
+    }
+
+    fn wire_name(&self) -> &'static str {
+        "GPipe"
+    }
+
+    fn description(&self) -> &'static str {
+        "all forwards then all backwards (unbounded activation memory)"
+    }
+
+    fn stage_order(&self, _stage: u32, _num_stages: u32, m: u32) -> Vec<ScheduleItem> {
+        gpipe_order(m)
+    }
+
+    fn in_flight(&self, _num_stages: u32, _stage: u32, microbatches: u32) -> u32 {
+        microbatches
+    }
+
+    fn analytic_bubble(&self, num_stages: u32, num_microbatches: u32) -> f64 {
+        PipelineSchedule::analytic_bubble(num_stages, num_microbatches)
+    }
+
+    fn replay_adjustment(&self, _pp: u32, _m: u32, _interleave: u32) -> Option<ScheduleAdjustment> {
+        None
+    }
+
+    fn engine_adjustment(&self, _pp: u32, _m: u32, _interleave: u32) -> Option<ScheduleAdjustment> {
+        None
+    }
+}
+
+/// ZB-H1-style zero-bubble schedule (Qi et al., 2023): backward is
+/// split into an input-grad item `B` and a weight-grad item `W`;
+/// weight-grad work fills the cool-down bubble, shrinking the
+/// analytic bubble to `(P−1)/(3M+P−1)` at 1F1B's activation memory.
+pub struct ZbH1;
+
+impl Schedule for ZbH1 {
+    fn name(&self) -> &'static str {
+        "zb-h1"
+    }
+
+    fn description(&self) -> &'static str {
+        "zero-bubble H1: backward split into input-grad and weight-grad; \
+         weight-grad fills the cool-down bubble"
+    }
+
+    fn stage_order(&self, stage: u32, num_stages: u32, m: u32) -> Vec<ScheduleItem> {
+        zb_h1_order(stage, num_stages, m)
+    }
+
+    fn in_flight(&self, num_stages: u32, stage: u32, microbatches: u32) -> u32 {
+        // Same activation bound as 1F1B — the H1 variant's defining
+        // property (weight-grad needs stashed inputs, not the full
+        // activation set, and those are charged to the backward).
+        microbatches.min(num_stages - stage)
+    }
+
+    fn analytic_bubble(&self, num_stages: u32, num_microbatches: u32) -> f64 {
+        // With F = B = W = one unit of work, each stage runs 3M units
+        // and the pipeline fill costs P−1.
+        let p = num_stages as f64;
+        let m = num_microbatches as f64;
+        (p - 1.0) / (3.0 * m + p - 1.0)
+    }
+
+    fn split_backward(&self) -> bool {
+        true
+    }
+
+    fn replay_adjustment(&self, pp: u32, m: u32, _interleave: u32) -> Option<ScheduleAdjustment> {
+        // Replayed skeletons paste full recorded backward blocks into
+        // a 1F1B shape; rescale that shape's bubble into ZB-H1's.
+        Some(ScheduleAdjustment {
+            skeleton_bubble: PipelineSchedule::analytic_bubble(pp, m),
+            target_bubble: self.analytic_bubble(pp, m),
+            comm_amplification: 1.0,
+        })
+    }
+
+    fn engine_adjustment(&self, _pp: u32, _m: u32, _interleave: u32) -> Option<ScheduleAdjustment> {
+        // The lowering splits backward natively, so the engine
+        // simulates the real zero-bubble program.
+        None
+    }
+}
+
+/// The built-in `1f1b` schedule object.
+pub static ONE_F_ONE_B: OneFOneB = OneFOneB;
+/// The built-in `gpipe` schedule object.
+pub static GPIPE: GPipe = GPipe;
+/// The built-in `zb-h1` schedule object.
+pub static ZB_H1: ZbH1 = ZbH1;
+
+const BUILTINS: [&'static dyn Schedule; 3] = [&ONE_F_ONE_B, &GPIPE, &ZB_H1];
+
+fn extras() -> &'static Mutex<Vec<&'static dyn Schedule>> {
+    static EXTRAS: OnceLock<Mutex<Vec<&'static dyn Schedule>>> = OnceLock::new();
+    EXTRAS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers an additional schedule. The object must live for the
+/// program's lifetime (a `static`, or a leaked box).
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidSchedule`] when a schedule with the
+/// same name (or wire name) is already registered.
+pub fn register(schedule: &'static dyn Schedule) -> Result<(), ModelError> {
+    let mut extras = extras().lock().expect("schedule registry poisoned");
+    let clash = BUILTINS
+        .iter()
+        .chain(extras.iter())
+        .any(|s| s.name() == schedule.name() || s.wire_name() == schedule.wire_name());
+    if clash {
+        return Err(ModelError::InvalidSchedule {
+            reason: format!("schedule `{}` is already registered", schedule.name()),
+        });
+    }
+    extras.push(schedule);
+    Ok(())
+}
+
+/// Looks up a schedule by registry name or wire name.
+pub fn resolve(name: &str) -> Option<ScheduleKind> {
+    let extras = extras().lock().expect("schedule registry poisoned");
+    BUILTINS
+        .iter()
+        .chain(extras.iter())
+        .find(|s| s.name() == name || s.wire_name() == name)
+        .map(|s| ScheduleKind::from_schedule(*s))
+}
+
+/// The names of every registered schedule, built-ins first, in
+/// registration order.
+pub fn known_names() -> Vec<&'static str> {
+    let extras = extras().lock().expect("schedule registry poisoned");
+    BUILTINS
+        .iter()
+        .chain(extras.iter())
+        .map(|s| s.name())
+        .collect()
+}
+
+/// Every registered schedule, built-ins first, in registration order.
+pub fn all() -> Vec<ScheduleKind> {
+    let extras = extras().lock().expect("schedule registry poisoned");
+    BUILTINS
+        .iter()
+        .chain(extras.iter())
+        .map(|s| ScheduleKind::from_schedule(*s))
+        .collect()
+}
+
+/// Constructs a [`ScheduleKind`] from configuration — the one place
+/// that turns user-supplied names (space files, CLI flags, serve
+/// requests) into schedule objects.
+///
+/// ```
+/// use lumos_model::registry::ScheduleBuilder;
+/// use lumos_model::ScheduleKind;
+///
+/// let kind = ScheduleBuilder::from_name("zb-h1").build()?;
+/// assert_eq!(kind, ScheduleKind::ZbH1);
+/// # Ok::<(), lumos_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    name: String,
+}
+
+impl ScheduleBuilder {
+    /// Starts a builder for the named schedule.
+    pub fn from_name(name: &str) -> Self {
+        ScheduleBuilder {
+            name: name.to_string(),
+        }
+    }
+
+    /// Resolves the configured name against the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownSchedule`] naming the known set
+    /// when the name does not resolve.
+    pub fn build(&self) -> Result<ScheduleKind, ModelError> {
+        resolve(&self.name).ok_or_else(|| ModelError::UnknownSchedule {
+            name: self.name.clone(),
+            known: known_names().join(", "),
+        })
+    }
+}
+
+/// Megatron 1F1B order for one stage: `P − s − 1` warm-up forwards, a
+/// steady phase alternating forward/backward, then cool-down
+/// backwards.
+pub(crate) fn one_f_one_b_order(stage: u32, num_stages: u32, m: u32) -> Vec<ScheduleItem> {
+    let warmup = (num_stages - stage - 1).min(m);
+    let mut order = Vec::with_capacity(2 * m as usize);
+    for mb in 0..warmup {
+        order.push(ScheduleItem::Forward { mb });
+    }
+    let steady = m - warmup;
+    for i in 0..steady {
+        order.push(ScheduleItem::Forward { mb: warmup + i });
+        order.push(ScheduleItem::Backward { mb: i });
+    }
+    for mb in steady..m {
+        order.push(ScheduleItem::Backward { mb });
+    }
+    order
+}
+
+/// GPipe order: all forwards, then all backwards.
+pub(crate) fn gpipe_order(m: u32) -> Vec<ScheduleItem> {
+    (0..m)
+        .map(|mb| ScheduleItem::Forward { mb })
+        .chain((0..m).map(|mb| ScheduleItem::Backward { mb }))
+        .collect()
+}
+
+/// ZB-H1 order for one stage: the 1F1B skeleton with weight-grad
+/// items filling the cool-down (one `W` after each cool-down `B`) and
+/// the remainder draining at the end. Dropping the `W` items yields
+/// exactly the 1F1B order — replay paths rely on this.
+pub(crate) fn zb_h1_order(stage: u32, num_stages: u32, m: u32) -> Vec<ScheduleItem> {
+    let warmup = (num_stages - stage - 1).min(m);
+    let steady = m - warmup;
+    let mut order = Vec::with_capacity(3 * m as usize);
+    for mb in 0..warmup {
+        order.push(ScheduleItem::Forward { mb });
+    }
+    for i in 0..steady {
+        order.push(ScheduleItem::Forward { mb: warmup + i });
+        order.push(ScheduleItem::Backward { mb: i });
+    }
+    for mb in steady..m {
+        order.push(ScheduleItem::Backward { mb });
+        order.push(ScheduleItem::WeightGrad { mb: mb - steady });
+    }
+    for mb in warmup..m {
+        order.push(ScheduleItem::WeightGrad { mb });
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_resolve() {
+        for name in ["1f1b", "gpipe", "zb-h1", "OneFOneB", "GPipe"] {
+            assert!(resolve(name).is_some(), "{name} should resolve");
+        }
+        assert!(resolve("pipedream").is_none());
+    }
+
+    #[test]
+    fn builder_reports_known_set() {
+        let err = ScheduleBuilder::from_name("bogus").build().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bogus"), "{msg}");
+        assert!(msg.contains("1f1b") && msg.contains("zb-h1"), "{msg}");
+    }
+
+    #[test]
+    fn zb_h1_drops_to_one_f_one_b_skeleton() {
+        for p in 1..6u32 {
+            for m in 1..10u32 {
+                for s in 0..p {
+                    let zb: Vec<_> = zb_h1_order(s, p, m)
+                        .into_iter()
+                        .filter(|i| !matches!(i, ScheduleItem::WeightGrad { .. }))
+                        .collect();
+                    assert_eq!(zb, one_f_one_b_order(s, p, m), "p={p} m={m} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zb_h1_bubble_beats_one_f_one_b() {
+        let zb = ZB_H1.analytic_bubble(4, 8);
+        let plain = PipelineSchedule::analytic_bubble(4, 8);
+        assert!(zb < plain, "{zb} vs {plain}");
+        assert!((zb - 3.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjustment_matches_interleave_formula() {
+        let adj = ONE_F_ONE_B.replay_adjustment(4, 8, 2).expect("interleaved");
+        assert_eq!(adj.skeleton_bubble, PipelineSchedule::analytic_bubble(4, 8));
+        assert_eq!(
+            adj.target_bubble,
+            InterleavedSchedule::analytic_bubble(4, 2, 8)
+        );
+        assert_eq!(adj.comm_amplification, 7.0 / 3.0);
+        assert!(ONE_F_ONE_B.replay_adjustment(4, 8, 1).is_none());
+    }
+
+    #[test]
+    fn zb_adjustment_rescales_makespan_down() {
+        let adj = ZB_H1.replay_adjustment(4, 8, 1).expect("zb adjusts replay");
+        assert!(!adj.is_degenerate());
+        let adjusted = adj.apply_secs(11.0, 0.0);
+        // 11 s of 1F1B-shaped time = 8 s of work; ZB-H1 runs it in
+        // 8 / (1 - 3/27) = 9 s.
+        assert!((adjusted - 9.0).abs() < 1e-9, "{adjusted}");
+        assert!(ZB_H1.engine_adjustment(4, 8, 1).is_none());
+    }
+}

@@ -1,14 +1,17 @@
 //! Pipeline-parallel schedules.
 //!
 //! Generates per-stage forward/backward orderings for the 1F1B policy
-//! (Narayanan et al., 2021 — the policy named in the paper's Figure 4)
-//! and GPipe (all-forward-then-all-backward, for comparison studies).
-//! Graph manipulation regenerates these schedules when the
+//! (Narayanan et al., 2021 — the policy named in the paper's Figure 4),
+//! GPipe (all-forward-then-all-backward, for comparison studies), and
+//! any other policy registered in [`crate::registry`]. Graph
+//! manipulation regenerates these schedules when the
 //! pipeline-parallel degree changes (§3.4).
 
 use crate::error::ModelError;
+use crate::registry::{self, Schedule, ScheduleAdjustment};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// One slot in a stage's execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -18,8 +21,15 @@ pub enum ScheduleItem {
         /// Micro-batch index (0-based).
         mb: u32,
     },
-    /// Backward pass of micro-batch `mb`.
+    /// Backward pass of micro-batch `mb`. For split-backward
+    /// schedules this is the input-grad half only.
     Backward {
+        /// Micro-batch index (0-based).
+        mb: u32,
+    },
+    /// Weight-gradient pass of micro-batch `mb` (only emitted by
+    /// split-backward schedules such as `zb-h1`).
+    WeightGrad {
         /// Micro-batch index (0-based).
         mb: u32,
     },
@@ -29,7 +39,9 @@ impl ScheduleItem {
     /// The micro-batch this item processes.
     pub fn mb(&self) -> u32 {
         match *self {
-            ScheduleItem::Forward { mb } | ScheduleItem::Backward { mb } => mb,
+            ScheduleItem::Forward { mb }
+            | ScheduleItem::Backward { mb }
+            | ScheduleItem::WeightGrad { mb } => mb,
         }
     }
 
@@ -44,18 +56,160 @@ impl fmt::Display for ScheduleItem {
         match self {
             ScheduleItem::Forward { mb } => write!(f, "F{mb}"),
             ScheduleItem::Backward { mb } => write!(f, "B{mb}"),
+            ScheduleItem::WeightGrad { mb } => write!(f, "W{mb}"),
         }
     }
 }
 
-/// Which scheduling policy to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ScheduleKind {
+/// A handle to one registered scheduling policy.
+///
+/// Historically a closed enum; now a copyable wrapper around a
+/// `&'static dyn Schedule` from [`crate::registry`], so new policies
+/// plug in without touching generation, memory accounting, scoring,
+/// or lowering. The built-in policies remain reachable as associated
+/// constants (`ScheduleKind::OneFOneB`, `ScheduleKind::GPipe`,
+/// `ScheduleKind::ZbH1`) and keep their pre-registry serialized names.
+#[derive(Clone, Copy)]
+pub struct ScheduleKind(&'static dyn Schedule);
+
+impl ScheduleKind {
     /// One-forward-one-backward (Megatron's default; bounded
     /// activation memory).
-    OneFOneB,
+    #[allow(non_upper_case_globals)]
+    pub const OneFOneB: ScheduleKind = ScheduleKind(&registry::ONE_F_ONE_B);
     /// GPipe: all forwards, then all backwards.
-    GPipe,
+    #[allow(non_upper_case_globals)]
+    pub const GPipe: ScheduleKind = ScheduleKind(&registry::GPIPE);
+    /// Zero-bubble H1: backward split into input-grad and weight-grad
+    /// items; weight-grad fills the cool-down bubble.
+    #[allow(non_upper_case_globals)]
+    pub const ZbH1: ScheduleKind = ScheduleKind(&registry::ZB_H1);
+
+    /// Wraps a registered schedule object.
+    pub(crate) fn from_schedule(schedule: &'static dyn Schedule) -> Self {
+        ScheduleKind(schedule)
+    }
+
+    /// Looks the name up in the registry (accepts registry names like
+    /// `"1f1b"` and legacy wire names like `"OneFOneB"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        registry::resolve(name)
+    }
+
+    /// The underlying schedule object.
+    pub fn as_schedule(&self) -> &'static dyn Schedule {
+        self.0
+    }
+
+    /// Registry name (`"1f1b"`, `"gpipe"`, `"zb-h1"`).
+    pub fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    /// Stable serialization tag (`"OneFOneB"`, `"GPipe"`, `"zb-h1"`).
+    pub fn wire_name(&self) -> &'static str {
+        self.0.wire_name()
+    }
+
+    /// One-line description for catalogues and `lumos info`.
+    pub fn description(&self) -> &'static str {
+        self.0.description()
+    }
+
+    /// The execution order of one stage.
+    pub fn stage_order(&self, stage: u32, num_stages: u32, m: u32) -> Vec<ScheduleItem> {
+        self.0.stage_order(stage, num_stages, m)
+    }
+
+    /// Peak in-flight micro-batches on `stage` (activation-memory
+    /// accounting and the validator's bound).
+    pub fn in_flight(&self, num_stages: u32, stage: u32, microbatches: u32) -> u32 {
+        self.0.in_flight(num_stages, stage, microbatches)
+    }
+
+    /// Analytic pipeline bubble fraction under equal stage times.
+    pub fn analytic_bubble(&self, num_stages: u32, num_microbatches: u32) -> f64 {
+        self.0.analytic_bubble(num_stages, num_microbatches)
+    }
+
+    /// Whether backward is split into input-grad and weight-grad
+    /// items.
+    pub fn split_backward(&self) -> bool {
+        self.0.split_backward()
+    }
+
+    /// Adjustment for replay-based (phase-1) estimates; see
+    /// [`Schedule::replay_adjustment`].
+    pub fn replay_adjustment(
+        &self,
+        pp: u32,
+        m: u32,
+        interleave: u32,
+    ) -> Option<ScheduleAdjustment> {
+        self.0.replay_adjustment(pp, m, interleave)
+    }
+
+    /// Adjustment for engine-simulated (phase-2) estimates; see
+    /// [`Schedule::engine_adjustment`].
+    pub fn engine_adjustment(
+        &self,
+        pp: u32,
+        m: u32,
+        interleave: u32,
+    ) -> Option<ScheduleAdjustment> {
+        self.0.engine_adjustment(pp, m, interleave)
+    }
+}
+
+impl PartialEq for ScheduleKind {
+    fn eq(&self, other: &Self) -> bool {
+        // Registry names are unique, so name equality is identity.
+        self.0.name() == other.0.name()
+    }
+}
+
+impl Eq for ScheduleKind {}
+
+impl Hash for ScheduleKind {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.name().hash(state);
+    }
+}
+
+impl fmt::Debug for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Matches the pre-registry derived output for the built-ins
+        // ("OneFOneB", "GPipe").
+        f.write_str(self.wire_name())
+    }
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for ScheduleKind {
+    fn serialize_value(&self) -> serde::Value {
+        // Byte-identical to the old derived enum encoding: a plain
+        // string holding the variant (wire) name.
+        serde::Value::String(self.wire_name().to_string())
+    }
+}
+
+impl Deserialize for ScheduleKind {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        match v {
+            serde::Value::String(s) => registry::resolve(s).ok_or_else(|| {
+                serde::de::Error::new(format!(
+                    "unknown schedule `{s}` for ScheduleKind (known: {})",
+                    registry::known_names().join(", ")
+                ))
+            }),
+            other => Err(serde::de::Error::expected("string for ScheduleKind", other)),
+        }
+    }
 }
 
 /// A complete pipeline schedule: for each stage, the order in which it
@@ -69,7 +223,8 @@ pub struct PipelineSchedule {
 }
 
 impl PipelineSchedule {
-    /// Generates a schedule.
+    /// Generates a schedule by asking the policy object for every
+    /// stage's order.
     ///
     /// # Errors
     ///
@@ -84,10 +239,7 @@ impl PipelineSchedule {
             return Err(ModelError::EmptySchedule);
         }
         let stages = (0..num_stages)
-            .map(|s| match kind {
-                ScheduleKind::OneFOneB => one_f_one_b(s, num_stages, num_microbatches),
-                ScheduleKind::GPipe => gpipe(num_microbatches),
-            })
+            .map(|s| kind.stage_order(s, num_stages, num_microbatches))
             .collect();
         let schedule = PipelineSchedule {
             kind,
@@ -132,11 +284,16 @@ impl PipelineSchedule {
     /// Validates schedule safety and completeness:
     ///
     /// * every stage runs every micro-batch exactly once forward and
-    ///   once backward;
-    /// * forwards appear in micro-batch order, as do backwards;
-    /// * on every stage, `B(i)` comes after `F(i)`;
+    ///   once backward (plus exactly one weight-grad for
+    ///   split-backward policies, and none otherwise);
+    /// * forwards appear in micro-batch order, as do backwards and
+    ///   weight-grads;
+    /// * on every stage, `B(i)` comes after `F(i)` and `W(i)` after
+    ///   `B(i)`;
     /// * the number of in-flight micro-batches on stage `s` never
-    ///   exceeds `num_stages - s` (1F1B memory bound; GPipe is exempt).
+    ///   exceeds the policy's own bound
+    ///   ([`ScheduleKind::in_flight`]; `P − s` for 1F1B and ZB-H1,
+    ///   unbounded-up-to-`M` for GPipe).
     ///
     /// # Errors
     ///
@@ -144,9 +301,11 @@ impl PipelineSchedule {
     /// violation.
     pub fn validate(&self) -> Result<(), ModelError> {
         let m = self.num_microbatches;
+        let expected_w = if self.kind.split_backward() { m } else { 0 };
         for (s, order) in self.iter() {
             let mut next_f = 0u32;
             let mut next_b = 0u32;
+            let mut next_w = 0u32;
             let mut in_flight = 0i64;
             let mut max_in_flight = 0i64;
             for item in order {
@@ -175,6 +334,19 @@ impl PipelineSchedule {
                         next_b += 1;
                         in_flight -= 1;
                     }
+                    ScheduleItem::WeightGrad { mb } => {
+                        if *mb != next_w {
+                            return Err(ModelError::InvalidSchedule {
+                                reason: format!("stage {s}: expected W{next_w}, found W{mb}"),
+                            });
+                        }
+                        if *mb >= next_b {
+                            return Err(ModelError::InvalidSchedule {
+                                reason: format!("stage {s}: W{mb} precedes its backward"),
+                            });
+                        }
+                        next_w += 1;
+                    }
                 }
             }
             if next_f != m || next_b != m {
@@ -184,29 +356,36 @@ impl PipelineSchedule {
                     ),
                 });
             }
-            if self.kind == ScheduleKind::OneFOneB {
-                let bound = (self.num_stages - s) as i64;
-                if max_in_flight > bound.min(m as i64) {
-                    return Err(ModelError::InvalidSchedule {
-                        reason: format!(
-                            "stage {s}: {max_in_flight} micro-batches in flight exceeds 1F1B bound {bound}"
-                        ),
-                    });
-                }
+            if next_w != expected_w {
+                return Err(ModelError::InvalidSchedule {
+                    reason: format!("stage {s}: ran {next_w} weight-grads, expected {expected_w}"),
+                });
+            }
+            let bound = self.kind.in_flight(self.num_stages, s, m) as i64;
+            if max_in_flight > bound {
+                return Err(ModelError::InvalidSchedule {
+                    reason: format!(
+                        "stage {s}: {max_in_flight} micro-batches in flight exceeds {} bound {bound}",
+                        self.kind.name()
+                    ),
+                });
             }
         }
         Ok(())
     }
 
-    /// The analytic pipeline bubble fraction `(P-1)/(M+P-1)` of the
-    /// 1F1B (and GPipe) schedule with equal stage times.
+    /// The analytic pipeline bubble fraction of this schedule under
+    /// equal stage times (`(P-1)/(M+P-1)` for 1F1B and GPipe;
+    /// policy-specific otherwise).
     pub fn bubble_fraction(&self) -> f64 {
-        PipelineSchedule::analytic_bubble(self.num_stages, self.num_microbatches)
+        self.kind
+            .analytic_bubble(self.num_stages, self.num_microbatches)
     }
 
-    /// [`PipelineSchedule::bubble_fraction`] without generating the
+    /// The 1F1B/GPipe bubble `(P-1)/(M+P-1)` without generating the
     /// schedule — for planners and cost bounds that only need the
-    /// number (the formula is schedule-kind independent).
+    /// number (the formula is shared by every unsplit
+    /// single-chunk policy).
     pub fn analytic_bubble(num_stages: u32, num_microbatches: u32) -> f64 {
         let p = num_stages as f64;
         let m = num_microbatches as f64;
@@ -226,34 +405,6 @@ impl PipelineSchedule {
             })
             .unwrap_or_default()
     }
-}
-
-/// Megatron 1F1B order for one stage: `P - s - 1` warm-up forwards,
-/// a steady phase alternating forward/backward, then cool-down
-/// backwards.
-fn one_f_one_b(stage: u32, num_stages: u32, m: u32) -> Vec<ScheduleItem> {
-    let warmup = (num_stages - stage - 1).min(m);
-    let mut order = Vec::with_capacity(2 * m as usize);
-    for mb in 0..warmup {
-        order.push(ScheduleItem::Forward { mb });
-    }
-    let steady = m - warmup;
-    for i in 0..steady {
-        order.push(ScheduleItem::Forward { mb: warmup + i });
-        order.push(ScheduleItem::Backward { mb: i });
-    }
-    for mb in steady..m {
-        order.push(ScheduleItem::Backward { mb });
-    }
-    order
-}
-
-/// GPipe order: all forwards, then all backwards.
-fn gpipe(m: u32) -> Vec<ScheduleItem> {
-    (0..m)
-        .map(|mb| ScheduleItem::Forward { mb })
-        .chain((0..m).map(|mb| ScheduleItem::Backward { mb }))
-        .collect()
 }
 
 #[cfg(test)]
@@ -306,6 +457,23 @@ mod tests {
     }
 
     #[test]
+    fn zb_h1_fills_cooldown_with_weight_grads() {
+        let s = PipelineSchedule::generate(ScheduleKind::ZbH1, 4, 8).unwrap();
+        // Stage 0: 1F1B skeleton with W's after each cool-down B and
+        // the rest draining at the end.
+        assert_eq!(
+            s.stage_string(0),
+            "F0 F1 F2 F3 B0 F4 B1 F5 B2 F6 B3 F7 B4 B5 W0 B6 W1 B7 W2 W3 W4 W5 W6 W7"
+        );
+        // Last stage: strict 1F1B alternation, then the W drain.
+        assert_eq!(
+            s.stage_string(3),
+            "F0 B0 F1 B1 F2 B2 F3 B3 F4 B4 F5 B5 F6 B6 F7 B7 \
+             W0 W1 W2 W3 W4 W5 W6 W7"
+        );
+    }
+
+    #[test]
     fn empty_inputs_rejected() {
         assert_eq!(
             PipelineSchedule::generate(ScheduleKind::OneFOneB, 0, 4),
@@ -355,15 +523,77 @@ mod tests {
     }
 
     #[test]
+    fn validator_rejects_weight_grad_before_backward() {
+        let s = PipelineSchedule {
+            kind: ScheduleKind::ZbH1,
+            num_stages: 1,
+            num_microbatches: 1,
+            stages: vec![vec![
+                ScheduleItem::Forward { mb: 0 },
+                ScheduleItem::WeightGrad { mb: 0 },
+                ScheduleItem::Backward { mb: 0 },
+            ]],
+        };
+        assert!(matches!(
+            s.validate(),
+            Err(ModelError::InvalidSchedule { .. })
+        ));
+    }
+
+    #[test]
+    fn validator_rejects_weight_grads_in_unsplit_schedules() {
+        let s = PipelineSchedule {
+            kind: ScheduleKind::OneFOneB,
+            num_stages: 1,
+            num_microbatches: 1,
+            stages: vec![vec![
+                ScheduleItem::Forward { mb: 0 },
+                ScheduleItem::Backward { mb: 0 },
+                ScheduleItem::WeightGrad { mb: 0 },
+            ]],
+        };
+        assert!(matches!(
+            s.validate(),
+            Err(ModelError::InvalidSchedule { .. })
+        ));
+    }
+
+    #[test]
     fn one_f_one_b_respects_memory_bound() {
         // In-flight micro-batches on stage s never exceed P - s; this
-        // is 1F1B's reason to exist.
+        // is 1F1B's reason to exist (and ZB-H1 keeps the same bound).
         for p in 1..6 {
             for m in 1..10 {
-                let s = PipelineSchedule::generate(ScheduleKind::OneFOneB, p, m).unwrap();
-                s.validate().unwrap();
+                for kind in [ScheduleKind::OneFOneB, ScheduleKind::ZbH1] {
+                    let s = PipelineSchedule::generate(kind, p, m).unwrap();
+                    s.validate().unwrap();
+                }
             }
         }
+    }
+
+    #[test]
+    fn kind_round_trips_through_serde() {
+        for kind in [
+            ScheduleKind::OneFOneB,
+            ScheduleKind::GPipe,
+            ScheduleKind::ZbH1,
+        ] {
+            let v = kind.serialize_value();
+            assert_eq!(ScheduleKind::deserialize_value(&v).unwrap(), kind);
+        }
+        // Legacy artifacts hold the old derived enum encoding.
+        for (wire, kind) in [
+            ("OneFOneB", ScheduleKind::OneFOneB),
+            ("GPipe", ScheduleKind::GPipe),
+        ] {
+            let v = serde::Value::String(wire.to_string());
+            assert_eq!(ScheduleKind::deserialize_value(&v).unwrap(), kind);
+            assert_eq!(kind.serialize_value(), v);
+        }
+        let bogus = serde::Value::String("pipedream".to_string());
+        let err = ScheduleKind::deserialize_value(&bogus).unwrap_err();
+        assert!(err.to_string().contains("1f1b"), "{err}");
     }
 }
 
@@ -377,27 +607,40 @@ mod proptests {
         fn generated_schedules_always_validate(
             p in 1u32..12,
             m in 1u32..24,
-            kind in prop_oneof![Just(ScheduleKind::OneFOneB), Just(ScheduleKind::GPipe)],
+            kind in prop_oneof![
+                Just(ScheduleKind::OneFOneB),
+                Just(ScheduleKind::GPipe),
+                Just(ScheduleKind::ZbH1),
+            ],
         ) {
             let s = PipelineSchedule::generate(kind, p, m).unwrap();
             prop_assert!(s.validate().is_ok());
-            // Every stage has exactly 2*m items.
+            // Every stage has 2*m items (3*m for split-backward kinds).
+            let per_mb = if kind.split_backward() { 3 } else { 2 };
             for (_, order) in s.iter() {
-                prop_assert_eq!(order.len(), 2 * m as usize);
+                prop_assert_eq!(order.len(), per_mb * m as usize);
             }
         }
 
         #[test]
-        fn global_dependency_feasibility(p in 1u32..8, m in 1u32..16) {
+        fn global_dependency_feasibility(
+            p in 1u32..8,
+            m in 1u32..16,
+            kind in prop_oneof![
+                Just(ScheduleKind::OneFOneB),
+                Just(ScheduleKind::ZbH1),
+            ],
+        ) {
             // A schedule is globally feasible if executing stages
             // concurrently never deadlocks: simulate with unit-time
             // items and cross-stage readiness.
-            let s = PipelineSchedule::generate(ScheduleKind::OneFOneB, p, m).unwrap();
+            let s = PipelineSchedule::generate(kind, p, m).unwrap();
             let mut pos = vec![0usize; p as usize];
             // fwd_done[s][mb], bwd_done[s][mb]
             let mut fwd_done = vec![vec![false; m as usize]; p as usize];
             let mut bwd_done = vec![vec![false; m as usize]; p as usize];
-            let total: usize = (p * m * 2) as usize;
+            let per_mb = if kind.split_backward() { 3 } else { 2 };
+            let total: usize = per_mb * (p * m) as usize;
             let mut done = 0usize;
             let mut progressed = true;
             while done < total {
@@ -420,11 +663,15 @@ mod proptests {
                                 bwd_done[stage + 1][mb as usize]
                             }
                         }
+                        // Weight-grad only needs this stage's own
+                        // input-grad pass.
+                        ScheduleItem::WeightGrad { mb } => bwd_done[stage][mb as usize],
                     };
                     if ready {
                         match item {
                             ScheduleItem::Forward { mb } => fwd_done[stage][mb as usize] = true,
                             ScheduleItem::Backward { mb } => bwd_done[stage][mb as usize] = true,
+                            ScheduleItem::WeightGrad { .. } => {}
                         }
                         pos[stage] += 1;
                         done += 1;

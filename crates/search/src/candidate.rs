@@ -4,7 +4,7 @@
 use crate::space::{ArchPoint, SpaceSpec};
 use lumos_core::manipulate::{apply_transforms, Transform};
 use lumos_core::CoreError;
-use lumos_model::TrainingSetup;
+use lumos_model::{ScheduleKind, TrainingSetup};
 
 /// One candidate configuration: a deployment (and optionally an
 /// architecture variant) reachable from the base trace by graph
@@ -21,6 +21,8 @@ pub struct Candidate {
     pub microbatches: u32,
     /// Interleaved-1F1B virtual chunks (`1` = plain 1F1B).
     pub interleave: u32,
+    /// Pipeline schedule this candidate runs under.
+    pub schedule: ScheduleKind,
     /// Index into [`SpaceSpec::arch`]; `None` = base architecture.
     pub arch: Option<usize>,
 }
@@ -38,6 +40,11 @@ impl Candidate {
         s.push_str(&format!(" m={}", self.microbatches));
         if self.interleave > 1 {
             s.push_str(&format!(" v={}", self.interleave));
+        }
+        if !spec.schedules.is_empty() {
+            // Only disambiguate when the schedule is actually an
+            // enumerated axis; default spaces keep their old labels.
+            s.push_str(&format!(" s={}", self.schedule.name()));
         }
         if let Some(i) = self.arch {
             if let Some(a) = spec.arch.get(i) {
@@ -95,7 +102,11 @@ impl Candidate {
         base: &TrainingSetup,
         spec: &SpaceSpec,
     ) -> Result<TrainingSetup, CoreError> {
-        apply_transforms(base, &self.transforms_from(base, spec))
+        let mut setup = apply_transforms(base, &self.transforms_from(base, spec))?;
+        // The schedule is regenerated (not transformed from recorded
+        // blocks), so it swaps directly.
+        setup.schedule = self.schedule;
+        Ok(setup)
     }
 }
 
@@ -115,6 +126,7 @@ mod tests {
             dp,
             microbatches: m,
             interleave: 1,
+            schedule: ScheduleKind::OneFOneB,
             arch: None,
         }
     }

@@ -8,7 +8,7 @@
 
 use crate::candidate::Candidate;
 use crate::space::{ResolvedAxes, SpaceSpec};
-use lumos_model::{InterleavedSchedule, TrainingSetup};
+use lumos_model::{InterleavedSchedule, ScheduleKind, TrainingSetup};
 
 /// Why a grid point was rejected before costing anything.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,8 +25,9 @@ pub enum RejectReason {
 }
 
 /// The grid as a random-access index space: grid point `i` decodes to
-/// a candidate in the fixed enumeration order (arch, tp, pp, dp,
-/// micro-batches, interleave — each ascending, interleave innermost).
+/// a candidate in the fixed enumeration order (arch, schedule, tp,
+/// pp, dp, micro-batches, interleave — each ascending, interleave
+/// innermost).
 ///
 /// Random access is what lets the parallel evaluator shard the grid
 /// across workers with one atomic cursor instead of a locked iterator,
@@ -51,6 +52,7 @@ impl<'a> Grid<'a> {
         };
         let arch = axes.arch_points.len().max(1);
         let total = arch
+            * axes.schedules.len()
             * axes.tp.len()
             * axes.pp.len()
             * axes.dp.len()
@@ -88,6 +90,8 @@ impl<'a> Grid<'a> {
         let dp = take(&mut rem, &self.axes.dp);
         let pp = take(&mut rem, &self.axes.pp);
         let tp = take(&mut rem, &self.axes.tp);
+        let schedule = self.axes.schedules[rem % self.axes.schedules.len()];
+        rem /= self.axes.schedules.len();
         let arch = if self.axes.arch_points.is_empty() {
             None
         } else {
@@ -99,6 +103,7 @@ impl<'a> Grid<'a> {
             dp,
             microbatches,
             interleave,
+            schedule,
             arch,
         }
     }
@@ -242,7 +247,7 @@ fn admit(
     if cand.interleave > 1 {
         // Interleaved virtual chunks are defined on 1F1B only (the
         // evaluator's bubble adjustment assumes it).
-        if base.schedule != lumos_model::ScheduleKind::OneFOneB {
+        if cand.schedule != ScheduleKind::OneFOneB {
             return Err(RejectReason::Structural);
         }
         // Interleaving needs pp > 1, layers divisible into pp × v
@@ -334,29 +339,33 @@ mod tests {
         let spec = SpaceSpec::deployment_grid(&[2, 4], &[1, 2], &[1, 2])
             .with_microbatches(&[2, 4])
             .with_interleave(&[1, 2])
+            .with_schedules(&[ScheduleKind::OneFOneB, ScheduleKind::GPipe])
             .with_arch(vec![
                 crate::space::ArchPoint::new("a", 2, 256, 1024),
                 crate::space::ArchPoint::new("b", 4, 256, 1024),
             ]);
         let grid = Grid::new(&spec, &base);
-        assert_eq!(grid.total(), 2 * 2 * 2 * 2 * 2 * 2);
+        assert_eq!(grid.total(), 2 * 2 * 2 * 2 * 2 * 2 * 2);
         // Reconstruct the reference nested-loop order and compare.
         let axes = spec.resolved_axes(&base);
         let mut expected = Vec::new();
         for a in 0..axes.arch_points.len().max(1) {
-            for &tp in &axes.tp {
-                for &pp in &axes.pp {
-                    for &dp in &axes.dp {
-                        for &m in &axes.microbatches {
-                            for &v in &axes.interleave {
-                                expected.push(Candidate {
-                                    tp,
-                                    pp,
-                                    dp,
-                                    microbatches: m,
-                                    interleave: v,
-                                    arch: (!axes.arch_points.is_empty()).then_some(a),
-                                });
+            for &schedule in &axes.schedules {
+                for &tp in &axes.tp {
+                    for &pp in &axes.pp {
+                        for &dp in &axes.dp {
+                            for &m in &axes.microbatches {
+                                for &v in &axes.interleave {
+                                    expected.push(Candidate {
+                                        tp,
+                                        pp,
+                                        dp,
+                                        microbatches: m,
+                                        interleave: v,
+                                        schedule,
+                                        arch: (!axes.arch_points.is_empty()).then_some(a),
+                                    });
+                                }
                             }
                         }
                     }
@@ -365,6 +374,34 @@ mod tests {
         }
         let decoded: Vec<Candidate> = (0..grid.total()).map(|i| grid.candidate(i)).collect();
         assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn schedule_axis_enumerates_and_gates_interleave() {
+        let mut base = base_tp2();
+        base.model.num_layers = 8;
+        let spec = SpaceSpec::deployment_grid(&[2], &[2], &[1])
+            .with_microbatches(&[4])
+            .with_interleave(&[1, 2])
+            .with_schedules(&[ScheduleKind::OneFOneB, ScheduleKind::ZbH1]);
+        let out = enumerate_candidates(&spec, &base);
+        let pairs: Vec<(ScheduleKind, u32)> = out
+            .candidates
+            .iter()
+            .map(|(c, _)| (c.schedule, c.interleave))
+            .collect();
+        // v=2 survives on 1F1B only; zb-h1 enumerates at v=1.
+        assert_eq!(
+            pairs,
+            vec![
+                (ScheduleKind::OneFOneB, 1),
+                (ScheduleKind::OneFOneB, 2),
+                (ScheduleKind::ZbH1, 1),
+            ]
+        );
+        for (cand, setup) in &out.candidates {
+            assert_eq!(setup.schedule, cand.schedule);
+        }
     }
 
     #[test]

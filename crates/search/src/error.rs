@@ -50,6 +50,14 @@ pub enum SearchError {
     },
     /// A malformed space-spec file.
     Spec(String),
+    /// A schedule name (CLI flag or spec-file `schedules` axis) that
+    /// no registered [`lumos_model::Schedule`] answers to.
+    UnknownSchedule {
+        /// The unresolved name.
+        name: String,
+        /// The registry's known set, comma-joined for display.
+        known: String,
+    },
     /// The run was cancelled cooperatively before completing: its
     /// wall-clock deadline ([`crate::SearchOptions::deadline`])
     /// expired, or its cancel flag ([`crate::SearchOptions::cancel`])
@@ -83,6 +91,9 @@ impl fmt::Display for SearchError {
                 write!(f, "verifying finalist {candidate}: {source}")
             }
             SearchError::Spec(msg) => write!(f, "invalid space spec: {msg}"),
+            SearchError::UnknownSchedule { name, known } => {
+                write!(f, "unknown schedule `{name}` (known: {known})")
+            }
             SearchError::DeadlineExceeded => write!(
                 f,
                 "search cancelled: deadline exceeded before the run completed"

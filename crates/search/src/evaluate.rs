@@ -23,10 +23,7 @@ use crate::{SearchOptions, SearchProgress};
 use lumos_core::manipulate::{plan, reassemble_with_library, BlockLibrary};
 use lumos_core::Lumos;
 use lumos_cost::{CostModel, LookupCostModel};
-use lumos_model::{
-    utilization, InterleavedSchedule, MemoryEstimate, PipelineSchedule, ScheduleKind,
-    TrainingSetup, Utilization,
-};
+use lumos_model::{utilization, MemoryEstimate, TrainingSetup, Utilization};
 use lumos_trace::{ClusterTrace, CollectiveKind, Dur, EventKind, KernelClass};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -582,41 +579,38 @@ fn evaluate_one<C: CostModel>(
 
     let pp = setup.parallelism.pp;
     let m = setup.batch.num_microbatches;
-    // The bubble of the schedule the candidate actually simulated
-    // under (1F1B or GPipe — reassemble honors `setup.schedule`).
-    let plain_bubble = PipelineSchedule::generate(setup.schedule, pp, m)?.bubble_fraction();
 
     let mut infeasibility = None;
-    // Interleaved 1F1B is scored analytically on top of the simulated
-    // plain replay: graph manipulation cannot restage a recorded
-    // pipeline into virtual chunks (same class of limitation as the
-    // paper's TP restriction), but the schedule model prices exactly
-    // the two effects interleaving has — a bubble divided by v and
-    // pipeline-boundary traffic multiplied by v. Enumeration rejects
-    // `interleave > 1` unless the schedule is 1F1B, so `plain_bubble`
-    // here is always the 1F1B bubble the adjustment assumes.
-    let (makespan, bubble_fraction) = if cand.interleave > 1 {
-        debug_assert_eq!(setup.schedule, ScheduleKind::OneFOneB);
-        let inter = InterleavedSchedule::generate(pp, cand.interleave, m)?;
-        let bi = inter.bubble_fraction();
-        if bi >= 1.0 || bi.is_nan() || plain_bubble >= 1.0 {
-            infeasibility = Some(Infeasibility::DegenerateBubble {
-                bubble: bi.max(plain_bubble),
-            });
-            (simulated, bi)
-        } else {
-            (
-                interleave_adjust(simulated, plain_bubble, &inter, &replayed.trace),
-                bi,
-            )
+    // Replay pastes recorded blocks into a plain 1F1B/GPipe-shaped
+    // skeleton, so schedules that reshape the pipeline — interleaved
+    // 1F1B's virtual chunks, zero-bubble's split backward — are
+    // scored through their own adjustment hook: it rescales the
+    // skeleton's analytic bubble into the target's and charges any
+    // extra pipeline-boundary traffic. Policies whose replay already
+    // has the right shape return `None` and keep the raw simulation.
+    let (makespan, bubble_fraction) = match setup.schedule.replay_adjustment(pp, m, cand.interleave)
+    {
+        Some(adj) => {
+            if adj.is_degenerate() {
+                infeasibility = Some(Infeasibility::DegenerateBubble {
+                    bubble: adj.target_bubble.max(adj.skeleton_bubble),
+                });
+                (simulated, adj.target_bubble)
+            } else {
+                let pp_comm = pipeline_comm_secs_per_rank(&replayed.trace);
+                (
+                    Dur::from_secs_f64(adj.apply_secs(simulated.as_secs_f64(), pp_comm)),
+                    adj.target_bubble,
+                )
+            }
         }
-    } else {
-        if plain_bubble >= 1.0 {
-            infeasibility = Some(Infeasibility::DegenerateBubble {
-                bubble: plain_bubble,
-            });
+        None => {
+            let plain = setup.schedule.analytic_bubble(pp, m);
+            if plain >= 1.0 {
+                infeasibility = Some(Infeasibility::DegenerateBubble { bubble: plain });
+            }
+            (simulated, plain)
         }
-        (simulated, plain_bubble)
     };
 
     if infeasibility.is_none() && makespan.is_zero() {
@@ -656,43 +650,11 @@ fn evaluate_one<C: CostModel>(
     })
 }
 
-/// The interleaving adjustment applied to a simulated plain-1F1B
-/// makespan: the work share is rescaled to the interleaved bubble and
-/// charged the amplified pipeline-boundary traffic. One site, shared
-/// by the analytic screen and the simulation-refined phase, so the two
-/// estimates can never drift apart. Callers must have checked that
-/// neither bubble fraction is degenerate (`>= 1.0` or NaN).
-pub(crate) fn interleave_adjust(
-    simulated: Dur,
-    plain_bubble: f64,
-    inter: &InterleavedSchedule,
-    trace: &ClusterTrace,
-) -> Dur {
-    interleave_adjust_comm(
-        simulated,
-        plain_bubble,
-        inter,
-        pipeline_comm_secs_per_rank(trace),
-    )
-}
-
-/// The trace-free core of [`interleave_adjust`]: takes the mean
-/// per-rank pipeline-boundary SendRecv seconds directly, so the
-/// metrics-only refinement path (which never materializes a trace)
-/// applies the *identical* arithmetic from
-/// [`lumos_cluster::EngineMetrics::pipeline_comm_secs_per_rank`].
-pub(crate) fn interleave_adjust_comm(
-    simulated: Dur,
-    plain_bubble: f64,
-    inter: &InterleavedSchedule,
-    pp_comm_secs_per_rank: f64,
-) -> Dur {
-    let work_secs = simulated.as_secs_f64() * (1.0 - plain_bubble);
-    let extra_comm_secs = (inter.comm_amplification() - 1.0) * pp_comm_secs_per_rank;
-    Dur::from_secs_f64((work_secs / (1.0 - inter.bubble_fraction()) + extra_comm_secs).max(0.0))
-}
-
-/// Mean per-rank time spent in pipeline-boundary SendRecv kernels.
+/// Mean per-rank time spent in pipeline-boundary SendRecv kernels —
+/// the trace-walking twin of
+/// [`lumos_cluster::EngineMetrics::pipeline_comm_secs_per_rank`], fed
+/// to [`lumos_model::ScheduleAdjustment::apply_secs`] so the analytic
+/// screen and the metrics-only refinement apply identical arithmetic.
 fn pipeline_comm_secs_per_rank(trace: &ClusterTrace) -> f64 {
     let world = trace.world_size().max(1) as f64;
     let total_ns: u128 = trace

@@ -27,7 +27,7 @@ use lumos_core::manipulate::{
 use lumos_core::Phase;
 use lumos_cost::{CostModel, LookupCostModel};
 use lumos_model::ops::OpDesc;
-use lumos_model::{InterleavedSchedule, PipelineSchedule, StageCostKey, StageWork, TrainingSetup};
+use lumos_model::{StageCostKey, StageWork, TrainingSetup};
 use lumos_trace::{EventKind, KernelClass, StreamId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -172,19 +172,17 @@ impl<'a, C: CostModel> StageCostCache<'a, C> {
         let pp = setup.parallelism.pp;
         let m = setup.batch.num_microbatches;
         let mut bound = work.pipeline_lower_bound_secs(pp, m);
-        if cand.interleave > 1 {
-            // Interleaved candidates are scored as
-            // `sim × (1 − plain_bubble) / (1 − interleaved_bubble)`
+        if let Some(adj) = setup.schedule.replay_adjustment(pp, m, cand.interleave) {
+            // Adjusted schedules are scored as
+            // `sim × (1 − skeleton_bubble) / (1 − target_bubble)`
             // plus non-negative extra communication; scale the bound
-            // the same way. The analytic forms are the generated
-            // schedules' own bubble math, minus the O(pp·m) schedule
-            // materialization this per-candidate path must not pay.
-            let plain = PipelineSchedule::analytic_bubble(pp, m);
-            let bi = InterleavedSchedule::analytic_bubble(pp, cand.interleave, m);
-            if bi >= 1.0 || plain >= 1.0 {
+            // the same way (the analytic forms avoid the O(pp·m)
+            // schedule materialization this per-candidate path must
+            // not pay).
+            if adj.is_degenerate() {
                 return None; // degenerate; flagged during evaluation
             }
-            bound *= (1.0 - plain) / (1.0 - bi);
+            bound *= adj.bound_scale();
         }
         // Safety margin: the real objective key is derived from an
         // ns-rounded `Dur` while this bound is accumulated in f64, so

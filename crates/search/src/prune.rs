@@ -128,6 +128,7 @@ mod tests {
             dp: 1,
             microbatches: 2,
             interleave: 1,
+            schedule: lumos_model::ScheduleKind::OneFOneB,
             arch: None,
         };
         let memory = MemoryModel::default();

@@ -53,12 +53,12 @@
 
 use crate::candidate::Candidate;
 use crate::error::SearchError;
-use crate::evaluate::{interleave_adjust_comm, tokens_per_iter, CandidateResult};
+use crate::evaluate::{tokens_per_iter, CandidateResult};
 use crate::report::{objective_key_cmp, Objective};
 use crate::SearchOptions;
 use lumos_cluster::{lower, JitterModel, MeasuredStats, PreparedJob};
 use lumos_cost::{CostModel, HostOverheads, LookupCostModel};
-use lumos_model::{utilization, InterleavedSchedule, PipelineSchedule, TrainingSetup};
+use lumos_model::{utilization, TrainingSetup};
 use lumos_trace::Dur;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -317,9 +317,12 @@ where
     })
 }
 
-/// Applies phase one's interleaving adjustment to an engine-simulated
-/// plain-1F1B makespan, so analytic and simulated estimates stay
-/// directly comparable for `interleave > 1` candidates.
+/// Applies the schedule's engine adjustment to a simulated makespan,
+/// so analytic and simulated estimates stay directly comparable.
+/// Lowering realizes most schedules natively (including zero-bubble's
+/// split backward) and needs no correction; interleaved 1F1B is the
+/// exception — its virtual chunks cannot be lowered, so the engine
+/// simulates plain 1F1B and the hook rescales.
 /// `pp_comm_secs_per_rank` is the engine metrics' mean per-rank
 /// pipeline-boundary SendRecv time — the same quantity phase one
 /// derives by walking a full trace.
@@ -329,27 +332,16 @@ fn adjusted_makespan(
     simulated: Dur,
     pp_comm_secs_per_rank: f64,
 ) -> Result<Dur, String> {
-    if cand.interleave <= 1 {
-        return Ok(simulated);
-    }
     let pp = setup.parallelism.pp;
     let m = setup.batch.num_microbatches;
-    let plain = PipelineSchedule::generate(setup.schedule, pp, m)
-        .map_err(|e| format!("schedule: {e}"))?
-        .bubble_fraction();
-    let inter = InterleavedSchedule::generate(pp, cand.interleave, m)
-        .map_err(|e| format!("interleaved schedule: {e}"))?;
-    let bi = inter.bubble_fraction();
-    if bi >= 1.0 || bi.is_nan() || plain >= 1.0 {
-        // Phase one rejects such candidates before they can become
-        // finalists; fall back to the unadjusted simulation if one
-        // slips through via a hand-built result list.
-        return Ok(simulated);
+    match setup.schedule.engine_adjustment(pp, m, cand.interleave) {
+        None => Ok(simulated),
+        // Phase one rejects degenerate candidates before they can
+        // become finalists; fall back to the unadjusted simulation if
+        // one slips through via a hand-built result list.
+        Some(adj) if adj.is_degenerate() => Ok(simulated),
+        Some(adj) => Ok(Dur::from_secs_f64(
+            adj.apply_secs(simulated.as_secs_f64(), pp_comm_secs_per_rank),
+        )),
     }
-    Ok(interleave_adjust_comm(
-        simulated,
-        plain,
-        &inter,
-        pp_comm_secs_per_rank,
-    ))
 }

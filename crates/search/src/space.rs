@@ -1,7 +1,7 @@
 //! The search-space descriptor: value grids per axis plus the
 //! world-size divisibility lattice.
 
-use lumos_model::TrainingSetup;
+use lumos_model::{ScheduleKind, TrainingSetup};
 
 /// One architecture variant in the (optional) architecture axis —
 /// the shapes [`lumos_core::manipulate::Transform`] can reach from a
@@ -54,6 +54,9 @@ pub struct SpaceSpec {
     pub microbatches: Vec<u32>,
     /// Interleaved-1F1B virtual-chunk counts (`1` = plain 1F1B).
     pub interleave: Vec<u32>,
+    /// Pipeline schedules to enumerate (registry handles); empty =
+    /// keep the base setup's schedule.
+    pub schedules: Vec<ScheduleKind>,
     /// Exact allowed world sizes (cluster sizes); `None` = any size
     /// within budget.
     pub gpus: Option<Vec<u32>>,
@@ -93,6 +96,12 @@ impl SpaceSpec {
         self
     }
 
+    /// Sets the schedule axis (builder style).
+    pub fn with_schedules(mut self, schedules: &[ScheduleKind]) -> Self {
+        self.schedules = schedules.to_vec();
+        self
+    }
+
     /// Restricts world sizes to exactly `gpus` (builder style).
     pub fn with_gpus(mut self, gpus: &[u32]) -> Self {
         self.gpus = Some(gpus.to_vec());
@@ -121,12 +130,21 @@ impl SpaceSpec {
             v.dedup();
             v
         }
+        // Schedules dedup by name, preserving listing order (there
+        // is no meaningful sort for policies).
+        let mut schedules: Vec<ScheduleKind> = Vec::new();
+        for s in &self.schedules {
+            if !schedules.contains(s) {
+                schedules.push(*s);
+            }
+        }
         SpaceSpec {
             tp: norm(&self.tp),
             pp: norm(&self.pp),
             dp: norm(&self.dp),
             microbatches: norm(&self.microbatches),
             interleave: norm(&self.interleave),
+            schedules,
             gpus: self.gpus.as_deref().map(norm),
             max_gpus: self.max_gpus,
             arch: self.arch.clone(),
@@ -150,6 +168,11 @@ impl SpaceSpec {
             dp: or_base(spec.dp, base.parallelism.dp),
             microbatches: or_base(spec.microbatches, base.batch.num_microbatches),
             interleave: or_base(spec.interleave, 1),
+            schedules: if spec.schedules.is_empty() {
+                vec![base.schedule]
+            } else {
+                spec.schedules
+            },
             gpus: spec.gpus,
             max_gpus: spec.max_gpus,
             arch_points: spec.arch,
@@ -166,6 +189,7 @@ impl SpaceSpec {
             * axes.dp.len()
             * axes.microbatches.len()
             * axes.interleave.len()
+            * axes.schedules.len()
             * arch
     }
 }
@@ -182,6 +206,7 @@ impl Default for SpaceSpec {
             dp: Vec::new(),
             microbatches: Vec::new(),
             interleave: Vec::new(),
+            schedules: Vec::new(),
             gpus: None,
             max_gpus: 1024,
             arch: Vec::new(),
@@ -196,6 +221,7 @@ pub(crate) struct ResolvedAxes {
     pub dp: Vec<u32>,
     pub microbatches: Vec<u32>,
     pub interleave: Vec<u32>,
+    pub schedules: Vec<ScheduleKind>,
     pub gpus: Option<Vec<u32>>,
     pub max_gpus: u32,
     pub arch_points: Vec<ArchPoint>,

@@ -12,6 +12,7 @@
 //! dp = [1, 2, 4, 8]
 //! microbatches = [4, 8, 16]
 //! interleave = [1, 2]
+//! schedules = ["1f1b", "gpipe", "zb-h1"]
 //! max-gpus = 64
 //! # arch points as [layers, hidden, ffn] triples (optional)
 //! arch = [[8, 4096, 16384], [12, 3072, 12288]]
@@ -25,6 +26,7 @@
 use crate::report::Objective;
 use crate::space::{ArchPoint, SpaceSpec};
 use crate::SearchError;
+use lumos_model::{ScheduleBuilder, ScheduleKind};
 
 /// A parsed spec file: the space plus optional search options.
 #[derive(Debug, Clone, Default)]
@@ -66,6 +68,7 @@ impl SpecFile {
                 "dp" => file.space.dp = int_array(value, lineno)?,
                 "microbatches" => file.space.microbatches = int_array(value, lineno)?,
                 "interleave" => file.space.interleave = int_array(value, lineno)?,
+                "schedules" => file.space.schedules = schedule_array(value, lineno)?,
                 "gpus" => file.space.gpus = Some(int_array(value, lineno)?),
                 "max-gpus" => file.space.max_gpus = int_scalar(value, lineno)?,
                 "arch" => file.space.arch = arch_array(value, lineno)?,
@@ -162,6 +165,24 @@ fn int_array(value: &str, lineno: usize) -> Result<Vec<u32>, SearchError> {
         .collect()
 }
 
+/// `["1f1b", "gpipe", …]` → registry handles. Unknown names produce
+/// [`SearchError::UnknownSchedule`] listing the registered set, so a
+/// typo in a spec file names its alternatives.
+fn schedule_array(value: &str, lineno: usize) -> Result<Vec<ScheduleKind>, SearchError> {
+    bracket_items(value, lineno)?
+        .into_iter()
+        .map(|item| {
+            let name = string_scalar(item, lineno)?;
+            ScheduleBuilder::from_name(&name)
+                .build()
+                .map_err(|_| SearchError::UnknownSchedule {
+                    name,
+                    known: lumos_model::registry::known_names().join(", "),
+                })
+        })
+        .collect()
+}
+
 /// `[[layers, hidden, ffn], …]` → labeled arch points.
 fn arch_array(value: &str, lineno: usize) -> Result<Vec<ArchPoint>, SearchError> {
     bracket_items(value, lineno)?
@@ -198,6 +219,7 @@ pp = [1, 2]          # pipeline depths
 dp = [1, 2, 4, 8]
 microbatches = [4, 8]
 interleave = [1, 2]
+schedules = ["1f1b", "zb-h1"]
 max-gpus = 64
 arch = [[8, 4096, 16384], [12, 3072, 12288]]
 objective = "throughput"
@@ -211,6 +233,10 @@ gpu-memory-gib = 80
         assert_eq!(f.space.tp, vec![2, 4]);
         assert_eq!(f.space.dp, vec![1, 2, 4, 8]);
         assert_eq!(f.space.max_gpus, 64);
+        assert_eq!(
+            f.space.schedules,
+            vec![ScheduleKind::OneFOneB, ScheduleKind::ZbH1]
+        );
         assert_eq!(f.space.arch.len(), 2);
         assert_eq!(f.space.arch[1].hidden, 3072);
         assert_eq!(f.space.arch[0].label, "8L-d4096");
@@ -235,6 +261,25 @@ gpu-memory-gib = 80
         assert!(SpecFile::parse("[section]").is_err());
         assert!(SpecFile::parse("objective = fast").is_err());
         assert!(SpecFile::parse("arch = [[1, 2]]").is_err());
+    }
+
+    #[test]
+    fn unknown_schedule_names_the_known_set() {
+        let e = SpecFile::parse("schedules = [\"1f1b\", \"dualpipe\"]").unwrap_err();
+        match &e {
+            SearchError::UnknownSchedule { name, known } => {
+                assert_eq!(name, "dualpipe");
+                assert!(known.contains("1f1b"));
+                assert!(known.contains("gpipe"));
+                assert!(known.contains("zb-h1"));
+            }
+            other => panic!("expected UnknownSchedule, got {other:?}"),
+        }
+        // Unquoted names are a syntax error, not an unknown schedule.
+        assert!(matches!(
+            SpecFile::parse("schedules = [1f1b]"),
+            Err(SearchError::Spec(_))
+        ));
     }
 
     #[test]

@@ -177,6 +177,19 @@ fn bad_request(detail: impl Into<String>) -> ErrorResponse {
     ErrorResponse::new("bad_request", detail)
 }
 
+/// Resolves schedule names against the registry; an unknown name is a
+/// `bad_request` whose detail lists the registered set.
+fn resolve_schedules(names: &[String]) -> Result<Vec<lumos_model::ScheduleKind>, ErrorResponse> {
+    names
+        .iter()
+        .map(|name| {
+            lumos_model::ScheduleBuilder::from_name(name)
+                .build()
+                .map_err(|e| bad_request(e.to_string()))
+        })
+        .collect()
+}
+
 /// Maps a search failure onto the protocol's error kinds.
 fn search_error(err: &SearchError) -> ErrorResponse {
     match err {
@@ -319,6 +332,7 @@ fn execute_search(
     space.dp = req.dp.clone();
     space.microbatches = req.microbatches.clone();
     space.interleave = req.interleave.clone();
+    space.schedules = resolve_schedules(&req.schedules)?;
     space.gpus = req.gpus.clone();
     if let Some(max_gpus) = req.max_gpus {
         space.max_gpus = max_gpus;
@@ -345,6 +359,9 @@ fn execute_refine(
     space.dp = vec![req.dp.unwrap_or(base.parallelism.dp)];
     space.microbatches = vec![req.microbatches.unwrap_or(base.batch.num_microbatches)];
     space.interleave = vec![req.interleave.unwrap_or(1)];
+    if let Some(name) = &req.schedule {
+        space.schedules = resolve_schedules(std::slice::from_ref(name))?;
+    }
     let opts = search_options(
         None,
         None,

@@ -101,6 +101,8 @@ pub struct SearchRequest {
     pub microbatches: Vec<u32>,
     /// Interleave axis.
     pub interleave: Vec<u32>,
+    /// Schedule axis: registered schedule names (empty = base's).
+    pub schedules: Vec<String>,
     /// Exact allowed world sizes.
     pub gpus: Option<Vec<u32>>,
     /// Hard GPU budget.
@@ -137,6 +139,8 @@ pub struct RefineRequest {
     pub microbatches: Option<u32>,
     /// Interleaved-1F1B virtual chunks (default: 1).
     pub interleave: Option<u32>,
+    /// Registered schedule name (default: the artifact base's).
+    pub schedule: Option<String>,
     /// Jitter replicas (0 = zero-jitter refinement only).
     pub jitter_replicas: u32,
     /// Jitter-model seed.
@@ -200,6 +204,8 @@ pub struct PredictResponse {
     pub base: String,
     /// Target configuration label.
     pub target: String,
+    /// Pipeline-schedule name the target runs under.
+    pub schedule: String,
     /// Recorded makespan of the base trace.
     pub recorded_ns: u64,
     /// Predicted makespan of the target.
@@ -225,6 +231,8 @@ pub struct SearchResultBody {
     pub microbatches: u32,
     /// Interleaved-1F1B virtual chunks.
     pub interleave: u32,
+    /// Pipeline-schedule name the candidate runs under.
+    pub schedule: String,
     /// Total GPUs occupied.
     pub gpus: u32,
     /// Predicted iteration time.
@@ -314,6 +322,8 @@ pub struct RefineResponse {
 pub struct ArtifactStatsBody {
     /// Registry key (`0x`-hex content digest).
     pub digest: String,
+    /// Pipeline-schedule name of the artifact's base setup.
+    pub schedule: String,
     /// Cross-request stage-work memo hits.
     pub memo_hits: u64,
     /// Cross-request stage-work memo misses (distinct entries derived).
@@ -416,6 +426,7 @@ pub fn predict_response(
         kind: "predict".to_string(),
         base: base.to_string(),
         target: prediction.setup.label(),
+        schedule: prediction.setup.schedule.name().to_string(),
         recorded_ns: recorded.as_ns(),
         predicted_ns: prediction.makespan().as_ns(),
         breakdown: BreakdownBody {
@@ -472,6 +483,7 @@ pub fn search_response(report: &SearchReport, top: usize) -> SearchResponse {
                 dp: r.candidate.dp,
                 microbatches: r.candidate.microbatches,
                 interleave: r.candidate.interleave,
+                schedule: r.candidate.schedule.name().to_string(),
                 gpus: r.world_size(),
                 makespan_ns: r.makespan.as_ns(),
                 tokens_per_sec_per_gpu: r.tokens_per_sec_per_gpu,
@@ -603,6 +615,25 @@ fn field_axis(obj: &serde_json::Map, key: &str) -> Result<Vec<u32>, String> {
     }
 }
 
+/// A string axis: an array of names (absent = empty = base value).
+fn field_str_axis(obj: &serde_json::Map, key: &str) -> Result<Vec<String>, String> {
+    match obj.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| format!("`{key}` must be an array of strings"))?;
+            arr.iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("`{key}` must contain strings"))
+                })
+                .collect()
+        }
+    }
+}
+
 fn parse_predict(obj: &serde_json::Map) -> Result<PredictRequest, String> {
     check_keys(
         obj,
@@ -659,6 +690,7 @@ fn parse_search(obj: &serde_json::Map) -> Result<SearchRequest, String> {
             "dp",
             "microbatches",
             "interleave",
+            "schedules",
             "gpus",
             "max_gpus",
             "objective",
@@ -686,6 +718,7 @@ fn parse_search(obj: &serde_json::Map) -> Result<SearchRequest, String> {
         dp: field_axis(obj, "dp")?,
         microbatches: field_axis(obj, "microbatches")?,
         interleave: field_axis(obj, "interleave")?,
+        schedules: field_str_axis(obj, "schedules")?,
         gpus,
         max_gpus: field_u32_opt(obj, "max_gpus")?,
         objective: match obj.get("objective") {
@@ -711,6 +744,7 @@ fn parse_refine(obj: &serde_json::Map) -> Result<RefineRequest, String> {
             "dp",
             "microbatches",
             "interleave",
+            "schedule",
             "jitter_replicas",
             "jitter_seed",
             "deadline_ms",
@@ -723,6 +757,10 @@ fn parse_refine(obj: &serde_json::Map) -> Result<RefineRequest, String> {
         dp: field_u32_opt(obj, "dp")?,
         microbatches: field_u32_opt(obj, "microbatches")?,
         interleave: field_u32_opt(obj, "interleave")?,
+        schedule: match obj.get("schedule") {
+            None => None,
+            Some(_) => Some(field_str(obj, "schedule")?),
+        },
         jitter_replicas: field_u32_opt(obj, "jitter_replicas")?.unwrap_or(0),
         jitter_seed: field_u64_opt(obj, "jitter_seed")?,
         deadline_ms: field_u64_opt(obj, "deadline_ms")?,

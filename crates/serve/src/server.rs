@@ -260,6 +260,7 @@ impl Connection {
                     let total = memo.hits + memo.misses;
                     ArtifactStatsBody {
                         digest: la.digest.clone(),
+                        schedule: la.calibration.base().schedule.name().to_string(),
                         memo_hits: memo.hits as u64,
                         memo_misses: memo.misses as u64,
                         memo_hit_rate: if total == 0 {

@@ -97,7 +97,8 @@ pub mod prelude {
     pub use lumos_cost::{AnalyticalCostModel, CostModel, LookupCostModel};
     pub use lumos_dpro::Dpro;
     pub use lumos_model::{
-        BatchConfig, ModelConfig, Parallelism, PipelineSchedule, ScheduleKind, TrainingSetup,
+        registry, BatchConfig, ModelConfig, Parallelism, PipelineSchedule, Schedule,
+        ScheduleBuilder, ScheduleKind, TrainingSetup,
     };
     pub use lumos_search::{
         search as search_space, search_calibrated, Objective, SearchCalibration, SearchOptions,
