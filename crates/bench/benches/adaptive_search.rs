@@ -1,0 +1,275 @@
+//! Adaptive corpus-guided search benchmark (PR 9): rank a synthetic
+//! space two-plus orders of magnitude beyond anything the exhaustive
+//! walk could enumerate, and prove the adaptive engine's exactness
+//! guarantee on a sweep-sized space. Emits deterministic numbers to
+//! `BENCH_PR9.json` at the repository root (override with
+//! `BENCH_PR9_OUT`).
+//!
+//! Gates (exit 2 on violation):
+//!
+//! * adaptive top-k must equal exhaustive top-k on the sweep-sized
+//!   space (the `AdaptiveOutcome::Exact` contract);
+//! * the synthetic-space run must visit ≤ 10% of the grid (the whole
+//!   point of not enumerating);
+//! * deterministic fields must match a committed `BENCH_PR9.json`.
+//!
+//! CI runs it in smoke mode (`ADAPTIVE_BENCH_SMOKE=1`): gates and
+//! snapshot only, no criterion timing loops.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use lumos_cluster::{GroundTruthCluster, JitterModel, SimConfig};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+use lumos_search::{search, AdaptiveOutcome, SearchOptions, SearchReport, SpaceSpec};
+use lumos_trace::ClusterTrace;
+
+fn smoke() -> bool {
+    std::env::var_os("ADAPTIVE_BENCH_SMOKE").is_some()
+}
+
+/// Base profiled at tp=2 so tp>1 candidates are trace-reachable.
+fn base() -> (SimConfig, ClusterTrace) {
+    let cfg = SimConfig {
+        model: ModelConfig::custom("bench-adaptive", 8, 256, 1024, 4, 64),
+        parallelism: Parallelism::new(2, 1, 1).unwrap(),
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .with_jitter(JitterModel::realistic(2025))
+        .profile_iteration(0)
+        .unwrap()
+        .trace;
+    (cfg, trace)
+}
+
+/// The committed sweep.toml grid, inline (288 points): the exactness
+/// fixture.
+fn sweep_space() -> SpaceSpec {
+    SpaceSpec::deployment_grid(&[2, 4, 8], &[1, 2, 4, 8], &[1, 2, 4, 8])
+        .with_microbatches(&[4, 8, 16])
+        .with_interleave(&[1, 2])
+        .with_max_gpus(64)
+}
+
+/// A synthetic ~3×10⁷-candidate space (five orders of magnitude past
+/// sweep.toml): a huge dp axis under a tight GPU budget, so the
+/// feasible region is a vanishing fraction of the grid — exactly the
+/// regime the corpus-guided engine exists for.
+fn synthetic_space() -> SpaceSpec {
+    let dp: Vec<u32> = (1..=8192).collect();
+    let mb: Vec<u32> = (1..=16).collect();
+    let v: Vec<u32> = (1..=4).collect();
+    SpaceSpec::deployment_grid(&[2, 4, 8], &[1, 2, 4, 8, 16, 32], &dp)
+        .with_microbatches(&mb)
+        .with_interleave(&v)
+        .with_schedules(&[
+            ScheduleKind::OneFOneB,
+            ScheduleKind::GPipe,
+            ScheduleKind::ZbH1,
+        ])
+        .with_max_gpus(128)
+}
+
+fn adaptive_opts(budget: usize) -> SearchOptions {
+    SearchOptions {
+        top_k: Some(10),
+        adaptive: true,
+        budget: Some(budget),
+        seed: 2025,
+        ..SearchOptions::default()
+    }
+}
+
+fn run(
+    cfg: &SimConfig,
+    trace: &ClusterTrace,
+    spec: &SpaceSpec,
+    opts: &SearchOptions,
+) -> SearchReport {
+    search(trace, cfg, spec, opts, AnalyticalCostModel::h100()).unwrap()
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let (cfg, trace) = base();
+    let mut group = c.benchmark_group("adaptive_search");
+    group.sample_size(10);
+
+    let sweep = sweep_space();
+    group.bench_function(BenchmarkId::from_parameter("sweep-288-exact"), |b| {
+        b.iter(|| run(&cfg, &trace, &sweep, &adaptive_opts(4096)))
+    });
+
+    let synthetic = synthetic_space();
+    let points = synthetic.grid_upper_bound(&cfg) as u64;
+    group.throughput(Throughput::Elements(points));
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("synthetic-{points}")),
+        &synthetic,
+        |b, spec| b.iter(|| run(&cfg, &trace, spec, &adaptive_opts(512))),
+    );
+    group.finish();
+}
+
+/// Deterministic snapshot plus the exactness and ≤10%-visited gates.
+fn emit_snapshot() {
+    let (cfg, trace) = base();
+
+    // Gate 1 — exactness on the sweep-sized space.
+    let sweep = sweep_space();
+    let exhaustive = run(
+        &cfg,
+        &trace,
+        &sweep,
+        &SearchOptions {
+            top_k: Some(10),
+            ..SearchOptions::default()
+        },
+    );
+    let adaptive_sweep = run(&cfg, &trace, &sweep, &adaptive_opts(4096));
+    let sweep_acct = adaptive_sweep.adaptive.expect("adaptive accounting");
+    let exact = sweep_acct.outcome == AdaptiveOutcome::Exact
+        && adaptive_sweep.results.len() == exhaustive.results.len()
+        && adaptive_sweep
+            .results
+            .iter()
+            .zip(&exhaustive.results)
+            .all(|(a, e)| a.index == e.index && a.makespan == e.makespan);
+
+    // Gate 2 — the synthetic space, timed end to end.
+    let synthetic = synthetic_space();
+    let started = std::time::Instant::now();
+    let report = run(&cfg, &trace, &synthetic, &adaptive_opts(512));
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let acct = report.adaptive.expect("adaptive accounting");
+    let top = report.results.first().expect("ranked results");
+
+    let json = format!(
+        "{{\n  \"pr\": 9,\n  \"generated_by\": \"crates/bench/benches/adaptive_search.rs\",\n  \
+         \"smoke\": {},\n  \
+         \"sweep_exact\": {{\n    \"grid_points\": {},\n    \"visited\": {},\n    \
+         \"outcome\": \"{}\",\n    \"matches_exhaustive_topk\": {}\n  }},\n  \
+         \"synthetic\": {{\n    \"grid_points\": {},\n    \"budget\": {},\n    \
+         \"visited\": {},\n    \"visited_percent\": {:.4},\n    \"mutations\": {},\n    \
+         \"rounds\": {},\n    \"outcome\": \"{}\",\n    \"seed\": {},\n    \
+         \"top1_label\": \"{}\",\n    \"top1_makespan_ns\": {},\n    \
+         \"elapsed_ms\": {}\n  }}\n}}\n",
+        smoke(),
+        sweep_acct.grid_points,
+        sweep_acct.visited,
+        sweep_acct.outcome,
+        exact,
+        acct.grid_points,
+        acct.budget,
+        acct.visited,
+        acct.visited_percent(),
+        acct.mutations,
+        acct.rounds,
+        acct.outcome,
+        acct.seed,
+        top.label,
+        top.makespan.as_ns(),
+        elapsed_ms,
+    );
+
+    let default_path = format!("{}/../../BENCH_PR9.json", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&default_path).ok();
+    let out = std::env::var("BENCH_PR9_OUT").unwrap_or(default_path);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    println!("\n== BENCH_PR9 snapshot ({out}) ==");
+    print!("{json}");
+
+    if !exact {
+        eprintln!(
+            "FAIL: adaptive top-k does not match exhaustive on the sweep space \
+             (outcome {}, {} vs {} results)",
+            sweep_acct.outcome,
+            adaptive_sweep.results.len(),
+            exhaustive.results.len()
+        );
+        std::process::exit(2);
+    }
+    if acct.visited.saturating_mul(10) > acct.grid_points {
+        eprintln!(
+            "FAIL: adaptive visited {} of {} grid points ({:.2}%) — over the 10% cap",
+            acct.visited,
+            acct.grid_points,
+            acct.visited_percent()
+        );
+        std::process::exit(2);
+    }
+    if let Some(text) = committed {
+        let drift = diff_against(&text, &acct, top.makespan.as_ns(), &top.label);
+        if drift.is_empty() {
+            println!("trajectory diff clean: adaptive numbers match the committed snapshot");
+        } else {
+            eprintln!("FAIL: adaptive trajectory drifted from the committed BENCH_PR9.json:");
+            for line in &drift {
+                eprintln!("  {line}");
+            }
+            std::process::exit(2);
+        }
+    } else {
+        println!("no committed BENCH_PR9.json — skipping trajectory diff");
+    }
+}
+
+/// Diffs the deterministic synthetic-space fields against the
+/// committed snapshot (elapsed/smoke are machine-dependent and
+/// excluded).
+fn diff_against(
+    committed: &str,
+    acct: &lumos_search::AdaptiveReport,
+    top1_makespan_ns: u64,
+    top1_label: &str,
+) -> Vec<String> {
+    let doc: serde_json::Value = match serde_json::from_str(committed) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("committed snapshot is not valid JSON: {e}")],
+    };
+    let mut drift = Vec::new();
+    let synthetic = doc.get("synthetic").cloned().unwrap_or_default();
+    for (field, new) in [
+        ("grid_points", acct.grid_points as u64),
+        ("budget", acct.budget as u64),
+        ("visited", acct.visited as u64),
+        ("seed", acct.seed),
+        ("top1_makespan_ns", top1_makespan_ns),
+    ] {
+        let old = synthetic.get(field).and_then(|v| v.as_u64());
+        if old != Some(new) {
+            drift.push(format!("synthetic.{field}: {new} != committed {old:?}"));
+        }
+    }
+    let old_outcome = synthetic.get("outcome").and_then(|v| v.as_str());
+    if old_outcome != Some(acct.outcome.to_string().as_str()) {
+        drift.push(format!(
+            "synthetic.outcome: {} != committed {old_outcome:?}",
+            acct.outcome
+        ));
+    }
+    let old_label = synthetic.get("top1_label").and_then(|v| v.as_str());
+    if old_label != Some(top1_label) {
+        drift.push(format!(
+            "synthetic.top1_label: {top1_label} != committed {old_label:?}"
+        ));
+    }
+    drift
+}
+
+criterion_group!(adaptive_benches, bench_adaptive);
+
+fn main() {
+    // Smoke mode (CI): gates and snapshot only — the criterion timing
+    // loops re-run the same deterministic searches and add nothing.
+    if !smoke() {
+        adaptive_benches();
+    }
+    emit_snapshot();
+}

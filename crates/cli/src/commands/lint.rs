@@ -10,8 +10,6 @@ use lumos_cluster::{lower, verify, PortableJob, VerifyReport};
 use lumos_model::{ModelConfig, Parallelism, TrainingSetup};
 use lumos_search::SpecFile;
 use std::io::Write;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Options of `lumos lint`.
 pub const SPEC: ArgSpec = ArgSpec {
@@ -144,25 +142,19 @@ type Outcome = (String, Result<VerifyReport, String>);
 /// outcomes in enumeration order.
 fn verify_all(setups: &[TrainingSetup], threads: Option<usize>) -> Vec<Outcome> {
     let workers = lumos_search::parallel::effective_threads(threads, setups.len());
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, Outcome)>> = Mutex::new(Vec::with_capacity(setups.len()));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(setup) = setups.get(i) else { break };
-                let outcome = match lower(setup) {
-                    Ok(job) => verify(&job).map_err(|e| e.to_string()),
-                    Err(e) => Err(format!("lowering failed: {e}")),
-                };
-                results
-                    .lock()
-                    .expect("lint worker panicked")
-                    .push((i, (label(setup), outcome)));
-            });
+    let per_worker = lumos_search::parallel::run_claimed(workers, setups.len(), |_t, claims| {
+        let mut out: Vec<(usize, Outcome)> = Vec::new();
+        while let Some(i) = claims.next() {
+            let setup = &setups[i];
+            let outcome = match lower(setup) {
+                Ok(job) => verify(&job).map_err(|e| e.to_string()),
+                Err(e) => Err(format!("lowering failed: {e}")),
+            };
+            out.push((i, (label(setup), outcome)));
         }
+        out
     });
-    let mut results = results.into_inner().expect("lint worker panicked");
+    let mut results: Vec<(usize, Outcome)> = per_worker.into_iter().flatten().collect();
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, outcome)| outcome).collect()
 }

@@ -36,8 +36,16 @@ pub const SPEC: ArgSpec = ArgSpec {
         "threads",
         "jitter-replicas",
         "jitter-seed",
+        "budget",
     ],
-    flags: &["progress", "keep-all", "refine-sim", "verify", "json"],
+    flags: &[
+        "progress",
+        "keep-all",
+        "refine-sim",
+        "verify",
+        "json",
+        "adaptive",
+    ],
 };
 
 /// Usage text.
@@ -50,7 +58,7 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
     [--objective makespan|throughput|mfu] [--top K]\n\
     [--memory-gib N] [--threads N] [--progress] [--keep-all]\n\
     [--refine-sim [--verify]] [--jitter-replicas N] [--jitter-seed N]\n\
-    [--json]\n\
+    [--adaptive [--budget N] [--seed N]] [--json]\n\
   Searches a what-if configuration space from one profiled trace:\n\
   candidates are enumerated lazily over the axis grids\n\
   (comma-separated values, or a TOML space file; flags override the\n\
@@ -86,6 +94,15 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
   deterministic variance replicas per finalist and re-ranks by the\n\
   jittered mean, adding mean/p95/stability robustness columns\n\
   (--jitter-seed fixes the variance model's seed).\n\
+  --adaptive swaps exhaustive enumeration for the corpus-guided\n\
+  engine: deterministic seed probes, a power-scheduled mutation\n\
+  frontier (neighbor moves + divisibility-lattice jumps), and — on\n\
+  spaces small enough — a screened verification sweep that proves the\n\
+  result equals the exhaustive top-K. --budget caps how many\n\
+  candidates are fully simulated (default 4096); exhausting it\n\
+  reports a typed partial result, never an error. --seed makes the\n\
+  run replayable (fixed seed => byte-identical report). The setting\n\
+  for spaces far too large to enumerate.\n\
   --json emits the ranked report as one JSON object on stdout — the\n\
   exact response a `lumos serve` daemon returns for the same request\n\
   against the same artifact (only deterministic report fields are\n\
@@ -158,10 +175,14 @@ fn calibration_from(
     out: &mut dyn Write,
     gpus_per_node: u32,
 ) -> Result<SearchCalibration<AnalyticalCostModel>, CliError> {
-    if let Some(ci) = calibrated_input(
-        args,
-        &["model", "setup", "base-tp", "base-pp", "base-dp", "seed"],
-    )? {
+    // `--seed` is the adaptive RNG seed too, so it stays legal
+    // alongside `--calib` when `--adaptive` is set.
+    let reject: &[&str] = if args.has("adaptive") {
+        &["model", "setup", "base-tp", "base-pp", "base-dp"]
+    } else {
+        &["model", "setup", "base-tp", "base-pp", "base-dp", "seed"]
+    };
+    if let Some(ci) = calibrated_input(args, reject)? {
         Ok(SearchCalibration::from_artifact(&ci.artifact, ci.fallback))
     } else {
         let (trace, setup) = base_from(args, out)?;
@@ -199,13 +220,22 @@ fn base_from(
         let trace = lumos_search::profile_base(&setup, seed)?;
         Ok((trace, setup))
     } else {
-        for flag in ["base-tp", "base-pp", "base-dp", "seed"] {
+        for flag in ["base-tp", "base-pp", "base-dp"] {
             if args.get(flag).is_some() {
                 return Err(CliError::Usage(format!(
                     "--{flag} only applies with --model (trace-file mode takes the \
                      base from the setup sidecar)"
                 )));
             }
+        }
+        // `--seed` doubles as the adaptive RNG seed; without --model
+        // and without --adaptive it has nothing to seed.
+        if args.get("seed").is_some() && !args.has("adaptive") {
+            return Err(CliError::Usage(
+                "--seed only applies with --model (base-profile seed) or \
+                 --adaptive (search RNG seed)"
+                    .to_string(),
+            ));
         }
         let path = args.one_positional("trace file (or use --model)")?;
         let setup_path = match args.get("setup") {
@@ -282,6 +312,18 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
             ));
         }
         opts.verify = true;
+    }
+    opts.adaptive = args.has("adaptive");
+    if let Some(budget) = args.get_num_opt::<usize>("budget")? {
+        if !opts.adaptive {
+            return Err(CliError::Usage(
+                "--budget only applies with --adaptive".to_string(),
+            ));
+        }
+        opts.budget = Some(budget);
+    }
+    if let Some(seed) = args.get_num_opt::<u64>("seed")? {
+        opts.seed = seed;
     }
     if args.has("progress") {
         opts.progress = Some(lumos_search::ProgressSink::new(|p| {

@@ -1,0 +1,455 @@
+//! Corpus-guided adaptive search: explore huge candidate spaces
+//! without enumerating them, then (when the space is small enough)
+//! *prove* the answer exact with a screened verification sweep.
+//!
+//! The engine layers on the streaming evaluator's per-index pipeline
+//! ([`crate::evaluate::Evaluator`]) and runs in three phases:
+//!
+//! 1. **Seed**: deterministic random probes establish an initial
+//!    corpus of scored candidates.
+//! 2. **Exploration rounds**: a power schedule ([`crate::power`])
+//!    picks frontier parents, mutation operators ([`crate::mutate`])
+//!    propose neighbors and lattice jumps, and each round's batch is
+//!    screened against the current top-k's worst key before anything
+//!    is fully simulated. Rounds are *generation-synchronous* — the
+//!    batch is fixed before workers touch it, results merge in index
+//!    order — so a fixed `--seed` replays byte-identical reports and
+//!    counters on any thread count.
+//! 3. **Verification sweep**: on spaces under [`SWEEP_CAP`], the
+//!    remaining unvisited indices are screened against the *final*
+//!    top-k threshold (a fixed bound, so evaluation decisions stay
+//!    deterministic) and the survivors scored. When the sweep
+//!    completes, every grid point was either scored or provably
+//!    dominated, so the report **equals the exhaustive top-k
+//!    exactly** — that is [`AdaptiveOutcome::Exact`].
+//!
+//! The full-evaluation budget ([`crate::SearchOptions::budget`]) is
+//! checked between batches: exhausting it ends the run with the typed
+//! [`AdaptiveOutcome::BudgetExhausted`] marker and the best results
+//! found — a partial answer, never an error.
+
+use crate::corpus::Corpus;
+use crate::error::SearchError;
+use crate::evaluate::{
+    bounded_push, finish_bounded, pruned_order, rejected_order, CandidateResult, EngineOutcome,
+    Evaluator, IndexOutcome, RejectedCandidate,
+};
+use crate::power::{self, SplitMix64};
+use crate::prune::{PruneStats, PrunedCandidate};
+use crate::report::rank_cmp;
+use crate::{mutate, SearchOptions, SearchProgress};
+use lumos_cost::CostModel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Default full-evaluation budget when `--budget` is not given.
+const DEFAULT_BUDGET: usize = 4096;
+
+/// Largest space the verification sweep will walk. Above this the run
+/// reports [`AdaptiveOutcome::Unverified`]: screening four million
+/// indices is seconds of work, screening a billion is not.
+const SWEEP_CAP: usize = 4_000_000;
+
+/// Random probes seeding the corpus.
+const SEED_PROBES: usize = 64;
+
+/// Frontier parents mutated per exploration round.
+const ROUND_PARENTS: usize = 12;
+
+/// Best-scored candidates the frontier retains as mutation parents.
+const FRONTIER_CAP: usize = 64;
+
+/// Verification-sweep chunk: the budget is re-checked between chunks,
+/// so overshoot is bounded by one chunk's evaluations.
+const SWEEP_CHUNK: usize = 16_384;
+
+/// Consecutive exploration rounds allowed to complete zero full
+/// evaluations before the engine stops exploring. On spaces whose
+/// feasible region is a vanishing fraction of the grid (huge axes,
+/// tight GPU budget), random probing could otherwise spin for
+/// millions of rounds without ever draining the evaluation budget.
+const MAX_DRY_ROUNDS: usize = 64;
+
+/// How an adaptive run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveOutcome {
+    /// Every grid point was either fully scored or provably excluded
+    /// by the analytic screen: the reported top-k equals the
+    /// exhaustive top-k exactly.
+    Exact,
+    /// The evaluation budget ran out before the verification sweep
+    /// completed. The results are the best candidates found — a valid
+    /// partial answer, not proven optimal.
+    BudgetExhausted,
+    /// The space exceeds the verification-sweep cap, so exactness was
+    /// never on the table: results are the best found within budget
+    /// (the expected mode on billion-candidate spaces).
+    Unverified,
+}
+
+impl std::fmt::Display for AdaptiveOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AdaptiveOutcome::Exact => "exact",
+            AdaptiveOutcome::BudgetExhausted => "budget-exhausted",
+            AdaptiveOutcome::Unverified => "unverified",
+        })
+    }
+}
+
+/// Accounting of one adaptive run, reported alongside the ranking.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveReport {
+    /// How the run terminated (see [`AdaptiveOutcome`]).
+    pub outcome: AdaptiveOutcome,
+    /// Total grid points in the searched space.
+    pub grid_points: usize,
+    /// Distinct grid indices decoded (probes, mutations, sweep).
+    pub visited: usize,
+    /// Mutation proposals the power schedule issued.
+    pub mutations: usize,
+    /// Frontier size at termination.
+    pub frontier: usize,
+    /// Exploration rounds run after seeding.
+    pub rounds: usize,
+    /// The effective full-evaluation budget.
+    pub budget: usize,
+    /// The RNG seed; re-running with it replays the identical search.
+    pub seed: u64,
+}
+
+impl AdaptiveReport {
+    /// Visited share of the grid as a percentage (0 on empty grids —
+    /// never divides by zero).
+    pub fn visited_percent(&self) -> f64 {
+        if self.grid_points == 0 {
+            0.0
+        } else {
+            self.visited as f64 * 100.0 / self.grid_points as f64
+        }
+    }
+}
+
+/// Merged, deterministically ordered state accumulated batch by batch.
+struct Aggregate {
+    results: Vec<CandidateResult>,
+    pruned: Vec<PrunedCandidate>,
+    rejected: Vec<RejectedCandidate>,
+    stats: PruneStats,
+}
+
+impl Aggregate {
+    /// Folds one batch's index-ordered outcomes in; scored feasible
+    /// candidates also enter the corpus frontier.
+    fn apply(
+        &mut self,
+        outcomes: Vec<(usize, IndexOutcome)>,
+        corpus: &mut Corpus,
+        opts: &SearchOptions,
+    ) {
+        for (index, outcome) in outcomes {
+            self.stats.enumerated += 1;
+            match outcome {
+                IndexOutcome::Lattice(crate::RejectReason::Budget) => {
+                    self.stats.budget_rejects += 1;
+                }
+                IndexOutcome::Lattice(crate::RejectReason::Divisibility) => {
+                    self.stats.divisibility_rejects += 1;
+                }
+                IndexOutcome::Lattice(crate::RejectReason::Structural) => {
+                    self.stats.structural_rejects += 1;
+                }
+                IndexOutcome::MemoryPruned(pruned) => {
+                    self.stats.memory_pruned += 1;
+                    bounded_push(&mut self.pruned, pruned, opts.top_k, pruned_order);
+                }
+                IndexOutcome::BoundSkipped => self.stats.bound_skipped += 1,
+                IndexOutcome::Failed(_) => unreachable!("batch errors handled before apply"),
+                IndexOutcome::Scored(result) => {
+                    self.stats.evaluated += 1;
+                    let result = *result;
+                    match result.infeasibility.clone() {
+                        Some(reason) => {
+                            self.stats.infeasible += 1;
+                            bounded_push(
+                                &mut self.rejected,
+                                RejectedCandidate {
+                                    candidate: result.candidate,
+                                    label: result.label.clone(),
+                                    index,
+                                    reason,
+                                },
+                                opts.top_k,
+                                rejected_order,
+                            );
+                        }
+                        None => {
+                            corpus.insert(index, opts.objective.key(&result));
+                            self.results.push(result);
+                        }
+                    }
+                }
+            }
+        }
+        self.results.sort_by(|a, b| rank_cmp(a, b, opts.objective));
+        if let Some(k) = opts.top_k {
+            self.results.truncate(k.max(FRONTIER_CAP));
+        }
+    }
+
+    /// The screen threshold: the k-th best key once k feasible results
+    /// exist (`None` before that, or under unbounded retention, where
+    /// skipping must stay disabled to keep the full ranking exact).
+    fn threshold(&self, opts: &SearchOptions) -> Option<f64> {
+        let k = opts.top_k?;
+        if k == 0 || self.results.len() < k {
+            return None;
+        }
+        Some(opts.objective.key(&self.results[k - 1]))
+    }
+}
+
+/// Runs the corpus-guided adaptive search. Returns the engine outcome
+/// (same shape the exhaustive walk produces, so refinement and
+/// reporting compose unchanged) plus the adaptive accounting.
+pub(crate) fn run_adaptive<C>(
+    calib: &crate::SearchCalibration<C>,
+    spec: &crate::SpaceSpec,
+    opts: &SearchOptions,
+    deadline: Option<Instant>,
+) -> Result<(EngineOutcome, AdaptiveReport), SearchError>
+where
+    C: CostModel + Send + Sync,
+{
+    let evaluator = Evaluator::new(calib, spec, opts);
+    let total = evaluator.grid().total();
+    let budget = opts.budget.unwrap_or(DEFAULT_BUDGET).max(1);
+    let threads = crate::parallel::effective_threads(opts.threads, total);
+    let mut rng = SplitMix64::new(opts.seed);
+    let mut corpus = Corpus::new(FRONTIER_CAP);
+    let mut agg = Aggregate {
+        results: Vec::new(),
+        pruned: Vec::new(),
+        rejected: Vec::new(),
+        stats: PruneStats::default(),
+    };
+    let mut mutations = 0usize;
+    let mut rounds = 0usize;
+
+    // Phase 1 — seed probes. Tiny spaces are claimed whole (the
+    // sweep would visit them anyway); larger ones get deterministic
+    // random probes.
+    let mut batch: Vec<usize> = Vec::new();
+    if total <= SEED_PROBES {
+        for index in 0..total {
+            corpus.mark_visited(index);
+            batch.push(index);
+        }
+    } else {
+        let mut tries = 0;
+        while batch.len() < SEED_PROBES && tries < SEED_PROBES * 8 {
+            tries += 1;
+            let probe = rng.below(total);
+            if corpus.mark_visited(probe) {
+                batch.push(probe);
+            }
+        }
+    }
+    let outcomes = process_batch(&evaluator, &batch, None, threads, opts, deadline)?;
+    agg.apply(outcomes, &mut corpus, opts);
+    report_progress(opts, total, &corpus, &agg);
+
+    // Phase 2 — power-scheduled exploration rounds.
+    let mut dry_rounds = 0usize;
+    while agg.stats.evaluated < budget && corpus.visited_len() < total {
+        if dry_rounds >= MAX_DRY_ROUNDS {
+            break;
+        }
+        rounds += 1;
+        let evaluated_before = agg.stats.evaluated;
+        let mut batch: Vec<usize> = Vec::new();
+        for _ in 0..ROUND_PARENTS {
+            let Some(pos) = power::pick_parent(&corpus, &mut rng) else {
+                break;
+            };
+            corpus.record_trial(pos);
+            let parent = corpus.frontier()[pos].index;
+            let mut proposals = Vec::new();
+            mutate::propose(evaluator.grid(), parent, &mut rng, &mut proposals);
+            mutations += proposals.len();
+            for proposal in proposals {
+                if corpus.mark_visited(proposal) {
+                    batch.push(proposal);
+                }
+            }
+        }
+        // Escape hatch: the frontier is empty (nothing feasible found
+        // yet) or every proposal was already visited — fall back to
+        // fresh random probes.
+        if batch.is_empty() {
+            let mut tries = 0;
+            while batch.len() < SEED_PROBES && tries < SEED_PROBES * 8 {
+                tries += 1;
+                let probe = rng.below(total);
+                if corpus.mark_visited(probe) {
+                    batch.push(probe);
+                }
+            }
+        }
+        if batch.is_empty() {
+            // Sampling can no longer find unvisited points; the sweep
+            // below covers whatever remains.
+            break;
+        }
+        let screen = agg.threshold(opts);
+        let outcomes = process_batch(&evaluator, &batch, screen, threads, opts, deadline)?;
+        agg.apply(outcomes, &mut corpus, opts);
+        report_progress(opts, total, &corpus, &agg);
+        if agg.stats.evaluated == evaluated_before {
+            dry_rounds += 1;
+        } else {
+            dry_rounds = 0;
+        }
+    }
+
+    // Phase 3 — verification sweep under a *fixed* threshold (the
+    // final adaptive top-k's worst key), so which candidates get
+    // evaluated does not depend on worker interleaving.
+    let outcome_kind = if corpus.visited_len() == total {
+        AdaptiveOutcome::Exact
+    } else if total > SWEEP_CAP {
+        AdaptiveOutcome::Unverified
+    } else {
+        let screen = agg.threshold(opts);
+        let mut exact = true;
+        let mut start = 0usize;
+        while start < total {
+            if agg.stats.evaluated >= budget {
+                exact = false;
+                break;
+            }
+            let end = (start + SWEEP_CHUNK).min(total);
+            let chunk: Vec<usize> = (start..end).filter(|&i| corpus.mark_visited(i)).collect();
+            if !chunk.is_empty() {
+                let outcomes = process_batch(&evaluator, &chunk, screen, threads, opts, deadline)?;
+                agg.apply(outcomes, &mut corpus, opts);
+                report_progress(opts, total, &corpus, &agg);
+            }
+            start = end;
+        }
+        if exact {
+            AdaptiveOutcome::Exact
+        } else {
+            AdaptiveOutcome::BudgetExhausted
+        }
+    };
+
+    let mut stats = agg.stats;
+    stats.visited = corpus.visited_len();
+    stats.mutations = mutations;
+    stats.frontier = corpus.frontier_len();
+    if stats.memory_pruned + stats.bound_skipped + stats.evaluated == 0 {
+        return Err(SearchError::EmptySpace {
+            enumerated: stats.enumerated,
+            rejected: stats.budget_rejects + stats.divisibility_rejects + stats.structural_rejects,
+        });
+    }
+
+    let mut results = agg.results;
+    results.sort_by(|a, b| rank_cmp(a, b, opts.objective));
+    if let Some(k) = opts.top_k {
+        results.truncate(k);
+    }
+    let mut pruned = agg.pruned;
+    let mut rejected = agg.rejected;
+    finish_bounded(&mut pruned, opts.top_k, pruned_order);
+    finish_bounded(&mut rejected, opts.top_k, rejected_order);
+
+    let report = AdaptiveReport {
+        outcome: outcome_kind,
+        grid_points: total,
+        visited: stats.visited,
+        mutations,
+        frontier: stats.frontier,
+        rounds,
+        budget,
+        seed: opts.seed,
+    };
+    Ok((
+        EngineOutcome {
+            results,
+            pruned,
+            rejected,
+            stats,
+            memo: evaluator.memo_stats(),
+            threads,
+        },
+        report,
+    ))
+}
+
+/// Scores one fixed batch of grid indices in parallel and returns the
+/// outcomes sorted by index. Generation-synchronous: the batch is
+/// immutable while workers run, and the merge order is independent of
+/// which worker processed what.
+fn process_batch<C>(
+    evaluator: &Evaluator<'_, C>,
+    batch: &[usize],
+    screen: Option<f64>,
+    threads: usize,
+    opts: &SearchOptions,
+    deadline: Option<Instant>,
+) -> Result<Vec<(usize, IndexOutcome)>, SearchError>
+where
+    C: CostModel + Send + Sync,
+{
+    if batch.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = threads.min(batch.len());
+    let expired = AtomicBool::new(false);
+    let per_worker = crate::parallel::run_claimed(workers, batch.len(), |_t, claims| {
+        let mut out = Vec::new();
+        while let Some(slot) = claims.next() {
+            if expired.load(Ordering::Relaxed) {
+                break;
+            }
+            if crate::cancel_requested(opts, deadline) {
+                expired.store(true, Ordering::Relaxed);
+                break;
+            }
+            let index = batch[slot];
+            out.push((index, evaluator.process(index, screen)));
+        }
+        out
+    });
+    if expired.load(Ordering::Relaxed) {
+        return Err(SearchError::DeadlineExceeded);
+    }
+    let mut outcomes: Vec<(usize, IndexOutcome)> = per_worker.into_iter().flatten().collect();
+    outcomes.sort_by_key(|(index, _)| *index);
+    // Deterministic error selection: the lowest failing index wins.
+    if let Some(pos) = outcomes
+        .iter()
+        .position(|(_, o)| matches!(o, IndexOutcome::Failed(_)))
+    {
+        let (_, IndexOutcome::Failed(err)) = outcomes.swap_remove(pos) else {
+            unreachable!("position matched Failed");
+        };
+        return Err(*err);
+    }
+    Ok(outcomes)
+}
+
+/// Streams a progress snapshot after each merged batch.
+fn report_progress(opts: &SearchOptions, total: usize, corpus: &Corpus, agg: &Aggregate) {
+    if let Some(sink) = &opts.progress {
+        (sink.0)(SearchProgress {
+            grid_points: total,
+            claimed: corpus.visited_len(),
+            evaluated: agg.stats.evaluated,
+            memory_pruned: agg.stats.memory_pruned,
+            bound_skipped: agg.stats.bound_skipped,
+        });
+    }
+}

@@ -1,0 +1,142 @@
+//! The adaptive engine's corpus: every grid index it has touched,
+//! plus a bounded frontier of the best fully scored candidates that
+//! the power schedule mutates next.
+//!
+//! Corpus entries are keyed by their mixed-radix grid index — the
+//! same key the exhaustive walk uses for tie-breaks — so membership
+//! checks, mutation dedup, and the final verification sweep all agree
+//! on candidate identity for free.
+
+use std::collections::HashSet;
+
+/// One frontier entry: a fully scored, feasible candidate the power
+/// schedule may pick as a mutation parent.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CorpusEntry {
+    /// Mixed-radix grid index (candidate identity).
+    pub index: usize,
+    /// Objective key (lower is better, NaN-free by construction —
+    /// non-finite keys are routed to the rejected list upstream).
+    pub key: f64,
+    /// Times the power schedule picked this entry as a parent.
+    pub trials: usize,
+}
+
+/// Visited-set plus bounded best-first frontier.
+pub(crate) struct Corpus {
+    visited: HashSet<usize>,
+    /// Sorted best-first by `(key, index)`; at most `cap` entries.
+    frontier: Vec<CorpusEntry>,
+    cap: usize,
+}
+
+impl Corpus {
+    /// An empty corpus whose frontier keeps at most `cap` entries.
+    pub(crate) fn new(cap: usize) -> Self {
+        Corpus {
+            visited: HashSet::new(),
+            frontier: Vec::with_capacity(cap.min(1024)),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Marks a grid index as processed; `true` the first time.
+    /// Everything the engine touches — lattice rejects included — is
+    /// recorded, so mutations never re-propose an index and the
+    /// verification sweep never double-counts one.
+    pub(crate) fn mark_visited(&mut self, index: usize) -> bool {
+        self.visited.insert(index)
+    }
+
+    /// Whether an index has already been processed.
+    #[cfg(test)]
+    pub(crate) fn is_visited(&self, index: usize) -> bool {
+        self.visited.contains(&index)
+    }
+
+    /// Distinct indices processed so far.
+    pub(crate) fn visited_len(&self) -> usize {
+        self.visited.len()
+    }
+
+    /// Offers a scored candidate to the frontier; kept only while it
+    /// ranks within the best `cap` seen so far.
+    pub(crate) fn insert(&mut self, index: usize, key: f64) {
+        let entry = CorpusEntry {
+            index,
+            key,
+            trials: 0,
+        };
+        let pos = self
+            .frontier
+            .partition_point(|e| (e.key, e.index) < (key, index));
+        if pos >= self.cap {
+            return;
+        }
+        self.frontier.insert(pos, entry);
+        self.frontier.truncate(self.cap);
+    }
+
+    /// The frontier, best first.
+    pub(crate) fn frontier(&self) -> &[CorpusEntry] {
+        &self.frontier
+    }
+
+    /// Frontier size.
+    pub(crate) fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Charges one mutation trial to frontier slot `pos`.
+    pub(crate) fn record_trial(&mut self, pos: usize) {
+        if let Some(entry) = self.frontier.get_mut(pos) {
+            entry.trials += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visited_set_deduplicates() {
+        let mut corpus = Corpus::new(4);
+        assert!(corpus.mark_visited(7));
+        assert!(!corpus.mark_visited(7));
+        assert!(corpus.is_visited(7));
+        assert!(!corpus.is_visited(8));
+        assert_eq!(corpus.visited_len(), 1);
+    }
+
+    #[test]
+    fn frontier_keeps_the_best_cap_entries_sorted() {
+        let mut corpus = Corpus::new(3);
+        for (index, key) in [(10, 5.0), (11, 1.0), (12, 3.0), (13, 2.0), (14, 9.0)] {
+            corpus.insert(index, key);
+        }
+        let keys: Vec<f64> = corpus.frontier().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1.0, 2.0, 3.0]);
+        assert_eq!(corpus.frontier_len(), 3);
+    }
+
+    #[test]
+    fn equal_keys_tie_break_by_index() {
+        let mut corpus = Corpus::new(4);
+        corpus.insert(20, 1.0);
+        corpus.insert(5, 1.0);
+        let indices: Vec<usize> = corpus.frontier().iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![5, 20]);
+    }
+
+    #[test]
+    fn trials_accumulate_on_the_right_slot() {
+        let mut corpus = Corpus::new(4);
+        corpus.insert(1, 1.0);
+        corpus.insert(2, 2.0);
+        corpus.record_trial(1);
+        corpus.record_trial(1);
+        assert_eq!(corpus.frontier()[0].trials, 0);
+        assert_eq!(corpus.frontier()[1].trials, 2);
+    }
+}

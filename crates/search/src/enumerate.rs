@@ -10,6 +10,10 @@ use crate::candidate::Candidate;
 use crate::space::{ResolvedAxes, SpaceSpec};
 use lumos_model::{InterleavedSchedule, ScheduleKind, TrainingSetup};
 
+/// Number of mixed-radix digits a grid index decodes into (innermost
+/// first: interleave, micro-batches, dp, pp, tp, schedule, arch).
+pub(crate) const AXES: usize = 7;
+
 /// Why a grid point was rejected before costing anything.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
@@ -112,6 +116,48 @@ impl<'a> Grid<'a> {
     /// validated target setup on success.
     pub(crate) fn admit(&self, cand: &Candidate) -> Result<TrainingSetup, RejectReason> {
         admit(cand, self.base, &self.spec, &self.axes)
+    }
+
+    /// Per-axis radices in decode order; every entry is ≥ 1 (the arch
+    /// axis contributes 1 when absent), so the product equals
+    /// [`Grid::total`].
+    pub(crate) fn dims(&self) -> [usize; AXES] {
+        [
+            self.axes.interleave.len(),
+            self.axes.microbatches.len(),
+            self.axes.dp.len(),
+            self.axes.pp.len(),
+            self.axes.tp.len(),
+            self.axes.schedules.len(),
+            self.axes.arch_points.len().max(1),
+        ]
+    }
+
+    /// Decodes a grid index into its mixed-radix digits (the inverse
+    /// of [`Grid::index_of`]).
+    pub(crate) fn coords(&self, index: usize) -> [usize; AXES] {
+        debug_assert!(index < self.total);
+        let dims = self.dims();
+        let mut coords = [0usize; AXES];
+        let mut rem = index;
+        for (digit, radix) in coords.iter_mut().zip(dims) {
+            *digit = rem % radix;
+            rem /= radix;
+        }
+        coords
+    }
+
+    /// Re-encodes mixed-radix digits into the grid index.
+    pub(crate) fn index_of(&self, coords: &[usize; AXES]) -> usize {
+        let dims = self.dims();
+        let mut index = 0usize;
+        let mut stride = 1usize;
+        for (&digit, radix) in coords.iter().zip(dims) {
+            debug_assert!(digit < radix);
+            index += digit * stride;
+            stride *= radix;
+        }
+        index
     }
 }
 
@@ -401,6 +447,21 @@ mod tests {
         );
         for (cand, setup) in &out.candidates {
             assert_eq!(setup.schedule, cand.schedule);
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip_through_index_of() {
+        let base = base_tp2();
+        let spec = SpaceSpec::deployment_grid(&[2, 4], &[1, 2], &[1, 2])
+            .with_microbatches(&[2, 4])
+            .with_interleave(&[1, 2])
+            .with_schedules(&[ScheduleKind::OneFOneB, ScheduleKind::GPipe]);
+        let grid = Grid::new(&spec, &base);
+        assert_eq!(grid.dims().iter().product::<usize>(), grid.total());
+        for index in 0..grid.total() {
+            let coords = grid.coords(index);
+            assert_eq!(grid.index_of(&coords), index);
         }
     }
 

@@ -233,6 +233,142 @@ struct WorkerOut {
     error: Option<(usize, SearchError)>,
 }
 
+/// One grid point's fate in the decode → lattice → memory-gate →
+/// bound-screen → evaluate pipeline.
+pub(crate) enum IndexOutcome {
+    /// Rejected by the lattice before costing anything.
+    Lattice(crate::RejectReason),
+    /// Cut by the memory-feasibility gate (would OOM).
+    MemoryPruned(PrunedCandidate),
+    /// Provably dominated: the analytic lower bound on its objective
+    /// key is strictly worse than the screen threshold.
+    BoundSkipped,
+    /// Fully scored (the result may still carry an infeasibility
+    /// flag the caller routes to the rejected list).
+    Scored(Box<CandidateResult>),
+    /// Graph manipulation or replay failed.
+    Failed(Box<SearchError>),
+}
+
+/// The per-candidate scoring pipeline with its shared pieces bundled:
+/// the grid decoder, the trace-fitted cost model and block library,
+/// and the lazily built stage-cost bound cache. Both the exhaustive
+/// walk ([`run_streaming`]) and the adaptive engine
+/// ([`crate::adaptive`]) drive it index by index, so a candidate is
+/// scored identically no matter which engine reached it.
+pub(crate) struct Evaluator<'a, C: CostModel> {
+    grid: Grid<'a>,
+    base: &'a TrainingSetup,
+    lookup: &'a LookupCostModel<C>,
+    library: &'a BlockLibrary,
+    opts: &'a SearchOptions,
+    lumos: Lumos,
+    // The stage-cost memo's construction walks the whole library
+    // (dominant-stream scan + completeness probe); build it only when
+    // a bound is actually queried.
+    cache: std::sync::OnceLock<StageCostCache<'a, C>>,
+    shared_memo: Option<&'a crate::memo::SharedStageMemo>,
+    capacity: u64,
+}
+
+impl<'a, C: CostModel> Evaluator<'a, C> {
+    pub(crate) fn new(
+        calib: &'a crate::SearchCalibration<C>,
+        spec: &crate::SpaceSpec,
+        opts: &'a SearchOptions,
+    ) -> Self {
+        Evaluator {
+            grid: Grid::new(spec, &calib.base),
+            base: &calib.base,
+            lookup: &calib.lookup,
+            library: &calib.library,
+            opts,
+            lumos: Lumos::new(),
+            cache: std::sync::OnceLock::new(),
+            shared_memo: opts.shared_memo.as_deref(),
+            capacity: opts.gpu.memory_bytes(),
+        }
+    }
+
+    /// The grid this evaluator decodes indices against.
+    pub(crate) fn grid(&self) -> &Grid<'a> {
+        &self.grid
+    }
+
+    /// Stage-cost memo counters (zeros until a bound was queried).
+    pub(crate) fn memo_stats(&self) -> MemoStats {
+        self.cache
+            .get()
+            .map(StageCostCache::stats)
+            .unwrap_or_default()
+    }
+
+    fn bound_cache(&self) -> &StageCostCache<'a, C> {
+        self.cache.get_or_init(|| {
+            StageCostCache::new(self.base, self.library, self.lookup, self.shared_memo)
+        })
+    }
+
+    /// A sound lower bound on the candidate's objective key, `None`
+    /// when no bound exists (incomplete library, degenerate schedule).
+    fn bound_key(&self, cand: &Candidate, setup: &TrainingSetup) -> Option<f64> {
+        let lb = self.bound_cache().lower_bound_secs(cand, setup)?;
+        objective_key_lower_bound(self.opts.objective, setup, lb, self.opts)
+    }
+
+    /// Runs one grid index through the pipeline. `screen` is the
+    /// objective key a candidate's lower bound must *strictly* exceed
+    /// to be skipped — ties must still be scored, the enumeration-
+    /// index tie-break could admit them. `None` disables the screen:
+    /// everything admissible is scored.
+    pub(crate) fn process(&self, index: usize, screen: Option<f64>) -> IndexOutcome {
+        let cand = self.grid.candidate(index);
+        let setup = match self.grid.admit(&cand) {
+            Ok(setup) => setup,
+            Err(reason) => return IndexOutcome::Lattice(reason),
+        };
+        if let Some(pruned) =
+            prune::gate_one(index, &cand, &setup, &self.opts.memory_model, self.capacity)
+        {
+            return IndexOutcome::MemoryPruned(pruned);
+        }
+        if let Some(threshold) = screen {
+            let dominated = self
+                .bound_key(&cand, &setup)
+                .is_some_and(|key_lb| objective_key_cmp(key_lb, threshold) == Ordering::Greater);
+            if dominated {
+                return IndexOutcome::BoundSkipped;
+            }
+        }
+        let mut result = match evaluate_one(
+            self.library,
+            self.base,
+            self.grid.spec(),
+            &cand,
+            &setup,
+            index,
+            self.opts,
+            &self.lumos,
+            self.lookup,
+        ) {
+            Ok(r) => r,
+            Err(source) => {
+                return IndexOutcome::Failed(Box::new(SearchError::Evaluation {
+                    candidate: cand.label(self.grid.spec()),
+                    source,
+                }))
+            }
+        };
+        if result.is_feasible() {
+            let key = self.opts.objective.key(&result);
+            if !key.is_finite() {
+                result.infeasibility = Some(Infeasibility::NonFiniteObjective { key });
+            }
+        }
+        IndexOutcome::Scored(Box::new(result))
+    }
+}
+
 /// Runs the full streaming pipeline over the grid of `spec` (already
 /// normalized): claim → decode → lattice → memory gate → lower-bound
 /// skip → evaluate → per-worker top-k, merged deterministically.
@@ -248,30 +384,16 @@ pub(crate) fn run_streaming<C>(
 where
     C: CostModel + Send + Sync,
 {
-    let base = &calib.base;
-    let lookup = &calib.lookup;
-    let library = &calib.library;
-    let grid = Grid::new(spec, base);
-    let total = grid.total();
-    // The stage-cost memo's construction walks the whole library
-    // (dominant-stream scan + completeness probe); build it only when
-    // a worker actually queries a bound — never in full-retention
-    // mode, where heaps never fill.
-    let cache: std::sync::OnceLock<StageCostCache<'_, C>> = std::sync::OnceLock::new();
-    let shared_memo = opts.shared_memo.as_deref();
-    let bound_cache =
-        || cache.get_or_init(|| StageCostCache::new(base, library, lookup, shared_memo));
-    let lumos = Lumos::new();
+    let evaluator = Evaluator::new(calib, spec, opts);
+    let total = evaluator.grid().total();
     let threads = crate::parallel::effective_threads(opts.threads, total);
-    let capacity = opts.gpu.memory_bytes();
 
     let counters = Counters::default();
-    let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let expired = AtomicBool::new(false);
     let progress_stride = (total / 20).clamp(1, 65_536);
 
-    let worker = |_worker_idx: usize| -> WorkerOut {
+    let outs: Vec<WorkerOut> = crate::parallel::run_claimed(threads, total, |_t, claims| {
         let mut top = TopK::new(opts.top_k);
         let mut out = WorkerOut {
             results: Vec::new(),
@@ -288,10 +410,7 @@ where
                 abort.store(true, AtomicOrdering::Relaxed);
                 break;
             }
-            let index = cursor.fetch_add(1, AtomicOrdering::Relaxed);
-            if index >= total {
-                break;
-            }
+            let Some(index) = claims.next() else { break };
             let claimed = counters.claimed.fetch_add(1, AtomicOrdering::Relaxed) + 1;
             if claimed % progress_stride == 0 {
                 if let Some(sink) = &opts.progress {
@@ -304,115 +423,64 @@ where
                     });
                 }
             }
-            let cand = grid.candidate(index);
-            let setup = match grid.admit(&cand) {
-                Ok(setup) => setup,
-                Err(crate::RejectReason::Budget) => {
+            // Lower-bound screen: only once the local heap already
+            // holds k candidates does the worst retained key become a
+            // threshold. (With `top_k = Some(0)` the heap is trivially
+            // full but has no worst entry to dominate, so nothing is
+            // ever *claimed* to be dominated: every candidate is still
+            // scored honestly, just not retained.)
+            let screen = if top.full() { top.worst_key() } else { None };
+            match evaluator.process(index, screen) {
+                IndexOutcome::Lattice(crate::RejectReason::Budget) => {
                     counters.budget.fetch_add(1, AtomicOrdering::Relaxed);
-                    continue;
                 }
-                Err(crate::RejectReason::Divisibility) => {
+                IndexOutcome::Lattice(crate::RejectReason::Divisibility) => {
                     counters.divisibility.fetch_add(1, AtomicOrdering::Relaxed);
-                    continue;
                 }
-                Err(crate::RejectReason::Structural) => {
+                IndexOutcome::Lattice(crate::RejectReason::Structural) => {
                     counters.structural.fetch_add(1, AtomicOrdering::Relaxed);
-                    continue;
                 }
-            };
-            if let Some(pruned) =
-                prune::gate_one(index, &cand, &setup, &opts.memory_model, capacity)
-            {
-                counters.memory_pruned.fetch_add(1, AtomicOrdering::Relaxed);
-                bounded_push(&mut out.pruned, pruned, opts.top_k, pruned_order);
-                continue;
-            }
-            // Lower-bound skip: only once the local heap already holds
-            // k candidates, and only when the bound is *strictly*
-            // worse than all of them — ties must still be scored, the
-            // enumeration-index tie-break could admit them. (With
-            // `top_k = Some(0)` the heap is trivially full but has no
-            // worst entry to dominate, so nothing is ever *claimed* to
-            // be dominated: every candidate is still scored honestly,
-            // just not retained.)
-            if top.full() {
-                let dominated = match bound_cache().lower_bound_secs(&cand, &setup) {
-                    Some(lb) => match objective_key_lower_bound(opts.objective, &setup, lb, opts) {
-                        Some(key_lb) => top
-                            .worst_key()
-                            .is_some_and(|w| objective_key_cmp(key_lb, w) == Ordering::Greater),
-                        None => false,
-                    },
-                    None => false,
-                };
-                if dominated {
+                IndexOutcome::MemoryPruned(pruned) => {
+                    counters.memory_pruned.fetch_add(1, AtomicOrdering::Relaxed);
+                    bounded_push(&mut out.pruned, pruned, opts.top_k, pruned_order);
+                }
+                IndexOutcome::BoundSkipped => {
                     counters.bound_skipped.fetch_add(1, AtomicOrdering::Relaxed);
-                    continue;
                 }
-            }
-            counters.evaluated.fetch_add(1, AtomicOrdering::Relaxed);
-            let mut result = match evaluate_one(
-                library,
-                base,
-                grid.spec(),
-                &cand,
-                &setup,
-                index,
-                opts,
-                &lumos,
-                lookup,
-            ) {
-                Ok(r) => r,
-                Err(source) => {
-                    let err = SearchError::Evaluation {
-                        candidate: cand.label(grid.spec()),
-                        source,
-                    };
+                IndexOutcome::Failed(err) => {
                     if out.error.as_ref().is_none_or(|(i, _)| index < *i) {
-                        out.error = Some((index, err));
+                        out.error = Some((index, *err));
                     }
                     abort.store(true, AtomicOrdering::Relaxed);
                     break;
                 }
-            };
-            if result.is_feasible() {
-                let key = opts.objective.key(&result);
-                if !key.is_finite() {
-                    result.infeasibility = Some(Infeasibility::NonFiniteObjective { key });
+                IndexOutcome::Scored(result) => {
+                    counters.evaluated.fetch_add(1, AtomicOrdering::Relaxed);
+                    let result = *result;
+                    match result.infeasibility.clone() {
+                        Some(reason) => {
+                            counters.infeasible.fetch_add(1, AtomicOrdering::Relaxed);
+                            bounded_push(
+                                &mut out.rejected,
+                                RejectedCandidate {
+                                    candidate: result.candidate,
+                                    label: result.label.clone(),
+                                    index: result.index,
+                                    reason,
+                                },
+                                opts.top_k,
+                                rejected_order,
+                            );
+                        }
+                        None => top.push(opts.objective.key(&result), result),
+                    }
                 }
-            }
-            match result.infeasibility.clone() {
-                Some(reason) => {
-                    counters.infeasible.fetch_add(1, AtomicOrdering::Relaxed);
-                    bounded_push(
-                        &mut out.rejected,
-                        RejectedCandidate {
-                            candidate: result.candidate,
-                            label: result.label.clone(),
-                            index: result.index,
-                            reason,
-                        },
-                        opts.top_k,
-                        rejected_order,
-                    );
-                }
-                None => top.push(opts.objective.key(&result), result),
             }
         }
         out.results = top.into_results();
         finish_bounded(&mut out.pruned, opts.top_k, pruned_order);
         finish_bounded(&mut out.rejected, opts.top_k, rejected_order);
         out
-    };
-
-    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| scope.spawn(move || worker(w)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("search worker panicked"))
-            .collect()
     });
 
     // Deterministic error selection: the lowest-index failure wins
@@ -449,6 +517,7 @@ where
         bound_skipped: counters.bound_skipped.load(AtomicOrdering::Relaxed),
         evaluated: counters.evaluated.load(AtomicOrdering::Relaxed),
         infeasible: counters.infeasible.load(AtomicOrdering::Relaxed),
+        ..PruneStats::default()
     };
     if stats.memory_pruned + stats.bound_skipped + stats.evaluated == 0 {
         return Err(SearchError::EmptySpace {
@@ -471,8 +540,7 @@ where
         rejected.truncate(k);
     }
 
-    let memo = cache.get().map(StageCostCache::stats).unwrap_or_default();
-    drop(cache);
+    let memo = evaluator.memo_stats();
     Ok(EngineOutcome {
         results,
         pruned,
@@ -485,20 +553,25 @@ where
 
 /// Retention order for pruned examples: worst offender (largest
 /// requirement) first, enumeration index as tie-break.
-fn pruned_order(a: &PrunedCandidate, b: &PrunedCandidate) -> Ordering {
+pub(crate) fn pruned_order(a: &PrunedCandidate, b: &PrunedCandidate) -> Ordering {
     b.required_bytes
         .cmp(&a.required_bytes)
         .then_with(|| a.index.cmp(&b.index))
 }
 
 /// Retention order for rejected examples: enumeration order.
-fn rejected_order(a: &RejectedCandidate, b: &RejectedCandidate) -> Ordering {
+pub(crate) fn rejected_order(a: &RejectedCandidate, b: &RejectedCandidate) -> Ordering {
     a.index.cmp(&b.index)
 }
 
 /// Bounded example retention: unbounded when no cap is set; otherwise
 /// amortized sort-and-truncate keeping the `cap` best by `order`.
-fn bounded_push<T>(list: &mut Vec<T>, item: T, cap: Option<usize>, order: fn(&T, &T) -> Ordering) {
+pub(crate) fn bounded_push<T>(
+    list: &mut Vec<T>,
+    item: T,
+    cap: Option<usize>,
+    order: fn(&T, &T) -> Ordering,
+) {
     list.push(item);
     if let Some(cap) = cap {
         if list.len() >= cap.saturating_mul(2) + 16 {
@@ -509,7 +582,11 @@ fn bounded_push<T>(list: &mut Vec<T>, item: T, cap: Option<usize>, order: fn(&T,
 }
 
 /// Final truncation pass for [`bounded_push`] lists.
-fn finish_bounded<T>(list: &mut Vec<T>, cap: Option<usize>, order: fn(&T, &T) -> Ordering) {
+pub(crate) fn finish_bounded<T>(
+    list: &mut Vec<T>,
+    cap: Option<usize>,
+    order: fn(&T, &T) -> Ordering,
+) {
     if let Some(cap) = cap {
         list.sort_by(order);
         list.truncate(cap);

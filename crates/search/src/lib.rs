@@ -57,6 +57,17 @@
 //!    (mean/p95/stability) when [`SearchOptions::jitter_replicas`] is
 //!    set.
 //!
+//! For spaces too large to walk at all, [`SearchOptions::adaptive`]
+//! swaps the exhaustive enumeration for the corpus-guided engine:
+//! deterministic seed probes, a power-scheduled mutation frontier
+//! (single-axis neighbor moves plus divisibility-lattice jumps), and
+//! — on spaces small enough — a screened verification sweep that
+//! proves the adaptive answer *equals* the exhaustive top-k while
+//! fully simulating only a fraction of the grid.
+//! [`SearchReport::adaptive`] records how the run terminated
+//! ([`AdaptiveOutcome`]), and a fixed [`SearchOptions::seed`] replays
+//! the run byte-identically.
+//!
 //! Reported top-k results are bit-for-bit deterministic: the same spec
 //! produces the same ranking regardless of thread count or how workers
 //! happened to carve up the grid. (Skip *counters* may vary across
@@ -99,18 +110,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod candidate;
+mod corpus;
 mod enumerate;
 mod error;
 mod evaluate;
 mod memo;
+mod mutate;
 pub mod parallel;
+mod power;
 mod prune;
 mod refine;
 mod report;
 mod space;
 pub mod spec_toml;
 
+pub use adaptive::{AdaptiveOutcome, AdaptiveReport};
 pub use candidate::Candidate;
 pub use enumerate::{
     enumerate_candidates, CandidateStream, EnumeratedCandidate, EnumerationOutcome, RejectReason,
@@ -241,6 +257,24 @@ pub struct SearchOptions {
     /// artifact). A warm memo never changes reported results — see
     /// [`SharedStageMemo`].
     pub shared_memo: Option<Arc<SharedStageMemo>>,
+    /// Run the corpus-guided adaptive engine ([`crate::adaptive`])
+    /// instead of the exhaustive streaming walk: seed probes, a
+    /// power-scheduled mutation frontier, and (on spaces small enough)
+    /// a screened verification sweep that proves the result equals the
+    /// exhaustive top-k. The setting for spaces too large to
+    /// enumerate; [`SearchReport::adaptive`] records how the run
+    /// terminated.
+    pub adaptive: bool,
+    /// Adaptive-only: the full-evaluation budget (candidates fully
+    /// simulated, not merely screened). `None` uses the built-in
+    /// default. Checked between batches, so overshoot is bounded by
+    /// one batch; exhaustion yields the typed
+    /// [`AdaptiveOutcome::BudgetExhausted`] marker, never an error.
+    pub budget: Option<usize>,
+    /// Adaptive-only: RNG seed for probe and mutation draws. A fixed
+    /// seed replays the identical search — byte-identical report —
+    /// on any thread count.
+    pub seed: u64,
 }
 
 impl Default for SearchOptions {
@@ -260,6 +294,9 @@ impl Default for SearchOptions {
             cancel: None,
             deadline: None,
             shared_memo: None,
+            adaptive: false,
+            budget: None,
+            seed: 2025,
         }
     }
 }
@@ -420,7 +457,15 @@ where
     // One deadline instant for the whole run: screen and refinement
     // share the budget instead of each getting a fresh one.
     let deadline = opts.deadline.map(|d| std::time::Instant::now() + d);
-    let outcome = evaluate::run_streaming(calib, &normalized, opts, deadline)?;
+    let (outcome, adaptive) = if opts.adaptive {
+        let (outcome, adaptive) = adaptive::run_adaptive(calib, &normalized, opts, deadline)?;
+        (outcome, Some(adaptive))
+    } else {
+        (
+            evaluate::run_streaming(calib, &normalized, opts, deadline)?,
+            None,
+        )
+    };
     let mut results = outcome.results;
     let refined = if opts.refine_sim {
         // Phase two is per-candidate engine work, so it always runs on
@@ -463,6 +508,7 @@ where
         memo: outcome.memo,
         threads: outcome.threads,
         refined,
+        adaptive,
     })
 }
 

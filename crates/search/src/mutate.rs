@@ -1,0 +1,134 @@
+//! Mutation operators over the mixed-radix grid: where the adaptive
+//! engine proposes new candidates from a frontier parent.
+//!
+//! Three families, mirroring how good parallelism configs cluster:
+//!
+//! * **single-axis neighbor moves** — step one axis one notch (±1 in
+//!   its sorted value grid): the local hill-climb that polishes
+//!   micro-batch counts and interleave depth;
+//! * **divisibility-lattice jumps** — step two parallelism axes in
+//!   opposite directions at once (e.g. pp up, dp down): these travel
+//!   roughly along the iso-world-size surface where the GPU-budget
+//!   lattice keeps candidates admissible;
+//! * **random re-rolls** — replace one axis (or the whole coordinate)
+//!   with a uniform draw: the escape hatch out of exhausted regions.
+//!
+//! All draws come from the run's single [`SplitMix64`], so a fixed
+//! `--seed` replays the identical proposal stream.
+
+use crate::enumerate::{Grid, AXES};
+use crate::power::SplitMix64;
+
+/// Decode-order positions of the parallelism axes (dp, pp, tp) the
+/// lattice jumps pair up.
+const PARALLEL_AXES: [usize; 3] = [2, 3, 4];
+
+/// Proposes mutated grid indices of `parent` into `out` (duplicates
+/// and already-visited indices are filtered by the caller).
+pub(crate) fn propose(grid: &Grid<'_>, parent: usize, rng: &mut SplitMix64, out: &mut Vec<usize>) {
+    let dims = grid.dims();
+    let coords = grid.coords(parent);
+
+    // Single-axis neighbor moves: every axis, both directions.
+    for axis in 0..AXES {
+        if dims[axis] <= 1 {
+            continue;
+        }
+        for step in [-1isize, 1] {
+            if let Some(next) = step_axis(&coords, axis, step, &dims) {
+                out.push(grid.index_of(&next));
+            }
+        }
+    }
+
+    // Divisibility-lattice jumps: two random parallelism axes stepped
+    // in opposite directions (two attempts per parent).
+    for _ in 0..2 {
+        let a = PARALLEL_AXES[rng.below(PARALLEL_AXES.len())];
+        let b = PARALLEL_AXES[rng.below(PARALLEL_AXES.len())];
+        if a == b || dims[a] <= 1 || dims[b] <= 1 {
+            continue;
+        }
+        let dir = if rng.below(2) == 0 { 1isize } else { -1 };
+        if let Some(half) = step_axis(&coords, a, dir, &dims) {
+            if let Some(full) = step_axis(&half, b, -dir, &dims) {
+                out.push(grid.index_of(&full));
+            }
+        }
+    }
+
+    // Random re-rolls: one axis uniformly re-drawn, plus one fully
+    // random coordinate.
+    let axis = rng.below(AXES);
+    if dims[axis] > 1 {
+        let mut next = coords;
+        next[axis] = rng.below(dims[axis]);
+        out.push(grid.index_of(&next));
+    }
+    out.push(rng.below(grid.total().max(1)));
+}
+
+/// `coords` with `axis` stepped by `step`, or `None` when that walks
+/// off the axis.
+fn step_axis(
+    coords: &[usize; AXES],
+    axis: usize,
+    step: isize,
+    dims: &[usize; AXES],
+) -> Option<[usize; AXES]> {
+    let digit = coords[axis] as isize + step;
+    if digit < 0 || digit >= dims[axis] as isize {
+        return None;
+    }
+    let mut next = *coords;
+    next[axis] = digit as usize;
+    Some(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpaceSpec;
+    use lumos_model::{ModelConfig, Parallelism, TrainingSetup};
+
+    fn grid_fixture(base: &TrainingSetup) -> Grid<'_> {
+        let spec = SpaceSpec::deployment_grid(&[2, 4], &[1, 2, 4], &[1, 2, 4])
+            .with_microbatches(&[2, 4, 8]);
+        Grid::new(&spec, base)
+    }
+
+    #[test]
+    fn proposals_stay_in_the_grid_and_replay_deterministically() {
+        let base = TrainingSetup::new(ModelConfig::tiny(), Parallelism::new(2, 1, 1).unwrap());
+        let grid = grid_fixture(&base);
+        let parent = grid.total() / 2;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        propose(&grid, parent, &mut SplitMix64::new(11), &mut a);
+        propose(&grid, parent, &mut SplitMix64::new(11), &mut b);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|&i| i < grid.total()));
+    }
+
+    #[test]
+    fn neighbor_moves_change_exactly_one_axis() {
+        let base = TrainingSetup::new(ModelConfig::tiny(), Parallelism::new(2, 1, 1).unwrap());
+        let grid = grid_fixture(&base);
+        let parent = 0;
+        let mut proposals = Vec::new();
+        propose(&grid, parent, &mut SplitMix64::new(3), &mut proposals);
+        let parent_coords = grid.coords(parent);
+        // The first proposals are the deterministic neighbor moves;
+        // each differs from the parent in exactly one axis by one.
+        let one_axis_steps = proposals
+            .iter()
+            .take_while(|&&p| {
+                let c = grid.coords(p);
+                let diffs: Vec<usize> = (0..AXES).filter(|&x| c[x] != parent_coords[x]).collect();
+                diffs.len() == 1 && c[diffs[0]].abs_diff(parent_coords[diffs[0]]) == 1
+            })
+            .count();
+        assert!(one_axis_steps >= 4);
+    }
+}

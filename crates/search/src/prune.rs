@@ -27,6 +27,16 @@ pub struct PruneStats {
     /// reason (degenerate bubble, zero makespan, non-finite objective)
     /// instead of being ranked.
     pub infeasible: usize,
+    /// Distinct grid indices the adaptive engine decoded (seed
+    /// probes, mutations, and the verification sweep). Zero on
+    /// exhaustive runs, where `enumerated` already is the visit count.
+    pub visited: usize,
+    /// Mutation proposals the adaptive power schedule issued
+    /// (including ones later rejected by the lattice or the screen).
+    pub mutations: usize,
+    /// Corpus entries on the adaptive frontier at termination — the
+    /// pool the power schedule was still picking parents from.
+    pub frontier: usize,
 }
 
 impl PruneStats {
@@ -37,6 +47,26 @@ impl PruneStats {
             + self.structural_rejects
             + self.memory_pruned
             + self.bound_skipped
+    }
+
+    /// `part` as a percentage of the enumerated grid; `0.0` on an
+    /// empty walk, so displays never divide by zero.
+    pub fn percent(&self, part: usize) -> f64 {
+        if self.enumerated == 0 {
+            0.0
+        } else {
+            part as f64 * 100.0 / self.enumerated as f64
+        }
+    }
+
+    /// Share of grid points cut before full simulation, in percent.
+    pub fn skip_percent(&self) -> f64 {
+        self.percent(self.total_skipped())
+    }
+
+    /// Share of grid points fully simulated, in percent.
+    pub fn visit_percent(&self) -> f64 {
+        self.percent(self.evaluated)
     }
 }
 
@@ -117,6 +147,24 @@ pub(crate) fn gate_one(
 mod tests {
     use super::*;
     use lumos_model::{ModelConfig, Parallelism};
+
+    #[test]
+    fn percentages_guard_the_empty_space() {
+        let empty = PruneStats::default();
+        assert_eq!(empty.skip_percent(), 0.0);
+        assert_eq!(empty.visit_percent(), 0.0);
+        let stats = PruneStats {
+            enumerated: 200,
+            budget_rejects: 40,
+            divisibility_rejects: 10,
+            memory_pruned: 30,
+            bound_skipped: 20,
+            evaluated: 100,
+            ..PruneStats::default()
+        };
+        assert_eq!(stats.skip_percent(), 50.0);
+        assert_eq!(stats.visit_percent(), 50.0);
+    }
 
     #[test]
     fn gate_partitions_exactly() {

@@ -8,6 +8,7 @@
 //! (see [`crate::CandidateResult::infeasibility`]); the comparator is
 //! the defense-in-depth layer underneath.
 
+use crate::adaptive::AdaptiveReport;
 use crate::evaluate::{CandidateResult, RejectedCandidate};
 use crate::prune::{MemoStats, PruneStats, PrunedCandidate};
 use crate::refine::RefinedResult;
@@ -131,6 +132,10 @@ pub struct SearchReport {
     /// metrics-only engine runs (no trace is materialized), which are
     /// bit-identical to full-trace execution.
     pub refined: Option<Vec<RefinedResult>>,
+    /// Adaptive-engine accounting ([`crate::SearchOptions::adaptive`]):
+    /// how the run terminated, how much of the space was visited, and
+    /// the seed that replays it. `None` for exhaustive runs.
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 impl SearchReport {
@@ -166,6 +171,27 @@ impl SearchReport {
             "  memory-pruned before simulation: {}   evaluated (on {} threads): {}",
             s.memory_pruned, self.threads, s.evaluated
         );
+        let _ = writeln!(
+            out,
+            "  skipped without full simulation: {:.1}%   fully evaluated: {:.1}%",
+            s.skip_percent(),
+            s.visit_percent()
+        );
+        if let Some(a) = &self.adaptive {
+            let _ = writeln!(
+                out,
+                "  adaptive: {} — visited {}/{} ({:.1}%), {} mutations over {} rounds, frontier {}, budget {}, seed {}",
+                a.outcome,
+                a.visited,
+                a.grid_points,
+                a.visited_percent(),
+                a.mutations,
+                a.rounds,
+                a.frontier,
+                a.budget,
+                a.seed
+            );
+        }
         if s.bound_skipped > 0 || s.infeasible > 0 || self.memo.misses > 0 {
             let _ = writeln!(
                 out,

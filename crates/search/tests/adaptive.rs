@@ -1,0 +1,233 @@
+//! Issue-mandated guarantees of the corpus-guided adaptive engine:
+//!
+//! * adaptive top-k equals exhaustive top-k on every committed example
+//!   space, across 1/2/4/7 workers (the verification sweep makes small
+//!   spaces provably exact — `AdaptiveOutcome::Exact`);
+//! * the same equality holds property-tested over arbitrary small
+//!   spaces;
+//! * a fixed `--seed` replays byte-identical reports;
+//! * exhausting the evaluation budget returns the typed
+//!   `AdaptiveOutcome::BudgetExhausted` partial-result marker, never an
+//!   error.
+
+use lumos_cluster::{GroundTruthCluster, JitterModel};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind, TrainingSetup};
+use lumos_search::{
+    search, AdaptiveOutcome, CandidateResult, SearchOptions, SearchReport, SpaceSpec,
+    SpecFile,
+};
+use lumos_trace::ClusterTrace;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// An 8-layer research model profiled at tp=2, so the committed
+/// example spaces (whose tp axes start at 2) are trace-reachable.
+fn base_setup() -> TrainingSetup {
+    TrainingSetup {
+        model: ModelConfig::custom("adaptive-e2e", 8, 256, 1024, 4, 64),
+        parallelism: Parallelism::new(2, 1, 1).unwrap(),
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: 4,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    }
+}
+
+fn shared_trace() -> &'static (TrainingSetup, ClusterTrace) {
+    static CELL: OnceLock<(TrainingSetup, ClusterTrace)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let base = base_setup();
+        let trace = GroundTruthCluster::new(&base, AnalyticalCostModel::h100())
+            .unwrap()
+            .with_jitter(JitterModel::realistic(42))
+            .profile_iteration(0)
+            .unwrap()
+            .trace;
+        (base, trace)
+    })
+}
+
+/// Everything that must agree between adaptive and exhaustive runs.
+fn fingerprint(r: &CandidateResult) -> (String, usize, u64, u64, u64, u64) {
+    (
+        r.label.clone(),
+        r.index,
+        r.makespan.as_ns(),
+        r.memory.total(),
+        r.utilization.mfu.to_bits(),
+        r.tokens_per_sec_per_gpu.to_bits(),
+    )
+}
+
+fn run(spec: &SpaceSpec, opts: &SearchOptions) -> SearchReport {
+    let (base, trace) = shared_trace();
+    search(trace, base, spec, opts, AnalyticalCostModel::h100()).unwrap()
+}
+
+fn exhaustive_opts(top_k: usize) -> SearchOptions {
+    SearchOptions {
+        top_k: Some(top_k),
+        ..SearchOptions::default()
+    }
+}
+
+fn adaptive_opts(top_k: usize, threads: usize) -> SearchOptions {
+    SearchOptions {
+        top_k: Some(top_k),
+        threads: Some(threads),
+        adaptive: true,
+        ..SearchOptions::default()
+    }
+}
+
+/// Asserts everything the daemon/CLI JSON contract exposes is equal:
+/// ranked results, grid accounting, lattice counters, memory prunes.
+fn assert_reports_match(adaptive: &SearchReport, exhaustive: &SearchReport, context: &str) {
+    let got: Vec<_> = adaptive.results.iter().map(fingerprint).collect();
+    let want: Vec<_> = exhaustive.results.iter().map(fingerprint).collect();
+    assert_eq!(got, want, "{context}: ranked results differ");
+    let (a, e) = (&adaptive.stats, &exhaustive.stats);
+    assert_eq!(a.enumerated, e.enumerated, "{context}: grid accounting");
+    assert_eq!(a.budget_rejects, e.budget_rejects, "{context}");
+    assert_eq!(a.divisibility_rejects, e.divisibility_rejects, "{context}");
+    assert_eq!(a.structural_rejects, e.structural_rejects, "{context}");
+    assert_eq!(a.memory_pruned, e.memory_pruned, "{context}");
+    // Every admitted candidate is accounted for: scored, pruned, or
+    // provably dominated by the screen.
+    assert_eq!(
+        a.evaluated + a.bound_skipped,
+        e.evaluated + e.bound_skipped,
+        "{context}: screen accounting"
+    );
+}
+
+fn example_space(name: &str) -> SpaceSpec {
+    let path = format!(
+        "{}/../../examples/spaces/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    SpecFile::parse(&text).unwrap().space
+}
+
+#[test]
+fn adaptive_equals_exhaustive_on_committed_example_spaces_across_workers() {
+    for name in ["sweep.toml", "schedules.toml"] {
+        let spec = example_space(name);
+        let exhaustive = run(&spec, &exhaustive_opts(10));
+        assert!(
+            !exhaustive.results.is_empty(),
+            "{name}: fixture must be feasible from the tp=2 base"
+        );
+        for threads in [1usize, 2, 4, 7] {
+            let report = run(&spec, &adaptive_opts(10, threads));
+            let adaptive = report.adaptive.expect("adaptive run reports accounting");
+            assert_eq!(
+                adaptive.outcome,
+                AdaptiveOutcome::Exact,
+                "{name}: committed spaces are under the sweep cap, so the \
+                 verification sweep must prove exactness"
+            );
+            assert_reports_match(&report, &exhaustive, &format!("{name} threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_replays_byte_identical_reports() {
+    // A space large enough (> the seed-probe count) that the RNG
+    // actually steers exploration.
+    let spec = SpaceSpec::deployment_grid(&[1, 2], &[1, 2, 4, 8], &[1, 2, 4])
+        .with_microbatches(&[2, 4, 8])
+        .with_interleave(&[1, 2]);
+    let mut opts = adaptive_opts(10, 1);
+    opts.seed = 7;
+    let first = run(&spec, &opts);
+    let second = run(&spec, &opts);
+    assert_eq!(
+        format!("{first}"),
+        format!("{second}"),
+        "same seed, same space: the rendered report must be byte-identical"
+    );
+    let (a, b) = (first.adaptive.unwrap(), second.adaptive.unwrap());
+    assert_eq!(a.visited, b.visited);
+    assert_eq!(a.mutations, b.mutations);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.outcome, b.outcome);
+}
+
+#[test]
+fn budget_exhaustion_is_a_typed_marker_not_an_error() {
+    // > 64 grid points (so the run cannot finish inside the seed
+    // batch) and a budget of one full evaluation.
+    let spec = SpaceSpec::deployment_grid(&[2], &[1, 2, 4, 8], &[1, 2, 4, 8])
+        .with_microbatches(&[1, 2, 4, 8, 16]);
+    let mut opts = adaptive_opts(5, 2);
+    opts.budget = Some(1);
+    let report = run(&spec, &opts);
+    let adaptive = report.adaptive.expect("adaptive accounting present");
+    assert_eq!(
+        adaptive.outcome,
+        AdaptiveOutcome::BudgetExhausted,
+        "a one-evaluation budget cannot cover the space: {adaptive:?}"
+    );
+    assert!(
+        adaptive.visited < adaptive.grid_points,
+        "exhaustion must leave part of the space unvisited: {adaptive:?}"
+    );
+    // The partial answer is still a ranked, usable report.
+    assert!(!report.results.is_empty());
+}
+
+#[test]
+fn adaptive_display_names_the_outcome() {
+    let spec = example_space("schedules.toml");
+    let report = run(&spec, &adaptive_opts(5, 1));
+    let text = format!("{report}");
+    assert!(
+        text.contains("adaptive: exact"),
+        "report must surface the adaptive outcome:\n{text}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Adaptive equals exhaustive top-k on arbitrary small spaces, for
+    /// every worker count the issue names.
+    #[test]
+    fn adaptive_equals_exhaustive_property(
+        pp_mask in 1u32..8,
+        dp_mask in 1u32..4,
+        mb_mask in 1u32..4,
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let pick = |mask: u32, values: &[u32]| -> Vec<u32> {
+            values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect()
+        };
+        let spec = SpaceSpec::deployment_grid(&[2], &pick(pp_mask, &[1, 2, 4]), &pick(dp_mask, &[1, 2]))
+            .with_microbatches(&pick(mb_mask, &[2, 4]));
+        let exhaustive = run(&spec, &exhaustive_opts(k));
+        for threads in [1usize, 2, 4, 7] {
+            let mut opts = adaptive_opts(k, threads);
+            opts.seed = seed;
+            let report = run(&spec, &opts);
+            prop_assert_eq!(
+                report.adaptive.unwrap().outcome,
+                AdaptiveOutcome::Exact
+            );
+            let got: Vec<_> = report.results.iter().map(fingerprint).collect();
+            let want: Vec<_> = exhaustive.results.iter().map(fingerprint).collect();
+            prop_assert_eq!(got, want, "threads={}, seed={}", threads, seed);
+        }
+    }
+}

@@ -152,7 +152,7 @@ fn run_job(job: &Job, stats: &ServerStats, search_threads: Option<usize>) -> Str
     let outcome = match &job.request {
         ComputeRequest::Predict(req) => execute_predict(&job.artifact, req),
         ComputeRequest::Search(req) => {
-            execute_search(&job.artifact, req, search_threads, remaining)
+            execute_search(&job.artifact, req, search_threads, remaining, stats)
         }
         ComputeRequest::Refine(req) => {
             execute_refine(&job.artifact, req, search_threads, remaining)
@@ -313,9 +313,10 @@ fn execute_search(
     req: &SearchRequest,
     search_threads: Option<usize>,
     remaining: Option<std::time::Duration>,
+    stats: &ServerStats,
 ) -> Result<String, ErrorResponse> {
     let top = req.top.unwrap_or(10);
-    let opts = search_options(
+    let mut opts = search_options(
         req.objective.as_deref(),
         req.memory_gib,
         top,
@@ -326,6 +327,19 @@ fn execute_search(
         remaining,
         la,
     )?;
+    opts.adaptive = req.adaptive;
+    if let Some(budget) = req.budget {
+        if !req.adaptive {
+            return Err(bad_request("`budget` only applies with `adaptive`"));
+        }
+        opts.budget = Some(budget);
+    }
+    if let Some(seed) = req.seed {
+        if !req.adaptive {
+            return Err(bad_request("`seed` only applies with `adaptive`"));
+        }
+        opts.seed = seed;
+    }
     let mut space = SpaceSpec::empty();
     space.tp = req.tp.clone();
     space.pp = req.pp.clone();
@@ -338,6 +352,9 @@ fn execute_search(
         space.max_gpus = max_gpus;
     }
     let report = search_calibrated(&la.calibration, &space, &opts).map_err(|e| search_error(&e))?;
+    if let Some(adaptive) = &report.adaptive {
+        stats.record_adaptive(adaptive.visited as u64, adaptive.frontier as u64);
+    }
     Ok(protocol::response_line(&protocol::search_response(
         &report, top,
     )))

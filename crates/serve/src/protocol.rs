@@ -121,6 +121,13 @@ pub struct SearchRequest {
     pub jitter_seed: Option<u64>,
     /// Per-request deadline in milliseconds (queue wait included).
     pub deadline_ms: Option<u64>,
+    /// Run the corpus-guided adaptive engine instead of the
+    /// exhaustive walk (mirror of `lumos search --adaptive`).
+    pub adaptive: bool,
+    /// Adaptive full-evaluation budget (`--budget`).
+    pub budget: Option<usize>,
+    /// Adaptive RNG seed (`--seed`); fixed seeds replay identically.
+    pub seed: Option<u64>,
 }
 
 /// `{"kind":"refine",...}` — engine-refine a single pinned candidate
@@ -370,6 +377,13 @@ pub struct StatsResponse {
     pub artifacts: Vec<ArtifactStatsBody>,
     /// Per-kind volume and latency quantiles.
     pub request_kinds: Vec<KindStatsBody>,
+    /// Adaptive searches served.
+    pub adaptive_runs: u64,
+    /// Grid indices visited across all adaptive searches.
+    pub adaptive_visited: u64,
+    /// Frontier entries live at termination, summed over adaptive
+    /// searches.
+    pub adaptive_frontier: u64,
 }
 
 /// Successful `reload` payload.
@@ -700,6 +714,9 @@ fn parse_search(obj: &serde_json::Map) -> Result<SearchRequest, String> {
             "jitter_replicas",
             "jitter_seed",
             "deadline_ms",
+            "adaptive",
+            "budget",
+            "seed",
         ],
     )?;
     let gpus = match obj.get("gpus") {
@@ -731,6 +748,9 @@ fn parse_search(obj: &serde_json::Map) -> Result<SearchRequest, String> {
         jitter_replicas: field_u32_opt(obj, "jitter_replicas")?.unwrap_or(0),
         jitter_seed: field_u64_opt(obj, "jitter_seed")?,
         deadline_ms: field_u64_opt(obj, "deadline_ms")?,
+        adaptive: field_bool(obj, "adaptive")?,
+        budget: field_u64_opt(obj, "budget")?.map(|b| b as usize),
+        seed: field_u64_opt(obj, "seed")?,
     })
 }
 

@@ -282,6 +282,9 @@ impl Connection {
                     p99_us: self.stats.quantile_us(slot, 0.99),
                 })
                 .collect(),
+            adaptive_runs: self.stats.adaptive_runs(),
+            adaptive_visited: self.stats.adaptive_visited(),
+            adaptive_frontier: self.stats.adaptive_frontier(),
         }
     }
 

@@ -78,6 +78,9 @@ pub struct ServerStats {
     rejected_overloaded: AtomicU64,
     deadline_exceeded: AtomicU64,
     queue_depth: AtomicU64,
+    adaptive_runs: AtomicU64,
+    adaptive_visited: AtomicU64,
+    adaptive_frontier: AtomicU64,
 }
 
 impl ServerStats {
@@ -90,6 +93,9 @@ impl ServerStats {
             rejected_overloaded: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            adaptive_runs: AtomicU64::new(0),
+            adaptive_visited: AtomicU64::new(0),
+            adaptive_frontier: AtomicU64::new(0),
         }
     }
 
@@ -153,6 +159,30 @@ impl ServerStats {
     /// Compute requests waiting in the queue right now.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed adaptive search: how many grid indices it
+    /// visited and its frontier size at termination.
+    pub fn record_adaptive(&self, visited: u64, frontier: u64) {
+        self.adaptive_runs.fetch_add(1, Ordering::Relaxed);
+        self.adaptive_visited.fetch_add(visited, Ordering::Relaxed);
+        self.adaptive_frontier
+            .fetch_add(frontier, Ordering::Relaxed);
+    }
+
+    /// Adaptive searches served so far.
+    pub fn adaptive_runs(&self) -> u64 {
+        self.adaptive_runs.load(Ordering::Relaxed)
+    }
+
+    /// Grid indices visited across all adaptive searches.
+    pub fn adaptive_visited(&self) -> u64 {
+        self.adaptive_visited.load(Ordering::Relaxed)
+    }
+
+    /// Frontier entries live at termination, summed over runs.
+    pub fn adaptive_frontier(&self) -> u64 {
+        self.adaptive_frontier.load(Ordering::Relaxed)
     }
 }
 
