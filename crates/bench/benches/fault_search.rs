@@ -1,0 +1,265 @@
+//! Fault-robust search benchmark (PR 10): re-rank a pp=4 finalist set
+//! by expected makespan under the committed
+//! `examples/fixtures/faults.toml` scenario mix, and gate the fault
+//! pass's replay throughput. Emits deterministic numbers to
+//! `BENCH_PR10.json` at the repository root (override with
+//! `BENCH_PR10_OUT`).
+//!
+//! Gates (exit 2 on violation):
+//!
+//! * the fault pass must sustain ≥ 100 replicas/finalist/sec on the
+//!   pp=4 fixture (the metrics-only engine fast path is the whole
+//!   reason per-replica replay is affordable);
+//! * every finalist's fault stats must be internally consistent
+//!   (expected ≤ p95, robustness in (0, 1]);
+//! * deterministic fields must match a committed `BENCH_PR10.json`.
+//!
+//! CI runs it in smoke mode (`FAULT_BENCH_SMOKE=1`): gates and
+//! snapshot only, no criterion timing loops.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use lumos_cluster::{FaultSpec, GroundTruthCluster, JitterModel, SimConfig};
+use lumos_cost::AnalyticalCostModel;
+use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind};
+use lumos_search::{search, SearchOptions, SearchReport, SpaceSpec};
+use lumos_trace::ClusterTrace;
+
+/// Fault replicas per finalist in the gated run.
+const REPLICAS: u32 = 64;
+
+fn smoke() -> bool {
+    std::env::var_os("FAULT_BENCH_SMOKE").is_some()
+}
+
+/// Base profiled at pp=4: the deepest pipeline in the ranked space,
+/// so every candidate is trace-reachable.
+fn base() -> (SimConfig, ClusterTrace) {
+    let cfg = SimConfig {
+        model: ModelConfig::custom("bench-faults", 8, 256, 1024, 4, 64),
+        parallelism: Parallelism::new(1, 4, 1).unwrap(),
+        batch: BatchConfig {
+            seq_len: 128,
+            microbatch_size: 1,
+            num_microbatches: 8,
+        },
+        schedule: ScheduleKind::OneFOneB,
+    };
+    let trace = GroundTruthCluster::new(&cfg, AnalyticalCostModel::h100())
+        .unwrap()
+        .with_jitter(JitterModel::realistic(2025))
+        .profile_iteration(0)
+        .unwrap()
+        .trace;
+    (cfg, trace)
+}
+
+/// The pp axis the finalists come from.
+fn space() -> SpaceSpec {
+    SpaceSpec::deployment_grid(&[1], &[1, 2, 4], &[1]).with_microbatches(&[8])
+}
+
+/// The committed CI fixture, pinned into the binary: editing the file
+/// shows up as snapshot drift here and as a test failure in
+/// `crates/search/tests/faults.rs`.
+fn fixture_spec() -> FaultSpec {
+    FaultSpec::parse(include_str!("../../../examples/fixtures/faults.toml"))
+        .expect("committed fixture parses")
+}
+
+fn fault_opts(replicas: u32) -> SearchOptions {
+    SearchOptions {
+        top_k: Some(4),
+        refine_sim: true,
+        fault_spec: Some(fixture_spec()),
+        fault_replicas: replicas,
+        fault_seed: 2025,
+        ..SearchOptions::default()
+    }
+}
+
+fn run(cfg: &SimConfig, trace: &ClusterTrace, opts: &SearchOptions) -> SearchReport {
+    search(trace, cfg, &space(), opts, AnalyticalCostModel::h100()).unwrap()
+}
+
+fn bench_fault_search(c: &mut Criterion) {
+    let (cfg, trace) = base();
+    let mut group = c.benchmark_group("fault_search");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("refine-clean"), |b| {
+        b.iter(|| {
+            run(
+                &cfg,
+                &trace,
+                &SearchOptions {
+                    top_k: Some(4),
+                    refine_sim: true,
+                    ..SearchOptions::default()
+                },
+            )
+        })
+    });
+
+    for replicas in [8u32, 32, REPLICAS] {
+        group.throughput(Throughput::Elements(u64::from(replicas)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("faults-{replicas}rep")),
+            &replicas,
+            |b, &replicas| b.iter(|| run(&cfg, &trace, &fault_opts(replicas))),
+        );
+    }
+    group.finish();
+}
+
+/// Deterministic snapshot plus the throughput and consistency gates.
+fn emit_snapshot() {
+    let (cfg, trace) = base();
+
+    // The clean refined ranking, for the degradation baseline.
+    let clean = run(
+        &cfg,
+        &trace,
+        &SearchOptions {
+            top_k: Some(4),
+            refine_sim: true,
+            ..SearchOptions::default()
+        },
+    );
+    let clean_top = &clean.refined.as_ref().expect("refined finals")[0];
+    let clean_label = clean_top.label.clone();
+
+    // The gated robust run, timed end to end.
+    let started = std::time::Instant::now();
+    let report = run(&cfg, &trace, &fault_opts(REPLICAS));
+    let elapsed = started.elapsed().as_secs_f64();
+    let refined = report.refined.as_ref().expect("refined finals");
+    let finalists = refined.len();
+    let replicas_total = u64::from(REPLICAS) * finalists as u64;
+    // Whole-search wall time is a conservative denominator: screening
+    // and clean refinement are charged to the fault pass too.
+    let rate = f64::from(REPLICAS) / elapsed;
+
+    let mut consistent = true;
+    for r in refined {
+        let f = r.faults.as_ref().expect("fault stats on every finalist");
+        consistent &= f.replicas == REPLICAS
+            && f.expected <= f.p95
+            && f.expected >= r.simulated_makespan
+            && f.degradation >= 0.0
+            && f.robustness > 0.0
+            && f.robustness <= 1.0;
+    }
+    let top = &refined[0];
+    let top_faults = top.faults.as_ref().expect("fault stats");
+
+    let json = format!(
+        "{{\n  \"pr\": 10,\n  \"generated_by\": \"crates/bench/benches/fault_search.rs\",\n  \
+         \"smoke\": {},\n  \
+         \"fixture\": \"examples/fixtures/faults.toml\",\n  \
+         \"finalists\": {},\n  \"fault_replicas\": {},\n  \"fault_seed\": 2025,\n  \
+         \"replicas_total\": {},\n  \
+         \"clean_top1_label\": \"{}\",\n  \"robust_top1_label\": \"{}\",\n  \
+         \"robust_top1_expected_ns\": {},\n  \"robust_top1_p95_ns\": {},\n  \
+         \"replicas_per_finalist_per_sec\": {:.1},\n  \"elapsed_ms\": {}\n}}\n",
+        smoke(),
+        finalists,
+        REPLICAS,
+        replicas_total,
+        clean_label,
+        top.label,
+        top_faults.expected.as_ns(),
+        top_faults.p95.as_ns(),
+        rate,
+        (elapsed * 1e3) as u64,
+    );
+
+    let default_path = format!("{}/../../BENCH_PR10.json", env!("CARGO_MANIFEST_DIR"));
+    let committed = std::fs::read_to_string(&default_path).ok();
+    let out = std::env::var("BENCH_PR10_OUT").unwrap_or(default_path);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    println!("\n== BENCH_PR10 snapshot ({out}) ==");
+    print!("{json}");
+
+    if !consistent {
+        eprintln!("FAIL: a finalist's fault stats are internally inconsistent");
+        std::process::exit(2);
+    }
+    if rate < 100.0 {
+        eprintln!(
+            "FAIL: fault pass sustained {rate:.1} replicas/finalist/sec \
+             ({REPLICAS} replicas x {finalists} finalists in {elapsed:.2}s) — under the 100/s gate"
+        );
+        std::process::exit(2);
+    }
+    if let Some(text) = committed {
+        let drift = diff_against(
+            &text,
+            finalists,
+            &clean_label,
+            &top.label,
+            top_faults.expected.as_ns(),
+            top_faults.p95.as_ns(),
+        );
+        if drift.is_empty() {
+            println!("trajectory diff clean: fault numbers match the committed snapshot");
+        } else {
+            eprintln!("FAIL: fault trajectory drifted from the committed BENCH_PR10.json:");
+            for line in &drift {
+                eprintln!("  {line}");
+            }
+            std::process::exit(2);
+        }
+    } else {
+        println!("no committed BENCH_PR10.json — skipping trajectory diff");
+    }
+}
+
+/// Diffs the deterministic fields against the committed snapshot
+/// (rate/elapsed/smoke are machine-dependent and excluded).
+fn diff_against(
+    committed: &str,
+    finalists: usize,
+    clean_label: &str,
+    robust_label: &str,
+    expected_ns: u64,
+    p95_ns: u64,
+) -> Vec<String> {
+    let doc: serde_json::Value = match serde_json::from_str(committed) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("committed snapshot is not valid JSON: {e}")],
+    };
+    let mut drift = Vec::new();
+    for (field, new) in [
+        ("finalists", finalists as u64),
+        ("fault_replicas", u64::from(REPLICAS)),
+        ("robust_top1_expected_ns", expected_ns),
+        ("robust_top1_p95_ns", p95_ns),
+    ] {
+        let old = doc.get(field).and_then(|v| v.as_u64());
+        if old != Some(new) {
+            drift.push(format!("{field}: {new} != committed {old:?}"));
+        }
+    }
+    for (field, new) in [
+        ("clean_top1_label", clean_label),
+        ("robust_top1_label", robust_label),
+    ] {
+        let old = doc.get(field).and_then(|v| v.as_str());
+        if old != Some(new) {
+            drift.push(format!("{field}: {new} != committed {old:?}"));
+        }
+    }
+    drift
+}
+
+criterion_group!(fault_benches, bench_fault_search);
+
+fn main() {
+    // Smoke mode (CI): gates and snapshot only — the criterion timing
+    // loops re-run the same deterministic searches and add nothing.
+    if !smoke() {
+        fault_benches();
+    }
+    emit_snapshot();
+}

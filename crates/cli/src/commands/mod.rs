@@ -3,6 +3,7 @@
 
 pub mod calibrate;
 pub mod critical;
+pub mod faults;
 pub mod info;
 pub mod lint;
 pub mod mfu;

@@ -36,6 +36,9 @@ pub const SPEC: ArgSpec = ArgSpec {
         "threads",
         "jitter-replicas",
         "jitter-seed",
+        "faults",
+        "fault-replicas",
+        "fault-seed",
         "budget",
     ],
     flags: &[
@@ -58,6 +61,7 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
     [--objective makespan|throughput|mfu] [--top K]\n\
     [--memory-gib N] [--threads N] [--progress] [--keep-all]\n\
     [--refine-sim [--verify]] [--jitter-replicas N] [--jitter-seed N]\n\
+    [--faults spec.toml [--fault-replicas N] [--fault-seed N]]\n\
     [--adaptive [--budget N] [--seed N]] [--json]\n\
   Searches a what-if configuration space from one profiled trace:\n\
   candidates are enumerated lazily over the axis grids\n\
@@ -94,6 +98,16 @@ pub const HELP: &str = "lumos search [<trace.json>] [--setup setup.json] [--spac
   deterministic variance replicas per finalist and re-ranks by the\n\
   jittered mean, adding mean/p95/stability robustness columns\n\
   (--jitter-seed fixes the variance model's seed).\n\
+  --faults <spec.toml> (implies --refine-sim) ranks the finals for\n\
+  robustness instead: each finalist is re-executed under\n\
+  --fault-replicas (default 32) deterministic fault scenarios sampled\n\
+  from the spec (persistent stragglers, transient network-degradation\n\
+  windows, rank failures with checkpoint-restart or elastic\n\
+  re-sharding recovery), the finals are re-ranked by expected\n\
+  makespan under faults, and the report gains expected/p95/\n\
+  degradation/robustness columns. An empty spec is byte-identical to\n\
+  plain --refine-sim. --fault-seed fixes the sampling seed; see\n\
+  `lumos help faults` and docs/fault-scenarios.md.\n\
   --adaptive swaps exhaustive enumeration for the corpus-guided\n\
   engine: deterministic seed probes, a power-scheduled mutation\n\
   frontier (neighbor moves + divisibility-lattice jumps), and — on\n\
@@ -304,6 +318,29 @@ pub fn run(args: &ArgSet, out: &mut dyn Write) -> Result<(), CliError> {
             ));
         }
         opts.jitter_seed = seed;
+    }
+    if let Some(path) = args.get("faults") {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::file(path, e))?;
+        let spec = lumos_cluster::FaultSpec::parse(&text)
+            .map_err(|e| CliError::Usage(format!("fault spec `{path}`: {e}")))?;
+        opts.fault_spec = Some(spec);
+        opts.refine_sim = true; // robustness requires the refinement pass
+    }
+    if let Some(replicas) = args.get_num_opt::<u32>("fault-replicas")? {
+        if opts.fault_spec.is_none() {
+            return Err(CliError::Usage(
+                "--fault-replicas only applies with --faults".to_string(),
+            ));
+        }
+        opts.fault_replicas = replicas;
+    }
+    if let Some(seed) = args.get_num_opt::<u64>("fault-seed")? {
+        if opts.fault_spec.is_none() {
+            return Err(CliError::Usage(
+                "--fault-seed only applies with --faults".to_string(),
+            ));
+        }
+        opts.fault_seed = seed;
     }
     if args.has("verify") {
         if !opts.refine_sim {

@@ -11,6 +11,7 @@
 //! | `replay` | replay through Algorithm 1 (`--dpro` for the baseline) |
 //! | `predict` | graph manipulation + simulation for what-if configs |
 //! | `search` | parallel what-if search over a configuration space |
+//! | `faults` | explain a fault-scenario spec and its sampling |
 //! | `lint` | statically verify lowered programs deadlock-free |
 //! | `sm-util` | §4.2.3 SM-utilization timeline |
 //! | `critical-path` | longest dependency chain + bottleneck kernels |
@@ -50,6 +51,7 @@ commands:\n\
   replay         replay a trace through the simulator\n\
   predict        estimate performance for a modified configuration\n\
   search         rank a whole configuration space from one trace\n\
+  faults         explain a fault-scenario spec and its sampling\n\
   lint           statically verify lowered programs deadlock-free\n\
   sm-util        SM-utilization timeline\n\
   critical-path  critical path and bottleneck kernels\n\
@@ -80,6 +82,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "replay" => commands::replay::run(&ArgSet::parse(rest, &commands::replay::SPEC)?, out),
         "predict" => commands::predict::run(&ArgSet::parse(rest, &commands::predict::SPEC)?, out),
         "search" => commands::search::run(&ArgSet::parse(rest, &commands::search::SPEC)?, out),
+        "faults" => commands::faults::run(&ArgSet::parse(rest, &commands::faults::SPEC)?, out),
         "lint" => commands::lint::run(&ArgSet::parse(rest, &commands::lint::SPEC)?, out),
         "sm-util" => commands::smutil::run(&ArgSet::parse(rest, &commands::smutil::SPEC)?, out),
         "critical-path" => {
@@ -97,6 +100,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 Some("replay") => writeln!(out, "{}", commands::replay::HELP)?,
                 Some("predict") => writeln!(out, "{}", commands::predict::HELP)?,
                 Some("search") => writeln!(out, "{}", commands::search::HELP)?,
+                Some("faults") => writeln!(out, "{}", commands::faults::HELP)?,
                 Some("lint") => writeln!(out, "{}", commands::lint::HELP)?,
                 Some("sm-util") => writeln!(out, "{}", commands::smutil::HELP)?,
                 Some("critical-path") => writeln!(out, "{}", commands::critical::HELP)?,
@@ -471,6 +475,221 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(base, verified);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faults_explain_summarizes_spec_and_sampling() {
+        let dir = std::env::temp_dir().join(format!("lumos-cli-fexpl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("mix.toml");
+        std::fs::write(
+            &spec,
+            "version = 1\n\
+             [[straggler]]\nprobability = 0.9\nslowdown = 1.5\n\
+             [[degradation]]\nprobability = 0.5\nscope = \"dp\"\nbandwidth_factor = 0.25\n\
+             [[failure]]\nprobability = 0.3\nelastic = true\n",
+        )
+        .unwrap();
+        let out = run_to_string(&["faults", "explain", spec.to_str().unwrap()]).unwrap();
+        assert!(
+            out.contains("1 straggler, 1 degradation, 1 failure"),
+            "{out}"
+        );
+        assert!(out.contains("1.50x slowdown"), "{out}");
+        assert!(out.contains("dp collectives"), "{out}");
+        assert!(out.contains("elastic re-shard"), "{out}");
+        assert!(out.contains("replica   0:"), "{out}");
+        assert!(out.contains("replica(s) clean"), "{out}");
+
+        // Sampling is deterministic and seed-sensitive.
+        let again = run_to_string(&["faults", "explain", spec.to_str().unwrap()]).unwrap();
+        assert_eq!(out, again);
+        let reseeded =
+            run_to_string(&["faults", "explain", spec.to_str().unwrap(), "--seed", "7"]).unwrap();
+        assert_ne!(out, reseeded);
+
+        // An empty spec says so instead of sampling clean replicas.
+        let empty = dir.join("empty.toml");
+        std::fs::write(&empty, "version = 1\n").unwrap();
+        let out = run_to_string(&["faults", "explain", empty.to_str().unwrap()]).unwrap();
+        assert!(
+            out.contains("byte-identical to plain --refine-sim"),
+            "{out}"
+        );
+
+        // Usage errors: missing path, unknown action.
+        assert!(run_to_string(&["faults"]).is_err());
+        let err = run_to_string(&["faults", "frob", spec.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("unknown action"), "{err}");
+        assert!(run_to_string(&["help", "faults"])
+            .unwrap()
+            .contains("--replicas"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite guarantee: every malformed fault-spec field fails as
+    /// a usage error (exit code 2 at the binary boundary) whose
+    /// message names both the offending file and the offending key.
+    #[test]
+    fn malformed_fault_specs_name_path_and_key() {
+        let dir = std::env::temp_dir().join(format!("lumos-cli-fbad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // One case per malformed field: (spec text, named key/table).
+        let cases: &[(&str, &str)] = &[
+            ("version = 9", "version"),
+            ("version = 1.5", "version"),
+            ("[[gremlin]]\n", "gremlin"),
+            ("[straggler]\n", "array-of-tables"),
+            ("not a key value line\n", "line 1"),
+            (
+                "[[straggler]]\nslowdown = 1.5\nprobability = 2.0",
+                "probability",
+            ),
+            (
+                "[[straggler]]\nprobability = 0.5\nslowdown = 1.5\nranks = 0",
+                "ranks",
+            ),
+            ("[[straggler]]\nprobability = 0.5", "slowdown"),
+            (
+                "[[straggler]]\nprobability = 0.5\nslowdown = 0.5",
+                "slowdown",
+            ),
+            (
+                "[[straggler]]\nprobability = 0.5\nslowdown = 1.5\nfoo = 1",
+                "foo",
+            ),
+            (
+                "[[degradation]]\nprobability = 0.5\nbandwidth_factor = 0.5\nscope = \"np\"",
+                "scope",
+            ),
+            ("[[degradation]]\nprobability = 0.5", "bandwidth_factor"),
+            (
+                "[[degradation]]\nprobability = 0.5\nbandwidth_factor = 0.0",
+                "bandwidth_factor",
+            ),
+            (
+                "[[degradation]]\nprobability = 0.5\nbandwidth_factor = 0.5\nstart_frac = -1",
+                "start_frac",
+            ),
+            (
+                "[[degradation]]\nprobability = 0.5\nbandwidth_factor = 0.5\nend_frac = 0.0",
+                "end_frac",
+            ),
+            (
+                "[[failure]]\nprobability = 0.5\ncheckpoint_interval = 0.5",
+                "checkpoint_interval",
+            ),
+            (
+                "[[failure]]\nprobability = 0.5\nrestart_latency_s = -1",
+                "restart_latency_s",
+            ),
+            (
+                "[[failure]]\nprobability = 0.5\nreshard_cost_s = -1",
+                "reshard_cost_s",
+            ),
+            ("[[failure]]\nprobability = 0.5\nelastic = 1", "elastic"),
+        ];
+        for (i, (text, key)) in cases.iter().enumerate() {
+            let path = dir.join(format!("bad{i}.toml"));
+            std::fs::write(&path, text).unwrap();
+            let path = path.to_str().unwrap();
+            let err = run_to_string(&["faults", "explain", path]).unwrap_err();
+            assert!(
+                matches!(err, CliError::Usage(_)),
+                "case {i}: expected a usage error (exit 2), got {err}"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains(path), "case {i}: path missing from `{msg}`");
+            assert!(msg.contains(key), "case {i}: `{key}` missing from `{msg}`");
+            // The search-side loader wraps the same parser the same way.
+            let err = run_to_string(&["search", "--model", "tiny", "--faults", path]).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "case {i}: {err}");
+            assert!(err.to_string().contains(key), "case {i}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn search_faults_gates_columns_and_empty_spec_identity() {
+        // Replica/seed knobs require a spec to apply to.
+        let err = run_to_string(&["search", "--fault-replicas", "4"]).unwrap_err();
+        assert!(
+            err.to_string().contains("--fault-replicas only applies"),
+            "{err}"
+        );
+        let err = run_to_string(&["search", "--fault-seed", "7"]).unwrap_err();
+        assert!(
+            err.to_string().contains("--fault-seed only applies"),
+            "{err}"
+        );
+
+        let dir = std::env::temp_dir().join(format!("lumos-cli-frun-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("f.json");
+        let trace = trace.to_str().unwrap();
+        run_to_string(&[
+            "synth", "--model", "tiny", "--tp", "1", "--pp", "2", "--dp", "1", "--out", trace,
+        ])
+        .unwrap();
+
+        // An empty spec is byte-identical to plain --refine-sim.
+        let empty = dir.join("empty.toml");
+        std::fs::write(&empty, "version = 1\n").unwrap();
+        let plain = run_to_string(&[
+            "search",
+            trace,
+            "--dp",
+            "1,2",
+            "--microbatches",
+            "2",
+            "--refine-sim",
+        ])
+        .unwrap();
+        let with_empty = run_to_string(&[
+            "search",
+            trace,
+            "--dp",
+            "1,2",
+            "--microbatches",
+            "2",
+            "--faults",
+            empty.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(plain, with_empty);
+
+        // A real spec adds the robustness columns (--faults implies
+        // the refinement pass on its own).
+        let spec = dir.join("slow.toml");
+        std::fs::write(
+            &spec,
+            "version = 1\n[[straggler]]\nprobability = 1.0\nslowdown = 2.0\n",
+        )
+        .unwrap();
+        let out = run_to_string(&[
+            "search",
+            trace,
+            "--dp",
+            "1,2",
+            "--microbatches",
+            "2",
+            "--faults",
+            spec.to_str().unwrap(),
+            "--fault-replicas",
+            "3",
+            "--fault-seed",
+            "11",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("expected makespan under injected faults"),
+            "{out}"
+        );
+        assert!(out.contains("expected (ms)"), "{out}");
+        assert!(out.contains("robust"), "{out}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -30,6 +30,7 @@ use crate::exec::{ExecOp, PreparedJob};
 use crate::jitter::{JitterModel, RunJitter};
 use crate::lower::LoweredJob;
 use crate::program::NameId;
+use crate::scenario::RunScenario;
 use crate::sink::{EngineMetrics, EventSink, FullTraceSink, MetricsSink};
 use lumos_cost::{CostModel, HostOverheads};
 use lumos_trace::{ClusterTrace, CudaRuntimeKind, Dur, KernelClass, Ts};
@@ -159,6 +160,7 @@ impl<'a> PreparedJob<'a> {
             overheads,
             jitter,
             iteration,
+            None,
             FullTraceSink::new(self),
         )
         .run()?;
@@ -184,6 +186,43 @@ impl<'a> PreparedJob<'a> {
             overheads,
             jitter,
             iteration,
+            None,
+            MetricsSink::new(self),
+        )
+        .run()?;
+        Ok(sink.finish(self))
+    }
+
+    /// Executes one iteration in metrics-only mode under an injected
+    /// fault scenario (see [`crate::scenario`]): straggler ranks run
+    /// compute kernels and host ops slower by their per-rank
+    /// multiplier, and collectives starting inside a degradation
+    /// window take longer by the window's bandwidth slowdown. Jitter
+    /// (if any) composes multiplicatively with the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PreparedJob::execute_metrics`].
+    pub fn execute_metrics_faulted<C: CostModel>(
+        &self,
+        cost: &C,
+        overheads: &HostOverheads,
+        jitter: &JitterModel,
+        iteration: u64,
+        scenario: &RunScenario,
+    ) -> Result<EngineMetrics, EngineError> {
+        let sc = if scenario.is_identity() {
+            None
+        } else {
+            Some(scenario)
+        };
+        let sink = Engine::new(
+            self,
+            cost,
+            overheads,
+            jitter,
+            iteration,
+            sc,
             MetricsSink::new(self),
         )
         .run()?;
@@ -300,6 +339,10 @@ struct Engine<'p, C: CostModel, S: EventSink> {
     /// run loop stops at the next wake and reports it, so malformed
     /// programs surface as typed errors instead of panics.
     fatal: Option<EngineError>,
+    /// Injected fault scenario, `None` on the clean path (identity
+    /// scenarios are dropped before construction so the hot loop
+    /// branches on one `Option`).
+    scenario: Option<&'p RunScenario>,
     sink: S,
 }
 
@@ -310,6 +353,7 @@ impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
         oh: &'p HostOverheads,
         jitter: &'p JitterModel,
         iteration: u64,
+        scenario: Option<&'p RunScenario>,
         sink: S,
     ) -> Self {
         let threads: Vec<ThreadState> = prep
@@ -365,6 +409,7 @@ impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
                 .map(|c| cost.compute_cost(c))
                 .collect(),
             fatal: None,
+            scenario,
             sink,
         }
     }
@@ -527,6 +572,10 @@ impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
     fn host_dur(&mut self, thread: usize, rank: u32, base: Dur) -> Dur {
         let t = &mut self.threads[thread];
         t.host_site += 1;
+        let base = match self.scenario {
+            Some(sc) => base.scale(sc.rank_multiplier(rank)),
+            None => base,
+        };
         if self.jitter.is_identity() {
             return base;
         }
@@ -815,6 +864,10 @@ impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
                     corr,
                 } => {
                     let meta = prep.streams[si];
+                    let base = match self.scenario {
+                        Some(sc) => base.scale(sc.rank_multiplier(meta.rank)),
+                        None => base,
+                    };
                     let dur = if self.jitter.is_identity() {
                         base
                     } else {
@@ -904,6 +957,13 @@ impl<'p, C: CostModel, S: EventSink> Engine<'p, C, S> {
             let base = self
                 .cost
                 .collective_cost(meta.kind, meta.bytes, info.members);
+            // Degradation windows key off the rendezvous start time:
+            // a collective beginning inside a window pays the
+            // window's full slowdown.
+            let base = match self.scenario {
+                Some(sc) => base.scale(sc.comm_multiplier(info.group, start)),
+                None => base,
+            };
             let dur = if self.jitter.is_identity() {
                 base
             } else {
@@ -1382,5 +1442,120 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.trace.total_events(), 1);
+    }
+
+    fn faulted_fixture(tp: u32, pp: u32, dp: u32) -> SimConfig {
+        SimConfig {
+            model: ModelConfig::tiny(),
+            parallelism: Parallelism::new(tp, pp, dp).unwrap(),
+            batch: BatchConfig {
+                seq_len: 128,
+                microbatch_size: 1,
+                num_microbatches: 4,
+            },
+            schedule: ScheduleKind::OneFOneB,
+        }
+    }
+
+    #[test]
+    fn identity_scenario_matches_clean_metrics() {
+        let config = faulted_fixture(2, 1, 2);
+        let job = lower(&config).unwrap();
+        let prep = PreparedJob::new(&job).unwrap();
+        let cost = AnalyticalCostModel::h100();
+        let oh = HostOverheads::default();
+        let jitter = JitterModel::realistic(5);
+        let clean = prep.execute_metrics(&cost, &oh, &jitter, 0).unwrap();
+        let faulted = prep
+            .execute_metrics_faulted(
+                &cost,
+                &oh,
+                &jitter,
+                0,
+                &crate::scenario::RunScenario::identity(4),
+            )
+            .unwrap();
+        assert_eq!(clean.makespan, faulted.makespan);
+        assert_eq!(clean.total_events, faulted.total_events);
+    }
+
+    #[test]
+    fn straggler_scenario_slows_makespan_not_structure() {
+        let config = faulted_fixture(1, 2, 1);
+        let job = lower(&config).unwrap();
+        let prep = PreparedJob::new(&job).unwrap();
+        let cost = AnalyticalCostModel::h100();
+        let oh = HostOverheads::default();
+        let clean = prep
+            .execute_metrics(&cost, &oh, &JitterModel::none(), 0)
+            .unwrap();
+        let spec =
+            crate::scenario::FaultSpec::parse("[[straggler]]\nranks = 1\nslowdown = 2.0").unwrap();
+        let real = spec.realize(7, 0, 2);
+        let sc = real.compile(2, clean.makespan);
+        assert!(!sc.is_identity());
+        let faulted = prep
+            .execute_metrics_faulted(&cost, &oh, &JitterModel::none(), 0, &sc)
+            .unwrap();
+        assert!(
+            faulted.makespan > clean.makespan,
+            "straggler must slow the run: {:?} vs {:?}",
+            faulted.makespan,
+            clean.makespan
+        );
+        assert_eq!(faulted.total_events, clean.total_events);
+        // Deterministic: the same scenario replays byte-identically.
+        let again = prep
+            .execute_metrics_faulted(&cost, &oh, &JitterModel::none(), 0, &sc)
+            .unwrap();
+        assert_eq!(faulted.makespan, again.makespan);
+    }
+
+    #[test]
+    fn degradation_window_scopes_to_matching_groups() {
+        use crate::scenario::{DegradationSpec, Realization};
+        use lumos_model::ScopeClass;
+        let config = faulted_fixture(2, 1, 1);
+        let job = lower(&config).unwrap();
+        let prep = PreparedJob::new(&job).unwrap();
+        let cost = AnalyticalCostModel::h100();
+        let oh = HostOverheads::default();
+        let clean = prep
+            .execute_metrics(&cost, &oh, &JitterModel::none(), 0)
+            .unwrap();
+        let window = |scope| Realization {
+            replica: 0,
+            stragglers: Vec::new(),
+            windows: vec![DegradationSpec {
+                probability: 1.0,
+                scope,
+                bandwidth_factor: 0.25,
+                start_frac: 0.0,
+                end_frac: 10.0,
+            }],
+            failure: None,
+        };
+        // A tp-scoped window on a tp-only job slows it down…
+        let tp_faulted = prep
+            .execute_metrics_faulted(
+                &cost,
+                &oh,
+                &JitterModel::none(),
+                0,
+                &window(Some(ScopeClass::Tp)).compile(2, clean.makespan),
+            )
+            .unwrap();
+        assert!(tp_faulted.makespan > clean.makespan);
+        // …while a dp-scoped window leaves it untouched.
+        let dp_faulted = prep
+            .execute_metrics_faulted(
+                &cost,
+                &oh,
+                &JitterModel::none(),
+                0,
+                &window(Some(ScopeClass::Dp)).compile(2, clean.makespan),
+            )
+            .unwrap();
+        assert_eq!(dp_faulted.makespan, clean.makespan);
     }
 }

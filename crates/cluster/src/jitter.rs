@@ -204,8 +204,10 @@ impl RunJitter {
     }
 }
 
-/// SplitMix64 finalizer — a well-mixed 64-bit hash step.
-fn mix(state: u64, value: u64) -> u64 {
+/// SplitMix64 finalizer — a well-mixed 64-bit hash step. Shared with
+/// [`crate::scenario`], whose per-replica fault sampling uses the same
+/// hash-the-`(seed, replica, site)` idiom.
+pub(crate) fn mix(state: u64, value: u64) -> u64 {
     let mut z = state
         .wrapping_add(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(value.wrapping_mul(0xbf58_476d_1ce4_e5b9));

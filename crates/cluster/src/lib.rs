@@ -52,6 +52,7 @@ mod jitter;
 mod lower;
 mod program;
 mod run;
+pub mod scenario;
 mod sink;
 mod verify;
 
@@ -64,5 +65,6 @@ pub use program::{
     streams, threads, HostOp, KernelSpec, NameId, NameTable, Program, ThreadProgram,
 };
 pub use run::{profile, profile_inference, ClusterError, GroundTruthCluster, MeasuredStats};
+pub use scenario::{FaultSpec, FaultSpecError, Realization, RunScenario};
 pub use sink::{EngineMetrics, RankMetrics, StreamBusy};
 pub use verify::{verify, CycleStep, GroupEntry, PortableJob, VerifyError, VerifyReport};

@@ -46,6 +46,7 @@ pub mod interleaved;
 pub mod memory;
 pub mod ops;
 mod parallel;
+pub mod recovery;
 pub mod registry;
 mod schedule;
 mod setup;
@@ -58,7 +59,8 @@ pub use gpt3::ModelConfig;
 pub use inference::InferenceSetup;
 pub use interleaved::{InterleavedItem, InterleavedSchedule};
 pub use memory::{MemoryEstimate, MemoryModel, OomError, OptimizerPlacement, Recompute};
-pub use parallel::{CommScope, GroupRegistry, Parallelism, RankCoords};
+pub use parallel::{CommScope, GroupRegistry, Parallelism, RankCoords, ScopeClass};
+pub use recovery::RecoveryCosts;
 pub use registry::{Schedule, ScheduleAdjustment, ScheduleBuilder};
 pub use schedule::{PipelineSchedule, ScheduleItem, ScheduleKind};
 pub use setup::TrainingSetup;

@@ -236,6 +236,71 @@ const SCOPE_DP: u64 = 2 << 40;
 const SCOPE_PP: u64 = 3 << 40;
 const SCOPE_EMB: u64 = 4 << 40;
 
+/// The axis class a [`CommGroupId`] belongs to, recoverable from the
+/// id alone (the scope tag lives in the bits above the 40-bit
+/// payload). Unlike [`CommScope`] it carries no coordinates, so
+/// consumers that only need "is this a DP group?" — e.g. targeted
+/// network-degradation injection — can classify without knowing the
+/// deployment shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScopeClass {
+    /// Tensor-parallel group.
+    Tp,
+    /// Data-parallel group.
+    Dp,
+    /// Pipeline point-to-point pair.
+    Pp,
+    /// Embedding-tying pair (first/last stage).
+    Embedding,
+}
+
+impl ScopeClass {
+    /// Classifies a communicator id minted by [`GroupRegistry`];
+    /// `None` for ids outside the registry's encoding (e.g. raw ids in
+    /// hand-built jobs).
+    pub fn of_group(group: CommGroupId) -> Option<Self> {
+        match group & !((1u64 << 40) - 1) {
+            SCOPE_TP => Some(ScopeClass::Tp),
+            SCOPE_DP => Some(ScopeClass::Dp),
+            SCOPE_PP => Some(ScopeClass::Pp),
+            SCOPE_EMB => Some(ScopeClass::Embedding),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (the `FaultSpec` TOML vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScopeClass::Tp => "tp",
+            ScopeClass::Dp => "dp",
+            ScopeClass::Pp => "pp",
+            ScopeClass::Embedding => "embedding",
+        }
+    }
+}
+
+impl fmt::Display for ScopeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ScopeClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tp" => Ok(ScopeClass::Tp),
+            "dp" => Ok(ScopeClass::Dp),
+            "pp" => Ok(ScopeClass::Pp),
+            "embedding" | "emb" => Ok(ScopeClass::Embedding),
+            other => Err(format!(
+                "unknown scope `{other}` (expected tp, dp, pp, embedding, or all)"
+            )),
+        }
+    }
+}
+
 impl GroupRegistry {
     /// Creates a registry for a deployment.
     pub fn new(par: Parallelism) -> Self {
@@ -425,6 +490,35 @@ mod tests {
     fn coords_out_of_range_panics() {
         let p = Parallelism::new(1, 1, 1).unwrap();
         let _ = p.coords(1);
+    }
+
+    #[test]
+    fn scope_class_recovers_from_group_ids() {
+        let p = Parallelism::new(2, 2, 2).unwrap();
+        let reg = GroupRegistry::new(p);
+        let c = p.coords(0);
+        assert_eq!(
+            ScopeClass::of_group(reg.group_id(CommScope::Tp, c)),
+            Some(ScopeClass::Tp)
+        );
+        assert_eq!(
+            ScopeClass::of_group(reg.group_id(CommScope::Dp, c)),
+            Some(ScopeClass::Dp)
+        );
+        assert_eq!(
+            ScopeClass::of_group(reg.group_id(CommScope::PpPair { upstream_stage: 0 }, c)),
+            Some(ScopeClass::Pp)
+        );
+        assert_eq!(
+            ScopeClass::of_group(reg.group_id(CommScope::Embedding, c)),
+            Some(ScopeClass::Embedding)
+        );
+        // Raw ids from hand-built jobs are outside the encoding.
+        assert_eq!(ScopeClass::of_group(99), None);
+        assert_eq!("dp".parse::<ScopeClass>().unwrap(), ScopeClass::Dp);
+        assert_eq!("EMB".parse::<ScopeClass>().unwrap(), ScopeClass::Embedding);
+        assert!("node".parse::<ScopeClass>().is_err());
+        assert_eq!(ScopeClass::Pp.to_string(), "pp");
     }
 }
 

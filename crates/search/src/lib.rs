@@ -116,6 +116,7 @@ mod corpus;
 mod enumerate;
 mod error;
 mod evaluate;
+mod faults;
 mod memo;
 mod mutate;
 pub mod parallel;
@@ -133,6 +134,7 @@ pub use enumerate::{
 };
 pub use error::SearchError;
 pub use evaluate::{CandidateResult, Infeasibility, RejectedCandidate};
+pub use faults::FaultStats;
 pub use memo::SharedStageMemo;
 pub use prune::{memory_gate, MemoStats, PruneStats, PrunedCandidate};
 pub use refine::{JitterStats, RefinedResult};
@@ -231,6 +233,19 @@ pub struct SearchOptions {
     /// model with this seed). Fixed by default so refined reports are
     /// reproducible run to run.
     pub jitter_seed: u64,
+    /// With [`SearchOptions::refine_sim`]: the fault-scenario
+    /// specification of the robustness pass ([`crate::faults`]).
+    /// `None` — or a spec with no scenarios — leaves the report
+    /// byte-identical to a fault-less run.
+    pub fault_spec: Option<lumos_cluster::FaultSpec>,
+    /// Deterministic fault replicas to execute per finalist when
+    /// [`SearchOptions::fault_spec`] is set. Each replica samples
+    /// which scenarios fire by hashing `(fault_seed, replica, site)`,
+    /// so rankings replay byte-identically on any thread count.
+    pub fault_replicas: u32,
+    /// Seed of the fault-scenario sampler. Fixed by default so robust
+    /// rankings are reproducible run to run.
+    pub fault_seed: u64,
     /// With [`SearchOptions::refine_sim`]: statically verify each
     /// finalist's lowered program ([`lumos_cluster::verify`] —
     /// referential integrity, collective consistency, point-to-point
@@ -289,6 +304,9 @@ impl Default for SearchOptions {
             refine_sim: false,
             jitter_replicas: 0,
             jitter_seed: 2025,
+            fault_spec: None,
+            fault_replicas: 32,
+            fault_seed: 2025,
             verify: false,
             progress: None,
             cancel: None,

@@ -21,10 +21,17 @@
 //! deterministic, seeded variance replicas per finalist
 //! ([`JitterModel::realistic`]) and reports mean / p95 makespans plus
 //! a stability score (`mean / p95` clamped into `(0, 1]`, 1.0 =
-//! perfectly stable), so the search can prefer configurations that
-//! degrade gracefully under run-to-run noise rather than
-//! point-estimate winners; the objective is then re-evaluated at the
-//! jittered mean.
+//! perfectly stable; undefined — `None` — below two replicas, where
+//! p95 is just the single sample), so the search can prefer
+//! configurations that degrade gracefully under run-to-run noise
+//! rather than point-estimate winners; the objective is then
+//! re-evaluated at the jittered mean.
+//!
+//! An optional **fault-robustness pass** ([`crate::faults`]) goes
+//! further: it injects a [`lumos_cluster::FaultSpec`]'s stragglers,
+//! degradation windows, and rank failures into deterministic scenario
+//! replicas and re-ranks by the *expected* makespan under faults,
+//! reporting expected / p95 / degradation / robustness per finalist.
 //!
 //! Finalists are refined in parallel on the same worker-pool sizing as
 //! the screen ([`crate::parallel::effective_threads`]); every engine
@@ -54,6 +61,7 @@
 use crate::candidate::Candidate;
 use crate::error::SearchError;
 use crate::evaluate::{tokens_per_iter, CandidateResult};
+use crate::faults::{fault_pass, FaultStats};
 use crate::report::{objective_key_cmp, Objective};
 use crate::SearchOptions;
 use lumos_cluster::{lower, JitterModel, MeasuredStats, PreparedJob};
@@ -75,8 +83,10 @@ pub struct JitterStats {
     /// enough replicas a heavy-tailed draw can push the mean above the
     /// nearest-rank p95): 1.0 means the tail replica is no slower than
     /// the average — the configuration absorbs jitter instead of
-    /// amplifying it.
-    pub stability: f64,
+    /// amplifying it. `None` below two replicas: the nearest-rank p95
+    /// of a single sample is the sample itself, so the score would be
+    /// a vacuous 1.0, not evidence of stability.
+    pub stability: Option<f64>,
 }
 
 /// One finalist after engine refinement: the analytic screen's
@@ -102,14 +112,21 @@ pub struct RefinedResult {
     /// Jitter-robustness statistics, when
     /// [`SearchOptions::jitter_replicas`] > 0.
     pub jitter: Option<JitterStats>,
+    /// Fault-robustness statistics, when [`SearchOptions::fault_spec`]
+    /// is a non-empty spec and [`SearchOptions::fault_replicas`] > 0.
+    pub faults: Option<FaultStats>,
 }
 
 impl RefinedResult {
     /// The makespan the refinement objective is evaluated at: the
-    /// jittered mean when the robustness pass ran (optimize for
-    /// expected time under noise), else the zero-jitter simulated
-    /// makespan.
+    /// expected makespan under injected faults when the fault pass
+    /// ran (robust ranking), else the jittered mean when the jitter
+    /// pass ran (optimize for expected time under noise), else the
+    /// zero-jitter simulated makespan.
     pub fn ranking_makespan(&self) -> Dur {
+        if let Some(f) = &self.faults {
+            return f.expected;
+        }
         match &self.jitter {
             Some(j) => j.mean,
             None => self.simulated_makespan,
@@ -285,10 +302,15 @@ where
         }
         let stats = MeasuredStats { iterations };
         let (mean, p95) = (stats.mean(), stats.p95());
-        let stability = if p95.is_zero() {
-            1.0
+        // A single replica's nearest-rank p95 is the sample itself, so
+        // mean/p95 would report a vacuous 1.0 — below two replicas the
+        // score is undefined, not perfect.
+        let stability = if opts.jitter_replicas < 2 {
+            None
+        } else if p95.is_zero() {
+            Some(1.0)
         } else {
-            (mean.as_secs_f64() / p95.as_secs_f64()).min(1.0)
+            Some((mean.as_secs_f64() / p95.as_secs_f64()).min(1.0))
         };
         Some(JitterStats {
             replicas: opts.jitter_replicas,
@@ -299,6 +321,16 @@ where
     } else {
         None
     };
+
+    let faults = fault_pass(
+        finalist,
+        opts,
+        lookup,
+        &overheads,
+        &prep,
+        out.makespan,
+        simulated,
+    )?;
 
     let analytic = finalist.makespan;
     let delta = if analytic.is_zero() {
@@ -314,6 +346,7 @@ where
         simulated_makespan: simulated,
         delta,
         jitter,
+        faults,
     })
 }
 
@@ -326,7 +359,7 @@ where
 /// `pp_comm_secs_per_rank` is the engine metrics' mean per-rank
 /// pipeline-boundary SendRecv time — the same quantity phase one
 /// derives by walking a full trace.
-fn adjusted_makespan(
+pub(crate) fn adjusted_makespan(
     cand: &Candidate,
     setup: &TrainingSetup,
     simulated: Dur,

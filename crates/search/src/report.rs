@@ -254,11 +254,14 @@ impl SearchReport {
         if let Some(refined) = &self.refined {
             let _ = writeln!(out);
             let with_jitter = refined.iter().any(|r| r.jitter.is_some());
+            let with_faults = refined.iter().any(|r| r.faults.is_some());
             let _ = writeln!(
                 out,
                 "simulation-refined finals (re-ranked by {} at the engine-simulated {}):",
                 self.objective,
-                if with_jitter {
+                if with_faults {
+                    "expected makespan under injected faults"
+                } else if with_jitter {
                     "mean makespan over jitter replicas"
                 } else {
                     "makespan"
@@ -276,6 +279,13 @@ impl SearchReport {
                     "mean (ms)", "p95 (ms)", "stability"
                 );
             }
+            if with_faults {
+                let _ = write!(
+                    out,
+                    " {:>13} {:>13} {:>8} {:>7}",
+                    "expected (ms)", "f-p95 (ms)", "degrad", "robust"
+                );
+            }
             let _ = writeln!(out);
             for (i, r) in refined.iter().take(k).enumerate() {
                 let _ = write!(
@@ -290,10 +300,29 @@ impl SearchReport {
                 if let Some(j) = &r.jitter {
                     let _ = write!(
                         out,
-                        " {:>11.2} {:>11.2} {:>10.3}",
+                        " {:>11.2} {:>11.2}",
                         j.mean.as_ms_f64(),
-                        j.p95.as_ms_f64(),
-                        j.stability,
+                        j.p95.as_ms_f64()
+                    );
+                    match j.stability {
+                        Some(s) => {
+                            let _ = write!(out, " {:>10.3}", s);
+                        }
+                        // Undefined below two replicas: p95 of one
+                        // sample is the sample, not a tail.
+                        None => {
+                            let _ = write!(out, " {:>10}", "n/a");
+                        }
+                    }
+                }
+                if let Some(fs) = &r.faults {
+                    let _ = write!(
+                        out,
+                        " {:>13.2} {:>13.2} {:>+7.1}% {:>7.3}",
+                        fs.expected.as_ms_f64(),
+                        fs.p95.as_ms_f64(),
+                        fs.degradation * 100.0,
+                        fs.robustness,
                     );
                 }
                 let _ = writeln!(out);

@@ -14,8 +14,7 @@ use lumos_cluster::{GroundTruthCluster, JitterModel};
 use lumos_cost::AnalyticalCostModel;
 use lumos_model::{BatchConfig, ModelConfig, Parallelism, ScheduleKind, TrainingSetup};
 use lumos_search::{
-    search, AdaptiveOutcome, CandidateResult, SearchOptions, SearchReport, SpaceSpec,
-    SpecFile,
+    search, AdaptiveOutcome, CandidateResult, SearchOptions, SearchReport, SpaceSpec, SpecFile,
 };
 use lumos_trace::ClusterTrace;
 use proptest::prelude::*;

@@ -75,7 +75,14 @@ fn refined_opts(threads: Option<usize>, jitter_replicas: u32) -> SearchOptions {
 }
 
 /// Everything that must be bit-identical across worker counts.
-type Fingerprint = (String, usize, u64, u64, u64, Option<(u64, u64, u64)>);
+type Fingerprint = (
+    String,
+    usize,
+    u64,
+    u64,
+    u64,
+    Option<(u64, u64, Option<u64>)>,
+);
 
 fn fingerprint(r: &RefinedResult) -> Fingerprint {
     (
@@ -86,7 +93,7 @@ fn fingerprint(r: &RefinedResult) -> Fingerprint {
         r.delta.to_bits(),
         r.jitter
             .as_ref()
-            .map(|j| (j.mean.as_ns(), j.p95.as_ns(), j.stability.to_bits())),
+            .map(|j| (j.mean.as_ns(), j.p95.as_ns(), j.stability.map(f64::to_bits))),
     )
 }
 
@@ -249,11 +256,12 @@ fn jitter_replicas_are_deterministic_and_consistent() {
         let j = r.jitter.as_ref().expect("jitter stats present");
         assert_eq!(j.replicas, 5);
         assert!(j.mean <= j.p95, "{}: mean above p95", r.label);
+        let stability = j.stability.expect("≥2 replicas define stability");
         assert!(
-            j.stability > 0.0 && j.stability <= 1.0,
+            stability > 0.0 && stability <= 1.0,
             "{}: stability {} out of (0, 1]",
             r.label,
-            j.stability
+            stability
         );
         // Jittered means stay in the same ballpark as the zero-jitter
         // simulation (the jitter model is mean-1 multiplicative).
@@ -272,6 +280,33 @@ fn jitter_replicas_are_deterministic_and_consistent() {
     let text = a.format_top(10);
     assert!(text.contains("p95 (ms)"), "{text}");
     assert!(text.contains("stability"), "{text}");
+}
+
+#[test]
+fn single_jitter_replica_has_undefined_stability() {
+    // The nearest-rank p95 of one sample is the sample itself, so
+    // mean/p95 would be a vacuous 1.0 — the score must be reported as
+    // undefined, not as perfect stability.
+    let report = run(&refined_opts(None, 1));
+    let refined = report.refined.as_ref().unwrap();
+    assert!(!refined.is_empty());
+    for r in refined {
+        let j = r.jitter.as_ref().expect("jitter stats present");
+        assert_eq!(j.replicas, 1);
+        assert_eq!(j.mean, j.p95, "one replica: mean is the sample");
+        assert!(
+            j.stability.is_none(),
+            "{}: stability must be undefined with 1 replica",
+            r.label
+        );
+    }
+    let text = report.format_top(10);
+    assert!(text.contains("n/a"), "{text}");
+    // With two replicas the score is defined again.
+    let two = run(&refined_opts(None, 2));
+    for r in two.refined.as_ref().unwrap() {
+        assert!(r.jitter.as_ref().unwrap().stability.is_some());
+    }
 }
 
 #[test]

@@ -33,7 +33,7 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub(crate) enum ComputeRequest {
     Predict(PredictRequest),
-    Search(SearchRequest),
+    Search(Box<SearchRequest>),
     Refine(RefineRequest),
 }
 
@@ -327,6 +327,26 @@ fn execute_search(
         remaining,
         la,
     )?;
+    if let Some(text) = &req.faults_toml {
+        let spec = lumos_cluster::FaultSpec::parse(text)
+            .map_err(|e| bad_request(format!("`faults_toml`: {e}")))?;
+        opts.fault_spec = Some(spec);
+        opts.refine_sim = true; // robustness requires the refinement pass
+    }
+    if let Some(replicas) = req.fault_replicas {
+        if opts.fault_spec.is_none() {
+            return Err(bad_request(
+                "`fault_replicas` only applies with `faults_toml`",
+            ));
+        }
+        opts.fault_replicas = replicas;
+    }
+    if let Some(seed) = req.fault_seed {
+        if opts.fault_spec.is_none() {
+            return Err(bad_request("`fault_seed` only applies with `faults_toml`"));
+        }
+        opts.fault_seed = seed;
+    }
     opts.adaptive = req.adaptive;
     if let Some(budget) = req.budget {
         if !req.adaptive {
@@ -354,6 +374,16 @@ fn execute_search(
     let report = search_calibrated(&la.calibration, &space, &opts).map_err(|e| search_error(&e))?;
     if let Some(adaptive) = &report.adaptive {
         stats.record_adaptive(adaptive.visited as u64, adaptive.frontier as u64);
+    }
+    if let Some(refined) = &report.refined {
+        let replicas: u64 = refined
+            .iter()
+            .filter_map(|r| r.faults.as_ref())
+            .map(|f| u64::from(f.replicas))
+            .sum();
+        if replicas > 0 {
+            stats.record_faults(replicas);
+        }
     }
     Ok(protocol::response_line(&protocol::search_response(
         &report, top,

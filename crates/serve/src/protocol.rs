@@ -34,7 +34,7 @@ pub enum Request {
     /// Price one configuration change against an artifact.
     Predict(PredictRequest),
     /// Rank a configuration space against an artifact.
-    Search(SearchRequest),
+    Search(Box<SearchRequest>),
     /// Engine-refine one candidate configuration.
     Refine(RefineRequest),
     /// Report server statistics.
@@ -119,6 +119,14 @@ pub struct SearchRequest {
     pub jitter_replicas: u32,
     /// Jitter-model seed.
     pub jitter_seed: Option<u64>,
+    /// Fault-scenario spec **text** (the contents of a `--faults`
+    /// TOML file, not a path — the daemon never reads client
+    /// filesystems). Presence implies `refine_sim`.
+    pub faults_toml: Option<String>,
+    /// Fault replicas per finalist (`--fault-replicas`; default 32).
+    pub fault_replicas: Option<u32>,
+    /// Fault-sampling seed (`--fault-seed`).
+    pub fault_seed: Option<u64>,
     /// Per-request deadline in milliseconds (queue wait included).
     pub deadline_ms: Option<u64>,
     /// Run the corpus-guided adaptive engine instead of the
@@ -263,8 +271,26 @@ pub struct JitterBody {
     pub mean_ns: u64,
     /// Nearest-rank p95 simulated makespan.
     pub p95_ns: u64,
-    /// Stability score `mean / p95` in `(0, 1]`.
-    pub stability: f64,
+    /// Stability score `mean / p95` in `(0, 1]`; absent when fewer
+    /// than 2 replicas ran (a p95 needs at least two observations).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stability: Option<f64>,
+}
+
+/// Fault-robustness statistics of a refined finalist (the
+/// `faults_toml` pass).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct FaultBody {
+    /// Deterministic fault replicas executed.
+    pub replicas: u32,
+    /// Expected (mean) makespan across fault replicas.
+    pub expected_ns: u64,
+    /// Nearest-rank p95 makespan across fault replicas.
+    pub p95_ns: u64,
+    /// Relative degradation `(expected − clean) / clean`, ≥ 0.
+    pub degradation: f64,
+    /// Robustness score `clean / p95` in `(0, 1]`.
+    pub robustness: f64,
 }
 
 /// One engine-refined finalist in a [`SearchResponse`] (and the body
@@ -283,6 +309,10 @@ pub struct RefinedBody {
     pub delta: f64,
     /// Robustness statistics when the jitter pass ran.
     pub jitter: Option<JitterBody>,
+    /// Fault statistics when a non-empty fault spec ran; absent
+    /// otherwise (older clients never see the key).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultBody>,
 }
 
 /// Successful `search` payload — also what `lumos search --json`
@@ -384,6 +414,13 @@ pub struct StatsResponse {
     /// Frontier entries live at termination, summed over adaptive
     /// searches.
     pub adaptive_frontier: u64,
+    /// Fault-robust searches served (`faults_toml` requests whose
+    /// fault pass ran).
+    #[serde(default)]
+    pub fault_runs: u64,
+    /// Fault replicas executed across all fault-robust searches.
+    #[serde(default)]
+    pub fault_replicas_executed: u64,
 }
 
 /// Successful `reload` payload.
@@ -466,6 +503,13 @@ fn refined_body(rank: usize, r: &RefinedResult) -> RefinedBody {
             p95_ns: j.p95.as_ns(),
             stability: j.stability,
         }),
+        faults: r.faults.as_ref().map(|f| FaultBody {
+            replicas: f.replicas,
+            expected_ns: f.expected.as_ns(),
+            p95_ns: f.p95.as_ns(),
+            degradation: f.degradation,
+            robustness: f.robustness,
+        }),
     }
 }
 
@@ -547,7 +591,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .ok_or("`kind` must be a string")?;
     match kind {
         "predict" => parse_predict(obj).map(Request::Predict),
-        "search" => parse_search(obj).map(Request::Search),
+        "search" => parse_search(obj).map(|r| Request::Search(Box::new(r))),
         "refine" => parse_refine(obj).map(Request::Refine),
         "stats" => only_kind(obj).map(|()| Request::Stats),
         "reload" => only_kind(obj).map(|()| Request::Reload),
@@ -713,6 +757,9 @@ fn parse_search(obj: &serde_json::Map) -> Result<SearchRequest, String> {
             "refine_sim",
             "jitter_replicas",
             "jitter_seed",
+            "faults_toml",
+            "fault_replicas",
+            "fault_seed",
             "deadline_ms",
             "adaptive",
             "budget",
@@ -747,6 +794,12 @@ fn parse_search(obj: &serde_json::Map) -> Result<SearchRequest, String> {
         refine_sim: field_bool(obj, "refine_sim")?,
         jitter_replicas: field_u32_opt(obj, "jitter_replicas")?.unwrap_or(0),
         jitter_seed: field_u64_opt(obj, "jitter_seed")?,
+        faults_toml: match obj.get("faults_toml") {
+            None => None,
+            Some(_) => Some(field_str(obj, "faults_toml")?),
+        },
+        fault_replicas: field_u32_opt(obj, "fault_replicas")?,
+        fault_seed: field_u64_opt(obj, "fault_seed")?,
         deadline_ms: field_u64_opt(obj, "deadline_ms")?,
         adaptive: field_bool(obj, "adaptive")?,
         budget: field_u64_opt(obj, "budget")?.map(|b| b as usize),

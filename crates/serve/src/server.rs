@@ -285,6 +285,8 @@ impl Connection {
             adaptive_runs: self.stats.adaptive_runs(),
             adaptive_visited: self.stats.adaptive_visited(),
             adaptive_frontier: self.stats.adaptive_frontier(),
+            fault_runs: self.stats.fault_runs(),
+            fault_replicas_executed: self.stats.fault_replicas_executed(),
         }
     }
 

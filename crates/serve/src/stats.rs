@@ -81,6 +81,8 @@ pub struct ServerStats {
     adaptive_runs: AtomicU64,
     adaptive_visited: AtomicU64,
     adaptive_frontier: AtomicU64,
+    fault_runs: AtomicU64,
+    fault_replicas_executed: AtomicU64,
 }
 
 impl ServerStats {
@@ -96,6 +98,8 @@ impl ServerStats {
             adaptive_runs: AtomicU64::new(0),
             adaptive_visited: AtomicU64::new(0),
             adaptive_frontier: AtomicU64::new(0),
+            fault_runs: AtomicU64::new(0),
+            fault_replicas_executed: AtomicU64::new(0),
         }
     }
 
@@ -183,6 +187,24 @@ impl ServerStats {
     /// Frontier entries live at termination, summed over runs.
     pub fn adaptive_frontier(&self) -> u64 {
         self.adaptive_frontier.load(Ordering::Relaxed)
+    }
+
+    /// Records one fault-robust search: how many fault replicas it
+    /// executed across its finalists.
+    pub fn record_faults(&self, replicas: u64) {
+        self.fault_runs.fetch_add(1, Ordering::Relaxed);
+        self.fault_replicas_executed
+            .fetch_add(replicas, Ordering::Relaxed);
+    }
+
+    /// Fault-robust searches served so far.
+    pub fn fault_runs(&self) -> u64 {
+        self.fault_runs.load(Ordering::Relaxed)
+    }
+
+    /// Fault replicas executed across all fault-robust searches.
+    pub fn fault_replicas_executed(&self) -> u64 {
+        self.fault_replicas_executed.load(Ordering::Relaxed)
     }
 }
 

@@ -188,6 +188,83 @@ fn protocol_round_trips_every_request_kind() {
 }
 
 #[test]
+fn fault_robust_search_over_the_wire() {
+    let (a, _) = artifacts();
+    let dir = fresh_dir("faults");
+    a.save(dir.join("a.json")).unwrap();
+    let digest = lumos_calib::digest_hex(a.digest);
+    let addr = start(&dir, 2, 8);
+
+    // A certain straggler: every finalist degrades, the refined
+    // entries gain a `faults` body, and `faults_toml` alone implies
+    // the refinement pass.
+    let spec = "version = 1\\n[[straggler]]\\nprobability = 1.0\\nslowdown = 2.0\\n";
+    let search = ask(
+        addr,
+        &format!(
+            r#"{{"kind":"search","artifact":"{digest}","dp":[1,2],"microbatches":[2,4],"top":3,"faults_toml":"{spec}","fault_replicas":3,"fault_seed":11}}"#
+        ),
+    );
+    assert_eq!(kind(&search), "search", "{search:?}");
+    let refined = search.get("refined").and_then(Value::as_array).unwrap();
+    assert!(!refined.is_empty());
+    for r in refined {
+        let f = r.get("faults").expect("fault stats present");
+        assert_eq!(f.get("replicas").and_then(Value::as_u64), Some(3));
+        let expected = f.get("expected_ns").and_then(Value::as_u64).unwrap();
+        let simulated = r.get("simulated_ns").and_then(Value::as_u64).unwrap();
+        assert!(expected >= simulated, "{r:?}");
+        assert!(f.get("degradation").and_then(Value::as_f64).unwrap() > 0.0);
+        let robustness = f.get("robustness").and_then(Value::as_f64).unwrap();
+        assert!(robustness > 0.0 && robustness <= 1.0, "{r:?}");
+    }
+
+    // An empty spec never emits the key (and jitterless refinement
+    // never emits `jitter`), keeping old clients readable.
+    let clean = ask(
+        addr,
+        &format!(
+            r#"{{"kind":"search","artifact":"{digest}","dp":[1,2],"microbatches":[2],"top":2,"faults_toml":"version = 1\n"}}"#
+        ),
+    );
+    let refined = clean.get("refined").and_then(Value::as_array).unwrap();
+    assert!(
+        refined.iter().all(|r| r.get("faults").is_none()),
+        "{clean:?}"
+    );
+
+    // Gates and parse failures are typed bad requests naming the key.
+    let bad = ask(
+        addr,
+        &format!(r#"{{"kind":"search","artifact":"{digest}","dp":[1],"fault_replicas":3}}"#),
+    );
+    assert_eq!(error_kind(&bad), "bad_request", "{bad:?}");
+    let bad = ask(
+        addr,
+        &format!(
+            r#"{{"kind":"search","artifact":"{digest}","dp":[1],"faults_toml":"[[straggler]]\nslowdown = 0.5\n"}}"#
+        ),
+    );
+    assert_eq!(error_kind(&bad), "bad_request", "{bad:?}");
+    let detail = bad["error"]["detail"].as_str().unwrap();
+    assert!(detail.contains("slowdown"), "{detail}");
+
+    // The stats endpoint counts the fault pass.
+    let stats = ask(addr, r#"{"kind":"stats"}"#);
+    assert_eq!(stats.get("fault_runs").and_then(Value::as_u64), Some(1));
+    assert!(
+        stats
+            .get("fault_replicas_executed")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 3
+    );
+
+    ask(addr, r#"{"kind":"shutdown"}"#);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn requests_in_flight_across_reload_stay_pinned_to_their_artifact() {
     let (a, b) = artifacts();
     let dir = fresh_dir("pin");

@@ -85,11 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(j) = finals.first().and_then(|r| r.jitter.as_ref()) {
             println!(
                 "winner robustness over {} replicas: mean {:.2} ms, p95 {:.2} ms \
-                 (stability {:.3})",
+                 (stability {})",
                 j.replicas,
                 j.mean.as_ms_f64(),
                 j.p95.as_ms_f64(),
                 j.stability
+                    .map_or_else(|| "n/a".to_string(), |s| format!("{s:.3}"))
             );
         }
     }
